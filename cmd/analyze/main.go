@@ -1,0 +1,98 @@
+// Command analyze reproduces the §2 log analysis — Figure 1's block
+// popularity profile, the λ fit, and the remote/local/global and mutability
+// classifications — over a synthetic workload.
+//
+// Usage:
+//
+//	analyze -days 90 -rate 220 -seed 1995 -block 262144
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specweb/internal/experiments"
+	"specweb/internal/popularity"
+)
+
+func main() {
+	var (
+		days  = flag.Int("days", 90, "days of traffic")
+		rate  = flag.Float64("rate", 220, "mean sessions per day")
+		seed  = flag.Int64("seed", 1995, "random seed")
+		block = flag.Int64("block", 256<<10, "block size in bytes (Figure 1 uses 256KB)")
+		small = flag.Bool("small", false, "use the small test workload")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultWorkload()
+	if *small {
+		cfg = experiments.SmallWorkload()
+	}
+	cfg.Days = *days
+	cfg.SessionsPerDay = *rate
+	cfg.Seed = *seed
+
+	w, err := experiments.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fig1, err := experiments.Figure1(w, *block)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("== Figure 1: block popularity (block size %s) ==\n", experiments.FmtBytes(*block))
+	fmt.Printf("documents accessed: %d   accessed bytes: %s of %s on site (%.0f%%)\n",
+		fig1.DocsAccessed, experiments.FmtBytes(fig1.AccessedBytes),
+		experiments.FmtBytes(fig1.SiteBytes),
+		100*float64(fig1.AccessedBytes)/float64(fig1.SiteBytes))
+	fmt.Printf("fitted lambda: %.4g per byte (paper measured 6.247e-7)\n", fig1.Lambda)
+	fmt.Printf("top 10%% of blocks cover %.1f%% of remote requests (paper: 91%%)\n\n",
+		100*fig1.Top10PctCoverage)
+
+	rows := make([][]string, 0, len(fig1.Rows))
+	limit := len(fig1.Rows)
+	if limit > 20 {
+		limit = 20
+	}
+	for _, r := range fig1.Rows[:limit] {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Block),
+			fmt.Sprintf("%d", r.Docs),
+			experiments.FmtBytes(r.CumBytes),
+			fmt.Sprintf("%.1f%%", 100*r.ReqFrac),
+			fmt.Sprintf("%.1f%%", 100*r.CumReqFrac),
+		})
+	}
+	if err := experiments.Table(os.Stdout,
+		[]string{"block", "docs", "cum bytes", "req share", "cum req share"}, rows); err != nil {
+		fail(err)
+	}
+
+	cls, err := experiments.Classification(w)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n== Document classes (remote-ratio thresholds 85%%/15%%) ==\n")
+	clsRows := [][]string{}
+	for _, c := range []popularity.Class{
+		popularity.RemotelyPopular, popularity.LocallyPopular, popularity.GloballyPopular,
+	} {
+		clsRows = append(clsRows, []string{
+			c.String(),
+			fmt.Sprintf("%d", cls.Counts[c]),
+			fmt.Sprintf("%.2f%%/day", 100*cls.MeanUpdateRate[c]),
+		})
+	}
+	if err := experiments.Table(os.Stdout, []string{"class", "docs", "mean update rate"}, clsRows); err != nil {
+		fail(err)
+	}
+	fmt.Printf("mutable documents (≥1%%/day): %d\n", cls.MutableDocs)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command disseminate runs the §2.4 trace-driven dissemination simulation
+// and prints Figure 3: the reduction in network bandwidth (bytes × hops) as
+// the most popular data is disseminated to a growing set of service
+// proxies.
+//
+// Usage:
+//
+//	disseminate -days 90 -rate 220 -fractions 0.10,0.04 -proxies 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"specweb/internal/experiments"
+)
+
+func main() {
+	var (
+		days      = flag.Int("days", 90, "days of traffic")
+		rate      = flag.Float64("rate", 220, "mean sessions per day")
+		seed      = flag.Int64("seed", 1995, "random seed")
+		fractions = flag.String("fractions", "0.10,0.04", "comma-separated popular-data fractions")
+		proxies   = flag.Int("proxies", 16, "maximum proxy count")
+		small     = flag.Bool("small", false, "use the small test workload")
+	)
+	flag.Parse()
+
+	var fracs []float64
+	for _, f := range strings.Split(*fractions, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fail(fmt.Errorf("bad fraction %q: %w", f, err))
+		}
+		fracs = append(fracs, v)
+	}
+	var counts []int
+	for k := 1; k <= *proxies; k++ {
+		counts = append(counts, k)
+	}
+
+	cfg := experiments.DefaultWorkload()
+	if *small {
+		cfg = experiments.SmallWorkload()
+	}
+	cfg.Days = *days
+	cfg.SessionsPerDay = *rate
+	cfg.Seed = *seed
+	w, err := experiments.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	curves, err := experiments.Figure3(w, fracs, counts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("== Figure 3: bandwidth (bytes×hops) saved by dissemination ==")
+	for _, c := range curves {
+		last := c.Points[len(c.Points)-1]
+		fmt.Printf("\n-- most popular %.0f%% of data (per-proxy replica %s) --\n",
+			c.Fraction*100, experiments.FmtBytes(last.ReplicaBytes))
+		rows := make([][]string, 0, len(c.Points))
+		var xs, ys []float64
+		for _, p := range c.Points {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", p.Proxies),
+				experiments.FmtBytes(p.TotalStorage),
+				fmt.Sprintf("%.1f%%", p.ReductionPct),
+			})
+			xs = append(xs, float64(p.Proxies))
+			ys = append(ys, p.ReductionPct)
+		}
+		if err := experiments.Table(os.Stdout, []string{"proxies", "total storage", "reduction"}, rows); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		if err := experiments.Series(os.Stdout,
+			fmt.Sprintf("fraction %.0f%%", c.Fraction*100),
+			xs, ys, "proxies", "% bytes×hops saved", 40); err != nil {
+			fail(err)
+		}
+	}
+
+	// §2.3's bottleneck discussion: how the proxy tier absorbs the home
+	// server's load, and what dynamic shielding does to the busiest proxy.
+	lb, err := experiments.LoadBalance(w, fracs[0], counts, 0)
+	if err != nil {
+		fail(err)
+	}
+	// Re-run with shielding at half the busiest single-proxy load observed.
+	var capacity int64
+	maxShare := 0.0
+	for _, r := range lb {
+		if r.MaxProxySharePct > maxShare {
+			maxShare = r.MaxProxySharePct
+		}
+	}
+	capacity = int64(maxShare / 200 * float64(w.Trace.TotalBytes()))
+	lb, err = experiments.LoadBalance(w, fracs[0], counts, capacity)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\n== §2.3 load balance (home-server relief and proxy concentration) ==")
+	rows := make([][]string, 0, len(lb))
+	for _, r := range lb {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Proxies),
+			fmt.Sprintf("%.1f%%", r.RootShedPct),
+			fmt.Sprintf("%.1f%%", r.MaxProxySharePct),
+			fmt.Sprintf("%.1f%%", r.ShieldedRootPct),
+			fmt.Sprintf("%.1f%%", r.ShieldedMaxSharePct),
+		})
+	}
+	if err := experiments.Table(os.Stdout,
+		[]string{"proxies", "root relief", "busiest proxy", "relief (shielded)", "busiest (shielded)"},
+		rows); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "disseminate:", err)
+	os.Exit(1)
+}

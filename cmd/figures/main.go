@@ -1,0 +1,107 @@
+// Command figures regenerates every figure of the paper as a CSV data file,
+// ready for gnuplot or any spreadsheet:
+//
+//	figures -o ./figures -days 90 -rate 220
+//
+// writes figure1.csv .. figure5.csv into the output directory (figure 6 is
+// figure5.csv plotted against the traffic_pct column).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"specweb/internal/experiments"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "figures", "output directory")
+		days  = flag.Int("days", 90, "days of traffic")
+		rate  = flag.Float64("rate", 220, "mean sessions per day")
+		seed  = flag.Int64("seed", 1995, "random seed")
+		small = flag.Bool("small", false, "use the small test workload")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultWorkload()
+	if *small {
+		cfg = experiments.SmallWorkload()
+	}
+	cfg.Days = *days
+	cfg.SessionsPerDay = *rate
+	cfg.Seed = *seed
+	w, err := experiments.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	write := func(name string, gen func(f *os.File) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := gen(f); err != nil {
+			f.Close()
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	write("figure1.csv", func(f *os.File) error {
+		res, err := experiments.Figure1(w, 256<<10)
+		if err != nil {
+			return err
+		}
+		return experiments.Figure1CSV(f, res)
+	})
+	write("figure2.csv", func(f *os.File) error {
+		pts, err := experiments.Figure2(3, 6.247e-7, nil)
+		if err != nil {
+			return err
+		}
+		return experiments.Figure2CSV(f, pts)
+	})
+	write("figure3_top10.csv", func(f *os.File) error {
+		curves, err := experiments.Figure3(w, []float64{0.10}, nil)
+		if err != nil {
+			return err
+		}
+		return experiments.Figure3CSV(f, curves[0])
+	})
+	write("figure3_top4.csv", func(f *os.File) error {
+		curves, err := experiments.Figure3(w, []float64{0.04}, nil)
+		if err != nil {
+			return err
+		}
+		return experiments.Figure3CSV(f, curves[0])
+	})
+	write("figure4.csv", func(f *os.File) error {
+		res, err := experiments.Figure4(w, 20)
+		if err != nil {
+			return err
+		}
+		return experiments.Figure4CSV(f, res)
+	})
+	write("figure5.csv", func(f *os.File) error {
+		pts, err := experiments.Figure5(w, nil)
+		if err != nil {
+			return err
+		}
+		return experiments.Figure5CSV(f, pts)
+	})
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command replay drives a recorded (or synthesized) trace against a live
+// speculative HTTP server and reports what speculation bought over the
+// wire: start `specd` in one terminal, then
+//
+//	tracegen -profile department -days 3 -rate 50 -o trace.log
+//	replay -trace trace.log -server http://localhost:8095 -bundles -cooperative
+//
+// When -trace is omitted, a small trace is synthesized in-process against
+// the same profile the default specd serves, so the two-command demo works
+// with no files at all. (Page paths are deterministic per profile; a few
+// object paths may 404 because the object population depends on the
+// generator stream — replay a tracegen file for an exact match.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specweb/internal/experiments"
+	"specweb/internal/httpspec"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "CLF trace file (empty: synthesize a small one)")
+		server    = flag.String("server", "http://localhost:8095", "speculative server base URL")
+		bundles   = flag.Bool("bundles", true, "accept speculative bundles")
+		coop      = flag.Bool("cooperative", false, "send cache digests")
+		prefetch  = flag.Float64("prefetch", 0, "follow prefetch hints at or above this probability (0 = off)")
+		session   = flag.Int("session", 0, "purge each client's cache every N requests (0 = never)")
+		days      = flag.Int("days", 2, "days to synthesize when no trace file is given")
+		rate      = flag.Float64("rate", 30, "sessions/day to synthesize")
+		seed      = flag.Int64("seed", 1995, "seed for the synthesized trace")
+		profile   = flag.String("profile", "department", "profile for the synthesized trace: department, media, or tiny (must match the server's)")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		var bad int
+		tr, err = trace.ParseCLF(f, nil, func(string, error) { bad++ })
+		if err != nil {
+			fail(err)
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "replay: skipped %d unparseable lines\n", bad)
+		}
+	} else {
+		cfg := experiments.DefaultWorkload()
+		switch *profile {
+		case "department":
+			cfg.Profile = webgraph.DepartmentSite()
+		case "media":
+			cfg.Profile = webgraph.MediaSite()
+		case "tiny":
+			cfg.Profile = webgraph.TinySite()
+		default:
+			fail(fmt.Errorf("unknown profile %q", *profile))
+		}
+		cfg.Days = *days
+		cfg.SessionsPerDay = *rate
+		cfg.Seed = *seed
+		w, err := experiments.Build(cfg)
+		if err != nil {
+			fail(err)
+		}
+		tr = w.Trace
+	}
+	fmt.Fprintf(os.Stderr, "replay: %d requests from %d clients against %s\n",
+		tr.Len(), len(tr.Clients()), *server)
+
+	stats, err := httpspec.Replay(tr, httpspec.ReplayConfig{
+		Base:               *server,
+		AcceptBundles:      *bundles,
+		Cooperative:        *coop,
+		PrefetchThreshold:  *prefetch,
+		SessionGapRequests: *session,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("clients:     %d\n", stats.Clients)
+	fmt.Printf("requests:    %d (errors %d)\n", stats.Requests, stats.Errors)
+	fmt.Printf("cache hits:  %d (%.1f%%)\n", stats.CacheHits,
+		100*float64(stats.CacheHits)/float64(max64(stats.Requests, 1)))
+	fmt.Printf("pushed:      %d speculative documents received\n", stats.Pushed)
+	fmt.Printf("prefetched:  %d hint-driven fetches\n", stats.Prefetched)
+	fmt.Printf("bytes in:    %s\n", experiments.FmtBytes(stats.BytesIn))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "replay:", err)
+	os.Exit(1)
+}

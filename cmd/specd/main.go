@@ -1,0 +1,73 @@
+// Command specd serves a synthetic site over HTTP with live speculative
+// service — the prototype the paper lists as work in progress. Point a
+// browser (or the httpdemo example) at it; clients that send
+// "Spec-Accept: bundle" receive speculative multipart bundles, everyone
+// else gets Link: rel="prefetch" hints.
+//
+// Usage:
+//
+//	specd -addr :8095 -profile department -mode hybrid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"specweb/internal/httpspec"
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8095", "listen address")
+		profile = flag.String("profile", "department", "site profile: department, media, or tiny")
+		mode    = flag.String("mode", "hybrid", "delivery mode: push, hints, or hybrid")
+		seed    = flag.Int64("seed", 1995, "site generation seed")
+		tp      = flag.Float64("tp", 0.25, "speculation threshold")
+	)
+	flag.Parse()
+
+	var p webgraph.Profile
+	switch *profile {
+	case "department":
+		p = webgraph.DepartmentSite()
+	case "media":
+		p = webgraph.MediaSite()
+	case "tiny":
+		p = webgraph.TinySite()
+	default:
+		fmt.Fprintf(os.Stderr, "specd: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	site, err := webgraph.Generate(p, stats.NewRNG(*seed))
+	if err != nil {
+		log.Fatal("specd: ", err)
+	}
+
+	cfg := httpspec.DefaultServerConfig()
+	cfg.Engine.Tp = *tp
+	switch *mode {
+	case "push":
+		cfg.Mode = httpspec.ModePush
+	case "hints":
+		cfg.Mode = httpspec.ModeHints
+	case "hybrid":
+		cfg.Mode = httpspec.ModeHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "specd: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	srv, err := httpspec.NewServer(httpspec.NewSiteStore(site), cfg)
+	if err != nil {
+		log.Fatal("specd: ", err)
+	}
+	log.Printf("specd: serving %d documents (%d pages) on %s, mode=%s tp=%.2f",
+		site.NumDocs(), site.NumPages(), *addr, *mode, *tp)
+	log.Printf("specd: try GET %s  (stats at /spec/stats)", site.Doc(site.Entries[0]).Path)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,220 @@
+// Command speculate runs the §3 trace-driven speculative-service
+// simulations: the Figure 4 dependency histogram, the Figure 5/6 threshold
+// sweep, the §3.3 headline operating points, and the §3.4 fine-tuning
+// studies (stability, MaxSize, caching, cooperative clients, prefetching
+// modes, and the closure ablation).
+//
+// Usage:
+//
+//	speculate -days 90 -rate 220 [-fig4] [-sweep] [-finetune] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specweb/internal/experiments"
+)
+
+func main() {
+	var (
+		days     = flag.Int("days", 90, "days of traffic")
+		rate     = flag.Float64("rate", 220, "mean sessions per day")
+		seed     = flag.Int64("seed", 1995, "random seed")
+		small    = flag.Bool("small", false, "use the small test workload")
+		fig4     = flag.Bool("fig4", false, "print the Figure 4 dependency histogram")
+		sweep    = flag.Bool("sweep", false, "run the Figure 5/6 threshold sweep")
+		finetune = flag.Bool("finetune", false, "run the §3.4 fine-tuning studies")
+		all      = flag.Bool("all", false, "run everything")
+		tp       = flag.Float64("tp", 0.25, "threshold for the fine-tuning studies")
+	)
+	flag.Parse()
+	if *all {
+		*fig4, *sweep, *finetune = true, true, true
+	}
+	if !*fig4 && !*sweep && !*finetune {
+		*sweep = true
+	}
+
+	cfg := experiments.DefaultWorkload()
+	if *small {
+		cfg = experiments.SmallWorkload()
+	}
+	cfg.Days = *days
+	cfg.SessionsPerDay = *rate
+	cfg.Seed = *seed
+	w, err := experiments.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("workload: %d requests, %d clients over %d days\n\n",
+		w.Trace.Len(), len(w.Trace.Clients()), cfg.Days)
+
+	if *fig4 {
+		res, err := experiments.Figure4(w, 20)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("== Figure 4: document pairs by p[i,j] (T_w = 5s; %d pairs over %d docs) ==\n",
+			res.Pairs, res.Docs)
+		fmt.Print(res.Histogram.Render(48))
+		fmt.Printf("embedding peak (p≈1) holds %.1f%% of pairs\n\n", 100*res.EmbeddingMass)
+	}
+
+	if *sweep {
+		pts, err := experiments.Figure5(w, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("== Figures 5–6: threshold sweep under baseline parameters ==")
+		rows := make([][]string, 0, len(pts))
+		for _, p := range pts {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.2f", p.Tp),
+				fmt.Sprintf("%+.1f%%", p.Ratios.TrafficIncreasePct()),
+				fmt.Sprintf("-%.1f%%", p.Ratios.ServerLoadReductionPct()),
+				fmt.Sprintf("-%.1f%%", p.Ratios.ServiceTimeReductionPct()),
+				fmt.Sprintf("-%.1f%%", p.Ratios.MissRateReductionPct()),
+				fmt.Sprintf("%d", p.SpeculatedDocs),
+				fmt.Sprintf("%d", p.UsedDocs),
+			})
+		}
+		if err := experiments.Table(os.Stdout,
+			[]string{"Tp", "traffic", "load", "time", "miss", "pushed", "used"}, rows); err != nil {
+			fail(err)
+		}
+
+		head, err := experiments.Headline(pts, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("\n== §3.3 headline operating points ==")
+		hrows := make([][]string, 0, len(head))
+		for _, h := range head {
+			hrows = append(hrows, []string{
+				fmt.Sprintf("%.0f%%", h.ExtraTrafficPct),
+				fmt.Sprintf("-%.1f%%", h.LoadReduction),
+				fmt.Sprintf("-%.1f%%", h.TimeReduction),
+				fmt.Sprintf("-%.1f%%", h.MissReduction),
+				fmt.Sprintf("%.2f", h.Tp),
+			})
+		}
+		if err := experiments.Table(os.Stdout,
+			[]string{"extra traffic", "load", "time", "miss", "≈Tp"}, hrows); err != nil {
+			fail(err)
+		}
+		fmt.Println("paper: 5% → -30/-23/-18; 10% → -35/-27/-23; diminishing past ≈50%")
+		fmt.Println()
+	}
+
+	if *finetune {
+		runFinetune(w, *tp)
+	}
+}
+
+func runFinetune(w *experiments.Workload, tp float64) {
+	fmt.Println("== §3.4 stability: update cycle D and history D' ==")
+	st, err := experiments.Stability(w, tp)
+	if err != nil {
+		fail(err)
+	}
+	rows := [][]string{}
+	for _, r := range st {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.UpdateCycleDays),
+			fmt.Sprintf("%d", r.HistoryDays),
+			r.Ratios.String(),
+		})
+	}
+	must(experiments.Table(os.Stdout, []string{"D", "D'", "result"}, rows))
+
+	fmt.Println("\n== §3.4 MaxSize sweep (joint with Tp) ==")
+	ms, err := experiments.MaxSizeSweep(w, nil, nil)
+	if err != nil {
+		fail(err)
+	}
+	rows = rows[:0]
+	for _, r := range ms {
+		name := "∞"
+		if r.MaxSize > 0 {
+			name = experiments.FmtBytes(r.MaxSize)
+		}
+		rows = append(rows, []string{name, fmt.Sprintf("%.2f", r.Tp), r.Ratios.String()})
+	}
+	must(experiments.Table(os.Stdout, []string{"MaxSize", "Tp", "result"}, rows))
+	for _, budget := range []float64{3, 10} {
+		if best, err := experiments.BestMaxSize(ms, budget); err == nil {
+			name := "∞"
+			if best.MaxSize > 0 {
+				name = experiments.FmtBytes(best.MaxSize)
+			}
+			fmt.Printf("best within %.0f%% extra traffic: MaxSize %s at Tp %.2f (%s)\n",
+				budget, name, best.Tp, best.Ratios.String())
+		}
+	}
+
+	fmt.Println("\n== §3.4 client caching variants ==")
+	ct, err := experiments.CachingTable(w, tp)
+	if err != nil {
+		fail(err)
+	}
+	rows = rows[:0]
+	for _, r := range ct {
+		rows = append(rows, []string{r.Name, r.Ratios.String()})
+	}
+	must(experiments.Table(os.Stdout, []string{"cache model", "result"}, rows))
+
+	fmt.Println("\n== §3.4 cooperative clients ==")
+	co, err := experiments.Cooperative(w, nil)
+	if err != nil {
+		fail(err)
+	}
+	rows = rows[:0]
+	for _, r := range co {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", r.Tp),
+			r.Plain.String(),
+			r.Cooperative.String(),
+		})
+	}
+	must(experiments.Table(os.Stdout, []string{"Tp", "plain", "cooperative"}, rows))
+
+	fmt.Println("\n== §3.4 delivery modes (push / hints / hybrid) ==")
+	pf, err := experiments.PrefetchTable(w, tp)
+	if err != nil {
+		fail(err)
+	}
+	rows = rows[:0]
+	for _, r := range pf {
+		rows = append(rows, []string{
+			r.Mode.String(),
+			r.Ratios.String(),
+			fmt.Sprintf("%d", r.SpeculatedDocs),
+			fmt.Sprintf("%d", r.PrefetchedDocs),
+		})
+	}
+	must(experiments.Table(os.Stdout, []string{"mode", "result", "pushed", "prefetched"}, rows))
+
+	fmt.Println("\n== ablation: dependency matrix construction ==")
+	ab, err := experiments.ClosureAblation(w, tp)
+	if err != nil {
+		fail(err)
+	}
+	rows = rows[:0]
+	for _, r := range ab {
+		rows = append(rows, []string{r.Name, r.Ratios.String()})
+	}
+	must(experiments.Table(os.Stdout, []string{"matrix", "result"}, rows))
+}
+
+func must(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "speculate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command tracegen generates a synthetic access trace in Common Log Format,
+// the stand-in for the 1995 cs-www.bu.edu logs that drove the paper's
+// evaluation.
+//
+// Usage:
+//
+//	tracegen -profile department -days 90 -rate 220 -seed 1995 -o trace.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specweb/internal/experiments"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "department", "site profile: department, media, or tiny")
+		days    = flag.Int("days", 90, "days of traffic to generate")
+		rate    = flag.Float64("rate", 220, "mean sessions per day")
+		seed    = flag.Int64("seed", 1995, "random seed")
+		noise   = flag.Float64("noise", 0, "fraction of junk requests (404s, scripts, aliases) to interleave")
+		out     = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultWorkload()
+	switch *profile {
+	case "department":
+		cfg.Profile = webgraph.DepartmentSite()
+	case "media":
+		cfg.Profile = webgraph.MediaSite()
+	case "tiny":
+		cfg.Profile = webgraph.TinySite()
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	cfg.Days = *days
+	cfg.SessionsPerDay = *rate
+	cfg.Seed = *seed
+	cfg.Noise = *noise
+
+	w, err := experiments.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	dst := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.WriteCLF(dst, w.Trace); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d requests, %d clients, %d docs on site, %s total\n",
+		w.Trace.Len(), len(w.Trace.Clients()), w.Site.NumDocs(),
+		experiments.FmtBytes(w.Site.TotalBytes()))
+}

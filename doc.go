@@ -1,0 +1,10 @@
+// Package specweb reproduces "Speculative Data Dissemination and Service to
+// Reduce Server Load, Network Traffic and Service Time in Distributed
+// Information Systems" (Azer Bestavros, ICDE 1996).
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// inventory), the runnable tools under cmd/, and worked examples under
+// examples/. The benchmark suite in bench_test.go regenerates every table
+// and figure of the paper's evaluation; EXPERIMENTS.md records the measured
+// results next to the paper's.
+package specweb

@@ -1,0 +1,99 @@
+// Dissemination walkthrough: the full §2 pipeline on a department-site
+// workload — analyze the logs, classify documents, fit the exponential
+// popularity model, size and allocate proxy storage, place proxies on the
+// clientele tree, and simulate the traffic savings.
+//
+// Run with:
+//
+//	go run ./examples/dissemination
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specweb/internal/allocation"
+	"specweb/internal/clienttree"
+	"specweb/internal/experiments"
+	"specweb/internal/popularity"
+	"specweb/internal/webgraph"
+)
+
+func main() {
+	cfg := experiments.SmallWorkload()
+	cfg.Days = 30
+	w, err := experiments.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 — server-side log analysis (§2, Figure 1).
+	an := popularity.Analyze(w.Trace, w.Site)
+	lambda, err := an.FitLambda(popularity.ByRemoteRequests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accessed: %d documents, %s (site holds %s)\n",
+		len(an.Docs), experiments.FmtBytes(an.AccessedBytes), experiments.FmtBytes(an.SiteBytes))
+	fmt.Printf("fitted exponential popularity constant λ = %.3g per byte\n\n", lambda)
+
+	// Step 2 — classification (§2): which documents are worth pushing
+	// toward remote consumers?
+	cls := an.Classify(popularity.DefaultClassify())
+	fmt.Printf("document classes: %d remotely / %d locally / %d globally popular\n\n",
+		cls.Counts[popularity.RemotelyPopular],
+		cls.Counts[popularity.LocallyPopular],
+		cls.Counts[popularity.GloballyPopular])
+
+	// Step 3 — proxy sizing (eq. 10): how much storage would a proxy need
+	// to shield this server (as one of a 10-server cluster) from 90% of
+	// its remote traffic?
+	b0, err := allocation.SizingB0(10, lambda, 0.90)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("eq. 10: a 10-server cluster proxy needs %s for 90%% interception\n\n",
+		experiments.FmtBytes(int64(b0)))
+
+	// Step 4 — allocation across an asymmetric cluster (eqs. 4–5):
+	// pretend this server shares a proxy with two busier ones.
+	demands := []allocation.Server{
+		{R: 3e6, Lambda: lambda},     // a popular peer
+		{R: 1e6, Lambda: lambda * 3}, // a peer with more skewed access
+		{R: 0.5e6, Lambda: lambda},   // our modest server
+	}
+	bs, err := allocation.ExponentialAllocate(b0, demands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal proxy storage split across the cluster:")
+	for i, b := range bs {
+		fmt.Printf("  server %d (R=%.1gMB/day, λ=%.2g): %s\n",
+			i+1, demands[i].R/1e6, demands[i].Lambda, experiments.FmtBytes(int64(b)))
+	}
+	fmt.Printf("expected intercepted fraction α = %.1f%%\n\n",
+		100*allocation.Alpha(bs, demands))
+
+	// Step 5 — proxy placement on the clientele tree (§2.1) and the
+	// trace-driven savings simulation (Figure 3).
+	replicaIDs := an.TopFraction(0.10, popularity.ByRequests)
+	replicas := map[webgraph.DocID]bool{}
+	for _, id := range replicaIDs {
+		replicas[id] = true
+	}
+	demand, err := clienttree.BuildDemand(w.Trace, w.Topo, replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxies := demand.GreedyPlace(4)
+	fmt.Printf("greedy proxy placement chose %d nodes:\n", len(proxies))
+	for _, p := range proxies {
+		n := w.Topo.Node(p)
+		fmt.Printf("  node %d (%s, depth %d, %d clients beneath)\n",
+			p, n.Kind, n.Depth, len(w.Topo.SubtreeClients(p)))
+	}
+	saved := demand.Savings(proxies)
+	base := demand.BaselineByteHops()
+	fmt.Printf("bytes×hops: %d → %d (%.1f%% saved)\n",
+		base, base-saved, 100*float64(saved)/float64(base))
+}

@@ -1,0 +1,134 @@
+// HTTP demo: the live prototype round trip. Starts a speculative server on
+// a synthetic site, trains it with a few browsing sessions, then shows a
+// bundle-consuming client getting embedded objects for free, a cooperative
+// client avoiding duplicate pushes, and a dissemination proxy shielding the
+// origin.
+//
+// Run with:
+//
+//	go run ./examples/httpdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"specweb/internal/httpspec"
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+func main() {
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A controllable clock lets the demo replay "days" of training in
+	// microseconds.
+	now := time.Date(1995, time.July, 1, 9, 0, 0, 0, time.UTC)
+	cfg := httpspec.DefaultServerConfig()
+	cfg.Mode = httpspec.ModePush
+	cfg.Engine.MinOccurrences = 2
+	cfg.Engine.Tp = 0.3
+	cfg.Clock = func() time.Time { return now }
+
+	srv, err := httpspec.NewServer(httpspec.NewSiteStore(site), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("speculative server on %s serving %d documents\n\n", ts.URL, site.NumDocs())
+
+	// Find a page with embedded objects and train the server: several
+	// clients browse page → embedded objects, teaching the engine the
+	// dependency.
+	var page *webgraph.Document
+	for i := range site.Docs {
+		if site.Docs[i].Kind == webgraph.Page && len(site.Docs[i].Embedded) >= 2 {
+			page = &site.Docs[i]
+			break
+		}
+	}
+	if page == nil {
+		log.Fatal("no page with two embedded objects")
+	}
+	fmt.Printf("training on %s (embeds %d objects)...\n", page.Path, len(page.Embedded))
+	for i := 0; i < 12; i++ {
+		c := httpspec.NewClient(ts.URL, httpspec.ClientConfig{ID: fmt.Sprintf("trainer-%d", i)})
+		if _, _, err := c.Get(page.Path); err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range page.Embedded {
+			now = now.Add(300 * time.Millisecond)
+			if _, _, err := c.Get(site.Doc(e).Path); err != nil {
+				log.Fatal(err)
+			}
+		}
+		now = now.Add(time.Hour)
+	}
+	srv.Engine().Refresh(now)
+	st := srv.Engine().Stats()
+	fmt.Printf("engine learned %d dependency pairs over %d documents\n\n", st.Pairs, st.Docs)
+
+	// A bundle-aware client: one GET brings the page plus its embedded
+	// objects speculatively; the follow-up requests are cache hits.
+	reader := httpspec.NewClient(ts.URL, httpspec.ClientConfig{
+		ID: "reader", AcceptBundles: true,
+	})
+	before := srv.Stats().Requests
+	if _, _, err := reader.Get(page.Path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reader got the page; server pushed %d documents in the bundle\n",
+		reader.Stats().Pushed)
+	for _, e := range page.Embedded {
+		_, fromCache, err := reader.Get(site.Doc(e).Path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s served from cache: %v\n", site.Doc(e).Path, fromCache)
+	}
+	fmt.Printf("server requests for the whole page view: %d (without speculation: %d)\n\n",
+		srv.Stats().Requests-before, 1+len(page.Embedded))
+
+	// A cooperative client that already has the objects: the digest
+	// suppresses the pushes entirely.
+	coop := httpspec.NewClient(ts.URL, httpspec.ClientConfig{
+		ID: "coop", AcceptBundles: true, Cooperative: true,
+	})
+	for _, e := range page.Embedded {
+		if _, _, err := coop.Get(site.Doc(e).Path); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pushedBefore := srv.Stats().DocsPushed
+	if _, _, err := coop.Get(page.Path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cooperative client with warm cache: %d duplicate pushes\n\n",
+		srv.Stats().DocsPushed-pushedBefore)
+
+	// A dissemination proxy: pull the most remotely-popular documents and
+	// front the origin.
+	proxy := httpspec.NewProxy(ts.URL, nil)
+	n, err := proxy.Disseminate(2 * page.Size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := httptest.NewServer(proxy)
+	defer pts.Close()
+	fmt.Printf("proxy disseminated %d documents from the origin\n", n)
+
+	pclient := httpspec.NewClient(pts.URL, httpspec.ClientConfig{ID: "via-proxy"})
+	origin := srv.Stats().Requests
+	if _, _, err := pclient.Get(page.Path); err != nil {
+		log.Fatal(err)
+	}
+	pst := proxy.Stats()
+	fmt.Printf("request via proxy: hits=%d misses=%d; origin saw %d new requests\n",
+		pst.Hits, pst.Misses, srv.Stats().Requests-origin)
+}

@@ -1,0 +1,60 @@
+// Quickstart: generate a small synthetic web workload and run both of the
+// paper's protocols end to end — demand-based dissemination (§2) and
+// speculative service (§3) — printing the headline numbers.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specweb/internal/experiments"
+	"specweb/internal/simulate"
+)
+
+func main() {
+	// 1. Build a workload: a synthetic department web site, a hierarchical
+	// network topology, and two weeks of browsing traffic.
+	w, err := experiments.Build(experiments.SmallWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("site: %d documents (%s); trace: %d requests from %d clients\n\n",
+		w.Site.NumDocs(), experiments.FmtBytes(w.Site.TotalBytes()),
+		w.Trace.Len(), len(w.Trace.Clients()))
+
+	// 2. Popularity analysis (Figure 1): how concentrated is demand?
+	fig1, err := experiments.Figure1(w, 256<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("popularity: top block of documents covers %.0f%% of remote requests; fitted λ = %.3g\n",
+		100*fig1.Rows[0].CumReqFrac, fig1.Lambda)
+
+	// 3. Dissemination (Figure 3): push the most popular 10% of data to
+	// proxies and measure the bytes×hops saved.
+	curves, err := experiments.Figure3(w, []float64{0.10}, []int{1, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range curves[0].Points {
+		fmt.Printf("dissemination: %d proxies (%s total) → %.1f%% of network traffic saved\n",
+			p.Proxies, experiments.FmtBytes(p.TotalStorage), p.ReductionPct)
+	}
+	fmt.Println()
+
+	// 4. Speculative service (Figure 5): replay the trace with the server
+	// pushing documents it expects the client to request next.
+	cfg := simulate.Baseline(w.Site, 0.25)
+	res, err := simulate.Run(w.Trace, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speculation (Tp=0.25): %s\n", res.Ratios)
+	fmt.Printf("  %d documents pushed speculatively, %d later used (%.0f%% precision)\n",
+		res.SpeculatedDocs, res.UsedDocs,
+		100*float64(res.UsedDocs)/float64(res.SpeculatedDocs))
+}

@@ -1,0 +1,3 @@
+module specweb
+
+go 1.22

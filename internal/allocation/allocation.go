@@ -1,0 +1,314 @@
+// Package allocation implements §2's proxy storage-allocation analysis: how
+// a service proxy S₀ with capacity B₀ should split that capacity among the
+// home servers S₁..Sₙ of its cluster so as to maximize the fraction α_C of
+// outside requests it can intercept (equation 1).
+//
+// Under the exponential popularity model H_i(b) = 1 - exp(-λ_i·b) (§2.2) the
+// optimum has a closed form (equations 4–5), implemented here with the KKT
+// clamping the paper leaves implicit: the unconstrained optimum can assign
+// negative storage to unpopular servers, in which case they get zero and the
+// remainder is re-optimized over the rest. The special cases of §2.3 —
+// equal λ (eq. 6), equal R (eq. 7), fully symmetric clusters (eqs. 8–10) —
+// are provided both as independent closed forms and as cross-checks of the
+// general path.
+//
+// For empirical (non-exponential) popularity profiles, GreedyAllocate fills
+// the proxy by marginal-gain density, which is the fractional-knapsack
+// optimum; the gap between it and the exponential closed form measures how
+// much the paper's model assumption costs (an ablation in DESIGN.md).
+package allocation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Server describes one cluster member as the model sees it: R is the bytes
+// per unit time it serves to clients outside the cluster, λ is its
+// exponential popularity constant.
+type Server struct {
+	R      float64
+	Lambda float64
+}
+
+// validate checks model preconditions.
+func validate(b0 float64, servers []Server) error {
+	if len(servers) == 0 {
+		return errors.New("allocation: no servers")
+	}
+	if b0 < 0 || math.IsNaN(b0) || math.IsInf(b0, 0) {
+		return fmt.Errorf("allocation: invalid capacity %v", b0)
+	}
+	for i, s := range servers {
+		if s.Lambda <= 0 || math.IsNaN(s.Lambda) || math.IsInf(s.Lambda, 0) {
+			return fmt.Errorf("allocation: server %d has invalid lambda %v", i, s.Lambda)
+		}
+		if s.R < 0 || math.IsNaN(s.R) || math.IsInf(s.R, 0) {
+			return fmt.Errorf("allocation: server %d has invalid R %v", i, s.R)
+		}
+	}
+	return nil
+}
+
+// ExponentialAllocate returns the optimal allocations B₁..Bₙ of capacity b0
+// under the exponential model (equations 4–5), with KKT clamping: servers
+// whose unconstrained optimum is negative receive zero. The allocations sum
+// to b0 (when at least one server has positive demand) and are non-negative.
+func ExponentialAllocate(b0 float64, servers []Server) ([]float64, error) {
+	if err := validate(b0, servers); err != nil {
+		return nil, err
+	}
+	n := len(servers)
+	out := make([]float64, n)
+	active := make([]int, 0, n)
+	for i, s := range servers {
+		if s.R > 0 {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		return out, nil // nothing to intercept; leave everything zero
+	}
+
+	// Iterate: solve the equality-constrained optimum on the active set;
+	// drop servers that would get negative storage; repeat. Each round
+	// removes at least one server, so this terminates in ≤ n rounds.
+	for {
+		// The stationarity condition (eq. 2) gives, for j active:
+		//   B_j = (1/λ_j)·ln(λ_j R_j / (k·ΣR)),
+		// and Σ_active B_j = b0 pins ln(k·ΣR):
+		//   ln(k·ΣR) = (Σ (1/λ_i)·ln(λ_i R_i) - b0) / Σ (1/λ_i).
+		var sumInvL, sumWLog float64
+		for _, i := range active {
+			s := servers[i]
+			sumInvL += 1 / s.Lambda
+			sumWLog += math.Log(s.Lambda*s.R) / s.Lambda
+		}
+		logK := (sumWLog - b0) / sumInvL
+		neg := false
+		for _, i := range active {
+			s := servers[i]
+			out[i] = (math.Log(s.Lambda*s.R) - logK) / s.Lambda
+			if out[i] < 0 {
+				neg = true
+			}
+		}
+		if !neg {
+			break
+		}
+		next := active[:0]
+		for _, i := range active {
+			if out[i] >= 0 {
+				next = append(next, i)
+			} else {
+				out[i] = 0
+			}
+		}
+		active = next
+		if len(active) == 0 {
+			// Possible only when b0 == 0.
+			for i := range out {
+				out[i] = 0
+			}
+			break
+		}
+	}
+	return out, nil
+}
+
+// Alpha evaluates equation 1 under the exponential model: the fraction of
+// outside requests the proxy intercepts given allocations b.
+func Alpha(b []float64, servers []Server) float64 {
+	var num, den float64
+	for i, s := range servers {
+		den += s.R
+		bi := 0.0
+		if i < len(b) {
+			bi = b[i]
+		}
+		num += s.R * (1 - math.Exp(-s.Lambda*bi))
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// EqualLambdaAllocate implements equation 6: all servers share λ, so server
+// j's allocation is B₀/n plus a popularity bonus relative to the geometric
+// mean of the R's. The result is the unconstrained closed form — it can be
+// negative for very unpopular servers, exactly as the paper's formula; use
+// ExponentialAllocate for the clamped optimum.
+func EqualLambdaAllocate(b0, lambda float64, rs []float64) ([]float64, error) {
+	if len(rs) == 0 {
+		return nil, errors.New("allocation: no servers")
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("allocation: invalid lambda %v", lambda)
+	}
+	logGeo := 0.0
+	for i, r := range rs {
+		if r <= 0 {
+			return nil, fmt.Errorf("allocation: server %d has non-positive R %v", i, r)
+		}
+		logGeo += math.Log(r)
+	}
+	logGeo /= float64(len(rs))
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = b0/float64(len(rs)) + (math.Log(r)-logGeo)/lambda
+	}
+	return out, nil
+}
+
+// EqualRAllocate implements equation 7: all servers are equally popular
+// (equal R) but have different λ's. Like equation 6 it is the unconstrained
+// form and may go negative when b0 is small relative to the λ spread.
+func EqualRAllocate(b0 float64, lambdas []float64) ([]float64, error) {
+	if len(lambdas) == 0 {
+		return nil, errors.New("allocation: no servers")
+	}
+	for i, l := range lambdas {
+		if l <= 0 {
+			return nil, fmt.Errorf("allocation: server %d has invalid lambda %v", i, l)
+		}
+	}
+	out := make([]float64, len(lambdas))
+	for j, lj := range lambdas {
+		var denom, corr float64
+		for _, li := range lambdas {
+			denom += lj / li
+			corr += math.Log(lj/li) / li
+		}
+		out[j] = (b0 + corr) / denom
+	}
+	return out, nil
+}
+
+// SymmetricAllocate implements equation 8: in a fully symmetric cluster
+// every server gets B₀/n.
+func SymmetricAllocate(b0 float64, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("allocation: invalid cluster size %d", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = b0 / float64(n)
+	}
+	return out, nil
+}
+
+// SymmetricAlpha implements equation 9: the intercepted fraction of a
+// symmetric cluster, α = 1 - exp(-λ·B₀/n).
+func SymmetricAlpha(lambda, b0 float64, n int) float64 {
+	if n <= 0 || lambda <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-lambda*b0/float64(n))
+}
+
+// SizingB0 inverts equation 9 (the paper's equation 10, with α there
+// denoting the residual fraction): the proxy capacity needed for a
+// symmetric cluster of n servers with popularity constant λ to intercept
+// the given fraction of outside requests. The paper's example: n=10,
+// λ=6.247e-7, hitFraction=0.9 → ≈36 MB.
+func SizingB0(n int, lambda, hitFraction float64) (float64, error) {
+	if n <= 0 || lambda <= 0 {
+		return 0, fmt.Errorf("allocation: invalid n=%d or lambda=%v", n, lambda)
+	}
+	if hitFraction < 0 || hitFraction >= 1 {
+		return 0, fmt.Errorf("allocation: hit fraction %v outside [0,1)", hitFraction)
+	}
+	return -float64(n) / lambda * math.Log(1-hitFraction), nil
+}
+
+// Item is one document of an empirical popularity curve.
+type Item struct {
+	Size     int64
+	Requests int64
+}
+
+// Curve is one server's empirical popularity profile: its outside demand
+// weight R and per-document request counts.
+type Curve struct {
+	R     float64
+	Items []Item
+}
+
+// GreedyAllocate fills capacity b0 across empirical curves by marginal-gain
+// density: each document's gain is R_i × (its share of server i's requests)
+// and its cost is its size; documents are taken in decreasing gain/cost
+// until the budget is exhausted (documents larger than the remaining budget
+// are skipped). It returns the per-server byte allocations and the achieved
+// α (equation 1 evaluated on the empirical curves). This is the
+// fractional-knapsack optimum up to the granularity of single documents and
+// serves as the ground truth against which the exponential closed form is
+// compared.
+func GreedyAllocate(b0 int64, curves []Curve) (allocs []int64, alpha float64, err error) {
+	if len(curves) == 0 {
+		return nil, 0, errors.New("allocation: no curves")
+	}
+	if b0 < 0 {
+		return nil, 0, fmt.Errorf("allocation: negative capacity %d", b0)
+	}
+	type cand struct {
+		server  int
+		size    int64
+		gain    float64 // R_i · requests/totalRequests_i
+		density float64
+	}
+	var cands []cand
+	var totalR float64
+	for si, c := range curves {
+		if c.R < 0 || math.IsNaN(c.R) {
+			return nil, 0, fmt.Errorf("allocation: curve %d has invalid R %v", si, c.R)
+		}
+		totalR += c.R
+		var totReq int64
+		for _, it := range c.Items {
+			if it.Size <= 0 || it.Requests < 0 {
+				return nil, 0, fmt.Errorf("allocation: curve %d has invalid item %+v", si, it)
+			}
+			totReq += it.Requests
+		}
+		if totReq == 0 || c.R == 0 {
+			continue
+		}
+		for _, it := range c.Items {
+			if it.Requests == 0 {
+				continue
+			}
+			gain := c.R * float64(it.Requests) / float64(totReq)
+			cands = append(cands, cand{
+				server: si, size: it.Size,
+				gain: gain, density: gain / float64(it.Size),
+			})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].density != cands[j].density {
+			return cands[i].density > cands[j].density
+		}
+		if cands[i].server != cands[j].server {
+			return cands[i].server < cands[j].server
+		}
+		return cands[i].size < cands[j].size
+	})
+	allocs = make([]int64, len(curves))
+	var used int64
+	var hit float64
+	for _, c := range cands {
+		if used+c.size > b0 {
+			continue
+		}
+		used += c.size
+		allocs[c.server] += c.size
+		hit += c.gain
+	}
+	if totalR > 0 {
+		alpha = hit / totalR
+	}
+	return allocs, alpha, nil
+}

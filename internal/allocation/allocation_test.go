@@ -1,0 +1,424 @@
+package allocation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const lambdaBU = 6.247e-7 // the paper's cs-www.bu.edu estimate
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExponentialAllocateSymmetric(t *testing.T) {
+	servers := make([]Server, 10)
+	for i := range servers {
+		servers[i] = Server{R: 1e6, Lambda: lambdaBU}
+	}
+	b0 := 36e6
+	bs, err := ExponentialAllocate(b0, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, b := range bs {
+		if !almostEqual(b, b0/10, 1) {
+			t.Errorf("symmetric allocation %v, want %v (eq. 8)", b, b0/10)
+		}
+		sum += b
+	}
+	if !almostEqual(sum, b0, 1) {
+		t.Errorf("allocations sum to %v, want %v", sum, b0)
+	}
+	// Equation 9 / the paper's example: 36 MB over 10 servers → ≈90%.
+	a := Alpha(bs, servers)
+	if a < 0.89 || a > 0.92 {
+		t.Errorf("alpha = %v, want ≈0.9 (paper's example)", a)
+	}
+}
+
+func TestExponentialAllocateMatchesEqualLambdaForm(t *testing.T) {
+	rs := []float64{5e6, 2e6, 1e6, 0.5e6}
+	servers := make([]Server, len(rs))
+	for i, r := range rs {
+		servers[i] = Server{R: r, Lambda: lambdaBU}
+	}
+	b0 := 50e6
+	general, err := ExponentialAllocate(b0, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	special, err := EqualLambdaAllocate(b0, lambdaBU, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range general {
+		if !almostEqual(general[i], special[i], 1) {
+			t.Errorf("server %d: general %v vs eq. 6 %v", i, general[i], special[i])
+		}
+	}
+	// Popular servers get more (eq. 6's log-relative-popularity bonus).
+	for i := 1; i < len(general); i++ {
+		if general[i-1] <= general[i] {
+			t.Errorf("allocation not decreasing with popularity: %v", general)
+		}
+	}
+}
+
+func TestExponentialAllocateMatchesEqualRForm(t *testing.T) {
+	lambdas := []float64{1e-6, 2e-6, 5e-6, 1e-5}
+	servers := make([]Server, len(lambdas))
+	for i, l := range lambdas {
+		servers[i] = Server{R: 3e6, Lambda: l}
+	}
+	b0 := 40e6
+	general, err := ExponentialAllocate(b0, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	special, err := EqualRAllocate(b0, lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range general {
+		if !almostEqual(general[i], special[i], 1) {
+			t.Errorf("server %d: general %v vs eq. 7 %v", i, general[i], special[i])
+		}
+	}
+	// With a lax budget, smaller λ (more uniform access) gets more space.
+	for i := 1; i < len(general); i++ {
+		if general[i-1] <= general[i] {
+			t.Errorf("lax-budget allocation should favor small λ: %v", general)
+		}
+	}
+}
+
+func TestExponentialAllocateClampsNegatives(t *testing.T) {
+	// One wildly popular server and one almost-unpopular one with a tiny
+	// budget: the unconstrained form goes negative for the latter.
+	servers := []Server{
+		{R: 1e9, Lambda: 1e-6},
+		{R: 1, Lambda: 1e-6},
+	}
+	b0 := 1e6
+	bs, err := ExponentialAllocate(b0, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs[1] != 0 {
+		t.Errorf("unpopular server should be clamped to 0, got %v", bs[1])
+	}
+	if !almostEqual(bs[0], b0, 1e-6) {
+		t.Errorf("popular server should get the whole budget, got %v", bs[0])
+	}
+	// Cross-check optimality: the clamped solution beats proportional
+	// splitting.
+	prop := []float64{b0 / 2, b0 / 2}
+	if Alpha(bs, servers) < Alpha(prop, servers) {
+		t.Error("clamped optimum worse than naive split")
+	}
+}
+
+func TestExponentialAllocateOptimality(t *testing.T) {
+	// The analytic optimum should beat random feasible allocations.
+	servers := []Server{
+		{R: 5e6, Lambda: 4e-7},
+		{R: 1e6, Lambda: 2e-6},
+		{R: 3e6, Lambda: 9e-7},
+	}
+	b0 := 12e6
+	bs, err := ExponentialAllocate(b0, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := Alpha(bs, servers)
+	for _, w := range [][3]float64{
+		{1, 1, 1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+		{2, 1, 1}, {1, 2, 3}, {5, 1, 2}, {0.1, 0.1, 0.8},
+	} {
+		tot := w[0] + w[1] + w[2]
+		alt := []float64{b0 * w[0] / tot, b0 * w[1] / tot, b0 * w[2] / tot}
+		if a := Alpha(alt, servers); a > best+1e-9 {
+			t.Errorf("allocation %v gives alpha %v > optimum %v", alt, a, best)
+		}
+	}
+}
+
+func TestExponentialAllocateZeroBudget(t *testing.T) {
+	bs, err := ExponentialAllocate(0, []Server{{R: 1, Lambda: 1e-6}, {R: 2, Lambda: 1e-6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bs {
+		if b != 0 {
+			t.Errorf("zero budget allocated %v", b)
+		}
+	}
+}
+
+func TestExponentialAllocateZeroDemand(t *testing.T) {
+	bs, err := ExponentialAllocate(1e6, []Server{{R: 0, Lambda: 1e-6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs[0] != 0 {
+		t.Errorf("zero-demand server allocated %v", bs[0])
+	}
+	if Alpha(bs, []Server{{R: 0, Lambda: 1e-6}}) != 0 {
+		t.Error("alpha of zero-demand cluster should be 0")
+	}
+}
+
+func TestExponentialAllocateErrors(t *testing.T) {
+	if _, err := ExponentialAllocate(1, nil); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := ExponentialAllocate(-1, []Server{{R: 1, Lambda: 1}}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := ExponentialAllocate(1, []Server{{R: 1, Lambda: 0}}); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	if _, err := ExponentialAllocate(1, []Server{{R: -1, Lambda: 1}}); err == nil {
+		t.Error("negative R accepted")
+	}
+	if _, err := ExponentialAllocate(math.NaN(), []Server{{R: 1, Lambda: 1}}); err == nil {
+		t.Error("NaN capacity accepted")
+	}
+}
+
+func TestSpecialCaseErrors(t *testing.T) {
+	if _, err := EqualLambdaAllocate(1, 0, []float64{1}); err == nil {
+		t.Error("eq6: zero lambda accepted")
+	}
+	if _, err := EqualLambdaAllocate(1, 1, nil); err == nil {
+		t.Error("eq6: empty accepted")
+	}
+	if _, err := EqualLambdaAllocate(1, 1, []float64{0}); err == nil {
+		t.Error("eq6: zero R accepted")
+	}
+	if _, err := EqualRAllocate(1, nil); err == nil {
+		t.Error("eq7: empty accepted")
+	}
+	if _, err := EqualRAllocate(1, []float64{-1}); err == nil {
+		t.Error("eq7: negative lambda accepted")
+	}
+	if _, err := SymmetricAllocate(1, 0); err == nil {
+		t.Error("eq8: n=0 accepted")
+	}
+	if _, err := SizingB0(0, 1, 0.5); err == nil {
+		t.Error("eq10: n=0 accepted")
+	}
+	if _, err := SizingB0(1, 1, 1); err == nil {
+		t.Error("eq10: hit fraction 1 accepted")
+	}
+}
+
+func TestSymmetric(t *testing.T) {
+	bs, err := SymmetricAllocate(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bs {
+		if b != 25 {
+			t.Errorf("symmetric allocation %v, want 25", b)
+		}
+	}
+	a := SymmetricAlpha(lambdaBU, 36e6, 10)
+	if a < 0.89 || a > 0.92 {
+		t.Errorf("SymmetricAlpha = %v, want ≈0.9", a)
+	}
+	if SymmetricAlpha(0, 1, 1) != 0 || SymmetricAlpha(1, 1, 0) != 0 {
+		t.Error("degenerate SymmetricAlpha should be 0")
+	}
+}
+
+func TestSizingB0PaperExamples(t *testing.T) {
+	// "in order to reduce the remote bandwidth by 90% on all [10] servers,
+	// the proxy must secure 36 MBytes".
+	b0, err := SizingB0(10, lambdaBU, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0 < 35e6 || b0 < 0 || b0 > 38e6 {
+		t.Errorf("SizingB0(10, λ, 0.9) = %.1f MB, want ≈36 MB", b0/1e6)
+	}
+	// "With a storage capacity of 500 MBytes, a proxy could shield 100
+	// servers from as much as 96% of their remote bandwidth."
+	a := SymmetricAlpha(lambdaBU, 500e6, 100)
+	if a < 0.95 || a > 0.97 {
+		t.Errorf("500MB over 100 servers intercepts %v, want ≈0.96", a)
+	}
+}
+
+func TestGreedyAllocateBasic(t *testing.T) {
+	curves := []Curve{
+		{R: 10, Items: []Item{{Size: 100, Requests: 90}, {Size: 100, Requests: 10}}},
+		{R: 1, Items: []Item{{Size: 100, Requests: 100}}},
+	}
+	allocs, alpha, err := GreedyAllocate(200, curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Densities: s0 item0 = 10·0.9/100 = 0.09; s1 item0 = 1·1/100 = 0.01;
+	// s0 item1 = 10·0.1/100 = 0.01. Ties break by server index: s0 first.
+	if allocs[0] != 200 || allocs[1] != 0 {
+		t.Errorf("allocs = %v, want [200 0]", allocs)
+	}
+	if !almostEqual(alpha, 10.0/11, 1e-9) {
+		t.Errorf("alpha = %v, want 10/11", alpha)
+	}
+}
+
+func TestGreedyAllocateSkipsOversized(t *testing.T) {
+	curves := []Curve{
+		{R: 1, Items: []Item{{Size: 1000, Requests: 100}, {Size: 10, Requests: 5}}},
+	}
+	allocs, alpha, err := GreedyAllocate(50, curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs[0] != 10 {
+		t.Errorf("allocs = %v, want the small doc only", allocs)
+	}
+	if !almostEqual(alpha, 5.0/105, 1e-9) {
+		t.Errorf("alpha = %v", alpha)
+	}
+}
+
+func TestGreedyAllocateErrors(t *testing.T) {
+	if _, _, err := GreedyAllocate(1, nil); err == nil {
+		t.Error("empty curves accepted")
+	}
+	if _, _, err := GreedyAllocate(-1, []Curve{{R: 1}}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, _, err := GreedyAllocate(1, []Curve{{R: -1}}); err == nil {
+		t.Error("negative R accepted")
+	}
+	if _, _, err := GreedyAllocate(1, []Curve{{R: 1, Items: []Item{{Size: 0, Requests: 1}}}}); err == nil {
+		t.Error("zero-size item accepted")
+	}
+}
+
+func TestGreedyMatchesExponentialOnSyntheticCurves(t *testing.T) {
+	// Build per-server item lists whose empirical H follows the
+	// exponential model, then verify greedy's alpha is close to the
+	// analytic optimum's.
+	servers := []Server{
+		{R: 8e5, Lambda: 2e-5},
+		{R: 2e5, Lambda: 8e-5},
+	}
+	mkItems := func(lambda float64, n int, size int64) []Item {
+		items := make([]Item, n)
+		for i := range items {
+			lo := float64(i) * float64(size)
+			hi := lo + float64(size)
+			p := math.Exp(-lambda*lo) - math.Exp(-lambda*hi)
+			items[i] = Item{Size: size, Requests: int64(p * 1e6)}
+		}
+		return items
+	}
+	curves := []Curve{
+		{R: servers[0].R, Items: mkItems(servers[0].Lambda, 100, 2048)},
+		{R: servers[1].R, Items: mkItems(servers[1].Lambda, 100, 2048)},
+	}
+	b0 := 120 * 2048.0
+	bs, err := ExponentialAllocate(b0, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := Alpha(bs, servers)
+	_, greedy, err := GreedyAllocate(int64(b0), curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(greedy-analytic) > 0.05 {
+		t.Errorf("greedy alpha %v vs analytic %v: should agree when the model holds", greedy, analytic)
+	}
+}
+
+// Property: for arbitrary positive parameters, the allocation is feasible
+// (non-negative, sums to ≤ b0 + tolerance) and locally optimal in the sense
+// that perturbing storage between any pair does not improve alpha.
+func TestExponentialAllocateProperty(t *testing.T) {
+	f := func(seedR [4]uint16, seedL [4]uint8, b0Raw uint16) bool {
+		servers := make([]Server, 4)
+		for i := range servers {
+			servers[i] = Server{
+				R:      float64(seedR[i]%1000+1) * 1e4,
+				Lambda: (float64(seedL[i]%50) + 1) * 1e-7,
+			}
+		}
+		b0 := float64(b0Raw%500+1) * 1e5
+		bs, err := ExponentialAllocate(b0, servers)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, b := range bs {
+			if b < 0 || math.IsNaN(b) {
+				return false
+			}
+			sum += b
+		}
+		if math.Abs(sum-b0) > 1e-3*b0 {
+			return false
+		}
+		base := Alpha(bs, servers)
+		// Pairwise perturbation check.
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if i == j {
+					continue
+				}
+				d := b0 * 0.01
+				if bs[i] < d {
+					continue
+				}
+				alt := append([]float64(nil), bs...)
+				alt[i] -= d
+				alt[j] += d
+				if Alpha(alt, servers) > base+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: greedy allocation never exceeds the budget and its alpha is in
+// [0, 1].
+func TestGreedyAllocateProperty(t *testing.T) {
+	f := func(sizes []uint16, reqs []uint16, budget uint32) bool {
+		n := len(sizes)
+		if len(reqs) < n {
+			n = len(reqs)
+		}
+		items := make([]Item, 0, n)
+		for i := 0; i < n; i++ {
+			items = append(items, Item{Size: int64(sizes[i]%5000) + 1, Requests: int64(reqs[i] % 100)})
+		}
+		curves := []Curve{{R: 5, Items: items}, {R: 3, Items: items}}
+		b0 := int64(budget % 100000)
+		allocs, alpha, err := GreedyAllocate(b0, curves)
+		if err != nil {
+			return false
+		}
+		var used int64
+		for _, a := range allocs {
+			if a < 0 {
+				return false
+			}
+			used += a
+		}
+		return used <= b0 && alpha >= 0 && alpha <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package allocation
+
+import "testing"
+
+// BenchmarkExponentialAllocate measures the closed-form optimizer with KKT
+// clamping on a 100-server cluster.
+func BenchmarkExponentialAllocate(b *testing.B) {
+	servers := make([]Server, 100)
+	for i := range servers {
+		servers[i] = Server{
+			R:      float64(1+i%17) * 1e5,
+			Lambda: float64(1+i%9) * 1e-7,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExponentialAllocate(500e6, servers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyAllocate measures the empirical fractional-knapsack fill
+// over 10 servers × 1000 documents.
+func BenchmarkGreedyAllocate(b *testing.B) {
+	curves := make([]Curve, 10)
+	for s := range curves {
+		curves[s].R = float64(1 + s)
+		for d := 0; d < 1000; d++ {
+			curves[s].Items = append(curves[s].Items, Item{
+				Size:     int64(512 + (d*7919)%20000),
+				Requests: int64(1 + (1000-d)/3),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GreedyAllocate(5<<20, curves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

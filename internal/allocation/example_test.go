@@ -1,0 +1,42 @@
+package allocation_test
+
+import (
+	"fmt"
+
+	"specweb/internal/allocation"
+)
+
+// A proxy with 36 MB fronting a cluster of three servers: the busy server
+// gets the most storage, and the expected interception fraction follows
+// eq. 1.
+func ExampleExponentialAllocate() {
+	servers := []allocation.Server{
+		{R: 5e6, Lambda: 6.247e-7}, // busy
+		{R: 1e6, Lambda: 6.247e-7}, // quiet
+		{R: 2e6, Lambda: 2e-6},     // medium, very skewed access
+	}
+	bs, err := allocation.ExponentialAllocate(36e6, servers)
+	if err != nil {
+		panic(err)
+	}
+	for i, b := range bs {
+		fmt.Printf("server %d: %.1f MB\n", i+1, b/1e6)
+	}
+	fmt.Printf("alpha = %.2f\n", allocation.Alpha(bs, servers))
+	// Output:
+	// server 1: 16.6 MB
+	// server 2: 14.1 MB
+	// server 3: 5.3 MB
+	// alpha = 1.00
+}
+
+func ExampleSizingB0() {
+	// The paper's example: 10 servers, intercept 90% of remote traffic.
+	b0, err := allocation.SizingB0(10, 6.247e-7, 0.90)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f MB\n", b0/1e6)
+	// Output:
+	// 37 MB
+}

@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"specweb/internal/webgraph"
+)
+
+// BenchmarkLRUPutHas measures the simulator's per-request cache work.
+func BenchmarkLRUPutHas(b *testing.B) {
+	c := New(Forever, 1<<20)
+	at := time.Date(1995, time.May, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = at.Add(time.Second)
+		c.Touch(at)
+		doc := webgraph.DocID(i % 4096)
+		if !c.Has(doc) {
+			c.Put(doc, int64(500+i%4000))
+		}
+	}
+}
+
+// BenchmarkSessionPurge measures purge-heavy session churn.
+func BenchmarkSessionPurge(b *testing.B) {
+	c := New(time.Minute, 0)
+	at := time.Date(1995, time.May, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = at.Add(2 * time.Minute) // every touch starts a new session
+		c.Touch(at)
+		c.Put(webgraph.DocID(i%64), 1000)
+	}
+}
+
+// BenchmarkDigest measures cooperative-digest export.
+func BenchmarkDigest(b *testing.B) {
+	c := New(Forever, 0)
+	c.Touch(time.Now())
+	for i := 0; i < 500; i++ {
+		c.Put(webgraph.DocID(i), 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if docs := c.Docs(); len(docs) != 500 {
+			b.Fatal("digest wrong")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"specweb/internal/webgraph"
+)
+
+var t0 = time.Date(1995, time.February, 1, 9, 0, 0, 0, time.UTC)
+
+func TestNullCache(t *testing.T) {
+	c := New(0, 0)
+	c.Touch(t0)
+	c.Put(1, 100)
+	if c.Has(1) || c.Len() != 0 || c.Bytes() != 0 || c.Docs() != nil {
+		t.Error("null cache cached something")
+	}
+}
+
+func TestSessionPurge(t *testing.T) {
+	c := New(60*time.Minute, 0)
+	c.Touch(t0)
+	c.Put(1, 100)
+	c.Touch(t0.Add(30 * time.Minute))
+	if !c.Has(1) {
+		t.Error("document purged within session")
+	}
+	// Gap of exactly the timeout ends the session.
+	c.Touch(t0.Add(90 * time.Minute))
+	if c.Has(1) || c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("session not purged after timeout gap")
+	}
+}
+
+func TestForeverNeverPurges(t *testing.T) {
+	c := New(Forever, 0)
+	c.Touch(t0)
+	c.Put(1, 100)
+	c.Touch(t0.Add(1000 * time.Hour))
+	if !c.Has(1) {
+		t.Error("infinite cache purged")
+	}
+}
+
+func TestBytesAndLen(t *testing.T) {
+	c := New(Forever, 0)
+	c.Touch(t0)
+	c.Put(1, 100)
+	c.Put(2, 50)
+	if c.Len() != 2 || c.Bytes() != 150 {
+		t.Errorf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	// Re-put with a new size replaces, not duplicates.
+	c.Put(1, 80)
+	if c.Len() != 2 || c.Bytes() != 130 {
+		t.Errorf("after resize: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestDocsSorted(t *testing.T) {
+	c := New(Forever, 0)
+	c.Touch(t0)
+	for _, id := range []webgraph.DocID{5, 1, 3} {
+		c.Put(id, 10)
+	}
+	docs := c.Docs()
+	if len(docs) != 3 || docs[0] != 1 || docs[1] != 3 || docs[2] != 5 {
+		t.Errorf("docs = %v", docs)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Forever, 250)
+	c.Touch(t0)
+	c.Put(1, 100)
+	c.Put(2, 100)
+	// Touch doc 1 so doc 2 is the LRU victim.
+	if !c.Has(1) {
+		t.Fatal("doc 1 missing")
+	}
+	c.Put(3, 100) // 300 > 250: evict LRU (doc 2)
+	if c.Has(2) {
+		t.Error("LRU victim not evicted")
+	}
+	if !c.Has(1) || !c.Has(3) {
+		t.Error("wrong eviction victim")
+	}
+	if c.Bytes() > 250 {
+		t.Errorf("bytes %d exceed capacity", c.Bytes())
+	}
+}
+
+func TestOversizedDocSkipped(t *testing.T) {
+	c := New(Forever, 100)
+	c.Touch(t0)
+	c.Put(1, 50)
+	c.Put(2, 1000) // larger than capacity: skip
+	if c.Has(2) {
+		t.Error("oversized document cached")
+	}
+	if !c.Has(1) {
+		t.Error("oversized insert evicted existing contents")
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	c := New(Forever, 0)
+	c.Touch(t0)
+	c.Put(1, -5)
+	if c.Bytes() != 0 || !c.Has(1) {
+		t.Errorf("negative size handling: bytes=%d has=%v", c.Bytes(), c.Has(1))
+	}
+}
+
+func TestSessionKeepsAliveOnActivity(t *testing.T) {
+	c := New(10*time.Minute, 0)
+	at := t0
+	c.Touch(at)
+	c.Put(1, 10)
+	// Nine touches 9 minutes apart: session never expires.
+	for i := 0; i < 9; i++ {
+		at = at.Add(9 * time.Minute)
+		c.Touch(at)
+	}
+	if !c.Has(1) {
+		t.Error("active session expired")
+	}
+}
+
+// Property: Bytes always equals the sum of cached document sizes, never
+// exceeds capacity (when bounded), and Has agrees with Docs.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16, capRaw uint16) bool {
+		capacity := int64(capRaw%2000) + 100
+		c := New(Forever, capacity)
+		at := t0
+		sizes := map[webgraph.DocID]int64{}
+		for _, op := range ops {
+			at = at.Add(time.Second)
+			c.Touch(at)
+			doc := webgraph.DocID(op % 20)
+			size := int64(op%300) + 1
+			if op%3 == 0 {
+				c.Has(doc)
+			} else {
+				c.Put(doc, size)
+				sizes[doc] = size
+			}
+		}
+		var sum int64
+		for _, d := range c.Docs() {
+			if !c.Has(d) {
+				return false
+			}
+			sum += sizes[d]
+		}
+		if sum != c.Bytes() {
+			return false
+		}
+		return c.Bytes() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

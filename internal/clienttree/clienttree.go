@@ -1,0 +1,202 @@
+// Package clienttree builds the paper's "clientele tree" view of a server's
+// demand (§2.1): the network is a tree rooted at the home server, clients
+// are leaves, and internal nodes are candidate locations for service
+// proxies. The paper built this tree for cs-www.bu.edu from the IP
+// record-route option and then chose proxy locations by analyzing client
+// access patterns from the server logs; here the tree comes from a
+// netsim.Topology and the access patterns from a trace.Trace.
+//
+// The core operation is proxy placement: given the set of documents that
+// would be disseminated (the same replica set at every proxy, as in §2.4's
+// simulation), choose the k internal nodes that maximize the byte×hop
+// traffic the proxies absorb. Placement is greedy — each round adds the
+// node with the largest marginal saving given the proxies already chosen —
+// the standard (1-1/e) approximation for this submodular objective.
+package clienttree
+
+import (
+	"fmt"
+	"sort"
+
+	"specweb/internal/netsim"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// Demand is the per-client demand aggregation of one trace over one
+// topology, split into bytes that would be replicated on proxies and bytes
+// that would not.
+type Demand struct {
+	Topo *netsim.Topology
+
+	// ReplicatedBytes[c] is the total size of client c's requests for
+	// documents in the replica set; OtherBytes[c] the rest.
+	ReplicatedBytes map[trace.ClientID]int64
+	OtherBytes      map[trace.ClientID]int64
+
+	// NodeBytes[n] is the total requested bytes (replicated + other)
+	// whose path to the root passes through node n — the per-node demand
+	// view of the clientele tree.
+	NodeBytes map[netsim.NodeID]int64
+}
+
+// BuildDemand aggregates the trace. Every trace client must exist in the
+// topology; a missing client is a wiring error between the trace and the
+// topology and is reported rather than skipped.
+func BuildDemand(tr *trace.Trace, topo *netsim.Topology, replicated map[webgraph.DocID]bool) (*Demand, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("clienttree: nil topology")
+	}
+	d := &Demand{
+		Topo:            topo,
+		ReplicatedBytes: make(map[trace.ClientID]int64),
+		OtherBytes:      make(map[trace.ClientID]int64),
+		NodeBytes:       make(map[netsim.NodeID]int64),
+	}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		leaf, ok := topo.ClientNode(r.Client)
+		if !ok {
+			return nil, fmt.Errorf("clienttree: trace client %q not in topology", r.Client)
+		}
+		if replicated[r.Doc] {
+			d.ReplicatedBytes[r.Client] += r.Size
+		} else {
+			d.OtherBytes[r.Client] += r.Size
+		}
+		for _, n := range topo.PathToRoot(leaf) {
+			d.NodeBytes[n] += r.Size
+		}
+	}
+	return d, nil
+}
+
+// BaselineByteHops returns the total bytes×hops cost of serving every
+// request from the root, with no proxies.
+func (d *Demand) BaselineByteHops() int64 {
+	var total int64
+	for c, b := range d.ReplicatedBytes {
+		leaf, _ := d.Topo.ClientNode(c)
+		total += b * int64(d.Topo.HopsToRoot(leaf))
+	}
+	for c, b := range d.OtherBytes {
+		leaf, _ := d.Topo.ClientNode(c)
+		total += b * int64(d.Topo.HopsToRoot(leaf))
+	}
+	return total
+}
+
+// ServiceByteHops returns the bytes×hops of serving the demand when the
+// given proxies hold the replica set: a request for a replicated document is
+// served by the deepest chosen proxy on the client's path to the root; all
+// other requests go to the root. Dissemination (push) traffic is not
+// included — the dissemination simulator accounts for it separately.
+func (d *Demand) ServiceByteHops(proxies []netsim.NodeID) int64 {
+	chosen := make(map[netsim.NodeID]bool, len(proxies))
+	for _, p := range proxies {
+		chosen[p] = true
+	}
+	var total int64
+	for c, b := range d.ReplicatedBytes {
+		leaf, _ := d.Topo.ClientNode(c)
+		hops := 0
+		for _, n := range d.Topo.PathToRoot(leaf) {
+			if chosen[n] || n == d.Topo.Root() {
+				break
+			}
+			hops++
+		}
+		total += b * int64(hops)
+	}
+	for c, b := range d.OtherBytes {
+		leaf, _ := d.Topo.ClientNode(c)
+		total += b * int64(d.Topo.HopsToRoot(leaf))
+	}
+	return total
+}
+
+// Savings returns baseline minus service cost for the given proxy set.
+func (d *Demand) Savings(proxies []netsim.NodeID) int64 {
+	return d.BaselineByteHops() - d.ServiceByteHops(proxies)
+}
+
+// GreedyPlace chooses up to k internal nodes as proxies, maximizing
+// byte×hop savings for the replicated demand. It returns fewer than k nodes
+// when additional proxies cannot save anything (no remaining demand).
+func (d *Demand) GreedyPlace(k int) []netsim.NodeID {
+	if k <= 0 {
+		return nil
+	}
+	candidates := d.Topo.InternalNodes()
+
+	// serviceDepth[c] is the depth of the deepest chosen proxy on c's
+	// path (0 = root service).
+	serviceDepth := make(map[trace.ClientID]int, len(d.ReplicatedBytes))
+
+	// clientsUnder[v] caches the clients with replicated demand in v's
+	// subtree.
+	clientsUnder := make(map[netsim.NodeID][]trace.ClientID, len(candidates))
+	for c := range d.ReplicatedBytes {
+		leaf, _ := d.Topo.ClientNode(c)
+		for _, n := range d.Topo.PathToRoot(leaf) {
+			if n == d.Topo.Root() || n == leaf {
+				continue
+			}
+			clientsUnder[n] = append(clientsUnder[n], c)
+		}
+	}
+
+	var chosen []netsim.NodeID
+	chosenSet := make(map[netsim.NodeID]bool)
+	for round := 0; round < k; round++ {
+		var bestNode netsim.NodeID = netsim.NoNode
+		var bestGain int64
+		for _, v := range candidates {
+			if chosenSet[v] {
+				continue
+			}
+			vDepth := d.Topo.Node(v).Depth
+			var gain int64
+			for _, c := range clientsUnder[v] {
+				if vDepth > serviceDepth[c] {
+					gain += d.ReplicatedBytes[c] * int64(vDepth-serviceDepth[c])
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && bestNode != netsim.NoNode && v < bestNode) {
+				bestGain = gain
+				bestNode = v
+			}
+		}
+		if bestNode == netsim.NoNode || bestGain == 0 {
+			break
+		}
+		chosen = append(chosen, bestNode)
+		chosenSet[bestNode] = true
+		vDepth := d.Topo.Node(bestNode).Depth
+		for _, c := range clientsUnder[bestNode] {
+			if vDepth > serviceDepth[c] {
+				serviceDepth[c] = vDepth
+			}
+		}
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+	return chosen
+}
+
+// HeaviestNodes returns the n internal nodes with the largest total demand
+// flowing through them — a popularity view of the clientele tree useful for
+// reporting (the paper's 34,000-node tree analysis).
+func (d *Demand) HeaviestNodes(n int) []netsim.NodeID {
+	internal := d.Topo.InternalNodes()
+	sort.Slice(internal, func(i, j int) bool {
+		bi, bj := d.NodeBytes[internal[i]], d.NodeBytes[internal[j]]
+		if bi != bj {
+			return bi > bj
+		}
+		return internal[i] < internal[j]
+	})
+	if n > len(internal) {
+		n = len(internal)
+	}
+	return internal[:n]
+}

@@ -1,0 +1,207 @@
+package clienttree
+
+import (
+	"testing"
+	"time"
+
+	"specweb/internal/netsim"
+	"specweb/internal/stats"
+	"specweb/internal/synth"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+var t0 = time.Date(1995, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// handTopology builds a fixed small tree:
+//
+//	root(0) ── gwA(1) ── ca1(2), ca2(3)
+//	       └── gwB(4) ── cb1(5)
+func handTopology(t *testing.T) *netsim.Topology {
+	t.Helper()
+	topo := &netsim.Topology{Nodes: []netsim.Node{
+		{ID: 0, Parent: netsim.NoNode, Kind: netsim.Root, Depth: 0, Children: []netsim.NodeID{1, 4}, Region: -1},
+		{ID: 1, Parent: 0, Kind: netsim.Gateway, Depth: 1, Children: []netsim.NodeID{2, 3}, Region: 0},
+		{ID: 2, Parent: 1, Kind: netsim.Client, Depth: 2, Client: "ca1", Region: 0},
+		{ID: 3, Parent: 1, Kind: netsim.Client, Depth: 2, Client: "ca2", Region: 0},
+		{ID: 4, Parent: 0, Kind: netsim.Gateway, Depth: 1, Children: []netsim.NodeID{5}, Region: 1},
+		{ID: 5, Parent: 4, Kind: netsim.Client, Depth: 2, Client: "cb1", Region: 1},
+	}}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func handTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	add := func(c string, doc webgraph.DocID, size int64, n int) {
+		for i := 0; i < n; i++ {
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time: t0, Client: trace.ClientID(c), Doc: doc, Size: size,
+			})
+		}
+	}
+	add("ca1", 1, 100, 5) // replicated doc
+	add("ca2", 1, 100, 3)
+	add("ca2", 2, 50, 2) // non-replicated
+	add("cb1", 1, 100, 1)
+	return tr
+}
+
+func handDemand(t *testing.T) *Demand {
+	t.Helper()
+	d, err := BuildDemand(handTrace(), handTopology(t), map[webgraph.DocID]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildDemand(t *testing.T) {
+	d := handDemand(t)
+	if d.ReplicatedBytes["ca1"] != 500 || d.ReplicatedBytes["ca2"] != 300 || d.ReplicatedBytes["cb1"] != 100 {
+		t.Errorf("replicated bytes = %v", d.ReplicatedBytes)
+	}
+	if d.OtherBytes["ca2"] != 100 {
+		t.Errorf("other bytes = %v", d.OtherBytes)
+	}
+	// NodeBytes: everything flows through the root (1000 total); gwA sees
+	// ca1+ca2 = 900; gwB sees 100.
+	if d.NodeBytes[0] != 1000 || d.NodeBytes[1] != 900 || d.NodeBytes[4] != 100 {
+		t.Errorf("node bytes = %v", d.NodeBytes)
+	}
+}
+
+func TestBuildDemandRejectsUnknownClient(t *testing.T) {
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Time: t0, Client: "ghost", Doc: 1, Size: 1},
+	}}
+	if _, err := BuildDemand(tr, handTopology(t), nil); err == nil {
+		t.Error("unknown client accepted")
+	}
+	if _, err := BuildDemand(tr, nil, nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestBaselineByteHops(t *testing.T) {
+	d := handDemand(t)
+	// All clients at depth 2: (500+300+100+100) × 2 = 2000.
+	if got := d.BaselineByteHops(); got != 2000 {
+		t.Errorf("baseline = %d, want 2000", got)
+	}
+}
+
+func TestServiceByteHops(t *testing.T) {
+	d := handDemand(t)
+	// Proxy at gwA(1): ca1/ca2 replicated served at 1 hop; cb1 replicated
+	// still 2 hops; other bytes always 2 hops.
+	// = (500+300)×1 + 100×2 + 100×2 = 800 + 200 + 200 = 1200.
+	if got := d.ServiceByteHops([]netsim.NodeID{1}); got != 1200 {
+		t.Errorf("service cost with gwA = %d, want 1200", got)
+	}
+	if got := d.Savings([]netsim.NodeID{1}); got != 800 {
+		t.Errorf("savings = %d, want 800", got)
+	}
+	// No proxies: equals baseline.
+	if got := d.ServiceByteHops(nil); got != 2000 {
+		t.Errorf("no-proxy service cost = %d", got)
+	}
+}
+
+func TestGreedyPlaceOrder(t *testing.T) {
+	d := handDemand(t)
+	// First proxy must be gwA (saves 800 vs gwB's 100).
+	p1 := d.GreedyPlace(1)
+	if len(p1) != 1 || p1[0] != 1 {
+		t.Errorf("GreedyPlace(1) = %v, want [1]", p1)
+	}
+	p2 := d.GreedyPlace(2)
+	if len(p2) != 2 || p2[0] != 1 || p2[1] != 4 {
+		t.Errorf("GreedyPlace(2) = %v, want [1 4]", p2)
+	}
+	// k beyond useful proxies stops early.
+	p9 := d.GreedyPlace(9)
+	if len(p9) != 2 {
+		t.Errorf("GreedyPlace(9) = %v, want 2 proxies", p9)
+	}
+	if d.GreedyPlace(0) != nil {
+		t.Error("GreedyPlace(0) should be nil")
+	}
+}
+
+func TestGreedySavingsMonotone(t *testing.T) {
+	d := handDemand(t)
+	s1 := d.Savings(d.GreedyPlace(1))
+	s2 := d.Savings(d.GreedyPlace(2))
+	if s2 < s1 {
+		t.Errorf("savings decreased with more proxies: %d then %d", s1, s2)
+	}
+}
+
+func TestHeaviestNodes(t *testing.T) {
+	d := handDemand(t)
+	top := d.HeaviestNodes(1)
+	if len(top) != 1 || top[0] != 1 {
+		t.Errorf("heaviest = %v, want [1] (gwA carries 900)", top)
+	}
+	all := d.HeaviestNodes(99)
+	if len(all) != 2 {
+		t.Errorf("heaviest(99) returned %d nodes, want all 2 internal", len(all))
+	}
+}
+
+// Integration: on a generated topology and synthetic trace, greedy placement
+// should strictly beat both no proxies and a random placement of equal size.
+func TestGreedyPlacementIntegration(t *testing.T) {
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := netsim.Generate(netsim.TinyConfig(), stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synth.DefaultConfig(site, topo)
+	cfg.Days = 10
+	cfg.SessionsPerDay = 50
+	res, err := synth.Generate(cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replicate the top few popular docs (by size budget).
+	counts := map[webgraph.DocID]int64{}
+	for i := range res.Trace.Requests {
+		counts[res.Trace.Requests[i].Doc]++
+	}
+	replicated := map[webgraph.DocID]bool{}
+	var best webgraph.DocID
+	var bestN int64
+	for id, n := range counts {
+		if n > bestN {
+			best, bestN = id, n
+		}
+	}
+	replicated[best] = true
+
+	d, err := BuildDemand(res.Trace, topo, replicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := d.GreedyPlace(3)
+	if len(proxies) == 0 {
+		t.Fatal("no proxies placed")
+	}
+	greedy := d.Savings(proxies)
+	if greedy <= 0 {
+		t.Fatal("greedy placement saved nothing")
+	}
+	// Compare against placing the same number of proxies at the first
+	// internal nodes (an arbitrary placement).
+	arbitrary := d.Topo.InternalNodes()[:len(proxies)]
+	if arb := d.Savings(arbitrary); greedy < arb {
+		t.Errorf("greedy savings %d < arbitrary placement %d", greedy, arb)
+	}
+}

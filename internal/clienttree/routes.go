@@ -1,0 +1,96 @@
+package clienttree
+
+import (
+	"fmt"
+
+	"specweb/internal/netsim"
+	"specweb/internal/trace"
+)
+
+// Route is one client's path from the home server down to itself, as the
+// IP record-route option would report it: a sequence of router identifiers
+// starting at the server's side and ending at the client. The paper ([6],
+// §2.1) built cs-www.bu.edu's 34,000-node clientele tree this way.
+type Route struct {
+	Client trace.ClientID
+	// Hops are the intermediate router identifiers, server side first,
+	// excluding the server itself and the client.
+	Hops []string
+}
+
+// FromRoutes merges per-client routes into a clientele tree: shared route
+// prefixes become shared internal nodes (candidate proxy locations), each
+// client a leaf under its last hop. Routes must be non-empty per client and
+// client IDs unique.
+func FromRoutes(routes []Route) (*netsim.Topology, error) {
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("clienttree: no routes")
+	}
+	t := &netsim.Topology{}
+	t.Nodes = append(t.Nodes, netsim.Node{
+		ID: 0, Parent: netsim.NoNode, Kind: netsim.Root, Depth: 0, Region: -1,
+	})
+	// children[parent][label] is the existing internal node for a hop.
+	children := map[netsim.NodeID]map[string]netsim.NodeID{}
+	seen := map[trace.ClientID]bool{}
+	add := func(parent netsim.NodeID, kind netsim.Kind, client trace.ClientID) netsim.NodeID {
+		id := netsim.NodeID(len(t.Nodes))
+		t.Nodes = append(t.Nodes, netsim.Node{
+			ID: id, Parent: parent, Kind: kind,
+			Depth: t.Nodes[parent].Depth + 1, Client: client, Region: -1,
+		})
+		t.Nodes[parent].Children = append(t.Nodes[parent].Children, id)
+		return id
+	}
+	for _, r := range routes {
+		if r.Client == "" {
+			return nil, fmt.Errorf("clienttree: route with empty client")
+		}
+		if seen[r.Client] {
+			return nil, fmt.Errorf("clienttree: duplicate route for client %q", r.Client)
+		}
+		seen[r.Client] = true
+		cur := netsim.NodeID(0)
+		for _, hop := range r.Hops {
+			if hop == "" {
+				return nil, fmt.Errorf("clienttree: route for %q has an empty hop", r.Client)
+			}
+			m := children[cur]
+			if m == nil {
+				m = make(map[string]netsim.NodeID)
+				children[cur] = m
+			}
+			next, ok := m[hop]
+			if !ok {
+				next = add(cur, netsim.Gateway, "")
+				m[hop] = next
+			}
+			cur = next
+		}
+		add(cur, netsim.Client, r.Client)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("clienttree: merged tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+// RoutesFromTopology exports every client's route from an existing
+// topology — the synthetic stand-in for collecting record-route data. Round-
+// tripping through FromRoutes reproduces the tree shape (node kinds other
+// than Root/Gateway/Client are not preserved; hop labels are node IDs).
+func RoutesFromTopology(t *netsim.Topology) []Route {
+	var routes []Route
+	for _, c := range t.Clients() {
+		leaf, _ := t.ClientNode(c)
+		path := t.PathToRoot(leaf)
+		// path is leaf..root; hops are the interior nodes in root→leaf
+		// order.
+		var hops []string
+		for i := len(path) - 2; i >= 1; i-- {
+			hops = append(hops, fmt.Sprintf("n%d", path[i]))
+		}
+		routes = append(routes, Route{Client: c, Hops: hops})
+	}
+	return routes
+}

@@ -1,0 +1,142 @@
+package clienttree
+
+import (
+	"testing"
+	"time"
+
+	"specweb/internal/netsim"
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// handTraceFor builds a trace with n requests for doc 1 (size 100) per
+// client.
+func handTraceFor(counts map[string]int) *trace.Trace {
+	tr := &trace.Trace{}
+	at := time.Date(1995, time.March, 1, 0, 0, 0, 0, time.UTC)
+	for c, n := range counts {
+		for i := 0; i < n; i++ {
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time: at, Client: trace.ClientID(c), Doc: 1, Size: 100,
+			})
+		}
+	}
+	return tr
+}
+
+func TestFromRoutesBasic(t *testing.T) {
+	routes := []Route{
+		{Client: "a", Hops: []string{"r1", "g1"}},
+		{Client: "b", Hops: []string{"r1", "g1"}},
+		{Client: "c", Hops: []string{"r1", "g2"}},
+		{Client: "d", Hops: []string{"r2"}},
+		{Client: "e", Hops: nil}, // directly attached
+	}
+	topo, err := FromRoutes(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: root + r1 + g1 + g2 + r2 + 5 clients = 10.
+	if topo.NumNodes() != 10 {
+		t.Fatalf("nodes = %d, want 10", topo.NumNodes())
+	}
+	// a and b share a parent (g1); c shares r1 with them but not g1.
+	na, _ := topo.ClientNode("a")
+	nb, _ := topo.ClientNode("b")
+	nc, _ := topo.ClientNode("c")
+	if topo.Node(na).Parent != topo.Node(nb).Parent {
+		t.Error("shared route prefix not merged")
+	}
+	if topo.Node(na).Parent == topo.Node(nc).Parent {
+		t.Error("distinct last hops merged")
+	}
+	if topo.Node(na).Depth != 3 {
+		t.Errorf("a at depth %d, want 3", topo.Node(na).Depth)
+	}
+	ne, _ := topo.ClientNode("e")
+	if topo.Node(ne).Depth != 1 {
+		t.Errorf("direct client at depth %d, want 1", topo.Node(ne).Depth)
+	}
+	// Grandparent of a and parent-of-parent of c coincide (r1).
+	ga := topo.Node(topo.Node(na).Parent).Parent
+	gc := topo.Node(nc).Parent
+	if topo.Node(gc).Parent != ga && gc != ga {
+		if topo.Node(gc).Parent != ga {
+			t.Error("r1 prefix not shared between g1 and g2 branches")
+		}
+	}
+}
+
+func TestFromRoutesErrors(t *testing.T) {
+	if _, err := FromRoutes(nil); err == nil {
+		t.Error("empty routes accepted")
+	}
+	if _, err := FromRoutes([]Route{{Client: ""}}); err == nil {
+		t.Error("empty client accepted")
+	}
+	if _, err := FromRoutes([]Route{
+		{Client: "a"}, {Client: "a"},
+	}); err == nil {
+		t.Error("duplicate client accepted")
+	}
+	if _, err := FromRoutes([]Route{{Client: "a", Hops: []string{""}}}); err == nil {
+		t.Error("empty hop accepted")
+	}
+}
+
+func TestRoutesRoundTrip(t *testing.T) {
+	orig, err := netsim.Generate(netsim.TinyConfig(), stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := RoutesFromTopology(orig)
+	rebuilt, err := FromRoutes(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same client set, same depths, same node count (tree shape identical;
+	// kinds collapse to Gateway).
+	if rebuilt.NumNodes() != orig.NumNodes() {
+		t.Errorf("rebuilt %d nodes, original %d", rebuilt.NumNodes(), orig.NumNodes())
+	}
+	for _, c := range orig.Clients() {
+		no, ok1 := orig.ClientNode(c)
+		nr, ok2 := rebuilt.ClientNode(c)
+		if !ok1 || !ok2 {
+			t.Fatalf("client %s missing after round trip", c)
+		}
+		if orig.Node(no).Depth != rebuilt.Node(nr).Depth {
+			t.Errorf("client %s depth %d → %d", c, orig.Node(no).Depth, rebuilt.Node(nr).Depth)
+		}
+	}
+}
+
+// The practical point: a tree built purely from routes supports the same
+// demand aggregation and proxy placement as the generated topology.
+func TestFromRoutesSupportsPlacement(t *testing.T) {
+	routes := []Route{
+		{Client: "a", Hops: []string{"r1", "g1"}},
+		{Client: "b", Hops: []string{"r1", "g1"}},
+		{Client: "c", Hops: []string{"r2"}},
+	}
+	topo, err := FromRoutes(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := handTraceFor(map[string]int{"a": 5, "b": 5, "c": 1})
+	d, err := BuildDemand(tr, topo, map[webgraph.DocID]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := d.GreedyPlace(1)
+	if len(proxies) != 1 {
+		t.Fatalf("placed %d proxies", len(proxies))
+	}
+	// The best proxy serves the heavy a/b branch at its deepest shared
+	// node (g1).
+	na, _ := topo.ClientNode("a")
+	if proxies[0] != topo.Node(na).Parent {
+		t.Errorf("proxy at node %d, want a/b's gateway %d", proxies[0], topo.Node(na).Parent)
+	}
+}

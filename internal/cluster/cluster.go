@@ -1,0 +1,240 @@
+// Package cluster implements the §2.1 cluster model end to end: several
+// home servers S₁..Sₙ fronted by one service proxy S₀ with storage B₀.
+// Each server's demand parameters (R_i, λ_i) are estimated from a training
+// window of its own logs, the proxy's storage is split by the paper's
+// optimal allocation (eqs. 4–5), each allotment is filled with that
+// server's most popular documents, and the resulting interception fraction
+// α_C (eq. 1) is *measured* by replaying an evaluation window — closing the
+// loop between the analytical model and trace-driven reality, and testing
+// the paper's claim that the parameters "are quite static, in that they
+// change only slightly over time".
+//
+// Three baseline allocation strategies are implemented for comparison:
+// an equal split, a split proportional to demand, and the empirical greedy
+// (fractional-knapsack) optimum.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"specweb/internal/allocation"
+	"specweb/internal/popularity"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// Member is one home server of the cluster: its site and its access log.
+type Member struct {
+	Name  string
+	Site  *webgraph.Site
+	Trace *trace.Trace
+}
+
+// Strategy selects how the proxy splits B₀ among the members.
+type Strategy int
+
+const (
+	// Exponential is the paper's optimum under the exponential model
+	// (eqs. 4–5 with KKT clamping).
+	Exponential Strategy = iota
+	// EqualSplit gives every member B₀/n.
+	EqualSplit
+	// ProportionalSplit gives each member storage proportional to its
+	// remote demand R_i.
+	ProportionalSplit
+	// GreedyEmpirical fills the proxy by marginal-gain density over the
+	// members' empirical popularity curves (upper baseline).
+	GreedyEmpirical
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Exponential:
+		return "exponential"
+	case EqualSplit:
+		return "equal"
+	case ProportionalSplit:
+		return "proportional"
+	case GreedyEmpirical:
+		return "greedy"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes a cluster simulation.
+type Config struct {
+	// Budget is B₀, the proxy's total storage in bytes.
+	Budget int64
+	// TrainFraction of each member's trace (by time) estimates R_i, λ_i
+	// and picks replica contents; the remainder measures α. Default 0.5.
+	TrainFraction float64
+	Strategy      Strategy
+}
+
+// ServerResult is one member's share of the outcome.
+type ServerResult struct {
+	Name string
+	// R and Lambda are the training-window estimates.
+	R      float64
+	Lambda float64
+	// Alloc is the storage granted; ReplicaDocs the documents placed.
+	Alloc       int64
+	ReplicaDocs int
+	// EvalRemote counts the member's remote requests in the evaluation
+	// window; Intercepted those served by the proxy.
+	EvalRemote  int64
+	Intercepted int64
+}
+
+// Result is the outcome of one cluster simulation.
+type Result struct {
+	Strategy Strategy
+	// PredictedAlpha is eq. 1 evaluated on the fitted model (only
+	// meaningful for the Exponential strategy; 0 otherwise).
+	PredictedAlpha float64
+	// MeasuredAlpha is the interception fraction actually observed on the
+	// evaluation window.
+	MeasuredAlpha float64
+	Servers       []ServerResult
+}
+
+// Simulate runs the cluster end to end.
+func Simulate(members []Member, cfg Config) (*Result, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: no members")
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("cluster: budget must be positive, got %d", cfg.Budget)
+	}
+	tf := cfg.TrainFraction
+	if tf == 0 {
+		tf = 0.5
+	}
+	if tf <= 0 || tf >= 1 {
+		return nil, fmt.Errorf("cluster: train fraction %v outside (0,1)", tf)
+	}
+
+	type memberState struct {
+		train, eval *trace.Trace
+		an          *popularity.Analysis
+		demand      allocation.Server
+		curve       allocation.Curve
+	}
+	states := make([]memberState, len(members))
+	for i, m := range members {
+		if m.Site == nil || m.Trace == nil || m.Trace.Len() == 0 {
+			return nil, fmt.Errorf("cluster: member %d (%s) missing site or trace", i, m.Name)
+		}
+		first, last, _ := m.Trace.Span()
+		cut := first.Add(time.Duration(float64(last.Sub(first)) * tf))
+		st := memberState{
+			train: m.Trace.Window(first, cut),
+			eval:  m.Trace.Window(cut, last.Add(time.Nanosecond)),
+		}
+		if st.train.Len() == 0 || st.eval.Len() == 0 {
+			return nil, fmt.Errorf("cluster: member %d (%s) has an empty train or eval window", i, m.Name)
+		}
+		st.an = popularity.Analyze(st.train, m.Site)
+		lam, err := st.an.FitLambda(popularity.ByRemoteRequests)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: member %d (%s): fitting lambda: %w", i, m.Name, err)
+		}
+		var remoteBytes float64
+		var items []allocation.Item
+		for _, d := range st.an.Ranked(popularity.ByRemoteRequests) {
+			remoteBytes += float64(d.RemoteBytes)
+			if d.Remote > 0 {
+				items = append(items, allocation.Item{Size: d.Size, Requests: d.Remote})
+			}
+		}
+		st.demand = allocation.Server{R: remoteBytes, Lambda: lam}
+		st.curve = allocation.Curve{R: remoteBytes, Items: items}
+		states[i] = st
+	}
+
+	// Split the budget.
+	allocs := make([]int64, len(members))
+	var predicted float64
+	switch cfg.Strategy {
+	case Exponential:
+		servers := make([]allocation.Server, len(states))
+		for i := range states {
+			servers[i] = states[i].demand
+		}
+		bs, err := allocation.ExponentialAllocate(float64(cfg.Budget), servers)
+		if err != nil {
+			return nil, err
+		}
+		for i, b := range bs {
+			allocs[i] = int64(b)
+		}
+		predicted = allocation.Alpha(bs, servers)
+	case EqualSplit:
+		for i := range allocs {
+			allocs[i] = cfg.Budget / int64(len(members))
+		}
+	case ProportionalSplit:
+		var totalR float64
+		for i := range states {
+			totalR += states[i].demand.R
+		}
+		if totalR == 0 {
+			return nil, fmt.Errorf("cluster: no remote demand in any training window")
+		}
+		for i := range allocs {
+			allocs[i] = int64(float64(cfg.Budget) * states[i].demand.R / totalR)
+		}
+	case GreedyEmpirical:
+		curves := make([]allocation.Curve, len(states))
+		for i := range states {
+			curves[i] = states[i].curve
+		}
+		var err error
+		allocs, _, err = allocation.GreedyAllocate(cfg.Budget, curves)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown strategy %v", cfg.Strategy)
+	}
+
+	// Fill each member's allotment with its most remotely-popular training
+	// documents, then measure interception on the evaluation window.
+	res := &Result{Strategy: cfg.Strategy, PredictedAlpha: predicted}
+	var evalRemote, intercepted int64
+	for i, m := range members {
+		st := &states[i]
+		replicaList := st.an.TopBytes(allocs[i], popularity.ByRemoteRequests)
+		replica := make(map[webgraph.DocID]bool, len(replicaList))
+		for _, id := range replicaList {
+			replica[id] = true
+		}
+		sr := ServerResult{
+			Name:        m.Name,
+			R:           st.demand.R,
+			Lambda:      st.demand.Lambda,
+			Alloc:       allocs[i],
+			ReplicaDocs: len(replicaList),
+		}
+		for j := range st.eval.Requests {
+			r := &st.eval.Requests[j]
+			if !r.Remote || r.Doc == webgraph.None {
+				continue
+			}
+			sr.EvalRemote++
+			if replica[r.Doc] {
+				sr.Intercepted++
+			}
+		}
+		evalRemote += sr.EvalRemote
+		intercepted += sr.Intercepted
+		res.Servers = append(res.Servers, sr)
+	}
+	if evalRemote > 0 {
+		res.MeasuredAlpha = float64(intercepted) / float64(evalRemote)
+	}
+	return res, nil
+}

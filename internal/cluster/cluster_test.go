@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"specweb/internal/stats"
+	"specweb/internal/synth"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// buildMembers generates n synthetic home servers with different popularity
+// weights (scaled by session rate).
+func buildMembers(t *testing.T, n int) []Member {
+	t.Helper()
+	var members []Member
+	for i := 0; i < n; i++ {
+		p := webgraph.TinySite()
+		p.Name = fmt.Sprintf("srv%d", i)
+		site, err := webgraph.Generate(p, stats.NewRNG(int64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := synth.DefaultConfig(site, nil)
+		cfg.Days = 20
+		cfg.SessionsPerDay = float64(30 * (i + 1)) // widely varying demand
+		cfg.RemoteClients = 150
+		cfg.LocalClients = 10
+		res, err := synth.Generate(cfg, stats.NewRNG(int64(200+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, Member{
+			Name:  p.Name,
+			Site:  site,
+			Trace: res.Trace,
+		})
+	}
+	return members
+}
+
+func TestSimulateExponential(t *testing.T) {
+	members := buildMembers(t, 3)
+	res, err := Simulate(members, Config{Budget: 600 << 10, Strategy: Exponential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredAlpha <= 0.2 {
+		t.Errorf("measured alpha %v: proxy intercepted almost nothing", res.MeasuredAlpha)
+	}
+	if res.PredictedAlpha <= 0 || res.PredictedAlpha > 1 {
+		t.Errorf("predicted alpha %v", res.PredictedAlpha)
+	}
+	// §2.2's stability claim: the model's prediction from the training
+	// window should be in the ballpark of the measured evaluation window.
+	if math.Abs(res.PredictedAlpha-res.MeasuredAlpha) > 0.35 {
+		t.Errorf("predicted %v vs measured %v: model badly off", res.PredictedAlpha, res.MeasuredAlpha)
+	}
+	// Total allocation within budget.
+	var used int64
+	for _, s := range res.Servers {
+		if s.Alloc < 0 {
+			t.Errorf("negative allocation for %s", s.Name)
+		}
+		used += s.Alloc
+	}
+	if used > 600<<10+1024 {
+		t.Errorf("allocated %d over budget", used)
+	}
+	// The busiest member (srv2, 3× the sessions of srv0) should get more
+	// storage than the quietest under the optimal split.
+	if res.Servers[2].Alloc <= res.Servers[0].Alloc {
+		t.Errorf("allocs %v: busy server should get more", res.Servers)
+	}
+}
+
+func TestStrategyOrdering(t *testing.T) {
+	members := buildMembers(t, 3)
+	alphas := map[Strategy]float64{}
+	for _, s := range []Strategy{Exponential, EqualSplit, ProportionalSplit, GreedyEmpirical} {
+		res, err := Simulate(members, Config{Budget: 400 << 10, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphas[s] = res.MeasuredAlpha
+		t.Logf("%s: measured alpha %.3f", s, res.MeasuredAlpha)
+	}
+	// The paper's optimal allocation should not lose to the naive equal
+	// split (small tolerance: the evaluation window differs from
+	// training).
+	if alphas[Exponential] < alphas[EqualSplit]-0.05 {
+		t.Errorf("exponential (%v) clearly lost to equal split (%v)",
+			alphas[Exponential], alphas[EqualSplit])
+	}
+	// Greedy on empirical curves is the strongest training-window
+	// strategy; it should be at least competitive.
+	if alphas[GreedyEmpirical] < alphas[EqualSplit]-0.05 {
+		t.Errorf("greedy (%v) clearly lost to equal split (%v)",
+			alphas[GreedyEmpirical], alphas[EqualSplit])
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	members := buildMembers(t, 1)
+	if _, err := Simulate(nil, Config{Budget: 1}); err == nil {
+		t.Error("no members accepted")
+	}
+	if _, err := Simulate(members, Config{Budget: 0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Simulate(members, Config{Budget: 1, TrainFraction: 1.5}); err == nil {
+		t.Error("bad train fraction accepted")
+	}
+	if _, err := Simulate([]Member{{Name: "x"}}, Config{Budget: 1}); err == nil {
+		t.Error("member without site/trace accepted")
+	}
+	if _, err := Simulate(members, Config{Budget: 1, Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	empty := members[0]
+	empty.Trace = &trace.Trace{}
+	if _, err := Simulate([]Member{empty}, Config{Budget: 1}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Exponential.String() != "exponential" || EqualSplit.String() != "equal" ||
+		ProportionalSplit.String() != "proportional" || GreedyEmpirical.String() != "greedy" ||
+		Strategy(9).String() == "" {
+		t.Error("strategy strings wrong")
+	}
+}
+
+func TestBudgetScalesAlpha(t *testing.T) {
+	members := buildMembers(t, 2)
+	var prev float64 = -1
+	for _, budget := range []int64{100 << 10, 400 << 10, 1600 << 10} {
+		res, err := Simulate(members, Config{Budget: budget, Strategy: Exponential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeasuredAlpha < prev-0.02 {
+			t.Errorf("alpha decreased with more budget: %v after %v", res.MeasuredAlpha, prev)
+		}
+		prev = res.MeasuredAlpha
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// BenchmarkEngineRecord measures the online request-ingestion hot path.
+func BenchmarkEngineRecord(b *testing.B) {
+	cfg := DefaultEngineConfig()
+	e, err := NewEngine(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := time.Date(1995, time.May, 1, 0, 0, 0, 0, time.UTC)
+	clients := make([]trace.ClientID, 64)
+	for i := range clients {
+		clients[i] = trace.ClientID(fmt.Sprintf("c%02d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Record(clients[i%64], webgraph.DocID(i%500), at)
+		at = at.Add(time.Second)
+	}
+}
+
+// BenchmarkEngineSpeculate measures the per-request policy query.
+func BenchmarkEngineSpeculate(b *testing.B) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	e, err := NewEngine(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := time.Date(1995, time.May, 1, 0, 0, 0, 0, time.UTC)
+	// Train a fan-out of 20 successors on doc 1.
+	for round := 0; round < 50; round++ {
+		e.Record("c", 1, at)
+		for j := 0; j < 20; j++ {
+			e.Record("c", webgraph.DocID(2+j%4), at.Add(time.Duration(j+1)*200*time.Millisecond))
+		}
+		at = at.Add(time.Hour)
+	}
+	e.Refresh(at)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := e.Speculate(1, nil); len(got) == 0 {
+			b.Fatal("nothing learned")
+		}
+	}
+}
+
+// BenchmarkReplicatorRecord measures popularity tracking throughput.
+func BenchmarkReplicatorRecord(b *testing.B) {
+	r := NewReplicator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(webgraph.DocID(i%2000), int64(1000+i%5000), i%3 != 0)
+	}
+}
+
+// BenchmarkReplicaSet measures ranked replica-set construction.
+func BenchmarkReplicaSet(b *testing.B) {
+	r := NewReplicator()
+	for i := 0; i < 100000; i++ {
+		r.Record(webgraph.DocID(i%2000), int64(1000+i%5000), i%3 != 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := r.ReplicaSet(1 << 20); len(set) == 0 {
+			b.Fatal("empty replica set")
+		}
+	}
+}

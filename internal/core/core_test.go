@@ -1,0 +1,333 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+var t0 = time.Date(1995, time.March, 6, 9, 0, 0, 0, time.UTC)
+
+func newTestEngine(t *testing.T, cfg EngineConfig) *Engine {
+	t.Helper()
+	sizes := map[webgraph.DocID]int64{1: 1000, 2: 2000, 3: 500, 4: 90000}
+	e, err := NewEngine(cfg, func(d webgraph.DocID) (int64, bool) {
+		s, ok := sizes[d]
+		return s, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// feedPattern teaches the engine "doc 1 is followed by doc 2" n times.
+func feedPattern(e *Engine, n int, extra ...webgraph.DocID) {
+	at := t0
+	for i := 0; i < n; i++ {
+		client := trace.ClientID("c")
+		e.Record(client, 1, at)
+		e.Record(client, 2, at.Add(time.Second))
+		for j, d := range extra {
+			e.Record(client, d, at.Add(time.Duration(2+j)*time.Second))
+		}
+		at = at.Add(time.Hour)
+	}
+	e.Refresh(at)
+}
+
+func TestEngineLearnsDependencies(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	e := newTestEngine(t, cfg)
+	if got := e.Speculate(1, nil); len(got) != 0 {
+		t.Errorf("untrained engine speculated %v", got)
+	}
+	feedPattern(e, 20)
+	got := e.Speculate(1, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Speculate(1) = %v, want [2]", got)
+	}
+	if got := e.Speculate(2, nil); len(got) != 0 {
+		t.Errorf("Speculate(2) = %v, want none (2 is never followed)", got)
+	}
+}
+
+func TestEngineCooperativeExclusion(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	e := newTestEngine(t, cfg)
+	feedPattern(e, 20)
+	got := e.Speculate(1, map[webgraph.DocID]bool{2: true})
+	if len(got) != 0 {
+		t.Errorf("cooperative exclusion failed: %v", got)
+	}
+}
+
+func TestEngineMaxSize(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	cfg.MaxSize = 10000
+	e := newTestEngine(t, cfg)
+	feedPattern(e, 20, 4) // doc 4 is 90 KB
+	got := e.Speculate(1, nil)
+	for _, d := range got {
+		if d == 4 {
+			t.Error("oversized doc speculated despite MaxSize")
+		}
+	}
+	if len(got) == 0 {
+		t.Error("everything filtered out")
+	}
+}
+
+func TestEngineHintsAndSplit(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	cfg.Tp = 0.1
+	cfg.EmbedThreshold = 0.9
+	e := newTestEngine(t, cfg)
+	// 1→2 always; 1→3 half the time.
+	at := t0
+	for i := 0; i < 40; i++ {
+		e.Record("c", 1, at)
+		e.Record("c", 2, at.Add(time.Second))
+		if i%2 == 0 {
+			e.Record("c", 3, at.Add(2*time.Second))
+		}
+		at = at.Add(time.Hour)
+	}
+	e.Refresh(at)
+	hints := e.Hints(1, nil)
+	if len(hints) != 2 {
+		t.Fatalf("hints = %v", hints)
+	}
+	if hints[0].Doc != 2 || hints[0].P < hints[1].P {
+		t.Errorf("hints not ordered by probability: %v", hints)
+	}
+	if hints[0].Size != 2000 {
+		t.Errorf("hint size = %d, want 2000", hints[0].Size)
+	}
+	push, hint := e.Split(1, nil)
+	if len(push) != 1 || push[0] != 2 {
+		t.Errorf("hybrid push = %v, want [2]", push)
+	}
+	if len(hint) != 1 || hint[0].Doc != 3 {
+		t.Errorf("hybrid hints = %v, want doc 3", hint)
+	}
+}
+
+func TestEngineAutoRefresh(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	cfg.RefreshEvery = time.Minute
+	e := newTestEngine(t, cfg)
+	at := t0
+	for i := 0; i < 30; i++ {
+		e.Record("c", 1, at)
+		e.Record("c", 2, at.Add(time.Second))
+		at = at.Add(2 * time.Minute) // crosses the refresh boundary
+	}
+	// No manual Refresh: the time-based refresh must have kicked in.
+	if got := e.Speculate(1, nil); len(got) != 1 || got[0] != 2 {
+		t.Errorf("auto-refresh did not learn: %v", got)
+	}
+	st := e.Stats()
+	if st.Recorded != 60 || st.Pairs == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineAgingForgets(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	cfg.DecayPerDay = 0.2 // aggressive decay
+	cfg.Tp = 0.5
+	e := newTestEngine(t, cfg)
+	feedPattern(e, 10)
+	if got := e.Speculate(1, nil); len(got) != 1 {
+		t.Fatalf("not learned: %v", got)
+	}
+	// New era: doc 1 now followed by doc 3. After several refreshes the
+	// old dependency must fade below threshold and the new one dominate.
+	at := t0.Add(1000 * time.Hour)
+	for day := 0; day < 6; day++ {
+		for i := 0; i < 10; i++ {
+			e.Record("c", 1, at)
+			e.Record("c", 3, at.Add(time.Second))
+			at = at.Add(time.Hour)
+		}
+		e.Refresh(at)
+	}
+	got := e.Speculate(1, nil)
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("aging failed to shift dependency: %v", got)
+	}
+}
+
+func TestEngineTopK(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	cfg.TopK = 1
+	cfg.Tp = 0
+	e := newTestEngine(t, cfg)
+	feedPattern(e, 20, 3)
+	got := e.Speculate(1, nil)
+	if len(got) != 1 {
+		t.Errorf("TopK=1 returned %v", got)
+	}
+}
+
+func TestEngineConcurrency(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	cfg.RefreshEvery = time.Millisecond
+	e := newTestEngine(t, cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			at := t0.Add(time.Duration(w) * time.Second)
+			client := trace.ClientID(string(rune('a' + w)))
+			for i := 0; i < 500; i++ {
+				e.Record(client, webgraph.DocID(1+i%3), at)
+				e.Speculate(1, nil)
+				e.Hints(2, nil)
+				at = at.Add(time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.Stats().Recorded != 4000 {
+		t.Errorf("recorded %d, want 4000", e.Stats().Recorded)
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	bad := DefaultEngineConfig()
+	bad.Window = 0
+	if _, err := NewEngine(bad, nil); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad = DefaultEngineConfig()
+	bad.RefreshEvery = 0
+	if _, err := NewEngine(bad, nil); err == nil {
+		t.Error("zero refresh accepted")
+	}
+	bad = DefaultEngineConfig()
+	bad.DecayPerDay = 0
+	if _, err := NewEngine(bad, nil); err == nil {
+		t.Error("zero decay accepted")
+	}
+	bad = DefaultEngineConfig()
+	bad.Tp = 2
+	if _, err := NewEngine(bad, nil); err == nil {
+		t.Error("Tp > 1 accepted")
+	}
+}
+
+func TestReplicatorRankingAndReplicaSet(t *testing.T) {
+	r := NewReplicator()
+	for i := 0; i < 50; i++ {
+		r.Record(1, 1000, true)
+	}
+	for i := 0; i < 30; i++ {
+		r.Record(2, 2000, true)
+	}
+	for i := 0; i < 100; i++ {
+		r.Record(3, 500, false) // locally popular: never remote
+	}
+	total, remote := r.Requests()
+	if total != 180 || remote != 80 {
+		t.Errorf("requests = %d/%d", total, remote)
+	}
+	set := r.ReplicaSet(2500)
+	// Ranked by remote count: doc1 (1000B), doc2 (2000B skipped: 3000>2500),
+	// doc3 has no remote demand → stop.
+	if len(set) != 1 || set[0] != 1 {
+		t.Errorf("replica set = %v, want [1]", set)
+	}
+	set = r.ReplicaSet(3000)
+	if len(set) != 2 || set[0] != 1 || set[1] != 2 {
+		t.Errorf("replica set = %v, want [1 2]", set)
+	}
+}
+
+func TestReplicatorFitAndDemand(t *testing.T) {
+	r := NewReplicator()
+	// Construct a geometric-ish popularity profile over 40 docs.
+	for d := 0; d < 40; d++ {
+		n := 1 << uint(10-d/4)
+		for i := 0; i < n; i++ {
+			r.Record(webgraph.DocID(d), 4096, true)
+		}
+	}
+	lam, err := r.FitLambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam <= 0 {
+		t.Errorf("lambda = %v", lam)
+	}
+	dem, err := r.Demand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dem.R <= 0 || dem.Lambda != lam {
+		t.Errorf("demand = %+v", dem)
+	}
+}
+
+func TestReplicatorFitNoRemote(t *testing.T) {
+	r := NewReplicator()
+	r.Record(1, 10, false)
+	if _, err := r.FitLambda(); err == nil {
+		t.Error("fit without remote data accepted")
+	}
+}
+
+func TestAllocateProxy(t *testing.T) {
+	demands := []ServerDemand{
+		{R: 5e6, Lambda: 6e-7},
+		{R: 1e6, Lambda: 6e-7},
+	}
+	bs, alpha, err := AllocateProxy(40<<20, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || bs[0] <= bs[1] {
+		t.Errorf("allocation %v should favor the popular server", bs)
+	}
+	if alpha <= 0 || alpha > 1 {
+		t.Errorf("alpha = %v", alpha)
+	}
+	if _, _, err := AllocateProxy(1, nil); err == nil {
+		t.Error("empty demand accepted")
+	}
+}
+
+func TestReplicatorConcurrency(t *testing.T) {
+	r := NewReplicator()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(webgraph.DocID(i%20), 1000, i%2 == 0)
+				if i%100 == 0 {
+					r.ReplicaSet(10000)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total, _ := r.Requests()
+	if total != 8000 {
+		t.Errorf("recorded %d, want 8000", total)
+	}
+}

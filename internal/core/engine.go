@@ -1,0 +1,304 @@
+// Package core is the online form of the paper's two protocols — the
+// library a production server embeds, as opposed to the trace-driven
+// simulators used for evaluation.
+//
+// Engine implements speculative service (§3): it observes the server's
+// request stream as it happens, maintains the document-dependency estimate
+// P* with the §3.4 aging mechanism, and answers "what should be sent along
+// with this document" — as documents to push, as prefetch hints, or as the
+// hybrid of both.
+//
+// Replicator implements demand-based dissemination (§2): it tracks document
+// popularity online, classifies documents, fits the exponential popularity
+// model, and produces replica sets and per-server storage allocations for
+// service proxies.
+//
+// Both types are safe for concurrent use.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"specweb/internal/markov"
+	"specweb/internal/speculation"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// EngineConfig parameterizes the online speculation engine.
+type EngineConfig struct {
+	// Window and StrideTimeout are T_w and the stride bound of §3.2.
+	Window        time.Duration
+	StrideTimeout time.Duration
+	// MinOccurrences and Smoothing control estimate robustness (see
+	// markov.EstimateConfig).
+	MinOccurrences int
+	Smoothing      float64
+	// DecayPerDay is the §3.4 aging factor applied at each refresh.
+	DecayPerDay float64
+	// RefreshEvery is how often the dependency estimate is re-snapshotted
+	// (the paper's UpdateCycle; its baseline is one day).
+	RefreshEvery time.Duration
+
+	// Policy knobs.
+	Tp      float64
+	TopK    int   // when > 0, top-K selection instead of thresholding
+	MaxSize int64 // 0 = ∞
+	// EmbedThreshold splits hybrid responses: candidates at or above it
+	// are pushed, the rest hinted.
+	EmbedThreshold float64
+}
+
+// DefaultEngineConfig mirrors the paper's baseline with a moderate
+// threshold.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		Window:         5 * time.Second,
+		StrideTimeout:  5 * time.Second,
+		MinOccurrences: 5,
+		Smoothing:      2,
+		DecayPerDay:    0.97,
+		RefreshEvery:   24 * time.Hour,
+		Tp:             0.25,
+		EmbedThreshold: 0.95,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *EngineConfig) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("core: Window must be positive, got %v", c.Window)
+	}
+	if c.RefreshEvery <= 0 {
+		return fmt.Errorf("core: RefreshEvery must be positive, got %v", c.RefreshEvery)
+	}
+	if c.DecayPerDay <= 0 || c.DecayPerDay > 1 {
+		return fmt.Errorf("core: DecayPerDay %v outside (0,1]", c.DecayPerDay)
+	}
+	if c.Tp < 0 || c.Tp > 1 {
+		return fmt.Errorf("core: Tp %v outside [0,1]", c.Tp)
+	}
+	return nil
+}
+
+// SizeFunc reports a document's size in bytes (and whether it exists).
+// Engines consult it for the MaxSize provision.
+type SizeFunc func(webgraph.DocID) (int64, bool)
+
+// Engine is the online speculative-service engine.
+type Engine struct {
+	cfg  EngineConfig
+	size SizeFunc
+
+	mu          sync.Mutex
+	buffer      *trace.Trace // requests since the last refresh
+	aging       *markov.Aging
+	current     *markov.Matrix
+	lastRefresh time.Time
+	started     bool
+	recorded    int64
+}
+
+// NewEngine builds an engine. size may be nil when MaxSize is unused.
+func NewEngine(cfg EngineConfig, size SizeFunc) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	est := markov.EstimateConfig{
+		Window:         cfg.Window,
+		StrideTimeout:  cfg.StrideTimeout,
+		MinOccurrences: cfg.MinOccurrences,
+		Smoothing:      cfg.Smoothing,
+	}
+	// DecayPerDay is specified per day; the aging estimator decays once
+	// per refresh, so scale the factor to the configured cadence.
+	decay := math.Pow(cfg.DecayPerDay, cfg.RefreshEvery.Hours()/24)
+	if decay > 1 {
+		decay = 1
+	}
+	ag := markov.NewAging(decay, est)
+	ag.Transitive = true // the engine speculates on P*, per the baseline
+	return &Engine{
+		cfg:     cfg,
+		size:    size,
+		buffer:  &trace.Trace{},
+		aging:   ag,
+		current: markov.NewMatrix(),
+	}, nil
+}
+
+// Record observes one client-initiated request. Times should be
+// non-decreasing; a refresh happens automatically when RefreshEvery has
+// elapsed since the last one.
+func (e *Engine) Record(client trace.ClientID, doc webgraph.DocID, at time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.started {
+		e.lastRefresh = at
+		e.started = true
+	}
+	var size int64
+	if e.size != nil {
+		if s, ok := e.size(doc); ok {
+			size = s
+		}
+	}
+	e.buffer.Requests = append(e.buffer.Requests, trace.Request{
+		Time: at, Client: client, Doc: doc, Size: size,
+	})
+	e.recorded++
+	if at.Sub(e.lastRefresh) >= e.cfg.RefreshEvery {
+		e.refreshLocked(at)
+	}
+}
+
+// Refresh folds the buffered requests into the aged estimate immediately.
+func (e *Engine) Refresh(at time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked(at)
+}
+
+func (e *Engine) refreshLocked(at time.Time) {
+	e.buffer.SortByTime()
+	// Strides still open at the refresh instant (their last request is
+	// within StrideTimeout of now) are carried into the next buffer
+	// rather than finalized — otherwise a refresh landing mid-stride
+	// would permanently split the dependency pair across buffers.
+	flush, carry := splitOpenStrides(e.buffer, at, e.cfg.StrideTimeout)
+	// AddDay never fails here: the config was validated at construction.
+	if err := e.aging.AddDay(flush); err != nil {
+		panic(fmt.Sprintf("core: refresh: %v", err))
+	}
+	e.current = e.aging.Snapshot()
+	e.buffer = carry
+	e.lastRefresh = at
+}
+
+// splitOpenStrides partitions buf into requests safe to finalize and the
+// per-client trailing strides that may still continue past `at`.
+func splitOpenStrides(buf *trace.Trace, at time.Time, strideTimeout time.Duration) (flush, carry *trace.Trace) {
+	flush = &trace.Trace{}
+	carry = &trace.Trace{}
+	if strideTimeout <= 0 {
+		flush.Requests = buf.Requests
+		return flush, carry
+	}
+	for _, reqs := range buf.ByClient() {
+		last := reqs[len(reqs)-1].Time
+		if at.Sub(last) >= strideTimeout {
+			flush.Requests = append(flush.Requests, reqs...)
+			continue
+		}
+		// Walk back to the start of the trailing stride.
+		cut := len(reqs) - 1
+		for cut > 0 && reqs[cut].Time.Sub(reqs[cut-1].Time) < strideTimeout {
+			cut--
+		}
+		flush.Requests = append(flush.Requests, reqs[:cut]...)
+		carry.Requests = append(carry.Requests, reqs[cut:]...)
+	}
+	flush.SortByTime()
+	carry.SortByTime()
+	return flush, carry
+}
+
+// selector builds the policy view over the current matrix. Callers hold the
+// lock.
+func (e *Engine) selectorLocked() *speculation.Selector {
+	var pol speculation.Policy
+	if e.cfg.TopK > 0 {
+		pol = speculation.TopK{M: e.current, K: e.cfg.TopK, MinP: e.cfg.Tp}
+	} else {
+		pol = speculation.Threshold{M: e.current, Tp: e.cfg.Tp}
+	}
+	return &speculation.Selector{Policy: pol, Site: nil, MaxSize: 0}
+}
+
+// filterSize applies the MaxSize provision using the engine's SizeFunc
+// (the speculation.Selector's own filter needs a *webgraph.Site, which an
+// online server may not have).
+func (e *Engine) filterSize(docs []markov.Successor) []markov.Successor {
+	if e.cfg.MaxSize <= 0 || e.size == nil {
+		return docs
+	}
+	out := docs[:0]
+	for _, d := range docs {
+		if s, ok := e.size(d.Doc); ok && s > e.cfg.MaxSize {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Speculate returns the documents to push along with doc, excluding any the
+// caller knows the client has (the cooperative digest; may be nil).
+func (e *Engine) Speculate(doc webgraph.DocID, have map[webgraph.DocID]bool) []webgraph.DocID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cands := e.filterSize(e.selectorLocked().Policy.Candidates(doc))
+	out := make([]webgraph.DocID, 0, len(cands))
+	for _, c := range cands {
+		if c.Doc == doc || have[c.Doc] {
+			continue
+		}
+		out = append(out, c.Doc)
+	}
+	return out
+}
+
+// Hints returns the server-assisted prefetching list for doc.
+func (e *Engine) Hints(doc webgraph.DocID, have map[webgraph.DocID]bool) []speculation.Hint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cands := e.filterSize(e.selectorLocked().Policy.Candidates(doc))
+	out := make([]speculation.Hint, 0, len(cands))
+	for _, c := range cands {
+		if c.Doc == doc || have[c.Doc] {
+			continue
+		}
+		var size int64
+		if e.size != nil {
+			size, _ = e.size(c.Doc)
+		}
+		out = append(out, speculation.Hint{Doc: c.Doc, P: c.P, Size: size})
+	}
+	return out
+}
+
+// Split returns the hybrid response for doc: candidates at or above
+// EmbedThreshold to push, the rest as hints.
+func (e *Engine) Split(doc webgraph.DocID, have map[webgraph.DocID]bool) (push []webgraph.DocID, hints []speculation.Hint) {
+	for _, h := range e.Hints(doc, have) {
+		if h.P >= e.cfg.EmbedThreshold {
+			push = append(push, h.Doc)
+		} else {
+			hints = append(hints, h)
+		}
+	}
+	return push, hints
+}
+
+// Stats reports the engine's observable state.
+type Stats struct {
+	Recorded   int64
+	Pairs      int
+	Docs       int
+	LastUpdate time.Time
+}
+
+// Stats returns a snapshot of the engine state.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Recorded:   e.recorded,
+		Pairs:      e.current.NumPairs(),
+		Docs:       e.current.NumRows(),
+		LastUpdate: e.lastRefresh,
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"specweb/internal/allocation"
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+// Replicator is the online side of the §2 dissemination protocol for one
+// home server: it counts accesses as they happen, and on demand produces
+// the ranked "most popular b bytes" replica set a service proxy should
+// duplicate, the exponential-model fit λ, and — acting as a proxy — the
+// optimal split of a storage budget across several home servers.
+type Replicator struct {
+	mu     sync.Mutex
+	sizes  map[webgraph.DocID]int64
+	total  map[webgraph.DocID]int64 // all requests
+	remote map[webgraph.DocID]int64 // remote requests
+	reqs   int64
+	remReq int64
+}
+
+// NewReplicator returns an empty tracker.
+func NewReplicator() *Replicator {
+	return &Replicator{
+		sizes:  make(map[webgraph.DocID]int64),
+		total:  make(map[webgraph.DocID]int64),
+		remote: make(map[webgraph.DocID]int64),
+	}
+}
+
+// Record observes one request.
+func (r *Replicator) Record(doc webgraph.DocID, size int64, remote bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sizes[doc] = size
+	r.total[doc]++
+	r.reqs++
+	if remote {
+		r.remote[doc]++
+		r.remReq++
+	}
+}
+
+// Requests returns the total and remote request counts observed.
+func (r *Replicator) Requests() (total, remote int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reqs, r.remReq
+}
+
+// rankedLocked returns docs by decreasing remote popularity (ties by ID).
+func (r *Replicator) rankedLocked() []webgraph.DocID {
+	out := make([]webgraph.DocID, 0, len(r.total))
+	for id := range r.total {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if r.remote[a] != r.remote[b] {
+			return r.remote[a] > r.remote[b]
+		}
+		return a < b
+	})
+	return out
+}
+
+// ReplicaSet returns the most remotely-popular documents fitting the byte
+// budget, the set a proxy should duplicate from this server.
+func (r *Replicator) ReplicaSet(budget int64) []webgraph.DocID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []webgraph.DocID
+	var used int64
+	for _, id := range r.rankedLocked() {
+		if r.remote[id] == 0 {
+			break
+		}
+		size := r.sizes[id]
+		if used+size > budget {
+			continue
+		}
+		used += size
+		out = append(out, id)
+	}
+	return out
+}
+
+// FitLambda fits the exponential popularity model to the observed remote
+// hit curve, as §2.2 prescribes estimating λ from server logs.
+func (r *Replicator) FitLambda() (float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.remReq == 0 {
+		return 0, fmt.Errorf("core: no remote requests observed")
+	}
+	var bs, hs []float64
+	var cumB, cumR int64
+	for _, id := range r.rankedLocked() {
+		cumB += r.sizes[id]
+		cumR += r.remote[id]
+		bs = append(bs, float64(cumB))
+		hs = append(hs, float64(cumR)/float64(r.remReq))
+	}
+	return stats.FitExponentialHitCurve(bs, hs)
+}
+
+// ServerDemand summarizes one home server for proxy-side allocation.
+type ServerDemand struct {
+	// R is the outside-demand weight (bytes per unit time, eq. 1).
+	R float64
+	// Lambda is the server's fitted popularity constant.
+	Lambda float64
+}
+
+// Demand exports this server's allocation inputs: R as remote bytes served
+// over the observation period and the fitted λ. The duration normalization
+// cancels in eq. 4, so raw totals are fine as long as every server in the
+// cluster reports over the same period.
+func (r *Replicator) Demand() (ServerDemand, error) {
+	lam, err := r.FitLambda()
+	if err != nil {
+		return ServerDemand{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var remoteBytes float64
+	for id, n := range r.remote {
+		remoteBytes += float64(n) * float64(r.sizes[id])
+	}
+	return ServerDemand{R: remoteBytes, Lambda: lam}, nil
+}
+
+// AllocateProxy splits a proxy's storage budget across the demands of a
+// cluster of home servers (eq. 4–5 with KKT clamping) and reports the
+// expected intercepted fraction α (eq. 1).
+func AllocateProxy(budget int64, demands []ServerDemand) (perServer []float64, alpha float64, err error) {
+	servers := make([]allocation.Server, len(demands))
+	for i, d := range demands {
+		servers[i] = allocation.Server{R: d.R, Lambda: d.Lambda}
+	}
+	bs, err := allocation.ExponentialAllocate(float64(budget), servers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bs, allocation.Alpha(bs, servers), nil
+}

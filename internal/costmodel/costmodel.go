@@ -1,0 +1,127 @@
+// Package costmodel holds the cost model and the four evaluation metrics of
+// §3.2. The paper assumes a symmetric network where communicating one byte
+// costs CommCost and servicing one request costs ServCost (baseline: 1 and
+// 10,000 units), and reports speculative-vs-non-speculative performance as
+// four ratios: bandwidth, server load, service time, and byte miss rate.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Costs is the symmetric network cost model.
+type Costs struct {
+	// CommCost is the cost of communicating one byte.
+	CommCost float64
+	// ServCost is the cost of servicing one request at the server.
+	ServCost float64
+}
+
+// Default returns the paper's baseline costs (CommCost 1, ServCost 10,000).
+func Default() Costs {
+	return Costs{CommCost: 1, ServCost: 10000}
+}
+
+// Validate reports whether the costs are usable.
+func (c Costs) Validate() error {
+	if c.CommCost < 0 || math.IsNaN(c.CommCost) {
+		return fmt.Errorf("costmodel: invalid CommCost %v", c.CommCost)
+	}
+	if c.ServCost < 0 || math.IsNaN(c.ServCost) {
+		return fmt.Errorf("costmodel: invalid ServCost %v", c.ServCost)
+	}
+	return nil
+}
+
+// RequestLatency is the retrieval latency of one client-initiated request
+// that misses the cache and transfers the given number of bytes: the
+// per-request service overhead plus the transfer cost of the bytes the
+// client must wait for.
+func (c Costs) RequestLatency(bytes int64) float64 {
+	return c.ServCost + c.CommCost*float64(bytes)
+}
+
+// Tally accumulates one simulation arm's raw totals.
+type Tally struct {
+	// BytesSent is every byte the server transmitted (documents plus
+	// speculative pushes).
+	BytesSent int64
+	// Requests is the number of requests the server serviced.
+	Requests int64
+	// Latency is the summed retrieval latency over client-initiated
+	// requests (cache hits contribute zero).
+	Latency float64
+	// MissBytes is the bytes of client-initiated requests not found in
+	// the client's cache; AccessedBytes the bytes of all client-initiated
+	// requests.
+	MissBytes     int64
+	AccessedBytes int64
+}
+
+// Add folds another tally into this one.
+func (t *Tally) Add(o Tally) {
+	t.BytesSent += o.BytesSent
+	t.Requests += o.Requests
+	t.Latency += o.Latency
+	t.MissBytes += o.MissBytes
+	t.AccessedBytes += o.AccessedBytes
+}
+
+// MissRate returns the byte miss rate: bytes not found in cache over bytes
+// accessed.
+func (t *Tally) MissRate() float64 {
+	if t.AccessedBytes == 0 {
+		return 0
+	}
+	return float64(t.MissBytes) / float64(t.AccessedBytes)
+}
+
+// Ratios are the paper's four metrics: each is the speculative arm's total
+// over the non-speculative arm's. Values below 1 are improvements except
+// for Bandwidth, where speculation pays extra traffic (values above 1).
+type Ratios struct {
+	Bandwidth   float64
+	ServerLoad  float64
+	ServiceTime float64
+	MissRate    float64
+}
+
+// Compare computes the four ratios of spec against base. A zero denominator
+// yields a ratio of 1 (no information).
+func Compare(spec, base Tally) Ratios {
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 1
+		}
+		return a / b
+	}
+	return Ratios{
+		Bandwidth:   div(float64(spec.BytesSent), float64(base.BytesSent)),
+		ServerLoad:  div(float64(spec.Requests), float64(base.Requests)),
+		ServiceTime: div(spec.Latency, base.Latency),
+		MissRate:    div(spec.MissRate(), base.MissRate()),
+	}
+}
+
+// TrafficIncreasePct returns the extra traffic speculation used, in percent
+// (the x axis of Figure 6).
+func (r Ratios) TrafficIncreasePct() float64 { return (r.Bandwidth - 1) * 100 }
+
+// ServerLoadReductionPct returns the server-load reduction in percent.
+func (r Ratios) ServerLoadReductionPct() float64 { return (1 - r.ServerLoad) * 100 }
+
+// ServiceTimeReductionPct returns the service-time reduction in percent.
+func (r Ratios) ServiceTimeReductionPct() float64 { return (1 - r.ServiceTime) * 100 }
+
+// MissRateReductionPct returns the client miss-rate reduction in percent.
+func (r Ratios) MissRateReductionPct() float64 { return (1 - r.MissRate) * 100 }
+
+// String renders the ratios the way the paper quotes them: signed percent
+// changes relative to the non-speculative arm (so "load -30.0%" is a 30%
+// reduction and "load +5.7%" a regression).
+func (r Ratios) String() string {
+	return fmt.Sprintf("traffic %+.1f%%, load %+.1f%%, time %+.1f%%, miss %+.1f%%",
+		r.TrafficIncreasePct(), -r.ServerLoadReductionPct(),
+		-r.ServiceTimeReductionPct(), -r.MissRateReductionPct())
+}

@@ -1,0 +1,94 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	c := Default()
+	if c.CommCost != 1 || c.ServCost != 10000 {
+		t.Errorf("defaults = %+v, want the paper's 1 and 10000", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Costs{CommCost: -1, ServCost: 1}).Validate(); err == nil {
+		t.Error("negative CommCost accepted")
+	}
+	if err := (Costs{CommCost: 1, ServCost: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN ServCost accepted")
+	}
+}
+
+func TestRequestLatency(t *testing.T) {
+	c := Default()
+	if got := c.RequestLatency(5000); got != 15000 {
+		t.Errorf("latency = %v, want 15000", got)
+	}
+	if got := c.RequestLatency(0); got != 10000 {
+		t.Errorf("latency(0) = %v, want ServCost", got)
+	}
+}
+
+func TestTallyAddAndMissRate(t *testing.T) {
+	a := Tally{BytesSent: 100, Requests: 2, Latency: 5, MissBytes: 50, AccessedBytes: 100}
+	b := Tally{BytesSent: 50, Requests: 1, Latency: 3, MissBytes: 10, AccessedBytes: 100}
+	a.Add(b)
+	if a.BytesSent != 150 || a.Requests != 3 || a.Latency != 8 ||
+		a.MissBytes != 60 || a.AccessedBytes != 200 {
+		t.Errorf("added tally = %+v", a)
+	}
+	if got := a.MissRate(); got != 0.3 {
+		t.Errorf("miss rate = %v, want 0.3", got)
+	}
+	var zero Tally
+	if zero.MissRate() != 0 {
+		t.Error("empty tally miss rate should be 0")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Tally{BytesSent: 1000, Requests: 100, Latency: 2000, MissBytes: 800, AccessedBytes: 1000}
+	spec := Tally{BytesSent: 1100, Requests: 70, Latency: 1500, MissBytes: 600, AccessedBytes: 1000}
+	r := Compare(spec, base)
+	if math.Abs(r.Bandwidth-1.1) > 1e-12 {
+		t.Errorf("bandwidth ratio = %v", r.Bandwidth)
+	}
+	if math.Abs(r.ServerLoad-0.7) > 1e-12 {
+		t.Errorf("server load ratio = %v", r.ServerLoad)
+	}
+	if math.Abs(r.ServiceTime-0.75) > 1e-12 {
+		t.Errorf("service time ratio = %v", r.ServiceTime)
+	}
+	if math.Abs(r.MissRate-0.75) > 1e-12 {
+		t.Errorf("miss rate ratio = %v", r.MissRate)
+	}
+	if math.Abs(r.TrafficIncreasePct()-10) > 1e-9 ||
+		math.Abs(r.ServerLoadReductionPct()-30) > 1e-9 ||
+		math.Abs(r.ServiceTimeReductionPct()-25) > 1e-9 ||
+		math.Abs(r.MissRateReductionPct()-25) > 1e-9 {
+		t.Errorf("percent views wrong: %+v", r)
+	}
+}
+
+func TestCompareZeroDenominators(t *testing.T) {
+	r := Compare(Tally{}, Tally{})
+	if r.Bandwidth != 1 || r.ServerLoad != 1 || r.ServiceTime != 1 || r.MissRate != 1 {
+		t.Errorf("zero-denominator ratios should be 1: %+v", r)
+	}
+}
+
+func TestRatiosString(t *testing.T) {
+	r := Ratios{Bandwidth: 1.05, ServerLoad: 0.70, ServiceTime: 0.77, MissRate: 0.82}
+	s := r.String()
+	for _, want := range []string{"+5.0%", "-30.0%", "-23.0%", "-18.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

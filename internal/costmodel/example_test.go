@@ -1,0 +1,15 @@
+package costmodel_test
+
+import (
+	"fmt"
+
+	"specweb/internal/costmodel"
+)
+
+func ExampleCompare() {
+	base := costmodel.Tally{BytesSent: 1000, Requests: 100, Latency: 2000, MissBytes: 800, AccessedBytes: 1000}
+	spec := costmodel.Tally{BytesSent: 1050, Requests: 70, Latency: 1540, MissBytes: 656, AccessedBytes: 1000}
+	fmt.Println(costmodel.Compare(spec, base))
+	// Output:
+	// traffic +5.0%, load -30.0%, time -23.0%, miss -18.0%
+}

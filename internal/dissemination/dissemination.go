@@ -1,0 +1,386 @@
+// Package dissemination implements the trace-driven simulation of §2.4: the
+// reduction in network bandwidth — measured in bytes × hops, as the paper
+// does — achieved by disseminating the most popular fraction of a server's
+// data to a growing number of service proxies (Figure 3).
+//
+// The baseline serves every request from the home server at the tree root;
+// with dissemination, a request for a replicated document is served by the
+// deepest proxy on the client's path that holds it. The simulator
+// optionally charges the push traffic itself (initial dissemination plus
+// re-pushes caused by document updates), supports the per-proxy
+// specialization the paper notes would do even better ("better results are
+// attainable if the dissemination strategy takes advantage of the
+// geographic locality of reference", §2.4), and models the dynamic
+// shielding of §2.3, where an overloaded proxy sheds load back to the
+// server.
+package dissemination
+
+import (
+	"fmt"
+	"sort"
+
+	"specweb/internal/clienttree"
+	"specweb/internal/netsim"
+	"specweb/internal/popularity"
+	"specweb/internal/synth"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// Config parameterizes a dissemination sweep.
+type Config struct {
+	Site *webgraph.Site
+	Topo *netsim.Topology
+
+	// Order ranks documents for the "most popular" replica set.
+	Order popularity.Order
+	// Fraction of the accessed bytes to disseminate (Figure 3 uses 0.10
+	// and 0.04).
+	Fraction float64
+	// ProxyCounts lists the proxy-set sizes to sweep (Figure 3's x axis).
+	ProxyCounts []int
+
+	// IncludePushCost charges the dissemination traffic (root → proxy,
+	// once at setup plus once per update of a replicated document).
+	IncludePushCost bool
+	// Updates is the document-update log used for re-push accounting.
+	Updates []synth.Update
+	// HierarchicalPush routes dissemination traffic through the proxy
+	// hierarchy: a proxy pulls from its nearest ancestor proxy rather
+	// than from the home server — §2.3's "the process of disseminating
+	// popular information continues for another level, and so on". Only
+	// affects push-cost accounting (and only documents the ancestor also
+	// holds).
+	HierarchicalPush bool
+
+	// Specialized gives each proxy its own replica set, chosen from the
+	// access patterns of the clients in its subtree (same byte budget per
+	// proxy as the uniform set).
+	Specialized bool
+
+	// ProxyCapacity, when positive, is the maximum bytes per proxy the
+	// proxy is willing to serve over the trace; savings above it are shed
+	// back to the server (§2.3's dynamic shielding).
+	ProxyCapacity int64
+}
+
+// Point is one x position of Figure 3.
+type Point struct {
+	Proxies int
+	// ReplicaBytes is the per-proxy replica size; TotalStorage the summed
+	// storage over all proxies (the paper labels its curves with this).
+	ReplicaBytes int64
+	TotalStorage int64
+
+	BaselineByteHops int64
+	ServiceByteHops  int64
+	PushByteHops     int64
+	// ReductionPct is the percentage reduction in bytes×hops, net of push
+	// cost when configured.
+	ReductionPct float64
+
+	// Load balance (§2's "balances load amongst servers" claim and §2.3's
+	// bottleneck discussion): bytes served by the home server with and
+	// without dissemination, and the busiest proxy's share. Shed load
+	// (ProxyCapacity) returns to the home server.
+	RootBytesBaseline int64
+	RootBytes         int64
+	MaxProxyBytes     int64
+}
+
+// Simulate runs the sweep over cfg.ProxyCounts and returns one Point per
+// count, in order.
+func Simulate(tr *trace.Trace, cfg Config) ([]Point, error) {
+	if cfg.Site == nil || cfg.Topo == nil {
+		return nil, fmt.Errorf("dissemination: nil site or topology")
+	}
+	if cfg.Fraction <= 0 || cfg.Fraction > 1 {
+		return nil, fmt.Errorf("dissemination: fraction %v outside (0,1]", cfg.Fraction)
+	}
+	if len(cfg.ProxyCounts) == 0 {
+		return nil, fmt.Errorf("dissemination: no proxy counts")
+	}
+	for _, k := range cfg.ProxyCounts {
+		if k < 0 {
+			return nil, fmt.Errorf("dissemination: negative proxy count %d", k)
+		}
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("dissemination: empty trace")
+	}
+
+	an := popularity.Analyze(tr, cfg.Site)
+	replicaList := an.TopFraction(cfg.Fraction, cfg.Order)
+	replicas := make(map[webgraph.DocID]bool, len(replicaList))
+	var replicaBytes int64
+	for _, id := range replicaList {
+		replicas[id] = true
+		replicaBytes += cfg.Site.Doc(id).Size
+	}
+
+	demand, err := clienttree.BuildDemand(tr, cfg.Topo, replicas)
+	if err != nil {
+		return nil, err
+	}
+	baseline := demand.BaselineByteHops()
+
+	// Budget per proxy for specialized replica sets: same as the uniform
+	// replica footprint, so curves are comparable at equal storage.
+	var updatesByDoc map[webgraph.DocID]int
+	if cfg.IncludePushCost {
+		updatesByDoc = make(map[webgraph.DocID]int)
+		for _, u := range cfg.Updates {
+			updatesByDoc[u.Doc]++
+		}
+	}
+
+	totalBytes := tr.TotalBytes()
+	var points []Point
+	for _, k := range cfg.ProxyCounts {
+		proxies := demand.GreedyPlace(k)
+		holdings := buildHoldings(tr, cfg, an, proxies, replicas, replicaBytes)
+		service, perProxy := replay(tr, cfg.Topo, proxies, holdings)
+
+		// Dynamic shielding: an overloaded proxy serves only a fraction
+		// of the demand aimed at it; the shed fraction reverts to root
+		// cost, i.e. its savings are scaled by cap/load and the shed
+		// bytes return to the home server.
+		var shedBytes int64
+		if cfg.ProxyCapacity > 0 {
+			for _, st := range perProxy {
+				if st.bytes > cfg.ProxyCapacity {
+					keep := float64(cfg.ProxyCapacity) / float64(st.bytes)
+					service += int64(float64(st.savedByteHops) * (1 - keep))
+					over := st.bytes - cfg.ProxyCapacity
+					st.bytes = cfg.ProxyCapacity
+					shedBytes += over
+				}
+			}
+		}
+
+		var proxyBytes, maxProxyBytes int64
+		for _, st := range perProxy {
+			proxyBytes += st.bytes
+			if st.bytes > maxProxyBytes {
+				maxProxyBytes = st.bytes
+			}
+		}
+		rootBytes := totalBytes - proxyBytes
+
+		var push int64
+		if cfg.IncludePushCost {
+			chosen := make(map[netsim.NodeID]bool, len(proxies))
+			for _, p := range proxies {
+				chosen[p] = true
+			}
+			for _, p := range proxies {
+				depth := int64(cfg.Topo.Node(p).Depth)
+				// With hierarchical dissemination a document travels
+				// only from the nearest ancestor proxy that also holds
+				// it; otherwise (or when no ancestor holds it) from the
+				// home server at the root.
+				var hopsFor func(id webgraph.DocID) int64
+				if cfg.HierarchicalPush {
+					path := cfg.Topo.PathToRoot(p)
+					hopsFor = func(id webgraph.DocID) int64 {
+						for i := 1; i < len(path)-1; i++ {
+							if chosen[path[i]] && holdings.has(path[i], id) {
+								return int64(i)
+							}
+						}
+						return depth
+					}
+				} else {
+					hopsFor = func(webgraph.DocID) int64 { return depth }
+				}
+				for id := range holdings.at(p) {
+					size := cfg.Site.Doc(id).Size
+					push += size * hopsFor(id) * int64(1+updatesByDoc[id])
+				}
+			}
+		}
+
+		var totalStorage int64
+		for _, p := range proxies {
+			for id := range holdings.at(p) {
+				totalStorage += cfg.Site.Doc(id).Size
+			}
+		}
+
+		red := 0.0
+		if baseline > 0 {
+			red = 100 * float64(baseline-service-push) / float64(baseline)
+		}
+		points = append(points, Point{
+			Proxies:           len(proxies),
+			ReplicaBytes:      replicaBytes,
+			TotalStorage:      totalStorage,
+			BaselineByteHops:  baseline,
+			ServiceByteHops:   service,
+			PushByteHops:      push,
+			ReductionPct:      red,
+			RootBytesBaseline: totalBytes,
+			RootBytes:         rootBytes,
+			MaxProxyBytes:     maxProxyBytes,
+		})
+	}
+	return points, nil
+}
+
+// holdings answers "which documents does proxy p hold".
+type holdings struct {
+	uniform map[webgraph.DocID]bool
+	perNode map[netsim.NodeID]map[webgraph.DocID]bool
+}
+
+func (h holdings) at(p netsim.NodeID) map[webgraph.DocID]bool {
+	if h.perNode != nil {
+		return h.perNode[p]
+	}
+	return h.uniform
+}
+
+func (h holdings) has(p netsim.NodeID, d webgraph.DocID) bool {
+	return h.at(p)[d]
+}
+
+func buildHoldings(tr *trace.Trace, cfg Config, an *popularity.Analysis,
+	proxies []netsim.NodeID, uniform map[webgraph.DocID]bool, budget int64) holdings {
+
+	if !cfg.Specialized {
+		return holdings{uniform: uniform}
+	}
+	// Per-proxy popularity: requests by clients in the proxy's subtree.
+	inSubtree := make(map[netsim.NodeID]map[trace.ClientID]bool, len(proxies))
+	for _, p := range proxies {
+		set := make(map[trace.ClientID]bool)
+		for _, c := range cfg.Topo.SubtreeClients(p) {
+			set[c] = true
+		}
+		inSubtree[p] = set
+	}
+	counts := make(map[netsim.NodeID]map[webgraph.DocID]int64, len(proxies))
+	for _, p := range proxies {
+		counts[p] = make(map[webgraph.DocID]int64)
+	}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		for _, p := range proxies {
+			if inSubtree[p][r.Client] {
+				counts[p][r.Doc]++
+			}
+		}
+	}
+	per := make(map[netsim.NodeID]map[webgraph.DocID]bool, len(proxies))
+	for _, p := range proxies {
+		type dc struct {
+			id    webgraph.DocID
+			n     int64
+			size  int64
+			value int64 // n × size: bytes this doc would absorb at the proxy
+		}
+		var list []dc
+		for id, n := range counts[p] {
+			size := cfg.Site.Doc(id).Size
+			list = append(list, dc{id: id, n: n, size: size, value: n * size})
+		}
+		pack := func(less func(a, b dc) bool) (map[webgraph.DocID]bool, int64) {
+			l := append([]dc(nil), list...)
+			sort.Slice(l, func(i, j int) bool { return less(l[i], l[j]) })
+			set := make(map[webgraph.DocID]bool)
+			var used, value int64
+			for _, d := range l {
+				if used+d.size > budget {
+					continue
+				}
+				used += d.size
+				value += d.value
+				set[d.id] = true
+			}
+			return set, value
+		}
+		// Two greedy pack orders — by density (request count; the
+		// fractional-knapsack ordering) and by absolute value — plus the
+		// uniform replica set as a floor. Document granularity makes
+		// either single greedy a poor 0/1 pack when documents are large
+		// relative to the budget; taking the best of the three keeps
+		// specialization from ever losing to uniform replication, which
+		// is the behaviour §2.4's remark promises.
+		byDensity, vDensity := pack(func(a, b dc) bool {
+			if a.n != b.n {
+				return a.n > b.n
+			}
+			return a.id < b.id
+		})
+		byValue, vValue := pack(func(a, b dc) bool {
+			if a.value != b.value {
+				return a.value > b.value
+			}
+			return a.id < b.id
+		})
+		var vUniform int64
+		for id := range uniform {
+			if counts[p][id] > 0 {
+				vUniform += counts[p][id] * cfg.Site.Doc(id).Size
+			}
+		}
+		best, vBest := byDensity, vDensity
+		if vValue > vBest {
+			best, vBest = byValue, vValue
+		}
+		if vUniform > vBest {
+			best = uniform
+		}
+		per[p] = best
+	}
+	_ = an
+	return holdings{perNode: per}
+}
+
+type proxyStats struct {
+	bytes         int64
+	savedByteHops int64
+}
+
+// replay walks the trace once, serving each request at the deepest proxy on
+// the client's path that holds the document, and returns the total service
+// bytes×hops plus per-proxy load statistics.
+func replay(tr *trace.Trace, topo *netsim.Topology, proxies []netsim.NodeID,
+	h holdings) (int64, map[netsim.NodeID]*proxyStats) {
+
+	chosen := make(map[netsim.NodeID]bool, len(proxies))
+	for _, p := range proxies {
+		chosen[p] = true
+	}
+	per := make(map[netsim.NodeID]*proxyStats, len(proxies))
+	for _, p := range proxies {
+		per[p] = &proxyStats{}
+	}
+	var total int64
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		leaf, ok := topo.ClientNode(r.Client)
+		if !ok {
+			continue
+		}
+		depth := topo.Node(leaf).Depth
+		hops := depth
+		var servedAt netsim.NodeID = netsim.NoNode
+		steps := 0
+		for _, n := range topo.PathToRoot(leaf) {
+			if n != leaf && chosen[n] && h.has(n, r.Doc) {
+				hops = steps
+				servedAt = n
+				break
+			}
+			steps++
+		}
+		total += r.Size * int64(hops)
+		if servedAt != netsim.NoNode {
+			st := per[servedAt]
+			st.bytes += r.Size
+			st.savedByteHops += r.Size * int64(depth-hops)
+		}
+	}
+	return total, per
+}

@@ -1,0 +1,328 @@
+package dissemination
+
+import (
+	"testing"
+
+	"specweb/internal/netsim"
+	"specweb/internal/popularity"
+	"specweb/internal/stats"
+	"specweb/internal/synth"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+type fixture struct {
+	site *webgraph.Site
+	topo *netsim.Topology
+	tr   *trace.Trace
+	upd  []synth.Update
+}
+
+func setup(t *testing.T, days int, rate float64) fixture {
+	t.Helper()
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := netsim.Generate(netsim.TinyConfig(), stats.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synth.DefaultConfig(site, topo)
+	cfg.Days = days
+	cfg.SessionsPerDay = rate
+	res, err := synth.Generate(cfg, stats.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{site: site, topo: topo, tr: res.Trace, upd: res.Updates}
+}
+
+func baseConfig(f fixture) Config {
+	return Config{
+		Site:        f.site,
+		Topo:        f.topo,
+		Order:       popularity.ByRequests,
+		Fraction:    0.10,
+		ProxyCounts: []int{0, 1, 2, 4, 8},
+	}
+}
+
+func TestSimulateMonotoneInProxies(t *testing.T) {
+	f := setup(t, 10, 60)
+	pts, err := Simulate(f.tr, baseConfig(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Proxies != 0 || pts[0].ReductionPct != 0 {
+		t.Errorf("zero proxies should save nothing: %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ReductionPct < pts[i-1].ReductionPct-1e-9 {
+			t.Errorf("reduction decreased: %v then %v", pts[i-1].ReductionPct, pts[i].ReductionPct)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.ReductionPct <= 5 {
+		t.Errorf("8 proxies reduce traffic by only %.1f%%; expect substantial savings", last.ReductionPct)
+	}
+	if last.ReductionPct >= 100 {
+		t.Errorf("reduction %.1f%% impossible", last.ReductionPct)
+	}
+}
+
+func TestSimulateConcaveGains(t *testing.T) {
+	// Figure 3's curves flatten: the marginal gain of proxy k+1 is at most
+	// that of proxy 1 (submodularity of greedy placement).
+	f := setup(t, 10, 60)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	pts, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstGain := pts[1].ReductionPct - pts[0].ReductionPct
+	for i := 2; i < len(pts); i++ {
+		gain := pts[i].ReductionPct - pts[i-1].ReductionPct
+		if gain > firstGain+1e-9 {
+			t.Errorf("marginal gain grew at k=%d: %v > %v", i, gain, firstGain)
+		}
+	}
+}
+
+func TestFractionOrdering(t *testing.T) {
+	// Disseminating 10% of bytes must save at least as much as 4%.
+	f := setup(t, 10, 60)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{4}
+	p10, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fraction = 0.04
+	p4, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p10[0].ReductionPct < p4[0].ReductionPct-1e-9 {
+		t.Errorf("10%% dissemination (%.1f%%) worse than 4%% (%.1f%%)",
+			p10[0].ReductionPct, p4[0].ReductionPct)
+	}
+	if p10[0].ReplicaBytes <= p4[0].ReplicaBytes {
+		t.Errorf("replica bytes should grow with fraction: %d vs %d",
+			p10[0].ReplicaBytes, p4[0].ReplicaBytes)
+	}
+}
+
+func TestPushCostReducesNetSavings(t *testing.T) {
+	f := setup(t, 10, 60)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{4}
+	free, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.IncludePushCost = true
+	cfg.Updates = f.upd
+	paid, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paid[0].PushByteHops <= 0 {
+		t.Error("push cost not charged")
+	}
+	if paid[0].ReductionPct >= free[0].ReductionPct {
+		t.Errorf("push cost should reduce net savings: %.2f vs %.2f",
+			paid[0].ReductionPct, free[0].ReductionPct)
+	}
+	// Popularity is stable and updates rare, so push cost must not erase
+	// the benefit.
+	if paid[0].ReductionPct <= 0 {
+		t.Errorf("net savings went negative: %.2f", paid[0].ReductionPct)
+	}
+}
+
+func TestSpecializedAtLeastUniform(t *testing.T) {
+	f := setup(t, 15, 80)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{4}
+	uni, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Specialized = true
+	spec, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.4: per-proxy specialization should not lose to uniform replicas
+	// at equal per-proxy storage (allow a small tolerance for greedy
+	// packing granularity).
+	if spec[0].ReductionPct < uni[0].ReductionPct-2.0 {
+		t.Errorf("specialized %.2f%% clearly worse than uniform %.2f%%",
+			spec[0].ReductionPct, uni[0].ReductionPct)
+	}
+	if spec[0].TotalStorage > 4*uni[0].ReplicaBytes {
+		t.Errorf("specialized storage %d exceeds budget %d", spec[0].TotalStorage, 4*uni[0].ReplicaBytes)
+	}
+}
+
+func TestDynamicShielding(t *testing.T) {
+	f := setup(t, 10, 60)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{4}
+	open, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ProxyCapacity = 1 // essentially everything shed
+	shielded, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shielded[0].ReductionPct >= open[0].ReductionPct {
+		t.Errorf("tight capacity should shed savings: %.2f vs %.2f",
+			shielded[0].ReductionPct, open[0].ReductionPct)
+	}
+	if shielded[0].ReductionPct < 0 {
+		t.Errorf("shedding cannot make things worse than baseline: %.2f", shielded[0].ReductionPct)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	f := setup(t, 2, 10)
+	cfg := baseConfig(f)
+	cfg.Site = nil
+	if _, err := Simulate(f.tr, cfg); err == nil {
+		t.Error("nil site accepted")
+	}
+	cfg = baseConfig(f)
+	cfg.Fraction = 0
+	if _, err := Simulate(f.tr, cfg); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	cfg = baseConfig(f)
+	cfg.Fraction = 1.5
+	if _, err := Simulate(f.tr, cfg); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	cfg = baseConfig(f)
+	cfg.ProxyCounts = nil
+	if _, err := Simulate(f.tr, cfg); err == nil {
+		t.Error("no proxy counts accepted")
+	}
+	cfg = baseConfig(f)
+	cfg.ProxyCounts = []int{-1}
+	if _, err := Simulate(f.tr, cfg); err == nil {
+		t.Error("negative count accepted")
+	}
+	cfg = baseConfig(f)
+	if _, err := Simulate(&trace.Trace{}, cfg); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestStorageLabel(t *testing.T) {
+	// Figure 3 labels curves with total storage over all proxies; uniform
+	// replication must report replicaBytes × proxies.
+	f := setup(t, 5, 40)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{3}
+	pts, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].TotalStorage != int64(pts[0].Proxies)*pts[0].ReplicaBytes {
+		t.Errorf("total storage %d != proxies %d × replica %d",
+			pts[0].TotalStorage, pts[0].Proxies, pts[0].ReplicaBytes)
+	}
+}
+
+func TestLoadBalanceAccounting(t *testing.T) {
+	f := setup(t, 10, 60)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{0, 2, 8}
+	pts, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No proxies: the home server serves everything.
+	if pts[0].RootBytes != pts[0].RootBytesBaseline {
+		t.Errorf("0 proxies: root %d != baseline %d", pts[0].RootBytes, pts[0].RootBytesBaseline)
+	}
+	if pts[0].MaxProxyBytes != 0 {
+		t.Errorf("0 proxies: max proxy bytes %d", pts[0].MaxProxyBytes)
+	}
+	// More proxies shed more load off the home server (§2's load
+	// balancing).
+	if pts[1].RootBytes <= pts[2].RootBytes {
+		t.Errorf("root load should fall with proxies: %d then %d", pts[1].RootBytes, pts[2].RootBytes)
+	}
+	if pts[2].RootBytes >= pts[0].RootBytesBaseline {
+		t.Error("dissemination did not reduce root load")
+	}
+	// Conservation: root + proxies serve every byte.
+	if pts[1].MaxProxyBytes <= 0 {
+		t.Error("proxies served nothing")
+	}
+}
+
+func TestShieldingBoundsProxyLoad(t *testing.T) {
+	f := setup(t, 10, 60)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{4}
+	open, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capAt := open[0].MaxProxyBytes / 2
+	if capAt == 0 {
+		t.Skip("no proxy load to cap")
+	}
+	cfg.ProxyCapacity = capAt
+	shielded, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shielded[0].MaxProxyBytes > capAt {
+		t.Errorf("shielded max proxy load %d exceeds capacity %d", shielded[0].MaxProxyBytes, capAt)
+	}
+	// The shed load lands back on the home server.
+	if shielded[0].RootBytes <= open[0].RootBytes {
+		t.Errorf("shed load should return to root: %d vs %d", shielded[0].RootBytes, open[0].RootBytes)
+	}
+}
+
+func TestHierarchicalPushCheaper(t *testing.T) {
+	f := setup(t, 10, 60)
+	cfg := baseConfig(f)
+	cfg.ProxyCounts = []int{8}
+	cfg.IncludePushCost = true
+	cfg.Updates = f.upd
+	flat, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.HierarchicalPush = true
+	hier, err := Simulate(f.tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With uniform replicas every ancestor proxy holds everything, so any
+	// nested placement strictly reduces push traffic; non-nested
+	// placements leave it equal.
+	if hier[0].PushByteHops > flat[0].PushByteHops {
+		t.Errorf("hierarchical push cost %d > flat %d", hier[0].PushByteHops, flat[0].PushByteHops)
+	}
+	if hier[0].ReductionPct < flat[0].ReductionPct-1e-9 {
+		t.Errorf("hierarchical net savings %.2f%% < flat %.2f%%",
+			hier[0].ReductionPct, flat[0].ReductionPct)
+	}
+	// Service-side accounting is untouched.
+	if hier[0].ServiceByteHops != flat[0].ServiceByteHops {
+		t.Error("hierarchical push changed service accounting")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes a header row and numeric rows, the plottable form of a
+// figure's data series.
+func WriteCSV(w io.Writer, headers []string, rows [][]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for _, r := range rows {
+		if len(r) != len(headers) {
+			return fmt.Errorf("experiments: CSV row has %d cells, header has %d", len(r), len(headers))
+		}
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = strconv.FormatFloat(v, 'g', 10, 64)
+		}
+		if err := cw.Write(cells); err != nil {
+			return fmt.Errorf("experiments: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure1CSV renders the block-popularity profile as CSV.
+func Figure1CSV(w io.Writer, res *Figure1Result) error {
+	rows := make([][]float64, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		rows = append(rows, []float64{
+			float64(r.Block), float64(r.Docs), float64(r.CumBytes),
+			r.ReqFrac, r.CumReqFrac,
+		})
+	}
+	return WriteCSV(w, []string{"block", "docs", "cum_bytes", "req_frac", "cum_req_frac"}, rows)
+}
+
+// Figure2CSV renders the allocation curves as CSV.
+func Figure2CSV(w io.Writer, pts []Figure2Point) error {
+	rows := make([][]float64, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []float64{p.LambdaRatio, p.Tight, p.Lax})
+	}
+	return WriteCSV(w, []string{"lambda_ratio", "tight", "lax"}, rows)
+}
+
+// Figure3CSV renders one dissemination curve as CSV.
+func Figure3CSV(w io.Writer, c Figure3Curve) error {
+	rows := make([][]float64, 0, len(c.Points))
+	for _, p := range c.Points {
+		rows = append(rows, []float64{
+			float64(p.Proxies), float64(p.TotalStorage), p.ReductionPct,
+			float64(p.RootBytes), float64(p.MaxProxyBytes),
+		})
+	}
+	return WriteCSV(w, []string{"proxies", "total_storage", "reduction_pct", "root_bytes", "max_proxy_bytes"}, rows)
+}
+
+// Figure4CSV renders the dependency histogram as CSV.
+func Figure4CSV(w io.Writer, res *Figure4Result) error {
+	h := res.Histogram
+	rows := make([][]float64, 0, len(h.Counts))
+	for i, c := range h.Counts {
+		rows = append(rows, []float64{h.BinLo(i), float64(c), h.Fraction(i)})
+	}
+	return WriteCSV(w, []string{"p_bin_lo", "pairs", "fraction"}, rows)
+}
+
+// Figure5CSV renders the threshold sweep as CSV (serves Figures 5 and 6:
+// plot against tp or traffic_pct respectively).
+func Figure5CSV(w io.Writer, pts []SweepPoint) error {
+	rows := make([][]float64, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []float64{
+			p.Tp,
+			p.Ratios.TrafficIncreasePct(),
+			p.Ratios.ServerLoadReductionPct(),
+			p.Ratios.ServiceTimeReductionPct(),
+			p.Ratios.MissRateReductionPct(),
+			float64(p.SpeculatedDocs),
+			float64(p.UsedDocs),
+		})
+	}
+	return WriteCSV(w, []string{
+		"tp", "traffic_pct", "load_red_pct", "time_red_pct", "miss_red_pct",
+		"pushed", "used",
+	}, rows)
+}

@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"specweb/internal/allocation"
+	"specweb/internal/dissemination"
+	"specweb/internal/popularity"
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+// Figure1Row is one 256 KB block of Figure 1: blocks of documents in
+// decreasing remote popularity, with the fraction of remote requests each
+// block (and the running prefix) covers. The CumReqFrac column doubles as
+// the "bandwidth saved if the most popular blocks are serviced at an
+// earlier stage" curve the figure overlays.
+type Figure1Row struct {
+	Block      int
+	Docs       int
+	Bytes      int64
+	CumBytes   int64
+	ReqFrac    float64
+	CumReqFrac float64
+}
+
+// Figure1Result bundles the block profile with the summary statistics §2
+// quotes around the figure.
+type Figure1Result struct {
+	Rows []Figure1Row
+	// Lambda is the exponential-model fit of the hit curve (the paper
+	// estimated 6.247e-7 for cs-www.bu.edu).
+	Lambda float64
+	// DocsAccessed and AccessedBytes mirror "656 files were remotely
+	// accessed at least once. The size of these 656 files totalled some
+	// 36.5 MBytes".
+	DocsAccessed  int
+	AccessedBytes int64
+	SiteBytes     int64
+	// Top10PctCoverage is the fraction of requests covered by the most
+	// popular 10% of blocks ("Only 10% of all blocks accounted for 91% of
+	// all requests!").
+	Top10PctCoverage float64
+}
+
+// Figure1 computes the block popularity profile of Figure 1 over the
+// workload's trace.
+func Figure1(w *Workload, blockSize int64) (*Figure1Result, error) {
+	if blockSize <= 0 {
+		blockSize = 256 << 10
+	}
+	an := popularity.Analyze(w.Trace, w.Site)
+	if an.TotalRequests == 0 {
+		return nil, fmt.Errorf("experiments: trace has no resolvable requests")
+	}
+	blocks := an.Blocks(blockSize, popularity.ByRemoteRequests)
+	res := &Figure1Result{
+		DocsAccessed:  len(an.Docs),
+		AccessedBytes: an.AccessedBytes,
+		SiteBytes:     an.SiteBytes,
+	}
+	var prevCum float64
+	for i, b := range blocks {
+		res.Rows = append(res.Rows, Figure1Row{
+			Block:      i + 1,
+			Docs:       b.Docs,
+			Bytes:      b.Bytes,
+			CumBytes:   b.CumBytes,
+			ReqFrac:    b.CumReqFrac - prevCum,
+			CumReqFrac: b.CumReqFrac,
+		})
+		prevCum = b.CumReqFrac
+	}
+	cut := (len(blocks) + 9) / 10
+	if cut > 0 {
+		res.Top10PctCoverage = blocks[cut-1].CumReqFrac
+	}
+	lam, err := an.FitLambda(popularity.ByRemoteRequests)
+	if err == nil {
+		res.Lambda = lam
+	}
+	return res, nil
+}
+
+// ClassificationResult is the §2 document census: remote/local/global
+// popularity counts and per-class mean update rates, plus the mutable core.
+type ClassificationResult struct {
+	DocsAccessed int
+	Counts       map[popularity.Class]int
+	// MeanUpdateRate is the observed per-day update probability per class
+	// (the paper: ≈2%/day for locally popular, <0.5%/day otherwise).
+	MeanUpdateRate map[popularity.Class]float64
+	MutableDocs    int
+}
+
+// Classification computes the §2 text table from the workload. Popularity
+// classes come from the access trace; update rates are observed over a
+// monitoring window of at least 186 days — the paper monitored last-update
+// dates from March 28 to October 7, 1995, a window independent of (and much
+// longer than) the January–March access trace, because per-day update
+// probabilities of a fraction of a percent need months to resolve.
+func Classification(w *Workload) (*ClassificationResult, error) {
+	an := popularity.Analyze(w.Trace, w.Site)
+	if an.TotalRequests == 0 {
+		return nil, fmt.Errorf("experiments: trace has no resolvable requests")
+	}
+	cls := an.Classify(popularity.DefaultClassify())
+
+	days := w.Config.Days
+	if days < 186 {
+		days = 186
+	}
+	g := stats.NewRNG(w.Config.Seed).Split("update-monitor")
+	updateDays := map[webgraph.DocID]int{}
+	for d := 0; d < days; d++ {
+		for i := range w.Site.Docs {
+			if g.Bool(w.Site.Docs[i].UpdateProb) {
+				updateDays[w.Site.Docs[i].ID]++
+			}
+		}
+	}
+	mut, err := popularity.ClassifyMutable(updateDays, days, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClassificationResult{
+		DocsAccessed:   len(an.Docs),
+		Counts:         cls.Counts,
+		MeanUpdateRate: make(map[popularity.Class]float64),
+		MutableDocs:    len(mut.Mutable),
+	}
+	// Update rates are computed over HTML pages only: embedded multimedia
+	// objects essentially never change and would otherwise swamp the
+	// per-class means (the paper's mutable documents — schedules, news —
+	// were pages).
+	sums := map[popularity.Class]float64{}
+	ns := map[popularity.Class]int{}
+	for id, c := range cls.ByDoc {
+		if !w.Site.Valid(id) || !w.Site.Doc(id).IsPage() {
+			continue
+		}
+		sums[c] += mut.RatePerDay[id]
+		ns[c]++
+	}
+	for c, n := range ns {
+		if n > 0 {
+			res.MeanUpdateRate[c] = sums[c] / float64(n)
+		}
+	}
+	return res, nil
+}
+
+// Figure2Point is one x position of Figure 2: the optimal storage B_j for a
+// server with popularity constant λ_j in a cluster where the other n-1
+// servers share λ_i, under a tight (B₀ = 1/λ_i) and a lax (B₀ = 10/λ_i)
+// proxy budget. Allocations are reported in units of 1/λ_i.
+type Figure2Point struct {
+	LambdaRatio float64 // λ_j / λ_i
+	Tight       float64 // B_j · λ_i at B₀ = 1/λ_i
+	Lax         float64 // B_j · λ_i at B₀ = 10/λ_i
+}
+
+// Figure2 computes the storage-allocation curves of Figure 2 analytically.
+func Figure2(n int, lambdaI float64, ratios []float64) ([]Figure2Point, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: figure 2 needs a cluster of at least 2, got %d", n)
+	}
+	if lambdaI <= 0 {
+		return nil, fmt.Errorf("experiments: invalid lambda %v", lambdaI)
+	}
+	if len(ratios) == 0 {
+		for r := 0.1; r <= 10.0001; r *= 1.2 {
+			ratios = append(ratios, r)
+		}
+	}
+	var out []Figure2Point
+	for _, ratio := range ratios {
+		servers := make([]allocation.Server, n)
+		for i := range servers {
+			servers[i] = allocation.Server{R: 1, Lambda: lambdaI}
+		}
+		servers[0].Lambda = lambdaI * ratio
+		pt := Figure2Point{LambdaRatio: ratio}
+		for _, budget := range []struct {
+			b0  float64
+			dst *float64
+		}{
+			{1 / lambdaI, &pt.Tight},
+			{10 / lambdaI, &pt.Lax},
+		} {
+			bs, err := allocation.ExponentialAllocate(budget.b0, servers)
+			if err != nil {
+				return nil, err
+			}
+			*budget.dst = bs[0] * lambdaI
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SizingRow is one line of the §2.3 sizing examples (equation 10).
+type SizingRow struct {
+	Servers     int
+	HitFraction float64
+	B0          float64 // bytes
+}
+
+// Sizing reproduces the paper's two eq. 10 examples plus a small sweep, for
+// the given λ (the paper's measured 6.247e-7 by default when lambda <= 0).
+func Sizing(lambda float64) ([]SizingRow, error) {
+	if lambda <= 0 {
+		lambda = 6.247e-7
+	}
+	var rows []SizingRow
+	for _, c := range []struct {
+		n   int
+		hit float64
+	}{
+		{10, 0.90},  // "36 MBytes" example
+		{100, 0.96}, // "500 MBytes" example
+		{10, 0.50},
+		{10, 0.99},
+		{100, 0.90},
+	} {
+		b0, err := allocation.SizingB0(c.n, lambda, c.hit)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SizingRow{Servers: c.n, HitFraction: c.hit, B0: b0})
+	}
+	return rows, nil
+}
+
+// Figure3Curve is one dissemination curve of Figure 3: a fraction of the
+// most popular data disseminated to 1..K proxies.
+type Figure3Curve struct {
+	Fraction float64
+	Points   []dissemination.Point
+}
+
+// Figure3 runs the dissemination sweep for each fraction (the paper plots
+// 10% and 4%).
+func Figure3(w *Workload, fractions []float64, proxyCounts []int) ([]Figure3Curve, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.10, 0.04}
+	}
+	if len(proxyCounts) == 0 {
+		proxyCounts = []int{1, 2, 3, 4, 6, 8, 10, 12, 14, 16}
+	}
+	var out []Figure3Curve
+	for _, f := range fractions {
+		pts, err := dissemination.Simulate(w.Trace, dissemination.Config{
+			Site:            w.Site,
+			Topo:            w.Topo,
+			Order:           popularity.ByRequests,
+			Fraction:        f,
+			ProxyCounts:     proxyCounts,
+			IncludePushCost: true,
+			Updates:         w.Updates,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure3Curve{Fraction: f, Points: pts})
+	}
+	return out, nil
+}
+
+// LoadBalanceRow is one proxy-count point of the §2.3 bottleneck study:
+// how much of the home server's byte load the proxy tier absorbs, how
+// concentrated it is on the busiest proxy, and what dynamic shielding does
+// to it.
+type LoadBalanceRow struct {
+	Proxies             int
+	RootShedPct         float64 // % of home-server bytes absorbed by proxies
+	MaxProxySharePct    float64 // busiest proxy's % of total bytes
+	ShieldedRootPct     float64 // root shed % when proxies cap at capacity
+	ShieldedMaxSharePct float64
+}
+
+// LoadBalance sweeps proxy counts and reports the home server's load relief
+// (§2's "balancing the load amongst servers") with and without dynamic
+// shielding at the given per-proxy byte capacity.
+func LoadBalance(w *Workload, fraction float64, proxyCounts []int, capacity int64) ([]LoadBalanceRow, error) {
+	if len(proxyCounts) == 0 {
+		proxyCounts = []int{1, 2, 4, 8, 16}
+	}
+	base := dissemination.Config{
+		Site:        w.Site,
+		Topo:        w.Topo,
+		Order:       popularity.ByRequests,
+		Fraction:    fraction,
+		ProxyCounts: proxyCounts,
+	}
+	open, err := dissemination.Simulate(w.Trace, base)
+	if err != nil {
+		return nil, err
+	}
+	shieldCfg := base
+	shieldCfg.ProxyCapacity = capacity
+	shielded, err := dissemination.Simulate(w.Trace, shieldCfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []LoadBalanceRow
+	for i := range open {
+		total := float64(open[i].RootBytesBaseline)
+		if total == 0 {
+			return nil, fmt.Errorf("experiments: empty demand")
+		}
+		rows = append(rows, LoadBalanceRow{
+			Proxies:             open[i].Proxies,
+			RootShedPct:         100 * float64(open[i].RootBytesBaseline-open[i].RootBytes) / total,
+			MaxProxySharePct:    100 * float64(open[i].MaxProxyBytes) / total,
+			ShieldedRootPct:     100 * float64(shielded[i].RootBytesBaseline-shielded[i].RootBytes) / total,
+			ShieldedMaxSharePct: 100 * float64(shielded[i].MaxProxyBytes) / total,
+		})
+	}
+	return rows, nil
+}
+
+// Figure3Specialized runs the dissemination sweep with per-proxy replica
+// specialization (each proxy holds the documents its own subtree's clients
+// favor), the improvement §2.4 notes over uniform replication.
+func Figure3Specialized(w *Workload, fraction float64, proxyCounts []int) ([]dissemination.Point, error) {
+	return dissemination.Simulate(w.Trace, dissemination.Config{
+		Site:            w.Site,
+		Topo:            w.Topo,
+		Order:           popularity.ByRequests,
+		Fraction:        fraction,
+		ProxyCounts:     proxyCounts,
+		IncludePushCost: true,
+		Updates:         w.Updates,
+		Specialized:     true,
+	})
+}
+
+// AllocationComparison quantifies the DESIGN.md ablation "greedy empirical
+// allocation vs the exponential closed form": it splits the workload's
+// servers... the workload has a single site, so the cluster is synthesized
+// by partitioning the site's documents into n pseudo-servers and comparing
+// the α achieved by the exponential closed form (fit per pseudo-server)
+// against the empirical greedy optimum at equal capacity.
+type AllocationComparison struct {
+	Servers        int
+	CapacityBytes  int64
+	AlphaGreedy    float64
+	AlphaModel     float64 // greedy α evaluated at the closed form's split
+	ModelShortfall float64 // AlphaGreedy - AlphaModel
+}
+
+// CompareAllocation runs the ablation for a cluster of n pseudo-servers and
+// a proxy of the given capacity.
+func CompareAllocation(w *Workload, n int, capacity int64) (*AllocationComparison, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: need n >= 2 pseudo-servers, got %d", n)
+	}
+	an := popularity.Analyze(w.Trace, w.Site)
+	if len(an.Docs) < n {
+		return nil, fmt.Errorf("experiments: only %d accessed docs for %d servers", len(an.Docs), n)
+	}
+	// Partition accessed documents round-robin by rank so every
+	// pseudo-server gets a similar popularity profile scaled by R.
+	curves := make([]allocation.Curve, n)
+	ranked := an.Ranked(popularity.ByRequests)
+	for idx, d := range ranked {
+		s := idx % n
+		curves[s].Items = append(curves[s].Items, allocation.Item{Size: d.Size, Requests: d.Requests})
+		curves[s].R += float64(d.Requests) * float64(d.Size)
+	}
+
+	// Fit an exponential model per pseudo-server.
+	servers := make([]allocation.Server, n)
+	for i := range curves {
+		var bs, hs []float64
+		var cumB, cumR int64
+		var totR int64
+		for _, it := range curves[i].Items {
+			totR += it.Requests
+		}
+		for _, it := range curves[i].Items {
+			cumB += it.Size
+			cumR += it.Requests
+			bs = append(bs, float64(cumB))
+			if totR > 0 {
+				hs = append(hs, float64(cumR)/float64(totR))
+			} else {
+				hs = append(hs, 0)
+			}
+		}
+		lam, err := fitOrFallback(bs, hs)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = allocation.Server{R: curves[i].R, Lambda: lam}
+	}
+
+	if capacity <= 0 {
+		capacity = an.AccessedBytes / 5
+	}
+	_, alphaGreedy, err := allocation.GreedyAllocate(capacity, curves)
+	if err != nil {
+		return nil, err
+	}
+	modelB, err := allocation.ExponentialAllocate(float64(capacity), servers)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate the model's split on the empirical curves: greedily fill
+	// each server's own budget.
+	var alphaModel float64
+	var totalR float64
+	for i := range curves {
+		totalR += curves[i].R
+	}
+	for i := range curves {
+		allocs, a, err := allocation.GreedyAllocate(int64(modelB[i]), []allocation.Curve{curves[i]})
+		if err != nil {
+			return nil, err
+		}
+		_ = allocs
+		if totalR > 0 {
+			alphaModel += a * curves[i].R / totalR
+		}
+	}
+	return &AllocationComparison{
+		Servers:        n,
+		CapacityBytes:  capacity,
+		AlphaGreedy:    alphaGreedy,
+		AlphaModel:     alphaModel,
+		ModelShortfall: alphaGreedy - alphaModel,
+	}, nil
+}
+
+func fitOrFallback(bs, hs []float64) (float64, error) {
+	lam, err := stats.FitExponentialHitCurve(bs, hs)
+	if err == nil && lam > 0 && !math.IsInf(lam, 0) {
+		return lam, nil
+	}
+	// Fallback: half coverage at half the bytes ⇒ λ = ln(2)/(B/2).
+	if len(bs) == 0 || bs[len(bs)-1] <= 0 {
+		return 0, fmt.Errorf("experiments: cannot fit lambda")
+	}
+	return 2 * math.Ln2 / bs[len(bs)-1], nil
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specweb/internal/cluster"
+	"specweb/internal/popularity"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+func TestClusterValidation(t *testing.T) {
+	rows, err := ClusterValidation(7, 3, 500<<10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byStrategy := map[cluster.Strategy]ClusterRow{}
+	for _, r := range rows {
+		byStrategy[r.Strategy] = r
+		if r.MeasuredAlpha < 0 || r.MeasuredAlpha > 1 {
+			t.Errorf("%v: measured alpha %v", r.Strategy, r.MeasuredAlpha)
+		}
+	}
+	exp := byStrategy[cluster.Exponential]
+	if exp.PredictedAlpha <= 0 {
+		t.Error("exponential strategy has no prediction")
+	}
+	if exp.MeasuredAlpha < byStrategy[cluster.EqualSplit].MeasuredAlpha-0.05 {
+		t.Errorf("optimal allocation (%v) clearly lost to equal split (%v)",
+			exp.MeasuredAlpha, byStrategy[cluster.EqualSplit].MeasuredAlpha)
+	}
+	if _, err := ClusterValidation(7, 1, 1, 5); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestUserProfileStudy(t *testing.T) {
+	w := smallWorkload(t)
+	rows, err := UserProfileStudy(w, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]UserProfileRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	up := byName["client user-profile prefetch"]
+	srv := byName["server speculative service"]
+	// The §3.4 structural contrast.
+	if up.NovelConversions != 0 {
+		t.Errorf("user profiles converted %d novel accesses", up.NovelConversions)
+	}
+	if srv.NovelConversions == 0 {
+		t.Error("server speculation converted no novel accesses")
+	}
+	if up.RepeatConversions == 0 {
+		t.Error("user profiles converted nothing at all")
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	w := smallWorkload(t)
+	rows, err := LoadBalance(w, 0.10, []int{1, 4, 8}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Root relief grows with proxies.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RootShedPct < rows[i-1].RootShedPct-1e-9 {
+			t.Errorf("root relief fell with more proxies: %+v", rows)
+		}
+	}
+	// The busiest proxy's share shrinks as the tier widens (the §2.3
+	// bottleneck easing).
+	if rows[2].MaxProxySharePct > rows[0].MaxProxySharePct+1e-9 {
+		t.Errorf("busiest proxy share should fall: %.1f%% → %.1f%%",
+			rows[0].MaxProxySharePct, rows[2].MaxProxySharePct)
+	}
+	// Shielding can only lower both the relief and the proxy shares.
+	for _, r := range rows {
+		if r.ShieldedRootPct > r.RootShedPct+1e-9 {
+			t.Errorf("shielded relief exceeds open: %+v", r)
+		}
+		if r.ShieldedMaxSharePct > r.MaxProxySharePct+1e-9 {
+			t.Errorf("shielded share exceeds open: %+v", r)
+		}
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	w := smallWorkload(t)
+	var buf bytes.Buffer
+
+	f1, err := Figure1(w, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure1CSV(&buf, f1); err != nil {
+		t.Fatal(err)
+	}
+	assertCSV(t, buf.String(), "block,docs,cum_bytes,req_frac,cum_req_frac", len(f1.Rows))
+
+	buf.Reset()
+	f2, err := Figure2(3, 6.247e-7, []float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure2CSV(&buf, f2); err != nil {
+		t.Fatal(err)
+	}
+	assertCSV(t, buf.String(), "lambda_ratio,tight,lax", 3)
+
+	buf.Reset()
+	f3, err := Figure3(w, []float64{0.1}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure3CSV(&buf, f3[0]); err != nil {
+		t.Fatal(err)
+	}
+	assertCSV(t, buf.String(), "proxies,total_storage,reduction_pct,root_bytes,max_proxy_bytes", 2)
+
+	buf.Reset()
+	f4, err := Figure4(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure4CSV(&buf, f4); err != nil {
+		t.Fatal(err)
+	}
+	assertCSV(t, buf.String(), "p_bin_lo,pairs,fraction", 10)
+
+	buf.Reset()
+	f5, err := Figure5(w, []float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure5CSV(&buf, f5); err != nil {
+		t.Fatal(err)
+	}
+	assertCSV(t, buf.String(), "tp,traffic_pct,load_red_pct,time_red_pct,miss_red_pct,pushed,used", 2)
+}
+
+func assertCSV(t *testing.T, got, wantHeader string, wantRows int) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q, want %q", lines[0], wantHeader)
+	}
+	if len(lines)-1 != wantRows {
+		t.Errorf("rows = %d, want %d", len(lines)-1, wantRows)
+	}
+}
+
+func TestWriteCSVRowMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"a", "b"}, [][]float64{{1}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+// End-to-end log pipeline: synthesize with noise, serialize to Common Log
+// Format, parse it back, clean it with the paper's preprocessing, and check
+// the popularity analysis matches an analysis of the clean trace directly.
+func TestCLFPipelineRoundTrip(t *testing.T) {
+	cfg := SmallWorkload()
+	cfg.Days = 5
+	cfg.SessionsPerDay = 30
+	clean, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := cfg
+	noisy.Noise = 0.08
+	dirty, err := Build(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Trace.Len() <= clean.Trace.Len() {
+		t.Fatalf("noise added nothing: %d vs %d", dirty.Trace.Len(), clean.Trace.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteCLF(&buf, dirty.Trace); err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(p string) (webgraph.DocID, bool) {
+		d := dirty.Site.ByPath(p)
+		if d == nil {
+			return webgraph.None, false
+		}
+		return d.ID, true
+	}
+	parsed, err := trace.ParseCLF(&buf, resolve, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != dirty.Trace.Len() {
+		t.Fatalf("CLF round trip lost requests: %d vs %d", parsed.Len(), dirty.Trace.Len())
+	}
+	cleaned, st := trace.Preprocess(parsed, trace.DefaultPreprocess(), resolve)
+	if st.DroppedScripts == 0 || st.DroppedStatus == 0 {
+		t.Errorf("preprocessing removed no junk: %+v", st)
+	}
+
+	// Analysis of the cleaned parse must agree with analysis of the clean
+	// trace on totals (aliases for "/" are junk here, not renamed, so only
+	// the clean-request population remains).
+	aClean := popularity.Analyze(clean.Trace, clean.Site)
+	aPipe := popularity.Analyze(cleaned, dirty.Site)
+	if aPipe.TotalRequests != aClean.TotalRequests {
+		t.Errorf("pipeline analysis saw %d requests, direct %d",
+			aPipe.TotalRequests, aClean.TotalRequests)
+	}
+	if aPipe.AccessedBytes != aClean.AccessedBytes {
+		t.Errorf("pipeline accessed bytes %d, direct %d", aPipe.AccessedBytes, aClean.AccessedBytes)
+	}
+}

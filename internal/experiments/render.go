@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes a padded text table: a header row, a separator, and the
+// body rows. The cmd/ tools use it for every experiment's output.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series renders an ASCII curve of (x, y) points, y scaled into width
+// columns — a terminal stand-in for the paper's figures.
+func Series(w io.Writer, title string, xs, ys []float64, xLabel, yLabel string, width int) error {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return fmt.Errorf("experiments: series needs matching non-empty points")
+	}
+	if width < 10 {
+		width = 40
+	}
+	var yMax float64
+	for _, y := range ys {
+		if y > yMax {
+			yMax = y
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  (y: %s, x: %s)\n", title, yLabel, xLabel); err != nil {
+		return err
+	}
+	for i := range xs {
+		bar := 0
+		if yMax > 0 {
+			bar = int(ys[i] / yMax * float64(width))
+		}
+		if _, err := fmt.Fprintf(w, "%10.3f %8.2f |%s\n", xs[i], ys[i], strings.Repeat("#", bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FmtBytes renders a byte count in the unit a human wants.
+func FmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

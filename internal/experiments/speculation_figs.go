@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"specweb/internal/costmodel"
+	"specweb/internal/markov"
+	"specweb/internal/simulate"
+	"specweb/internal/stats"
+)
+
+// Figure4Result is the dependency-pair histogram of Figure 4.
+type Figure4Result struct {
+	Histogram *stats.Histogram
+	Pairs     int
+	Docs      int
+	// EmbeddingMass is the fraction of pairs in the top bin (p ≈ 1), the
+	// figure's rightmost peak.
+	EmbeddingMass float64
+}
+
+// Figure4 estimates P over the workload with the paper's T_w = 5 s and bins
+// the pair probabilities.
+func Figure4(w *Workload, bins int) (*Figure4Result, error) {
+	if bins <= 0 {
+		bins = 20
+	}
+	m, err := markov.Estimate(w.Trace, markov.EstimateConfig{
+		Window:         5 * time.Second,
+		StrideTimeout:  5 * time.Second,
+		MinOccurrences: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := m.PairHistogram(bins)
+	res := &Figure4Result{Histogram: h, Pairs: m.NumPairs(), Docs: m.NumRows()}
+	if h.Total() > 0 {
+		res.EmbeddingMass = h.Fraction(bins - 1)
+	}
+	return res, nil
+}
+
+// SweepPoint is one x position of Figures 5 and 6: a speculation threshold
+// and the four resulting ratios.
+type SweepPoint struct {
+	Tp             float64
+	Ratios         costmodel.Ratios
+	SpeculatedDocs int64
+	UsedDocs       int64
+}
+
+// DefaultTps is the threshold sweep used by Figures 5 and 6.
+func DefaultTps() []float64 {
+	return []float64{0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.25, 0.2, 0.15, 0.1, 0.05}
+}
+
+// Figure5 sweeps T_p under the baseline parameters, reusing one estimation
+// schedule across the sweep.
+func Figure5(w *Workload, tps []float64) ([]SweepPoint, error) {
+	if len(tps) == 0 {
+		tps = DefaultTps()
+	}
+	base := simulate.Baseline(w.Site, 0.5)
+	sched, err := simulate.BuildSchedule(w.Trace, base)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, tp := range tps {
+		cfg := simulate.Baseline(w.Site, tp)
+		res, err := simulate.RunWithSchedule(w.Trace, cfg, sched)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Tp:             tp,
+			Ratios:         res.Ratios,
+			SpeculatedDocs: res.SpeculatedDocs,
+			UsedDocs:       res.UsedDocs,
+		})
+	}
+	return out, nil
+}
+
+// Figure6 reorders a Figure 5 sweep by the traffic increase, the x axis of
+// Figure 6 ("performance gains versus bandwidth used").
+func Figure6(points []SweepPoint) []SweepPoint {
+	out := append([]SweepPoint(nil), points...)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Ratios.TrafficIncreasePct() < out[j].Ratios.TrafficIncreasePct()
+	})
+	return out
+}
+
+// HeadlineRow is one of §3.3's quoted operating points: the gains available
+// at a given extra-traffic budget.
+type HeadlineRow struct {
+	ExtraTrafficPct float64
+	LoadReduction   float64
+	TimeReduction   float64
+	MissReduction   float64
+	// Tp is the (interpolated) threshold that realizes the budget.
+	Tp float64
+}
+
+// Headline interpolates the Figure 5 sweep at the paper's quoted budgets
+// (5%, 10%, 50%, 100% extra traffic).
+func Headline(points []SweepPoint, budgets []float64) ([]HeadlineRow, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 sweep points")
+	}
+	if len(budgets) == 0 {
+		budgets = []float64{5, 10, 50, 100}
+	}
+	sorted := Figure6(points)
+	var rows []HeadlineRow
+	for _, b := range budgets {
+		rows = append(rows, interpolateAt(sorted, b))
+	}
+	return rows, nil
+}
+
+func interpolateAt(sorted []SweepPoint, budget float64) HeadlineRow {
+	x := func(p SweepPoint) float64 { return p.Ratios.TrafficIncreasePct() }
+	if budget <= x(sorted[0]) {
+		p := sorted[0]
+		return HeadlineRow{
+			ExtraTrafficPct: budget,
+			LoadReduction:   p.Ratios.ServerLoadReductionPct(),
+			TimeReduction:   p.Ratios.ServiceTimeReductionPct(),
+			MissReduction:   p.Ratios.MissRateReductionPct(),
+			Tp:              p.Tp,
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		if budget <= x(sorted[i]) {
+			a, b := sorted[i-1], sorted[i]
+			span := x(b) - x(a)
+			t := 0.0
+			if span > 0 {
+				t = (budget - x(a)) / span
+			}
+			lerp := func(u, v float64) float64 { return u + t*(v-u) }
+			return HeadlineRow{
+				ExtraTrafficPct: budget,
+				LoadReduction:   lerp(a.Ratios.ServerLoadReductionPct(), b.Ratios.ServerLoadReductionPct()),
+				TimeReduction:   lerp(a.Ratios.ServiceTimeReductionPct(), b.Ratios.ServiceTimeReductionPct()),
+				MissReduction:   lerp(a.Ratios.MissRateReductionPct(), b.Ratios.MissRateReductionPct()),
+				Tp:              lerp(a.Tp, b.Tp),
+			}
+		}
+	}
+	p := sorted[len(sorted)-1]
+	return HeadlineRow{
+		ExtraTrafficPct: budget,
+		LoadReduction:   p.Ratios.ServerLoadReductionPct(),
+		TimeReduction:   p.Ratios.ServiceTimeReductionPct(),
+		MissReduction:   p.Ratios.MissRateReductionPct(),
+		Tp:              p.Tp,
+	}
+}

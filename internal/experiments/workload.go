@@ -1,0 +1,106 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the synthetic workload, one function per artifact (see
+// DESIGN.md's experiment index). The cmd/ tools, the examples, and the
+// repository's benchmark suite are all thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"specweb/internal/netsim"
+	"specweb/internal/stats"
+	"specweb/internal/synth"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// WorkloadConfig describes the world an experiment runs against.
+type WorkloadConfig struct {
+	Profile        webgraph.Profile
+	Net            netsim.Config
+	Days           int
+	SessionsPerDay float64
+	Seed           int64
+	// Noise is the junk-request fraction passed to the trace generator
+	// (see synth.Config.Noise). Experiments run on clean traces; the
+	// tracegen tool exposes this to produce realistic raw logs.
+	Noise float64
+}
+
+// DefaultWorkload reproduces the paper's trace scale: a department-site
+// profile observed for ~90 days (the paper's January–March 1995 logs held
+// 205,925 accesses from 8,474 clients).
+func DefaultWorkload() WorkloadConfig {
+	return WorkloadConfig{
+		Profile:        webgraph.DepartmentSite(),
+		Net:            netsim.DefaultConfig(),
+		Days:           90,
+		SessionsPerDay: 220,
+		Seed:           1995,
+	}
+}
+
+// SmallWorkload is a fast variant for tests and -short benchmarks: a
+// 200-page site observed for two weeks. Large enough that every §2/§3
+// phenomenon (three popularity classes, mutable documents, embedding and
+// traversal dependencies) is present, small enough to simulate in well
+// under a second.
+func SmallWorkload() WorkloadConfig {
+	profile := webgraph.DepartmentSite()
+	profile.Name = "small-department"
+	profile.Pages = 200
+	profile.EntryFraction = 0.1
+	return WorkloadConfig{
+		Profile:        profile,
+		Net:            netsim.TinyConfig(),
+		Days:           14,
+		SessionsPerDay: 80,
+		Seed:           1995,
+	}
+}
+
+// MediaWorkload swaps in the multimedia-heavy profile (the Rolling Stones
+// corroboration of §2's footnote).
+func MediaWorkload() WorkloadConfig {
+	w := DefaultWorkload()
+	w.Profile = webgraph.MediaSite()
+	return w
+}
+
+// Workload is the generated world shared by the experiments.
+type Workload struct {
+	Config  WorkloadConfig
+	Site    *webgraph.Site
+	Topo    *netsim.Topology
+	Trace   *trace.Trace
+	Updates []synth.Update
+}
+
+// Build generates the site, topology, and trace for the configuration.
+// Identical configurations produce identical workloads.
+func Build(cfg WorkloadConfig) (*Workload, error) {
+	root := stats.NewRNG(cfg.Seed)
+	site, err := webgraph.Generate(cfg.Profile, root.Split("site"))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating site: %w", err)
+	}
+	topo, err := netsim.Generate(cfg.Net, root.Split("net"))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating topology: %w", err)
+	}
+	scfg := synth.DefaultConfig(site, topo)
+	scfg.Days = cfg.Days
+	scfg.SessionsPerDay = cfg.SessionsPerDay
+	scfg.Noise = cfg.Noise
+	res, err := synth.Generate(scfg, root.Split("trace"))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating trace: %w", err)
+	}
+	return &Workload{
+		Config:  cfg,
+		Site:    site,
+		Topo:    topo,
+		Trace:   res.Trace,
+		Updates: res.Updates,
+	}, nil
+}

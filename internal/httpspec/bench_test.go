@@ -1,0 +1,62 @@
+package httpspec
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+// BenchmarkServerRoundTrip measures a full HTTP GET through the speculative
+// server (trained, push mode, bundle-accepting client).
+func BenchmarkServerRoundTrip(b *testing.B) {
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Date(1995, time.June, 1, 9, 0, 0, 0, time.UTC)
+	cfg := DefaultServerConfig()
+	cfg.Mode = ModePush
+	cfg.Engine.MinOccurrences = 2
+	cfg.Engine.Tp = 0.3
+	cfg.Clock = func() time.Time { return now }
+	srv, err := NewServer(NewSiteStore(site), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var page *webgraph.Document
+	for i := range site.Docs {
+		if site.Docs[i].Kind == webgraph.Page && len(site.Docs[i].Embedded) > 0 {
+			page = &site.Docs[i]
+			break
+		}
+	}
+	if page == nil {
+		b.Fatal("no page with embedded objects")
+	}
+	// Train so responses carry bundles.
+	for i := 0; i < 10; i++ {
+		c := NewClient(ts.URL, ClientConfig{ID: "t"})
+		_, _, _ = c.Get(page.Path)
+		for _, e := range page.Embedded {
+			now = now.Add(300 * time.Millisecond)
+			_, _, _ = c.Get(site.Doc(e).Path)
+		}
+		now = now.Add(time.Hour)
+	}
+	srv.Engine().Refresh(now)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewClient(ts.URL, ClientConfig{ID: "bench", AcceptBundles: true})
+		if _, _, err := c.Get(page.Path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(page.Embedded)), "embedded_docs")
+}

@@ -1,0 +1,280 @@
+package httpspec
+
+import (
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ClientConfig parameterizes a speculative HTTP client.
+type ClientConfig struct {
+	// ID identifies the client to the server (Spec-Client header).
+	ID string
+	// AcceptBundles announces multipart bundle support.
+	AcceptBundles bool
+	// Cooperative piggybacks the cache digest on every request.
+	Cooperative bool
+	// PrefetchThreshold is the minimum spec-p at which the client follows
+	// a prefetch hint; 0 disables hint-driven prefetching.
+	PrefetchThreshold float64
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// ClientStats counts the client's activity.
+type ClientStats struct {
+	Fetches    int64 // client-initiated document fetches
+	CacheHits  int64
+	Pushed     int64 // documents received speculatively
+	Prefetched int64 // documents fetched because of hints
+	BytesIn    int64
+}
+
+// Client is a caching HTTP client that understands the speculative
+// protocol: it consumes bundles, follows prefetch hints, and keeps a
+// session cache keyed by URL path.
+type Client struct {
+	cfg  ClientConfig
+	base string
+
+	mu    sync.Mutex
+	cache map[string][]byte
+	stats ClientStats
+}
+
+// NewClient builds a client for the server at base (e.g. the URL of an
+// httptest server).
+func NewClient(base string, cfg ClientConfig) *Client {
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	return &Client{cfg: cfg, base: strings.TrimRight(base, "/"), cache: make(map[string][]byte)}
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Cached reports whether path is in the cache.
+func (c *Client) Cached(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.cache[path]
+	return ok
+}
+
+// EndSession purges the cache (the paper's end-of-session purge).
+func (c *Client) EndSession() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = make(map[string][]byte)
+}
+
+// Get fetches a document, serving from cache when possible. fromCache
+// reports whether the body came from the local cache.
+func (c *Client) Get(path string) (body []byte, fromCache bool, err error) {
+	c.mu.Lock()
+	c.stats.Fetches++
+	if b, ok := c.cache[path]; ok {
+		c.stats.CacheHits++
+		c.mu.Unlock()
+		return b, true, nil
+	}
+	digest := c.digestLocked()
+	c.mu.Unlock()
+
+	body, hints, err := c.fetch(path, digest)
+	if err != nil {
+		return nil, false, err
+	}
+	// Hint-driven prefetching happens synchronously so behaviour is
+	// deterministic; a production client would fetch in the background.
+	for _, h := range hints {
+		if h.p < c.cfg.PrefetchThreshold || c.cfg.PrefetchThreshold == 0 {
+			continue
+		}
+		c.prefetch(h.path)
+	}
+	return body, false, nil
+}
+
+type clientHint struct {
+	path string
+	p    float64
+}
+
+// fetch performs one HTTP request and ingests the response (direct body or
+// bundle), returning the requested document's body and any prefetch hints.
+func (c *Client) fetch(path string, digest string) ([]byte, []clientHint, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.cfg.ID != "" {
+		req.Header.Set(HeaderClient, c.cfg.ID)
+	}
+	if c.cfg.AcceptBundles {
+		req.Header.Set(HeaderAccept, acceptBundle)
+	}
+	if c.cfg.Cooperative && digest != "" {
+		req.Header.Set(HeaderHave, digest)
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("httpspec: GET %s: %s", path, resp.Status)
+	}
+
+	var hints []clientHint
+	for _, l := range resp.Header.Values("Link") {
+		if h, ok := parseLinkHint(l); ok {
+			hints = append(hints, h)
+		}
+	}
+
+	ct := resp.Header.Get("Content-Type")
+	mt, params, _ := mime.ParseMediaType(ct)
+	if mt == "multipart/mixed" {
+		body, err := c.ingestBundle(path, resp.Body, params["boundary"])
+		return body, hints, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.cache[path] = body
+	c.stats.BytesIn += int64(len(body))
+	c.mu.Unlock()
+	return body, hints, nil
+}
+
+// ingestBundle reads a multipart bundle, caching every part and returning
+// the part matching the requested path.
+func (c *Client) ingestBundle(want string, r io.Reader, boundary string) ([]byte, error) {
+	if boundary == "" {
+		return nil, fmt.Errorf("httpspec: bundle without boundary")
+	}
+	mr := multipart.NewReader(r, boundary)
+	var wanted []byte
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("httpspec: reading bundle: %w", err)
+		}
+		loc := part.Header.Get("Content-Location")
+		body, err := io.ReadAll(part)
+		if err != nil {
+			return nil, fmt.Errorf("httpspec: reading bundle part %q: %w", loc, err)
+		}
+		pushed := part.Header.Get(HeaderPushed) != ""
+		c.mu.Lock()
+		if _, ok := c.cache[loc]; !ok {
+			c.cache[loc] = body
+			if pushed {
+				c.stats.Pushed++
+			}
+		}
+		c.stats.BytesIn += int64(len(body))
+		c.mu.Unlock()
+		if loc == want {
+			wanted = body
+		}
+	}
+	if wanted == nil {
+		return nil, fmt.Errorf("httpspec: bundle missing requested document %q", want)
+	}
+	return wanted, nil
+}
+
+// prefetch fetches a hinted path into the cache (no hint recursion).
+func (c *Client) prefetch(path string) {
+	c.mu.Lock()
+	if _, ok := c.cache[path]; ok {
+		c.mu.Unlock()
+		return
+	}
+	digest := c.digestLocked()
+	c.mu.Unlock()
+
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return
+	}
+	if c.cfg.ID != "" {
+		req.Header.Set(HeaderClient, c.cfg.ID)
+	}
+	if c.cfg.Cooperative && digest != "" {
+		req.Header.Set(HeaderHave, digest)
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.cache[path]; !ok {
+		c.cache[path] = body
+		c.stats.Prefetched++
+		c.stats.BytesIn += int64(len(body))
+	}
+	c.mu.Unlock()
+}
+
+// digestLocked renders the cooperative Spec-Have digest. Callers hold mu.
+func (c *Client) digestLocked() string {
+	if !c.cfg.Cooperative || len(c.cache) == 0 {
+		return ""
+	}
+	paths := make([]string, 0, len(c.cache))
+	for p := range c.cache {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return strings.Join(paths, " ")
+}
+
+// parseLinkHint parses `</path>; rel="prefetch"; spec-p=0.42`.
+func parseLinkHint(l string) (clientHint, bool) {
+	parts := strings.Split(l, ";")
+	if len(parts) == 0 {
+		return clientHint{}, false
+	}
+	target := strings.TrimSpace(parts[0])
+	if !strings.HasPrefix(target, "<") || !strings.HasSuffix(target, ">") {
+		return clientHint{}, false
+	}
+	h := clientHint{path: target[1 : len(target)-1]}
+	isPrefetch := false
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		switch {
+		case p == `rel="prefetch"` || p == "rel=prefetch":
+			isPrefetch = true
+		case strings.HasPrefix(p, "spec-p="):
+			fmt.Sscanf(p, "spec-p=%f", &h.p)
+		}
+	}
+	return h, isPrefetch
+}

@@ -1,0 +1,141 @@
+package httpspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is a dissemination service proxy (§2): it holds replicas of a home
+// server's most popular documents and fronts the server, serving replica
+// hits locally and forwarding everything else. In the paper's vision these
+// are rentable "information outlets" placed near consumers.
+type Proxy struct {
+	origin string
+	http   *http.Client
+
+	mu       sync.RWMutex
+	replicas map[string][]byte
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	hitB    atomic.Int64
+	forward atomic.Int64
+}
+
+// NewProxy fronts the origin server (base URL).
+func NewProxy(origin string, client *http.Client) *Proxy {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Proxy{origin: origin, http: client, replicas: make(map[string][]byte)}
+}
+
+// Disseminate asks the origin which documents deserve replication within
+// the byte budget (the origin's Replicator decides, per §2's server-driven
+// model) and pulls them. It replaces the current replica set.
+func (p *Proxy) Disseminate(budget int64) (int, error) {
+	resp, err := p.http.Get(fmt.Sprintf("%s/spec/replicas?budget=%d", p.origin, budget))
+	if err != nil {
+		return 0, fmt.Errorf("httpspec: fetching replica list: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("httpspec: replica list: %s", resp.Status)
+	}
+	var paths []string
+	if err := json.NewDecoder(resp.Body).Decode(&paths); err != nil {
+		return 0, fmt.Errorf("httpspec: decoding replica list: %w", err)
+	}
+	fresh := make(map[string][]byte, len(paths))
+	for _, path := range paths {
+		body, err := p.pull(path)
+		if err != nil {
+			return 0, err
+		}
+		fresh[path] = body
+	}
+	p.mu.Lock()
+	p.replicas = fresh
+	p.mu.Unlock()
+	return len(fresh), nil
+}
+
+func (p *Proxy) pull(path string) ([]byte, error) {
+	resp, err := p.http.Get(p.origin + path)
+	if err != nil {
+		return nil, fmt.Errorf("httpspec: pulling %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpspec: pulling %s: %s", path, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ProxyStats counts proxy activity.
+type ProxyStats struct {
+	Hits          int64
+	Misses        int64
+	HitBytes      int64
+	ForwardErrors int64
+	Replicas      int
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() ProxyStats {
+	p.mu.RLock()
+	n := len(p.replicas)
+	p.mu.RUnlock()
+	return ProxyStats{
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		HitBytes:      p.hitB.Load(),
+		ForwardErrors: p.forward.Load(),
+		Replicas:      n,
+	}
+}
+
+// ServeHTTP serves replica hits locally and forwards misses to the origin,
+// streaming the response back (including speculative headers, which pass
+// through untouched).
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		p.mu.RLock()
+		body, ok := p.replicas[r.URL.Path]
+		p.mu.RUnlock()
+		if ok {
+			p.hits.Add(1)
+			p.hitB.Add(int64(len(body)))
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("X-Served-By", "specweb-proxy")
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	p.misses.Add(1)
+	req, err := http.NewRequest(r.Method, p.origin+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		p.forward.Add(1)
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.http.Do(req)
+	if err != nil {
+		p.forward.Add(1)
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

@@ -1,0 +1,86 @@
+package httpspec
+
+import (
+	"fmt"
+	"net/http"
+
+	"specweb/internal/trace"
+)
+
+// ReplayConfig parameterizes replaying a recorded trace against a live
+// speculative server — the end-to-end measurement path for the prototype:
+// synthesize a trace, start a server, replay, compare stats.
+type ReplayConfig struct {
+	// Base is the server's base URL.
+	Base string
+	// AcceptBundles and Cooperative configure every replayed client.
+	AcceptBundles bool
+	Cooperative   bool
+	// PrefetchThreshold enables hint-driven prefetching on the clients.
+	PrefetchThreshold float64
+	// SessionGapRequests ends a client's session (purging its cache)
+	// after this many requests; 0 keeps one session per client for the
+	// whole replay. Wall-clock session semantics do not survive replay
+	// compression, so the knob is request-count based.
+	SessionGapRequests int
+	// HTTP is the shared transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// ReplayStats aggregates the outcome over all replayed clients.
+type ReplayStats struct {
+	Clients    int
+	Requests   int64 // client-initiated fetches replayed
+	CacheHits  int64
+	Pushed     int64
+	Prefetched int64
+	BytesIn    int64
+	Errors     int64
+}
+
+// Replay walks the trace in order, issuing each request through a per-client
+// speculative Client against the server at cfg.Base. Requests whose paths
+// the server does not serve count as errors but do not stop the replay.
+func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
+	if cfg.Base == "" {
+		return nil, fmt.Errorf("httpspec: replay needs a base URL")
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("httpspec: empty trace")
+	}
+	clients := make(map[trace.ClientID]*Client)
+	sinceSession := make(map[trace.ClientID]int)
+	stats := &ReplayStats{}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		c := clients[r.Client]
+		if c == nil {
+			c = NewClient(cfg.Base, ClientConfig{
+				ID:                string(r.Client),
+				AcceptBundles:     cfg.AcceptBundles,
+				Cooperative:       cfg.Cooperative,
+				PrefetchThreshold: cfg.PrefetchThreshold,
+				HTTP:              cfg.HTTP,
+			})
+			clients[r.Client] = c
+		}
+		if cfg.SessionGapRequests > 0 && sinceSession[r.Client] >= cfg.SessionGapRequests {
+			c.EndSession()
+			sinceSession[r.Client] = 0
+		}
+		sinceSession[r.Client]++
+		if _, _, err := c.Get(r.Path); err != nil {
+			stats.Errors++
+		}
+	}
+	stats.Clients = len(clients)
+	for _, c := range clients {
+		cs := c.Stats()
+		stats.Requests += cs.Fetches
+		stats.CacheHits += cs.CacheHits
+		stats.Pushed += cs.Pushed
+		stats.Prefetched += cs.Prefetched
+		stats.BytesIn += cs.BytesIn
+	}
+	return stats, nil
+}

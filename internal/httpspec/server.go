@@ -1,0 +1,311 @@
+package httpspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"specweb/internal/core"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// Protocol header names. Spec-Client identifies the requesting client
+// (falling back to the remote address), Spec-Accept announces bundle
+// support, and Spec-Have carries the cooperative cache digest as
+// space-separated URL paths.
+const (
+	HeaderClient = "Spec-Client"
+	HeaderAccept = "Spec-Accept"
+	HeaderHave   = "Spec-Have"
+	// HeaderPushed marks a bundle part as speculative (absent on the
+	// requested document itself).
+	HeaderPushed = "Spec-Pushed"
+
+	acceptBundle = "bundle"
+)
+
+// Mode selects the server's delivery of speculative candidates, mirroring
+// simulate.Mode for the live protocol.
+type Mode int
+
+const (
+	// ModePush sends multipart bundles to clients that accept them.
+	ModePush Mode = iota
+	// ModeHints only attaches Link: rel="prefetch" headers.
+	ModeHints
+	// ModeHybrid pushes near-certain candidates and hints the rest.
+	ModeHybrid
+)
+
+// ServerConfig parameterizes a speculative HTTP server.
+type ServerConfig struct {
+	Engine core.EngineConfig
+	Mode   Mode
+	// MaxPush bounds the number of documents pushed per response.
+	MaxPush int
+	// Clock supplies request times; nil means time.Now. Tests and
+	// trace replays inject their own.
+	Clock func() time.Time
+}
+
+// DefaultServerConfig returns a push-mode server with the baseline engine.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Engine:  core.DefaultEngineConfig(),
+		Mode:    ModeHybrid,
+		MaxPush: 16,
+	}
+}
+
+// ServerStats counts the server's activity.
+type ServerStats struct {
+	Requests     int64
+	BytesSent    int64
+	DocsPushed   int64
+	HintsSent    int64
+	NotFound     int64
+	BundlesBuilt int64
+}
+
+// Server is the speculative HTTP server: an http.Handler serving a Store.
+type Server struct {
+	store  Store
+	cfg    ServerConfig
+	engine *core.Engine
+	repl   *core.Replicator
+
+	requests   atomic.Int64
+	bytesSent  atomic.Int64
+	docsPushed atomic.Int64
+	hintsSent  atomic.Int64
+	notFound   atomic.Int64
+	bundles    atomic.Int64
+}
+
+// NewServer builds a server over the store.
+func NewServer(store Store, cfg ServerConfig) (*Server, error) {
+	if store == nil {
+		return nil, fmt.Errorf("httpspec: nil store")
+	}
+	if cfg.MaxPush <= 0 {
+		cfg.MaxPush = 16
+	}
+	eng, err := core.NewEngine(cfg.Engine, func(id webgraph.DocID) (int64, bool) {
+		return store.Size(id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{store: store, cfg: cfg, engine: eng, repl: core.NewReplicator()}, nil
+}
+
+// Engine exposes the online engine (for tests and stats).
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Replicator exposes the popularity tracker feeding dissemination.
+func (s *Server) Replicator() *core.Replicator { return s.repl }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:     s.requests.Load(),
+		BytesSent:    s.bytesSent.Load(),
+		DocsPushed:   s.docsPushed.Load(),
+		HintsSent:    s.hintsSent.Load(),
+		NotFound:     s.notFound.Load(),
+		BundlesBuilt: s.bundles.Load(),
+	}
+}
+
+func (s *Server) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// ServeHTTP handles document requests plus two control endpoints:
+// GET /spec/stats (JSON counters) and GET /spec/replicas?budget=N (the
+// dissemination replica set recommendation).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/spec/stats":
+		s.serveStats(w)
+		return
+	case r.URL.Path == "/spec/replicas":
+		s.serveReplicas(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id, ok := s.store.Lookup(r.URL.Path)
+	if !ok {
+		s.notFound.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	s.requests.Add(1)
+
+	client := clientID(r)
+	at := s.now()
+	s.engine.Record(client, id, at)
+	size, _ := s.store.Size(id)
+	s.repl.Record(id, size, isRemote(client))
+
+	have := parseHave(r.Header.Get(HeaderHave), s.store)
+	have[id] = true // never push the requested document
+
+	var push []webgraph.DocID
+	var hints []hint
+	switch s.cfg.Mode {
+	case ModePush:
+		push = s.engine.Speculate(id, have)
+	case ModeHints:
+		for _, h := range s.engine.Hints(id, have) {
+			hints = append(hints, hint{doc: h.Doc, p: h.P})
+		}
+	case ModeHybrid:
+		p, hs := s.engine.Split(id, have)
+		push = p
+		for _, h := range hs {
+			hints = append(hints, hint{doc: h.Doc, p: h.P})
+		}
+	}
+	if len(push) > s.cfg.MaxPush {
+		push = push[:s.cfg.MaxPush]
+	}
+
+	for _, h := range hints {
+		if path, ok := s.store.Path(h.doc); ok {
+			w.Header().Add("Link", fmt.Sprintf("<%s>; rel=\"prefetch\"; spec-p=%.3f", path, h.p))
+			s.hintsSent.Add(1)
+		}
+	}
+
+	wantBundle := strings.Contains(r.Header.Get(HeaderAccept), acceptBundle)
+	if wantBundle && len(push) > 0 {
+		s.serveBundle(w, id, push)
+		return
+	}
+	s.serveDoc(w, id)
+}
+
+type hint struct {
+	doc webgraph.DocID
+	p   float64
+}
+
+func (s *Server) serveDoc(w http.ResponseWriter, id webgraph.DocID) {
+	body, ok := s.store.Content(id)
+	if !ok {
+		http.Error(w, "document vanished", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	n, _ := w.Write(body)
+	s.bytesSent.Add(int64(n))
+}
+
+// serveBundle writes a multipart/mixed response: the requested document
+// first, then each speculative document, every part carrying its
+// Content-Location.
+func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []webgraph.DocID) {
+	mw := multipart.NewWriter(w)
+	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
+	s.bundles.Add(1)
+
+	writePart := func(doc webgraph.DocID, pushed bool) {
+		path, ok := s.store.Path(doc)
+		if !ok {
+			return
+		}
+		body, ok := s.store.Content(doc)
+		if !ok {
+			return
+		}
+		hdr := textproto.MIMEHeader{}
+		hdr.Set("Content-Location", path)
+		hdr.Set("Content-Type", "application/octet-stream")
+		if pushed {
+			hdr.Set(HeaderPushed, "1")
+		}
+		pw, err := mw.CreatePart(hdr)
+		if err != nil {
+			return
+		}
+		n, _ := pw.Write(body)
+		s.bytesSent.Add(int64(n))
+		if pushed {
+			s.docsPushed.Add(1)
+		}
+	}
+	writePart(id, false)
+	for _, d := range push {
+		writePart(d, true)
+	}
+	_ = mw.Close()
+}
+
+func (s *Server) serveStats(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	st := struct {
+		Server ServerStats
+		Engine core.Stats
+	}{s.Stats(), s.engine.Stats()}
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// serveReplicas reports the paths a dissemination proxy should replicate
+// within the given byte budget, ranked by remote popularity.
+func (s *Server) serveReplicas(w http.ResponseWriter, r *http.Request) {
+	budget, err := strconv.ParseInt(r.URL.Query().Get("budget"), 10, 64)
+	if err != nil || budget <= 0 {
+		http.Error(w, "budget must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	var paths []string
+	for _, id := range s.repl.ReplicaSet(budget) {
+		if p, ok := s.store.Path(id); ok {
+			paths = append(paths, p)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(paths)
+}
+
+func clientID(r *http.Request) trace.ClientID {
+	if c := r.Header.Get(HeaderClient); c != "" {
+		return trace.ClientID(c)
+	}
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i > 0 {
+		host = host[:i]
+	}
+	return trace.ClientID(host)
+}
+
+// isRemote classifies a client as outside the organization, by the same
+// naming convention the trace generator uses.
+func isRemote(c trace.ClientID) bool {
+	return !strings.HasSuffix(string(c), ".local")
+}
+
+func parseHave(header string, store Store) map[webgraph.DocID]bool {
+	have := make(map[webgraph.DocID]bool)
+	for _, p := range strings.Fields(header) {
+		if id, ok := store.Lookup(p); ok {
+			have[id] = true
+		}
+	}
+	return have
+}

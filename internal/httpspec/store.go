@@ -1,0 +1,92 @@
+// Package httpspec is a working net/http realization of the paper's two
+// protocols — the "development of prototypes to test and evaluate these
+// protocols" the paper lists as work in progress (§4):
+//
+//   - Server serves a document store and speculates on each request using
+//     the online core.Engine: it either pushes speculative documents in a
+//     multipart/mixed bundle (speculative service), attaches
+//     Link: rel="prefetch" hints (server-assisted prefetching), or both
+//     (the hybrid protocol). Cooperative clients piggyback a cache digest
+//     in a Spec-Have header.
+//   - Client consumes bundles and hints, keeps a session cache, and
+//     reports whether a fetch was served locally.
+//   - Proxy is a dissemination service proxy: it pulls a server's most
+//     popular documents and fronts it, forwarding misses.
+//
+// The wire protocol is plain HTTP/1.0-era machinery (headers and
+// multipart), deliberately implementable by 1995 software.
+package httpspec
+
+import (
+	"fmt"
+
+	"specweb/internal/webgraph"
+)
+
+// Store is the document store a speculative server serves.
+type Store interface {
+	// Lookup resolves a URL path to a document ID.
+	Lookup(path string) (webgraph.DocID, bool)
+	// Path returns the URL path of a document.
+	Path(id webgraph.DocID) (string, bool)
+	// Size returns a document's size in bytes.
+	Size(id webgraph.DocID) (int64, bool)
+	// Content returns the document body.
+	Content(id webgraph.DocID) ([]byte, bool)
+}
+
+// SiteStore adapts a webgraph.Site as a Store, synthesizing deterministic
+// document bodies of the declared sizes.
+type SiteStore struct {
+	site *webgraph.Site
+}
+
+// NewSiteStore wraps a site.
+func NewSiteStore(site *webgraph.Site) *SiteStore {
+	return &SiteStore{site: site}
+}
+
+// Lookup resolves a path.
+func (s *SiteStore) Lookup(path string) (webgraph.DocID, bool) {
+	d := s.site.ByPath(path)
+	if d == nil {
+		return webgraph.None, false
+	}
+	return d.ID, true
+}
+
+// Path returns a document's URL path.
+func (s *SiteStore) Path(id webgraph.DocID) (string, bool) {
+	if !s.site.Valid(id) {
+		return "", false
+	}
+	return s.site.Doc(id).Path, true
+}
+
+// Size returns a document's size.
+func (s *SiteStore) Size(id webgraph.DocID) (int64, bool) {
+	if !s.site.Valid(id) {
+		return 0, false
+	}
+	return s.site.Doc(id).Size, true
+}
+
+// Content synthesizes the document body: a readable header followed by a
+// deterministic filler pattern, exactly Size bytes long.
+func (s *SiteStore) Content(id webgraph.DocID) ([]byte, bool) {
+	if !s.site.Valid(id) {
+		return nil, false
+	}
+	d := s.site.Doc(id)
+	header := fmt.Sprintf("specweb synthetic %s doc=%d path=%s\n", d.Kind, d.ID, d.Path)
+	n := int(d.Size)
+	body := make([]byte, n)
+	copy(body, header)
+	for i := len(header); i < n; i++ {
+		body[i] = byte('a' + (i+int(d.ID))%26)
+	}
+	return body, true
+}
+
+// Site exposes the wrapped site.
+func (s *SiteStore) Site() *webgraph.Site { return s.site }

@@ -1,0 +1,80 @@
+package markov
+
+import (
+	"testing"
+	"time"
+
+	"specweb/internal/stats"
+	"specweb/internal/synth"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := synth.DefaultConfig(site, nil)
+	cfg.Days = 10
+	cfg.SessionsPerDay = 80
+	res, err := synth.Generate(cfg, stats.NewRNG(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Trace
+}
+
+// BenchmarkEstimate measures windowed P estimation throughput.
+func BenchmarkEstimate(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := DefaultEstimate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "requests")
+}
+
+// BenchmarkEstimateTransitive measures direct P* estimation.
+func BenchmarkEstimateTransitive(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := DefaultEstimate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateTransitive(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosure measures the analytic noisy-OR closure.
+func BenchmarkClosure(b *testing.B) {
+	tr := benchTrace(b)
+	m, err := Estimate(tr, DefaultEstimate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Closure(1e-3, 1e-4, 6)
+	}
+	b.ReportMetric(float64(m.NumPairs()), "input_pairs")
+}
+
+// BenchmarkAgingAddDay measures incremental daily folding.
+func BenchmarkAgingAddDay(b *testing.B) {
+	tr := benchTrace(b)
+	first, _, _ := tr.Span()
+	day := tr.Window(first, first.Add(24*time.Hour))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAging(0.97, DefaultEstimate())
+		if err := a.AddDay(day); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// EstimateConfig parameterizes P estimation.
+type EstimateConfig struct {
+	// Window is T_w: D_j counts as dependent on D_i when requested within
+	// Window of D_i by the same client. The paper's Figure 4 uses 5 s.
+	Window time.Duration
+	// StrideTimeout, when positive, additionally requires the requests
+	// between D_i and D_j to form a stride (successive gaps below the
+	// timeout). §3.2: setting it small restricts dependencies to
+	// embeddings; larger values admit traversal dependencies.
+	StrideTimeout time.Duration
+	// MinOccurrences drops rows for documents requested fewer times than
+	// this, avoiding probability estimates from single observations.
+	MinOccurrences int
+	// Smoothing adds pseudo-observations to the denominator:
+	// p = count / (occurrences + Smoothing). A few units of smoothing
+	// shrink low-support estimates toward zero — a document seen twice,
+	// both times followed by D_j, is *not* evidence that p[i,j] = 1 — while
+	// leaving well-supported probabilities (embeddings of popular pages)
+	// essentially untouched. Without it, spurious certainty edges on rare
+	// documents make the server push large sets of unrelated documents.
+	Smoothing float64
+}
+
+// DefaultEstimate returns the paper's baseline estimation parameters.
+func DefaultEstimate() EstimateConfig {
+	return EstimateConfig{
+		Window:         5 * time.Second,
+		StrideTimeout:  5 * time.Second,
+		MinOccurrences: 2,
+		Smoothing:      2,
+	}
+}
+
+// pairCounts is the shared counting core of all estimators. When transitive
+// is false, a pair (i,j) counts when j follows i within Window (the P
+// relation). When transitive is true, a pair counts when j follows i
+// anywhere within the same stride — the paper's definition of the closure
+// P*: "a sequence of requests starting with document D_i and ending with
+// document D_j, in which every request is separated by at most T_w units of
+// time from the previous request" (§3.1). Estimating P* directly from the
+// trace avoids the inflation a matrix-power closure suffers when many
+// alternative paths connect the same pair.
+type pairAccumulator struct {
+	counts map[webgraph.DocID]map[webgraph.DocID]float64
+	occ    map[webgraph.DocID]float64
+}
+
+func newPairAccumulator() *pairAccumulator {
+	return &pairAccumulator{
+		counts: make(map[webgraph.DocID]map[webgraph.DocID]float64),
+		occ:    make(map[webgraph.DocID]float64),
+	}
+}
+
+func (a *pairAccumulator) addTrace(tr *trace.Trace, cfg EstimateConfig, transitive bool) {
+	strideTimeout := cfg.StrideTimeout
+	if transitive && strideTimeout <= 0 {
+		strideTimeout = cfg.Window
+	}
+	for _, reqs := range tr.ByClient() {
+		segments := [][]trace.Request{reqs}
+		if strideTimeout > 0 {
+			segments = trace.Segment(reqs, strideTimeout)
+		}
+		for _, seg := range segments {
+			for x := range seg {
+				i := seg[x].Doc
+				if i == webgraph.None {
+					continue
+				}
+				a.occ[i]++
+				var seen map[webgraph.DocID]bool
+				for y := x + 1; y < len(seg); y++ {
+					if !transitive && seg[y].Time.Sub(seg[x].Time) > cfg.Window {
+						break
+					}
+					j := seg[y].Doc
+					if j == webgraph.None || j == i {
+						continue
+					}
+					if seen == nil {
+						seen = make(map[webgraph.DocID]bool)
+					}
+					if seen[j] {
+						continue
+					}
+					seen[j] = true
+					row := a.counts[i]
+					if row == nil {
+						row = make(map[webgraph.DocID]float64)
+						a.counts[i] = row
+					}
+					row[j]++
+				}
+			}
+		}
+	}
+}
+
+func (a *pairAccumulator) snapshot(cfg EstimateConfig) *Matrix {
+	m := NewMatrix()
+	min := float64(cfg.MinOccurrences)
+	if min < 1 {
+		min = 1
+	}
+	for i, row := range a.counts {
+		if a.occ[i] < min {
+			continue
+		}
+		den := a.occ[i] + cfg.Smoothing
+		for j, c := range row {
+			p := c / den
+			if p > 1 {
+				p = 1
+			}
+			m.Set(i, j, p)
+		}
+	}
+	return m
+}
+
+// Estimate computes P from a trace: for each occurrence of document i, the
+// set of distinct other documents the same client requests within the
+// window (and, when configured, within the same stride) counts once toward
+// p[i,j].
+func Estimate(tr *trace.Trace, cfg EstimateConfig) (*Matrix, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("markov: window must be positive, got %v", cfg.Window)
+	}
+	a := newPairAccumulator()
+	a.addTrace(tr, cfg, false)
+	return a.snapshot(cfg), nil
+}
+
+// EstimateTransitive computes P* directly from the trace per the paper's
+// §3.1 definition: p*[i,j] is the probability that D_j follows D_i within
+// the same traversal stride (successive gaps below StrideTimeout, which
+// defaults to Window when unset).
+func EstimateTransitive(tr *trace.Trace, cfg EstimateConfig) (*Matrix, error) {
+	if cfg.Window <= 0 && cfg.StrideTimeout <= 0 {
+		return nil, fmt.Errorf("markov: need a positive window or stride timeout")
+	}
+	a := newPairAccumulator()
+	a.addTrace(tr, cfg, true)
+	return a.snapshot(cfg), nil
+}
+
+// Aging maintains an exponentially-decayed estimate of P (or P* when
+// Transitive is set), the "aging mechanism to phase-out dependencies
+// exhibited in older traces" of §3.4. Counts from d days ago carry weight
+// Decay^d.
+type Aging struct {
+	// Decay is the per-day retention factor in (0, 1].
+	Decay float64
+	// Transitive selects the P* (stride) pairing instead of the windowed
+	// P pairing.
+	Transitive bool
+
+	cfg EstimateConfig
+	acc *pairAccumulator
+}
+
+// NewAging returns an aging estimator. It panics on decay outside (0, 1].
+func NewAging(decay float64, cfg EstimateConfig) *Aging {
+	if decay <= 0 || decay > 1 || math.IsNaN(decay) {
+		panic(fmt.Sprintf("markov: decay %v outside (0,1]", decay))
+	}
+	return &Aging{Decay: decay, cfg: cfg, acc: newPairAccumulator()}
+}
+
+// AddDay decays the accumulated state by one day and folds in the given
+// day's trace.
+func (a *Aging) AddDay(day *trace.Trace) error {
+	if a.cfg.Window <= 0 {
+		return fmt.Errorf("markov: aging estimator has non-positive window")
+	}
+	for i, row := range a.acc.counts {
+		for j := range row {
+			row[j] *= a.Decay
+			if row[j] < 1e-9 {
+				delete(row, j)
+			}
+		}
+		if len(row) == 0 {
+			delete(a.acc.counts, i)
+		}
+	}
+	for i := range a.acc.occ {
+		a.acc.occ[i] *= a.Decay
+		if a.acc.occ[i] < 1e-9 {
+			delete(a.acc.occ, i)
+		}
+	}
+	a.acc.addTrace(day, a.cfg, a.Transitive)
+	return nil
+}
+
+// Snapshot materializes the current decayed estimate as a Matrix.
+func (a *Aging) Snapshot() *Matrix {
+	return a.acc.snapshot(a.cfg)
+}

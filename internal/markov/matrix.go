@@ -1,0 +1,221 @@
+// Package markov implements the document access-interdependency model of
+// §3.1: the conditional-probability matrix P, where p[i,j] is the
+// probability that document D_j is requested within a window T_w of a
+// request for D_i, and its closure P*, which extends P to chains of
+// requests each at most T_w apart.
+//
+// P is estimated from server logs exactly as the paper describes; the
+// closure is computed by the monotone fixpoint X ← clamp₁(P + P·X), which
+// sums path products over all chain lengths and clamps at 1 (the paper
+// writes the closure as P^N; the clamped fixpoint is the same quantity with
+// probabilities capped at certainty, and converges because the iteration is
+// monotone and bounded). Sparse rows are pruned below a threshold to keep
+// the matrices tractable, as any real deployment would.
+package markov
+
+import (
+	"fmt"
+	"sort"
+
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+// Matrix is a sparse row-major matrix of probabilities indexed by document
+// ID. A missing entry is 0.
+type Matrix struct {
+	rows map[webgraph.DocID]map[webgraph.DocID]float64
+}
+
+// NewMatrix returns an empty matrix.
+func NewMatrix() *Matrix {
+	return &Matrix{rows: make(map[webgraph.DocID]map[webgraph.DocID]float64)}
+}
+
+// Get returns p[i,j].
+func (m *Matrix) Get(i, j webgraph.DocID) float64 {
+	return m.rows[i][j]
+}
+
+// Set stores p[i,j], dropping the entry when p <= 0. It panics on p > 1 or
+// NaN, which would indicate a corrupted estimation.
+func (m *Matrix) Set(i, j webgraph.DocID, p float64) {
+	if p != p || p > 1+1e-12 {
+		panic(fmt.Sprintf("markov: invalid probability %v for (%d,%d)", p, i, j))
+	}
+	if p <= 0 {
+		if row, ok := m.rows[i]; ok {
+			delete(row, j)
+			if len(row) == 0 {
+				delete(m.rows, i)
+			}
+		}
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	row, ok := m.rows[i]
+	if !ok {
+		row = make(map[webgraph.DocID]float64)
+		m.rows[i] = row
+	}
+	row[j] = p
+}
+
+// Row returns document i's successors and probabilities. The returned map
+// is the live row; callers must not modify it.
+func (m *Matrix) Row(i webgraph.DocID) map[webgraph.DocID]float64 {
+	return m.rows[i]
+}
+
+// Successors returns row i as a slice sorted by decreasing probability
+// (ties by DocID), for deterministic policy evaluation.
+type Successor struct {
+	Doc webgraph.DocID
+	P   float64
+}
+
+// SortedRow returns the successors of i in decreasing probability order.
+func (m *Matrix) SortedRow(i webgraph.DocID) []Successor {
+	row := m.rows[i]
+	out := make([]Successor, 0, len(row))
+	for j, p := range row {
+		out = append(out, Successor{Doc: j, P: p})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].P != out[b].P {
+			return out[a].P > out[b].P
+		}
+		return out[a].Doc < out[b].Doc
+	})
+	return out
+}
+
+// NumPairs returns the number of stored (i,j) entries.
+func (m *Matrix) NumPairs() int {
+	n := 0
+	for _, row := range m.rows {
+		n += len(row)
+	}
+	return n
+}
+
+// NumRows returns the number of documents with at least one successor.
+func (m *Matrix) NumRows() int { return len(m.rows) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix()
+	for i, row := range m.rows {
+		nr := make(map[webgraph.DocID]float64, len(row))
+		for j, p := range row {
+			nr[j] = p
+		}
+		c.rows[i] = nr
+	}
+	return c
+}
+
+// Prune drops entries below eps.
+func (m *Matrix) Prune(eps float64) {
+	for i, row := range m.rows {
+		for j, p := range row {
+			if p < eps {
+				delete(row, j)
+			}
+		}
+		if len(row) == 0 {
+			delete(m.rows, i)
+		}
+	}
+}
+
+// Closure computes P*: the probability that a chain of dependent requests
+// starting at D_i eventually reaches D_j. The paper defines the closure as
+// the matrix power P^N, i.e. probabilities summed over paths; a literal sum
+// badly overestimates when many alternative paths exist (path events are
+// not disjoint — summing 20 paths of 0.1 "proves" certainty), so this
+// implementation combines alternatives by noisy-OR instead:
+//
+//	X(i,j) ← 1 - (1 - p(i,j)) · Π_k (1 - p(i,k)·X(k,j))
+//
+// which treats the first-step alternatives as independent and is bounded by
+// 1 by construction. The iteration is monotone from X = P and stops when no
+// entry moves by more than tol or after maxIter rounds (default 32).
+// Entries below eps are pruned each round to keep the matrix sparse.
+func (m *Matrix) Closure(eps, tol float64, maxIter int) *Matrix {
+	if maxIter <= 0 {
+		maxIter = 32
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	x := m.Clone()
+	x.Prune(eps)
+	for iter := 0; iter < maxIter; iter++ {
+		next := NewMatrix()
+		maxDelta := 0.0
+		for i, row := range m.rows {
+			// acc[j] accumulates Π (1 - contribution) over the direct
+			// edge and every first-step alternative.
+			acc := make(map[webgraph.DocID]float64, len(row)*2)
+			for k, pik := range row {
+				if prev, ok := acc[k]; ok {
+					acc[k] = prev * (1 - pik)
+				} else {
+					acc[k] = 1 - pik
+				}
+				for j, xkj := range x.rows[k] {
+					// Diagonal entries (i→…→i) are kept during the
+					// iteration: they are the return paths longer
+					// chains pass through.
+					c := pik * xkj
+					if prev, ok := acc[j]; ok {
+						acc[j] = prev * (1 - c)
+					} else {
+						acc[j] = 1 - c
+					}
+				}
+			}
+			for j, q := range acc {
+				p := 1 - q
+				if p < eps {
+					continue
+				}
+				if p > 1 {
+					p = 1
+				}
+				next.Set(i, j, p)
+				if d := p - x.Get(i, j); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		x = next
+		if maxDelta <= tol {
+			break
+		}
+	}
+	// Strip the diagonal from the reported closure: a document is not a
+	// speculative candidate for itself.
+	for i, row := range x.rows {
+		delete(row, i)
+		if len(row) == 0 {
+			delete(x.rows, i)
+		}
+	}
+	return x
+}
+
+// PairHistogram bins every stored probability into a histogram over (0, 1],
+// the data behind Figure 4.
+func (m *Matrix) PairHistogram(bins int) *stats.Histogram {
+	h := stats.NewHistogram(0, 1, bins)
+	for _, row := range m.rows {
+		for _, p := range row {
+			h.Add(p)
+		}
+	}
+	return h
+}

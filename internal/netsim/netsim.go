@@ -1,0 +1,354 @@
+// Package netsim models the network that connects a home server to its
+// clientele as a tree, the view the paper takes in §2.1: "For a given home
+// server, we view the WWW clientele (Internet) as a tree rooted at the
+// server. The leaves of that tree are the clients and the internal nodes are
+// the potential proxies."
+//
+// The paper built this tree for cs-www.bu.edu from the IP record-route
+// option (34,000+ nodes over 22 weeks). That Internet is gone; netsim
+// generates a synthetic hierarchy — backbone, regional networks,
+// organization gateways, clients — whose fan-out and depth are configurable,
+// plus a LAN subtree for the server's own organization so that local and
+// remote traffic see different hop counts.
+package netsim
+
+import (
+	"fmt"
+
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+)
+
+// NodeID indexes a node within a Topology. IDs are dense.
+type NodeID int32
+
+// NoNode is the sentinel for "no node" (the root's parent).
+const NoNode NodeID = -1
+
+// Kind classifies topology nodes.
+type Kind uint8
+
+const (
+	// Root is the home server.
+	Root Kind = iota
+	// Backbone is a national backbone attachment point.
+	Backbone
+	// Regional is a regional network point of presence.
+	Regional
+	// Gateway is an organization's gateway: the "edge of the organization"
+	// where the paper imagines renting proxy bandwidth.
+	Gateway
+	// LANGateway is the gateway of the server's own organization.
+	LANGateway
+	// Client is a leaf host.
+	Client
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Root:
+		return "root"
+	case Backbone:
+		return "backbone"
+	case Regional:
+		return "regional"
+	case Gateway:
+		return "gateway"
+	case LANGateway:
+		return "lan-gateway"
+	case Client:
+		return "client"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Node is one vertex of the clientele tree.
+type Node struct {
+	ID       NodeID
+	Parent   NodeID // NoNode for the root
+	Children []NodeID
+	Kind     Kind
+	Depth    int // hops to the root
+	// Client is the trace client ID for leaf nodes, empty otherwise.
+	Client trace.ClientID
+	// Region identifies the regional subtree a node belongs to (for
+	// geographic interest locality); -1 above the regional level.
+	Region int
+}
+
+// Topology is a clientele tree rooted at the home server.
+type Topology struct {
+	Nodes []Node
+
+	byClient map[trace.ClientID]NodeID
+}
+
+// Root returns the root (home server) node ID.
+func (t *Topology) Root() NodeID { return 0 }
+
+// Node returns the node with the given ID; it panics on invalid IDs, which
+// can only arise from programming errors inside this module.
+func (t *Topology) Node(id NodeID) *Node { return &t.Nodes[id] }
+
+// Valid reports whether id names a node.
+func (t *Topology) Valid(id NodeID) bool { return id >= 0 && int(id) < len(t.Nodes) }
+
+// NumNodes returns the total node count.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// ClientNode returns the leaf for a trace client.
+func (t *Topology) ClientNode(c trace.ClientID) (NodeID, bool) {
+	if t.byClient == nil {
+		t.indexClients()
+	}
+	id, ok := t.byClient[c]
+	return id, ok
+}
+
+func (t *Topology) indexClients() {
+	t.byClient = make(map[trace.ClientID]NodeID)
+	for i := range t.Nodes {
+		if t.Nodes[i].Kind == Client {
+			t.byClient[t.Nodes[i].Client] = t.Nodes[i].ID
+		}
+	}
+}
+
+// Clients returns all leaf client IDs in node order.
+func (t *Topology) Clients() []trace.ClientID {
+	var out []trace.ClientID
+	for i := range t.Nodes {
+		if t.Nodes[i].Kind == Client {
+			out = append(out, t.Nodes[i].Client)
+		}
+	}
+	return out
+}
+
+// InternalNodes returns all non-root, non-leaf nodes: the candidate proxy
+// locations.
+func (t *Topology) InternalNodes() []NodeID {
+	var out []NodeID
+	for i := range t.Nodes {
+		if t.Nodes[i].Kind != Client && t.Nodes[i].Kind != Root {
+			out = append(out, t.Nodes[i].ID)
+		}
+	}
+	return out
+}
+
+// PathToRoot returns the node IDs from id (inclusive) up to the root
+// (inclusive).
+func (t *Topology) PathToRoot(id NodeID) []NodeID {
+	var path []NodeID
+	for id != NoNode {
+		path = append(path, id)
+		id = t.Nodes[id].Parent
+	}
+	return path
+}
+
+// HopsToRoot returns the number of edges between id and the root.
+func (t *Topology) HopsToRoot(id NodeID) int { return t.Nodes[id].Depth }
+
+// HopsBetween returns the tree distance between an ancestor and a
+// descendant, where anc must lie on desc's path to the root; ok is false
+// otherwise.
+func (t *Topology) HopsBetween(anc, desc NodeID) (int, bool) {
+	d := t.Nodes[desc].Depth - t.Nodes[anc].Depth
+	if d < 0 {
+		return 0, false
+	}
+	n := desc
+	for i := 0; i < d; i++ {
+		n = t.Nodes[n].Parent
+	}
+	if n != anc {
+		return 0, false
+	}
+	return d, true
+}
+
+// SubtreeClients returns the client leaves under id (including id itself if
+// it is a client).
+func (t *Topology) SubtreeClients(id NodeID) []trace.ClientID {
+	var out []trace.ClientID
+	var walk func(NodeID)
+	walk = func(n NodeID) {
+		node := &t.Nodes[n]
+		if node.Kind == Client {
+			out = append(out, node.Client)
+			return
+		}
+		for _, c := range node.Children {
+			walk(c)
+		}
+	}
+	walk(id)
+	return out
+}
+
+// Validate checks the tree invariants: a single root, consistent
+// parent/child pointers, correct depths, and unique client IDs on leaves.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("netsim: empty topology")
+	}
+	if t.Nodes[0].Parent != NoNode || t.Nodes[0].Kind != Root || t.Nodes[0].Depth != 0 {
+		return fmt.Errorf("netsim: node 0 is not a proper root")
+	}
+	clients := make(map[trace.ClientID]bool)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("netsim: node at index %d has ID %d", i, n.ID)
+		}
+		if i > 0 {
+			if !t.Valid(n.Parent) {
+				return fmt.Errorf("netsim: node %d has invalid parent %d", i, n.Parent)
+			}
+			p := &t.Nodes[n.Parent]
+			if n.Depth != p.Depth+1 {
+				return fmt.Errorf("netsim: node %d depth %d, parent depth %d", i, n.Depth, p.Depth)
+			}
+			found := false
+			for _, c := range p.Children {
+				if c == n.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("netsim: node %d missing from parent %d child list", i, n.Parent)
+			}
+		}
+		if n.Kind == Client {
+			if len(n.Children) > 0 {
+				return fmt.Errorf("netsim: client node %d has children", i)
+			}
+			if n.Client == "" {
+				return fmt.Errorf("netsim: client node %d has empty client ID", i)
+			}
+			if clients[n.Client] {
+				return fmt.Errorf("netsim: duplicate client ID %q", n.Client)
+			}
+			clients[n.Client] = true
+		}
+	}
+	return nil
+}
+
+// Config parameterizes topology generation.
+type Config struct {
+	Backbones          int // backbone nodes under the root's upstream
+	RegionsPerBackbone stats.Dist
+	OrgsPerRegion      stats.Dist
+	ClientsPerOrg      stats.Dist
+	LocalClients       int // clients under the server's LAN gateway
+}
+
+// DefaultConfig returns a topology configuration giving on the order of a
+// few thousand clients over a depth-4 hierarchy, in the spirit of the
+// 34,000-node, 8,474-client clientele tree of the paper scaled down to
+// simulation-friendly size.
+func DefaultConfig() Config {
+	return Config{
+		Backbones:          4,
+		RegionsPerBackbone: stats.NewUniform(3, 7),
+		OrgsPerRegion:      stats.NewUniform(4, 10),
+		ClientsPerOrg:      stats.NewUniform(3, 12),
+		LocalClients:       40,
+	}
+}
+
+// TinyConfig returns a small topology for tests and examples.
+func TinyConfig() Config {
+	return Config{
+		Backbones:          2,
+		RegionsPerBackbone: stats.NewUniform(2, 4),
+		OrgsPerRegion:      stats.NewUniform(2, 4),
+		ClientsPerOrg:      stats.NewUniform(2, 5),
+		LocalClients:       6,
+	}
+}
+
+// Generate builds a deterministic topology from the configuration and seed
+// stream. Remote clients are named "cNNNNN.orgMMM", local clients
+// "wsNNN.local" so that trace-level Remote classification agrees with
+// topology position.
+func Generate(cfg Config, g *stats.RNG) (*Topology, error) {
+	if cfg.Backbones < 1 {
+		return nil, fmt.Errorf("netsim: need at least one backbone, got %d", cfg.Backbones)
+	}
+	if cfg.RegionsPerBackbone == nil || cfg.OrgsPerRegion == nil || cfg.ClientsPerOrg == nil {
+		return nil, fmt.Errorf("netsim: nil fan-out distribution")
+	}
+	t := &Topology{}
+	add := func(parent NodeID, kind Kind, client trace.ClientID, region int) NodeID {
+		id := NodeID(len(t.Nodes))
+		depth := 0
+		if parent != NoNode {
+			depth = t.Nodes[parent].Depth + 1
+		}
+		t.Nodes = append(t.Nodes, Node{
+			ID: id, Parent: parent, Kind: kind, Depth: depth,
+			Client: client, Region: region,
+		})
+		if parent != NoNode {
+			t.Nodes[parent].Children = append(t.Nodes[parent].Children, id)
+		}
+		return id
+	}
+
+	root := add(NoNode, Root, "", -1)
+
+	// The server's own LAN hangs directly off the root.
+	lan := add(root, LANGateway, "", -1)
+	for i := 0; i < cfg.LocalClients; i++ {
+		add(lan, Client, trace.ClientID(fmt.Sprintf("ws%03d.local", i)), -1)
+	}
+
+	region := 0
+	org := 0
+	clientN := 0
+	atLeast1 := func(d stats.Dist) int {
+		n := int(d.Sample(g))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	for b := 0; b < cfg.Backbones; b++ {
+		bb := add(root, Backbone, "", -1)
+		for r := 0; r < atLeast1(cfg.RegionsPerBackbone); r++ {
+			reg := add(bb, Regional, "", region)
+			for o := 0; o < atLeast1(cfg.OrgsPerRegion); o++ {
+				gw := add(reg, Gateway, "", region)
+				for c := 0; c < atLeast1(cfg.ClientsPerOrg); c++ {
+					add(gw, Client,
+						trace.ClientID(fmt.Sprintf("c%05d.org%03d", clientN, org)), region)
+					clientN++
+				}
+				org++
+			}
+			region++
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("netsim: generated topology failed validation: %w", err)
+	}
+	return t, nil
+}
+
+// NumRegions returns the count of regional subtrees.
+func (t *Topology) NumRegions() int {
+	max := -1
+	for i := range t.Nodes {
+		if t.Nodes[i].Region > max {
+			max = t.Nodes[i].Region
+		}
+	}
+	return max + 1
+}

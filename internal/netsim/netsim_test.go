@@ -1,0 +1,299 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specweb/internal/stats"
+)
+
+func genTopo(t *testing.T, cfg Config, seed int64) *Topology {
+	t.Helper()
+	topo, err := Generate(cfg, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), TinyConfig()} {
+		topo := genTopo(t, cfg, 1)
+		if err := topo.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := genTopo(t, DefaultConfig(), 5)
+	b := genTopo(t, DefaultConfig(), 5)
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Parent != b.Nodes[i].Parent || a.Nodes[i].Kind != b.Nodes[i].Kind {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+}
+
+func TestTopologyShape(t *testing.T) {
+	topo := genTopo(t, DefaultConfig(), 2)
+	var local, remote int
+	for _, c := range topo.Clients() {
+		node, ok := topo.ClientNode(c)
+		if !ok {
+			t.Fatalf("client %s has no node", c)
+		}
+		switch topo.Node(node).Depth {
+		case 2:
+			local++
+		case 4:
+			remote++
+		default:
+			t.Errorf("client %s at unexpected depth %d", c, topo.Node(node).Depth)
+		}
+	}
+	if local != 40 {
+		t.Errorf("local clients = %d, want 40", local)
+	}
+	if remote < 100 {
+		t.Errorf("remote clients = %d, want hundreds", remote)
+	}
+}
+
+func TestPathToRootAndHops(t *testing.T) {
+	topo := genTopo(t, TinyConfig(), 3)
+	clients := topo.Clients()
+	var remoteLeaf NodeID = NoNode
+	for _, c := range clients {
+		id, _ := topo.ClientNode(c)
+		if topo.Node(id).Depth == 4 {
+			remoteLeaf = id
+			break
+		}
+	}
+	if remoteLeaf == NoNode {
+		t.Fatal("no remote leaf found")
+	}
+	path := topo.PathToRoot(remoteLeaf)
+	if len(path) != 5 {
+		t.Fatalf("path length %d, want 5", len(path))
+	}
+	if path[0] != remoteLeaf || path[len(path)-1] != topo.Root() {
+		t.Errorf("path endpoints wrong: %v", path)
+	}
+	for i := 0; i < len(path)-1; i++ {
+		if topo.Node(path[i]).Parent != path[i+1] {
+			t.Errorf("path not parent-linked at %d", i)
+		}
+	}
+	if topo.HopsToRoot(remoteLeaf) != 4 {
+		t.Errorf("HopsToRoot = %d", topo.HopsToRoot(remoteLeaf))
+	}
+	gw := topo.Node(remoteLeaf).Parent
+	if d, ok := topo.HopsBetween(gw, remoteLeaf); !ok || d != 1 {
+		t.Errorf("HopsBetween(gw, leaf) = %d %v", d, ok)
+	}
+	if d, ok := topo.HopsBetween(topo.Root(), remoteLeaf); !ok || d != 4 {
+		t.Errorf("HopsBetween(root, leaf) = %d %v", d, ok)
+	}
+	if _, ok := topo.HopsBetween(remoteLeaf, topo.Root()); ok {
+		t.Error("descendant-as-ancestor should fail")
+	}
+}
+
+func TestHopsBetweenNonAncestor(t *testing.T) {
+	topo := genTopo(t, TinyConfig(), 7)
+	// Two distinct backbones are not ancestors of each other.
+	var backbones []NodeID
+	for i := range topo.Nodes {
+		if topo.Nodes[i].Kind == Backbone {
+			backbones = append(backbones, topo.Nodes[i].ID)
+		}
+	}
+	if len(backbones) < 2 {
+		t.Skip("need two backbones")
+	}
+	if _, ok := topo.HopsBetween(backbones[0], backbones[1]); ok {
+		t.Error("siblings reported as ancestor/descendant")
+	}
+}
+
+func TestSubtreeClients(t *testing.T) {
+	topo := genTopo(t, TinyConfig(), 11)
+	all := topo.SubtreeClients(topo.Root())
+	if len(all) != len(topo.Clients()) {
+		t.Errorf("root subtree has %d clients, want %d", len(all), len(topo.Clients()))
+	}
+	// A gateway's clients are exactly its children.
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		if n.Kind == Gateway {
+			sub := topo.SubtreeClients(n.ID)
+			if len(sub) != len(n.Children) {
+				t.Errorf("gateway %d subtree %d clients, %d children", n.ID, len(sub), len(n.Children))
+			}
+			break
+		}
+	}
+}
+
+func TestInternalNodes(t *testing.T) {
+	topo := genTopo(t, TinyConfig(), 13)
+	for _, id := range topo.InternalNodes() {
+		k := topo.Node(id).Kind
+		if k == Root || k == Client {
+			t.Errorf("internal node list includes %v", k)
+		}
+	}
+	if len(topo.InternalNodes()) == 0 {
+		t.Error("no internal nodes")
+	}
+}
+
+func TestLocalClientsAreLANAndNamedLocal(t *testing.T) {
+	topo := genTopo(t, TinyConfig(), 17)
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		if n.Kind != Client {
+			continue
+		}
+		parentKind := topo.Node(n.Parent).Kind
+		isLocalName := len(n.Client) > 6 && string(n.Client[len(n.Client)-6:]) == ".local"
+		if (parentKind == LANGateway) != isLocalName {
+			t.Errorf("client %s: parent %v but name locality %v", n.Client, parentKind, isLocalName)
+		}
+	}
+}
+
+func TestRegions(t *testing.T) {
+	topo := genTopo(t, DefaultConfig(), 19)
+	if topo.NumRegions() < 4 {
+		t.Errorf("regions = %d, want several", topo.NumRegions())
+	}
+	// Every remote client carries its region; locals carry -1.
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		if n.Kind != Client {
+			continue
+		}
+		if topo.Node(n.Parent).Kind == LANGateway {
+			if n.Region != -1 {
+				t.Errorf("local client %s has region %d", n.Client, n.Region)
+			}
+		} else if n.Region < 0 {
+			t.Errorf("remote client %s has no region", n.Client)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Backbones = 0
+	if _, err := Generate(cfg, stats.NewRNG(1)); err == nil {
+		t.Error("zero backbones accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.ClientsPerOrg = nil
+	if _, err := Generate(cfg, stats.NewRNG(1)); err == nil {
+		t.Error("nil fan-out accepted")
+	}
+}
+
+func TestValidateRejectsCorrupt(t *testing.T) {
+	topo := genTopo(t, TinyConfig(), 23)
+	topo.Nodes[2].Depth = 99
+	if err := topo.Validate(); err == nil {
+		t.Error("corrupt depth accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Root: "root", Backbone: "backbone", Regional: "regional",
+		Gateway: "gateway", LANGateway: "lan-gateway", Client: "client",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", uint8(k), k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should print")
+	}
+}
+
+// Property: for any generated topology, every client's path to root is
+// acyclic, has length == depth+1, and HopsBetween(root, leaf) == depth.
+func TestPathProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		topo, err := Generate(TinyConfig(), stats.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		for _, c := range topo.Clients() {
+			id, ok := topo.ClientNode(c)
+			if !ok {
+				return false
+			}
+			path := topo.PathToRoot(id)
+			if len(path) != topo.Node(id).Depth+1 {
+				return false
+			}
+			if d, ok := topo.HopsBetween(topo.Root(), id); !ok || d != topo.Node(id).Depth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateMoreCorruptions(t *testing.T) {
+	base := func() *Topology { return genTopo(t, TinyConfig(), 29) }
+
+	topo := base()
+	// Duplicate client ID on two leaves.
+	var leaves []NodeID
+	for i := range topo.Nodes {
+		if topo.Nodes[i].Kind == Client {
+			leaves = append(leaves, topo.Nodes[i].ID)
+		}
+	}
+	topo.Nodes[leaves[1]].Client = topo.Nodes[leaves[0]].Client
+	if err := topo.Validate(); err == nil {
+		t.Error("duplicate client accepted")
+	}
+
+	topo = base()
+	topo.Nodes[leaves[0]].Client = ""
+	if err := topo.Validate(); err == nil {
+		t.Error("empty client ID accepted")
+	}
+
+	topo = base()
+	topo.Nodes[leaves[0]].Children = []NodeID{0}
+	if err := topo.Validate(); err == nil {
+		t.Error("client with children accepted")
+	}
+
+	topo = base()
+	topo.Nodes[2].Parent = 9999
+	if err := topo.Validate(); err == nil {
+		t.Error("dangling parent accepted")
+	}
+
+	topo = base()
+	topo.Nodes[0].Kind = Backbone
+	if err := topo.Validate(); err == nil {
+		t.Error("non-root node 0 accepted")
+	}
+
+	if err := (&Topology{}).Validate(); err == nil {
+		t.Error("empty topology accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package popularity
+
+import (
+	"fmt"
+
+	"specweb/internal/webgraph"
+)
+
+// Class is the paper's temporal/geographical popularity classification of
+// §2: out of the 974 documents accessed at cs-www.bu.edu, 99 were remotely
+// popular (remote ratio > 85%), 510 locally popular (< 15%), and 365
+// globally popular (in between).
+type Class int
+
+const (
+	// GloballyPopular documents see a balanced remote/local mix.
+	GloballyPopular Class = iota
+	// RemotelyPopular documents are requested almost only remotely.
+	RemotelyPopular
+	// LocallyPopular documents are requested almost only locally.
+	LocallyPopular
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case GloballyPopular:
+		return "global"
+	case RemotelyPopular:
+		return "remote"
+	case LocallyPopular:
+		return "local"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ClassifyOptions holds the remote-ratio thresholds; the paper used 85% and
+// 15%.
+type ClassifyOptions struct {
+	RemoteThreshold float64 // ratio above ⇒ remotely popular
+	LocalThreshold  float64 // ratio below ⇒ locally popular
+}
+
+// DefaultClassify returns the paper's thresholds.
+func DefaultClassify() ClassifyOptions {
+	return ClassifyOptions{RemoteThreshold: 0.85, LocalThreshold: 0.15}
+}
+
+// Classification maps each accessed document to its class and keeps the
+// class census.
+type Classification struct {
+	ByDoc  map[webgraph.DocID]Class
+	Counts map[Class]int
+}
+
+// Classify labels every accessed document by its remote-to-total ratio.
+func (a *Analysis) Classify(opts ClassifyOptions) *Classification {
+	c := &Classification{
+		ByDoc:  make(map[webgraph.DocID]Class, len(a.Docs)),
+		Counts: make(map[Class]int),
+	}
+	for i := range a.Docs {
+		d := &a.Docs[i]
+		cl := GloballyPopular
+		switch r := d.RemoteRatio(); {
+		case r > opts.RemoteThreshold:
+			cl = RemotelyPopular
+		case r < opts.LocalThreshold:
+			cl = LocallyPopular
+		}
+		c.ByDoc[d.Doc] = cl
+		c.Counts[cl]++
+	}
+	return c
+}
+
+// Mutability is the update-frequency classification of §2: documents with
+// noticeably frequent updates form a small "mutable" subset; the paper
+// monitored last-update dates for 186 days and found <0.5%/day for
+// remotely/globally popular documents and ≈2%/day for locally popular ones.
+type Mutability struct {
+	// RatePerDay is the observed update probability per document per day.
+	RatePerDay map[webgraph.DocID]float64
+	// Mutable marks documents whose rate is at or above the threshold.
+	Mutable map[webgraph.DocID]bool
+}
+
+// ClassifyMutable computes per-day update rates from per-document update-day
+// counts observed over the given number of days (multiple updates within a
+// day count once, per the paper's footnote) and labels documents mutable at
+// or above threshold. It returns an error on a non-positive observation
+// window.
+func ClassifyMutable(updateDays map[webgraph.DocID]int, days int, threshold float64) (*Mutability, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("popularity: observation window must be positive, got %d days", days)
+	}
+	m := &Mutability{
+		RatePerDay: make(map[webgraph.DocID]float64, len(updateDays)),
+		Mutable:    make(map[webgraph.DocID]bool),
+	}
+	for id, n := range updateDays {
+		rate := float64(n) / float64(days)
+		m.RatePerDay[id] = rate
+		if rate >= threshold {
+			m.Mutable[id] = true
+		}
+	}
+	return m, nil
+}
+
+// MeanUpdateRate returns the average per-day update rate over the documents
+// in the given class (documents without updates count as rate 0).
+func MeanUpdateRate(cls *Classification, mut *Mutability, c Class) float64 {
+	var sum float64
+	var n int
+	for id, cl := range cls.ByDoc {
+		if cl != c {
+			continue
+		}
+		sum += mut.RatePerDay[id]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,293 @@
+// Package popularity implements the server-log analysis of §2 of the paper:
+// per-document access counts, the 256 KB block popularity profile of
+// Figure 1, the exponential H(b) model fit that yields λ, the
+// remote/local/global popularity classification, and the mutable/immutable
+// classification from document-update rates.
+package popularity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// DocStats aggregates one document's accesses in a trace.
+type DocStats struct {
+	Doc      webgraph.DocID
+	Size     int64
+	Requests int64
+	Remote   int64 // requests from remote clients
+	// BytesServed is Requests × Size: the bandwidth the document cost.
+	BytesServed int64
+	// RemoteBytes is Remote × Size.
+	RemoteBytes int64
+}
+
+// RemoteRatio returns the remote-to-total access ratio, the paper's
+// classification statistic.
+func (d *DocStats) RemoteRatio() float64 {
+	if d.Requests == 0 {
+		return 0
+	}
+	return float64(d.Remote) / float64(d.Requests)
+}
+
+// Order selects the popularity ordering for ranked views.
+type Order int
+
+const (
+	// ByRequests ranks by total request count (the paper's "popularity").
+	ByRequests Order = iota
+	// ByRemoteRequests ranks by remote request count ("remote
+	// popularity", the ordering of Figure 1).
+	ByRemoteRequests
+	// ByDensity ranks by requests per byte, the bandwidth-optimal greedy
+	// order for filling a fixed-size proxy.
+	ByDensity
+	// ByRemoteDensity ranks by remote requests per byte.
+	ByRemoteDensity
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case ByRequests:
+		return "requests"
+	case ByRemoteRequests:
+		return "remote-requests"
+	case ByDensity:
+		return "density"
+	case ByRemoteDensity:
+		return "remote-density"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// Analysis holds the aggregated per-document statistics of one trace.
+type Analysis struct {
+	Docs []DocStats // every document accessed at least once
+
+	TotalRequests int64
+	RemoteTotal   int64
+	// AccessedBytes is the summed size of distinct accessed documents
+	// ("36.5 MBytes ... 73% of the 50+MBytes available").
+	AccessedBytes int64
+	// SiteBytes is the total size of the site, when known (0 otherwise).
+	SiteBytes int64
+
+	index map[webgraph.DocID]int
+}
+
+// Analyze aggregates a trace. site may be nil; it only supplies SiteBytes
+// and per-document sizes for documents whose trace requests carried Size 0.
+func Analyze(tr *trace.Trace, site *webgraph.Site) *Analysis {
+	a := &Analysis{index: make(map[webgraph.DocID]int)}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if r.Doc == webgraph.None {
+			continue
+		}
+		j, ok := a.index[r.Doc]
+		if !ok {
+			j = len(a.Docs)
+			a.index[r.Doc] = j
+			size := r.Size
+			if size == 0 && site != nil && site.Valid(r.Doc) {
+				size = site.Doc(r.Doc).Size
+			}
+			a.Docs = append(a.Docs, DocStats{Doc: r.Doc, Size: size})
+		}
+		d := &a.Docs[j]
+		d.Requests++
+		d.BytesServed += d.Size
+		if r.Remote {
+			d.Remote++
+			d.RemoteBytes += d.Size
+		}
+		a.TotalRequests++
+		if r.Remote {
+			a.RemoteTotal++
+		}
+	}
+	for i := range a.Docs {
+		a.AccessedBytes += a.Docs[i].Size
+	}
+	if site != nil {
+		a.SiteBytes = site.TotalBytes()
+	}
+	return a
+}
+
+// Stats returns the aggregate for one document, if it was accessed.
+func (a *Analysis) Stats(id webgraph.DocID) (DocStats, bool) {
+	j, ok := a.index[id]
+	if !ok {
+		return DocStats{}, false
+	}
+	return a.Docs[j], true
+}
+
+// Ranked returns the accessed documents sorted decreasing by the given
+// order, ties broken by DocID for determinism.
+func (a *Analysis) Ranked(o Order) []DocStats {
+	out := append([]DocStats(nil), a.Docs...)
+	key := func(d *DocStats) float64 {
+		switch o {
+		case ByRemoteRequests:
+			return float64(d.Remote)
+		case ByDensity:
+			if d.Size == 0 {
+				return 0
+			}
+			return float64(d.Requests) / float64(d.Size)
+		case ByRemoteDensity:
+			if d.Size == 0 {
+				return 0
+			}
+			return float64(d.Remote) / float64(d.Size)
+		default:
+			return float64(d.Requests)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := key(&out[i]), key(&out[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}
+
+// Block is one aggregation bucket of Figure 1: blockSize bytes of documents
+// in decreasing popularity.
+type Block struct {
+	Docs     int
+	Bytes    int64
+	Requests int64
+	// CumBytes and CumReqFrac are the running totals through this block.
+	CumBytes   int64
+	CumReqFrac float64
+}
+
+// Blocks groups the ranked documents into consecutive blocks of at least
+// blockSize bytes each (the last block may be smaller) and reports request
+// coverage per block — the data behind Figure 1. The order parameter
+// selects which popularity and which request count (total or remote) the
+// profile uses; ByRemoteRequests reproduces the paper's remote-access
+// profile.
+func (a *Analysis) Blocks(blockSize int64, o Order) []Block {
+	if blockSize <= 0 {
+		blockSize = 256 << 10
+	}
+	remote := o == ByRemoteRequests || o == ByRemoteDensity
+	ranked := a.Ranked(o)
+	total := a.TotalRequests
+	if remote {
+		total = a.RemoteTotal
+	}
+	var out []Block
+	cur := Block{}
+	var cumBytes, cumReqs int64
+	flush := func() {
+		if cur.Docs == 0 {
+			return
+		}
+		cur.CumBytes = cumBytes
+		if total > 0 {
+			cur.CumReqFrac = float64(cumReqs) / float64(total)
+		}
+		out = append(out, cur)
+		cur = Block{}
+	}
+	for i := range ranked {
+		d := &ranked[i]
+		reqs := d.Requests
+		if remote {
+			reqs = d.Remote
+		}
+		cur.Docs++
+		cur.Bytes += d.Size
+		cur.Requests += reqs
+		cumBytes += d.Size
+		cumReqs += reqs
+		if cur.Bytes >= blockSize {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// HitCurve returns the empirical H(b) of §2.2: frac[i] is the fraction of
+// requests serviceable from the most popular bytes[i] bytes, at document
+// granularity under the given order.
+func (a *Analysis) HitCurve(o Order) (bytes, frac []float64) {
+	remote := o == ByRemoteRequests || o == ByRemoteDensity
+	ranked := a.Ranked(o)
+	total := a.TotalRequests
+	if remote {
+		total = a.RemoteTotal
+	}
+	var cumB, cumR int64
+	for i := range ranked {
+		cumB += ranked[i].Size
+		if remote {
+			cumR += ranked[i].Remote
+		} else {
+			cumR += ranked[i].Requests
+		}
+		bytes = append(bytes, float64(cumB))
+		if total > 0 {
+			frac = append(frac, float64(cumR)/float64(total))
+		} else {
+			frac = append(frac, 0)
+		}
+	}
+	return bytes, frac
+}
+
+// FitLambda estimates the exponential popularity parameter λ of
+// H(b) = 1 - exp(-λ·b) from the hit curve, as the paper did for
+// cs-www.bu.edu (λ = 6.247e-7).
+func (a *Analysis) FitLambda(o Order) (float64, error) {
+	b, h := a.HitCurve(o)
+	if len(b) == 0 {
+		return 0, errors.New("popularity: empty analysis")
+	}
+	return stats.FitExponentialHitCurve(b, h)
+}
+
+// TopBytes returns the most popular documents under the order whose summed
+// size does not exceed budget bytes (greedy prefix; a document larger than
+// the remaining budget is skipped so the proxy can still fill with smaller
+// popular documents).
+func (a *Analysis) TopBytes(budget int64, o Order) []webgraph.DocID {
+	var out []webgraph.DocID
+	var used int64
+	for _, d := range a.Ranked(o) {
+		if used+d.Size > budget {
+			continue
+		}
+		used += d.Size
+		out = append(out, d.Doc)
+	}
+	return out
+}
+
+// TopFraction returns the most popular documents covering the given
+// fraction of AccessedBytes.
+func (a *Analysis) TopFraction(frac float64, o Order) []webgraph.DocID {
+	if frac <= 0 {
+		return nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return a.TopBytes(int64(frac*float64(a.AccessedBytes)), o)
+}

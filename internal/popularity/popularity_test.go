@@ -1,0 +1,337 @@
+package popularity
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"specweb/internal/stats"
+	"specweb/internal/synth"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+var t0 = time.Date(1995, time.January, 9, 12, 0, 0, 0, time.UTC)
+
+// handTrace builds a small trace with known counts:
+// doc 0 (size 100): 6 requests, 5 remote
+// doc 1 (size 200): 3 requests, 0 remote
+// doc 2 (size 50):  1 request, 1 remote
+func handTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	add := func(doc webgraph.DocID, size int64, remote bool, n int) {
+		for i := 0; i < n; i++ {
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time: t0, Client: "c", Doc: doc, Size: size, Remote: remote,
+			})
+		}
+	}
+	add(0, 100, true, 5)
+	add(0, 100, false, 1)
+	add(1, 200, false, 3)
+	add(2, 50, true, 1)
+	return tr
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	a := Analyze(handTrace(), nil)
+	if a.TotalRequests != 10 || a.RemoteTotal != 6 {
+		t.Errorf("totals = %d/%d, want 10/6", a.TotalRequests, a.RemoteTotal)
+	}
+	if a.AccessedBytes != 350 {
+		t.Errorf("accessed bytes = %d, want 350", a.AccessedBytes)
+	}
+	d0, ok := a.Stats(0)
+	if !ok || d0.Requests != 6 || d0.Remote != 5 || d0.BytesServed != 600 || d0.RemoteBytes != 500 {
+		t.Errorf("doc0 = %+v", d0)
+	}
+	if _, ok := a.Stats(99); ok {
+		t.Error("unaccessed doc reported")
+	}
+	if r := d0.RemoteRatio(); math.Abs(r-5.0/6) > 1e-12 {
+		t.Errorf("remote ratio = %v", r)
+	}
+}
+
+func TestAnalyzeSkipsUnresolved(t *testing.T) {
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Time: t0, Client: "c", Doc: webgraph.None, Size: 10},
+		{Time: t0, Client: "c", Doc: 1, Size: 10},
+	}}
+	a := Analyze(tr, nil)
+	if a.TotalRequests != 1 || len(a.Docs) != 1 {
+		t.Errorf("unresolved request counted: %+v", a)
+	}
+}
+
+func TestRankedOrders(t *testing.T) {
+	a := Analyze(handTrace(), nil)
+	byReq := a.Ranked(ByRequests)
+	if byReq[0].Doc != 0 || byReq[1].Doc != 1 || byReq[2].Doc != 2 {
+		t.Errorf("ByRequests order: %v", byReq)
+	}
+	byRem := a.Ranked(ByRemoteRequests)
+	if byRem[0].Doc != 0 || byRem[1].Doc != 2 || byRem[2].Doc != 1 {
+		t.Errorf("ByRemoteRequests order: %v", byRem)
+	}
+	// Densities: doc0 6/100=0.06, doc1 3/200=0.015, doc2 1/50=0.02.
+	byDen := a.Ranked(ByDensity)
+	if byDen[0].Doc != 0 || byDen[1].Doc != 2 || byDen[2].Doc != 1 {
+		t.Errorf("ByDensity order: %v", byDen)
+	}
+	// Remote densities: doc0 0.05, doc2 0.02, doc1 0.
+	byRD := a.Ranked(ByRemoteDensity)
+	if byRD[0].Doc != 0 || byRD[1].Doc != 2 || byRD[2].Doc != 1 {
+		t.Errorf("ByRemoteDensity order: %v", byRD)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	a := Analyze(handTrace(), nil)
+	blocks := a.Blocks(150, ByRequests)
+	// Ranked by requests: doc0 (100B), doc1 (200B), doc2 (50B).
+	// Block 1: doc0+doc1 = 300B ≥ 150 → flush. Block 2: doc2.
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks: %+v", len(blocks), blocks)
+	}
+	if blocks[0].Docs != 2 || blocks[0].Bytes != 300 || blocks[0].Requests != 9 {
+		t.Errorf("block0 = %+v", blocks[0])
+	}
+	if math.Abs(blocks[0].CumReqFrac-0.9) > 1e-12 {
+		t.Errorf("block0 cum frac = %v", blocks[0].CumReqFrac)
+	}
+	if math.Abs(blocks[1].CumReqFrac-1.0) > 1e-12 || blocks[1].CumBytes != 350 {
+		t.Errorf("block1 = %+v", blocks[1])
+	}
+	// Default block size kicks in for blockSize <= 0.
+	blocks = a.Blocks(0, ByRequests)
+	if len(blocks) != 1 {
+		t.Errorf("default 256KB should give one block, got %d", len(blocks))
+	}
+}
+
+func TestHitCurveMonotone(t *testing.T) {
+	a := Analyze(handTrace(), nil)
+	bs, hs := a.HitCurve(ByRequests)
+	if len(bs) != 3 {
+		t.Fatalf("curve has %d points", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] || hs[i] < hs[i-1] {
+			t.Errorf("curve not monotone at %d", i)
+		}
+	}
+	if math.Abs(hs[2]-1) > 1e-12 {
+		t.Errorf("curve should end at 1, got %v", hs[2])
+	}
+	if math.Abs(hs[0]-0.6) > 1e-12 {
+		t.Errorf("first point %v, want 0.6 (6 of 10 requests)", hs[0])
+	}
+}
+
+func TestTopBytesAndFraction(t *testing.T) {
+	a := Analyze(handTrace(), nil)
+	top := a.TopBytes(120, ByRequests)
+	// doc0 (100) fits; doc1 (200) skipped; doc2 (50) skipped (100+50>120... no, 150>120 → skipped).
+	if len(top) != 1 || top[0] != 0 {
+		t.Errorf("TopBytes(120) = %v", top)
+	}
+	top = a.TopBytes(160, ByRequests)
+	if len(top) != 2 || top[0] != 0 || top[1] != 2 {
+		t.Errorf("TopBytes(160) = %v (doc1 too big, doc2 fits)", top)
+	}
+	if got := a.TopFraction(0, ByRequests); got != nil {
+		t.Errorf("TopFraction(0) = %v", got)
+	}
+	all := a.TopFraction(1.0, ByRequests)
+	if len(all) != 3 {
+		t.Errorf("TopFraction(1) covered %d docs", len(all))
+	}
+	over := a.TopFraction(5, ByRequests)
+	if len(over) != 3 {
+		t.Errorf("TopFraction(>1) should clamp, got %d docs", len(over))
+	}
+}
+
+func TestClassify(t *testing.T) {
+	a := Analyze(handTrace(), nil)
+	c := a.Classify(DefaultClassify())
+	// doc0: 5/6 ≈ 0.83 → global; doc1: 0 → local; doc2: 1.0 → remote.
+	if c.ByDoc[0] != GloballyPopular || c.ByDoc[1] != LocallyPopular || c.ByDoc[2] != RemotelyPopular {
+		t.Errorf("classes = %v", c.ByDoc)
+	}
+	if c.Counts[GloballyPopular] != 1 || c.Counts[LocallyPopular] != 1 || c.Counts[RemotelyPopular] != 1 {
+		t.Errorf("counts = %v", c.Counts)
+	}
+}
+
+func TestClassifyMutable(t *testing.T) {
+	rates, err := ClassifyMutable(map[webgraph.DocID]int{1: 12, 2: 1}, 60, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates.RatePerDay[1]-0.2) > 1e-12 {
+		t.Errorf("rate = %v", rates.RatePerDay[1])
+	}
+	if !rates.Mutable[1] || rates.Mutable[2] {
+		t.Errorf("mutability = %v", rates.Mutable)
+	}
+	if _, err := ClassifyMutable(nil, 0, 0.01); err == nil {
+		t.Error("zero-day window accepted")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if GloballyPopular.String() != "global" || RemotelyPopular.String() != "remote" ||
+		LocallyPopular.String() != "local" || Class(9).String() == "" {
+		t.Error("class strings wrong")
+	}
+	if ByRequests.String() != "requests" || ByDensity.String() != "density" ||
+		ByRemoteRequests.String() != "remote-requests" || ByRemoteDensity.String() != "remote-density" ||
+		Order(9).String() == "" {
+		t.Error("order strings wrong")
+	}
+}
+
+// Integration with synth: the synthetic workload must reproduce the shape of
+// Figure 1 — strong popularity concentration and a sane exponential fit.
+func TestSyntheticProfileShape(t *testing.T) {
+	site, err := webgraph.Generate(webgraph.DepartmentSite(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synth.DefaultConfig(site, nil)
+	cfg.Days = 30
+	cfg.SessionsPerDay = 150
+	res, err := synth.Generate(cfg, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(res.Trace, site)
+
+	if a.TotalRequests < 20000 {
+		t.Fatalf("only %d requests", a.TotalRequests)
+	}
+	// Concentration: the top 10% of accessed bytes should cover well over
+	// half of all requests (the paper saw 91%).
+	_, hs := a.HitCurve(ByRequests)
+	bs, _ := a.HitCurve(ByRequests)
+	var at10 float64
+	for i := range bs {
+		if bs[i] >= 0.10*float64(a.AccessedBytes) {
+			at10 = hs[i]
+			break
+		}
+	}
+	if at10 < 0.55 {
+		t.Errorf("top 10%% of bytes covers only %.0f%% of requests; want heavy tail (paper: 91%%)", at10*100)
+	}
+
+	// The exponential fit must produce a plausible λ: H at the accessed
+	// size should be near 1, and λ·AccessedBytes in single-digit range.
+	lam, err := a.FitLambda(ByRequests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lam * float64(a.AccessedBytes)
+	if x < 1 || x > 50 {
+		t.Errorf("λ·B = %v, implausible fit (λ=%v, B=%d)", x, lam, a.AccessedBytes)
+	}
+
+	// Classification should produce all three classes, with locally
+	// popular documents the plurality as in the paper (510/974).
+	c := a.Classify(DefaultClassify())
+	if c.Counts[LocallyPopular] == 0 || c.Counts[RemotelyPopular] == 0 || c.Counts[GloballyPopular] == 0 {
+		t.Errorf("degenerate classification: %v", c.Counts)
+	}
+}
+
+func TestMeanUpdateRateByClass(t *testing.T) {
+	site, err := webgraph.Generate(webgraph.DepartmentSite(), stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synth.DefaultConfig(site, nil)
+	cfg.Days = 60
+	cfg.SessionsPerDay = 60
+	res, err := synth.Generate(cfg, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(res.Trace, site)
+	cls := a.Classify(DefaultClassify())
+
+	days := map[webgraph.DocID]int{}
+	seen := map[[2]int32]bool{}
+	for _, u := range res.Updates {
+		k := [2]int32{int32(u.Day), int32(u.Doc)}
+		if !seen[k] {
+			seen[k] = true
+			days[u.Doc]++
+		}
+	}
+	mut, err := ClassifyMutable(days, cfg.Days, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRate := MeanUpdateRate(cls, mut, LocallyPopular)
+	remoteRate := MeanUpdateRate(cls, mut, RemotelyPopular)
+	globalRate := MeanUpdateRate(cls, mut, GloballyPopular)
+	// §2: locally popular documents update more often than remotely or
+	// globally popular ones.
+	if localRate <= remoteRate || localRate <= globalRate {
+		t.Errorf("update rates local=%.4f remote=%.4f global=%.4f; want local highest",
+			localRate, remoteRate, globalRate)
+	}
+}
+
+func TestBlocksRemoteOrdering(t *testing.T) {
+	a := Analyze(handTrace(), nil)
+	blocks := a.Blocks(100, ByRemoteRequests)
+	// Remote ranking: doc0 (5 remote), doc2 (1), doc1 (0). Remote total 6.
+	var cum int64
+	for _, b := range blocks {
+		cum += b.Requests
+	}
+	if cum != 6 {
+		t.Errorf("remote blocks counted %d requests, want 6", cum)
+	}
+	last := blocks[len(blocks)-1]
+	if math.Abs(last.CumReqFrac-1) > 1e-12 {
+		t.Errorf("final remote coverage %v", last.CumReqFrac)
+	}
+}
+
+func TestHitCurveRemote(t *testing.T) {
+	a := Analyze(handTrace(), nil)
+	bs, hs := a.HitCurve(ByRemoteRequests)
+	// First ranked doc is doc0 with 5/6 remote requests.
+	if math.Abs(hs[0]-5.0/6) > 1e-12 {
+		t.Errorf("first remote coverage %v, want 5/6", hs[0])
+	}
+	if bs[0] != 100 {
+		t.Errorf("first cum bytes %v", bs[0])
+	}
+}
+
+func TestFitLambdaEmpty(t *testing.T) {
+	a := Analyze(&trace.Trace{}, nil)
+	if _, err := a.FitLambda(ByRequests); err == nil {
+		t.Error("empty analysis fit accepted")
+	}
+}
+
+func TestAnalyzeUsesSiteSizeWhenMissing(t *testing.T) {
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Time: t0, Client: "c", Doc: 0, Size: 0}, // size unknown in log
+	}}
+	a := Analyze(tr, site)
+	d, _ := a.Stats(0)
+	if d.Size != site.Doc(0).Size {
+		t.Errorf("size %d, want site's %d", d.Size, site.Doc(0).Size)
+	}
+}

@@ -1,0 +1,175 @@
+// Package speculation implements the server-side speculation policies of
+// §3.2–3.4: given a client's request for document D_i, which other documents
+// should the server push (or hint) along with it?
+//
+// The paper's baseline policy pushes every D_j with p*[i,j] ≥ T_p, subject
+// to a MaxSize cap on individual documents. Variations studied in §3.4 and
+// implemented here: thresholding the raw P instead of its closure (an
+// ablation), top-K selection, embedding-only speculation (T_p ≈ 1, which the
+// paper notes costs no wasted bandwidth), cooperative filtering against the
+// client's cache digest, server-assisted prefetching (hints instead of
+// pushes), and the hybrid protocol (push near-certain documents, hint the
+// rest).
+package speculation
+
+import (
+	"fmt"
+
+	"specweb/internal/markov"
+	"specweb/internal/webgraph"
+)
+
+// Policy produces speculative candidates for a requested document, in
+// priority order (most valuable first).
+type Policy interface {
+	// Candidates returns the documents to consider pushing along with
+	// doc, each with the policy's confidence that the client will request
+	// it soon.
+	Candidates(doc webgraph.DocID) []markov.Successor
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// Threshold is the paper's baseline policy: speculate on every successor
+// with probability at least Tp in the matrix M (the closure P* in the
+// baseline configuration; passing the raw P instead is the §3.4 ablation).
+type Threshold struct {
+	M  *markov.Matrix
+	Tp float64
+}
+
+// Candidates returns successors with p ≥ Tp in decreasing probability.
+func (t Threshold) Candidates(doc webgraph.DocID) []markov.Successor {
+	row := t.M.SortedRow(doc)
+	cut := len(row)
+	for i, s := range row {
+		if s.P < t.Tp {
+			cut = i
+			break
+		}
+	}
+	return row[:cut]
+}
+
+// Name identifies the policy.
+func (t Threshold) Name() string { return fmt.Sprintf("p*>=%.2f", t.Tp) }
+
+// TopK speculates on the K most likely successors, optionally requiring a
+// minimum probability.
+type TopK struct {
+	M    *markov.Matrix
+	K    int
+	MinP float64
+}
+
+// Candidates returns up to K successors with p ≥ MinP.
+func (t TopK) Candidates(doc webgraph.DocID) []markov.Successor {
+	row := t.M.SortedRow(doc)
+	out := row
+	if t.K >= 0 && len(out) > t.K {
+		out = out[:t.K]
+	}
+	cut := len(out)
+	for i, s := range out {
+		if s.P < t.MinP {
+			cut = i
+			break
+		}
+	}
+	return out[:cut]
+}
+
+// Name identifies the policy.
+func (t TopK) Name() string { return fmt.Sprintf("top%d(p>=%.2f)", t.K, t.MinP) }
+
+// None never speculates; it is the non-speculative baseline arm.
+type None struct{}
+
+// Candidates returns nothing.
+func (None) Candidates(webgraph.DocID) []markov.Successor { return nil }
+
+// Name identifies the policy.
+func (None) Name() string { return "none" }
+
+// Selector applies a policy plus the engine-level provisions of §3.2: the
+// MaxSize cap ("a document D_j is never speculatively serviced if its size
+// is greater than MaxSize") and exclusion of documents the server knows the
+// client has (cooperative clients, §3.4).
+type Selector struct {
+	Policy Policy
+	Site   *webgraph.Site
+	// MaxSize caps individual speculative documents; 0 or negative means
+	// no limit (the baseline's MaxSize = ∞).
+	MaxSize int64
+}
+
+// Select returns the documents to push along with doc. exclude, when
+// non-nil, suppresses documents the server believes the client already has
+// (it receives each candidate and reports whether to skip it).
+func (s *Selector) Select(doc webgraph.DocID, exclude func(webgraph.DocID) bool) []webgraph.DocID {
+	cands := s.Policy.Candidates(doc)
+	out := make([]webgraph.DocID, 0, len(cands))
+	for _, c := range cands {
+		if c.Doc == doc {
+			continue
+		}
+		if s.MaxSize > 0 && s.Site.Valid(c.Doc) && s.Site.Doc(c.Doc).Size > s.MaxSize {
+			continue
+		}
+		if exclude != nil && exclude(c.Doc) {
+			continue
+		}
+		out = append(out, c.Doc)
+	}
+	return out
+}
+
+// Hint is one entry of a server-assisted prefetching list (§3.4): the
+// server tells the client what it would have speculated, and the client
+// decides what to prefetch.
+type Hint struct {
+	Doc  webgraph.DocID
+	P    float64
+	Size int64
+}
+
+// Hints returns the hint list for doc under the same policy and MaxSize
+// provisions as Select.
+func (s *Selector) Hints(doc webgraph.DocID, exclude func(webgraph.DocID) bool) []Hint {
+	cands := s.Policy.Candidates(doc)
+	out := make([]Hint, 0, len(cands))
+	for _, c := range cands {
+		if c.Doc == doc {
+			continue
+		}
+		var size int64
+		if s.Site.Valid(c.Doc) {
+			size = s.Site.Doc(c.Doc).Size
+		}
+		if s.MaxSize > 0 && size > s.MaxSize {
+			continue
+		}
+		if exclude != nil && exclude(c.Doc) {
+			continue
+		}
+		out = append(out, Hint{Doc: c.Doc, P: c.P, Size: size})
+	}
+	return out
+}
+
+// Split implements the hybrid protocol of §3.4: candidates with probability
+// at least embedThreshold are pushed (near-certain documents — embeddings
+// cost no wasted bandwidth), the rest are returned as hints for
+// client-initiated prefetching.
+func (s *Selector) Split(doc webgraph.DocID, embedThreshold float64,
+	exclude func(webgraph.DocID) bool) (push []webgraph.DocID, hints []Hint) {
+
+	for _, h := range s.Hints(doc, exclude) {
+		if h.P >= embedThreshold {
+			push = append(push, h.Doc)
+		} else {
+			hints = append(hints, h)
+		}
+	}
+	return push, hints
+}

@@ -1,0 +1,161 @@
+package speculation
+
+import (
+	"testing"
+
+	"specweb/internal/markov"
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+func testSite(t *testing.T) *webgraph.Site {
+	t.Helper()
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+func testMatrix() *markov.Matrix {
+	m := markov.NewMatrix()
+	m.Set(1, 2, 0.9)
+	m.Set(1, 3, 0.5)
+	m.Set(1, 4, 0.2)
+	m.Set(1, 5, 1.0)
+	return m
+}
+
+func TestThresholdPolicy(t *testing.T) {
+	p := Threshold{M: testMatrix(), Tp: 0.5}
+	c := p.Candidates(1)
+	if len(c) != 3 || c[0].Doc != 5 || c[1].Doc != 2 || c[2].Doc != 3 {
+		t.Errorf("candidates = %v", c)
+	}
+	if got := p.Candidates(9); len(got) != 0 {
+		t.Errorf("unknown doc candidates = %v", got)
+	}
+	all := Threshold{M: testMatrix(), Tp: 0}.Candidates(1)
+	if len(all) != 4 {
+		t.Errorf("Tp=0 should return all: %v", all)
+	}
+	none := Threshold{M: testMatrix(), Tp: 1}.Candidates(1)
+	if len(none) != 1 || none[0].Doc != 5 {
+		t.Errorf("Tp=1 should return only certainties: %v", none)
+	}
+}
+
+func TestTopKPolicy(t *testing.T) {
+	p := TopK{M: testMatrix(), K: 2}
+	c := p.Candidates(1)
+	if len(c) != 2 || c[0].Doc != 5 || c[1].Doc != 2 {
+		t.Errorf("top2 = %v", c)
+	}
+	p = TopK{M: testMatrix(), K: 10, MinP: 0.4}
+	c = p.Candidates(1)
+	if len(c) != 3 {
+		t.Errorf("top10 minP 0.4 = %v", c)
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	if c := (None{}).Candidates(1); len(c) != 0 {
+		t.Errorf("None speculated: %v", c)
+	}
+	if None.Name(None{}) != "none" {
+		t.Error("name wrong")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Threshold{Tp: 0.25}).Name() != "p*>=0.25" {
+		t.Errorf("threshold name = %q", (Threshold{Tp: 0.25}).Name())
+	}
+	if (TopK{K: 3, MinP: 0.1}).Name() != "top3(p>=0.10)" {
+		t.Errorf("topk name = %q", TopK{K: 3, MinP: 0.1}.Name())
+	}
+}
+
+func TestSelectorMaxSize(t *testing.T) {
+	site := testSite(t)
+	// Build a matrix whose successors are real documents with known sizes.
+	m := markov.NewMatrix()
+	var small, big webgraph.DocID = -1, -1
+	for i := 1; i < len(site.Docs); i++ { // skip doc 0, the requested one
+		if site.Docs[i].Size < 4096 && small == -1 {
+			small = site.Docs[i].ID
+		}
+		if site.Docs[i].Size > 20000 && big == -1 {
+			big = site.Docs[i].ID
+		}
+	}
+	if small == -1 || big == -1 {
+		t.Skip("site lacks size spread")
+	}
+	m.Set(0, small, 0.9)
+	m.Set(0, big, 0.9)
+	sel := &Selector{Policy: Threshold{M: m, Tp: 0.5}, Site: site, MaxSize: 8192}
+	got := sel.Select(0, nil)
+	if len(got) != 1 || got[0] != small {
+		t.Errorf("MaxSize filter kept %v, want only %d", got, small)
+	}
+	sel.MaxSize = 0
+	if got := sel.Select(0, nil); len(got) != 2 {
+		t.Errorf("MaxSize=∞ kept %v", got)
+	}
+}
+
+func TestSelectorExclude(t *testing.T) {
+	site := testSite(t)
+	m := markov.NewMatrix()
+	m.Set(0, 1, 0.9)
+	m.Set(0, 2, 0.8)
+	sel := &Selector{Policy: Threshold{M: m, Tp: 0.5}, Site: site}
+	got := sel.Select(0, func(d webgraph.DocID) bool { return d == 1 })
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("exclude failed: %v", got)
+	}
+}
+
+func TestSelectorSkipsSelf(t *testing.T) {
+	site := testSite(t)
+	m := markov.NewMatrix()
+	m.Set(0, 1, 0.9)
+	sel := &Selector{Policy: Threshold{M: m, Tp: 0}, Site: site}
+	for _, d := range sel.Select(0, nil) {
+		if d == 0 {
+			t.Error("selector returned the requested doc itself")
+		}
+	}
+}
+
+func TestHints(t *testing.T) {
+	site := testSite(t)
+	m := markov.NewMatrix()
+	m.Set(0, 1, 0.9)
+	m.Set(0, 2, 0.3)
+	sel := &Selector{Policy: Threshold{M: m, Tp: 0.2}, Site: site}
+	hints := sel.Hints(0, nil)
+	if len(hints) != 2 {
+		t.Fatalf("hints = %v", hints)
+	}
+	if hints[0].Doc != 1 || hints[0].P != 0.9 || hints[0].Size != site.Doc(1).Size {
+		t.Errorf("hint[0] = %+v", hints[0])
+	}
+}
+
+func TestSplitHybrid(t *testing.T) {
+	site := testSite(t)
+	m := markov.NewMatrix()
+	m.Set(0, 1, 1.0)  // embedded-level certainty
+	m.Set(0, 2, 0.96) // above threshold
+	m.Set(0, 3, 0.4)  // hint
+	sel := &Selector{Policy: Threshold{M: m, Tp: 0.2}, Site: site}
+	push, hints := sel.Split(0, 0.95, nil)
+	if len(push) != 2 {
+		t.Errorf("push = %v, want docs 1,2", push)
+	}
+	if len(hints) != 1 || hints[0].Doc != 3 {
+		t.Errorf("hints = %v, want doc 3", hints)
+	}
+}

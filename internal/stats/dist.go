@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a continuous or discrete distribution that can be sampled through
+// an RNG. Implementations in this package cover the families that 1990s web
+// workload characterization identified: Zipf request popularity, Pareto
+// (heavy-tailed) object sizes, lognormal page bodies, exponential
+// inter-arrival gaps, and geometric structural counts.
+type Dist interface {
+	// Sample draws one value.
+	Sample(g *RNG) float64
+	// Mean returns the analytic mean, or NaN when it does not exist.
+	Mean() float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// Exponential is an exponential distribution with the given rate (1/mean).
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns an exponential distribution with the given rate.
+// It panics if rate is not strictly positive.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("stats: exponential rate must be > 0, got %v", rate))
+	}
+	return Exponential{Rate: rate}
+}
+
+// Sample draws an exponential variate.
+func (d Exponential) Sample(g *RNG) float64 { return g.ExpFloat64() / d.Rate }
+
+// Mean returns 1/rate.
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+
+// CDF returns P[X <= x].
+func (d Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-d.Rate*x)
+}
+
+func (d Exponential) String() string { return fmt.Sprintf("Exp(rate=%g)", d.Rate) }
+
+// Pareto is a Pareto (power-law tail) distribution with scale xm and shape
+// alpha. Web object sizes were famously found to have alpha ≈ 1.1–1.3
+// (Crovella & Bestavros), which is what makes speculative service's MaxSize
+// cap matter: the tail objects dominate bytes.
+type Pareto struct {
+	Xm    float64 // minimum value (scale)
+	Alpha float64 // tail index (shape)
+}
+
+// NewPareto returns a Pareto distribution. It panics on non-positive
+// parameters.
+func NewPareto(xm, alpha float64) Pareto {
+	if xm <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("stats: pareto parameters must be > 0, got xm=%v alpha=%v", xm, alpha))
+	}
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+// Sample draws a Pareto variate by inversion.
+func (d Pareto) Sample(g *RNG) float64 {
+	u := g.Float64()
+	// Guard the u==0 corner, which would map to +Inf.
+	for u == 0 {
+		u = g.Float64()
+	}
+	return d.Xm / math.Pow(u, 1/d.Alpha)
+}
+
+// Mean returns alpha·xm/(alpha-1) for alpha > 1 and NaN otherwise.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.NaN()
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+func (d Pareto) String() string { return fmt.Sprintf("Pareto(xm=%g, alpha=%g)", d.Xm, d.Alpha) }
+
+// Lognormal is a lognormal distribution parameterized by the mean Mu and
+// standard deviation Sigma of the underlying normal.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLognormal returns a lognormal distribution. It panics if sigma < 0.
+func NewLognormal(mu, sigma float64) Lognormal {
+	if sigma < 0 {
+		panic(fmt.Sprintf("stats: lognormal sigma must be >= 0, got %v", sigma))
+	}
+	return Lognormal{Mu: mu, Sigma: sigma}
+}
+
+// Sample draws a lognormal variate.
+func (d Lognormal) Sample(g *RNG) float64 {
+	return math.Exp(d.Mu + d.Sigma*g.NormFloat64())
+}
+
+// Mean returns exp(mu + sigma²/2).
+func (d Lognormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+func (d Lognormal) String() string { return fmt.Sprintf("Lognormal(mu=%g, sigma=%g)", d.Mu, d.Sigma) }
+
+// Geometric is a geometric distribution over {0, 1, 2, ...} with success
+// probability P; it models structural counts such as embedded objects per
+// page.
+type Geometric struct {
+	P float64
+}
+
+// NewGeometric returns a geometric distribution. It panics unless 0 < p <= 1.
+func NewGeometric(p float64) Geometric {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("stats: geometric p must be in (0,1], got %v", p))
+	}
+	return Geometric{P: p}
+}
+
+// Sample draws a geometric variate (number of failures before success).
+func (d Geometric) Sample(g *RNG) float64 {
+	if d.P == 1 {
+		return 0
+	}
+	u := g.Float64()
+	for u == 0 {
+		u = g.Float64()
+	}
+	return math.Floor(math.Log(u) / math.Log(1-d.P))
+}
+
+// Mean returns (1-p)/p.
+func (d Geometric) Mean() float64 { return (1 - d.P) / d.P }
+
+func (d Geometric) String() string { return fmt.Sprintf("Geometric(p=%g)", d.P) }
+
+// Uniform is a continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns a uniform distribution. It panics if hi < lo.
+func NewUniform(lo, hi float64) Uniform {
+	if hi < lo {
+		panic(fmt.Sprintf("stats: uniform requires hi >= lo, got [%v, %v)", lo, hi))
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+// Sample draws a uniform variate.
+func (d Uniform) Sample(g *RNG) float64 { return d.Lo + (d.Hi-d.Lo)*g.Float64() }
+
+// Mean returns (lo+hi)/2.
+func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+
+func (d Uniform) String() string { return fmt.Sprintf("Uniform[%g, %g)", d.Lo, d.Hi) }
+
+// Constant is a degenerate distribution that always returns V. It is useful
+// for pinning a knob in sweeps.
+type Constant struct {
+	V float64
+}
+
+// Sample returns the constant.
+func (d Constant) Sample(*RNG) float64 { return d.V }
+
+// Mean returns the constant.
+func (d Constant) Mean() float64 { return d.V }
+
+func (d Constant) String() string { return fmt.Sprintf("Constant(%g)", d.V) }
+
+// Zipf draws ranks {1..N} with probability proportional to 1/rank^S.
+// Web document popularity is approximately Zipf with S near 1; specweb uses
+// it for entry-page selection and as the ground truth against which the
+// paper's exponential H(b) approximation is fit.
+type Zipf struct {
+	N int     // number of ranks
+	S float64 // skew exponent
+
+	cdf []float64 // cumulative probabilities, len N
+}
+
+// NewZipf precomputes the CDF for a Zipf distribution over {1..n} with skew
+// s. It panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: zipf requires n > 0, got %d", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("stats: zipf requires s >= 0, got %v", s))
+	}
+	z := &Zipf{N: n, S: s, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		z.cdf[i-1] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	// Force the last entry to exactly 1 so binary search can never fall off
+	// the end due to rounding.
+	z.cdf[n-1] = 1
+	return z
+}
+
+// Rank draws a rank in [1, N].
+func (z *Zipf) Rank(g *RNG) int {
+	u := g.Float64()
+	lo, hi := 0, z.N-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Sample draws a rank as a float64 to satisfy Dist.
+func (z *Zipf) Sample(g *RNG) float64 { return float64(z.Rank(g)) }
+
+// Prob returns the probability of rank r (1-based).
+func (z *Zipf) Prob(r int) float64 {
+	if r < 1 || r > z.N {
+		return 0
+	}
+	if r == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[r-1] - z.cdf[r-2]
+}
+
+// Mean returns the expected rank.
+func (z *Zipf) Mean() float64 {
+	m := 0.0
+	for r := 1; r <= z.N; r++ {
+		m += float64(r) * z.Prob(r)
+	}
+	return m
+}
+
+func (z *Zipf) String() string { return fmt.Sprintf("Zipf(n=%d, s=%g)", z.N, z.S) }
+
+// BoundedPareto draws Pareto variates truncated to [xm, cap] by rejection
+// with an analytic fallback; it keeps synthetic object sizes from producing
+// absurd multi-gigabyte outliers while preserving the heavy tail below cap.
+type BoundedPareto struct {
+	P   Pareto
+	Cap float64
+}
+
+// NewBoundedPareto returns a Pareto distribution truncated at cap.
+// It panics if cap <= xm.
+func NewBoundedPareto(xm, alpha, cap float64) BoundedPareto {
+	if cap <= xm {
+		panic(fmt.Sprintf("stats: bounded pareto requires cap > xm, got xm=%v cap=%v", xm, cap))
+	}
+	return BoundedPareto{P: NewPareto(xm, alpha), Cap: cap}
+}
+
+// Sample draws by inversion of the truncated CDF (exact, no rejection loop).
+func (d BoundedPareto) Sample(g *RNG) float64 {
+	// Truncated inversion: F(x) = (1 - (xm/x)^a) / (1 - (xm/cap)^a).
+	a := d.P.Alpha
+	hm := math.Pow(d.P.Xm, a)
+	hc := math.Pow(d.Cap, a)
+	u := g.Float64()
+	x := math.Pow(-(u*hc-u*hm-hc)/(hc*hm), -1/a)
+	if x < d.P.Xm {
+		x = d.P.Xm
+	}
+	if x > d.Cap {
+		x = d.Cap
+	}
+	return x
+}
+
+// Mean returns the truncated Pareto mean.
+func (d BoundedPareto) Mean() float64 {
+	a := d.P.Alpha
+	l, h := d.P.Xm, d.Cap
+	if a == 1 {
+		return l * h / (h - l) * math.Log(h/l)
+	}
+	la := math.Pow(l, a)
+	return la / (1 - math.Pow(l/h, a)) * a / (a - 1) * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+func (d BoundedPareto) String() string {
+	return fmt.Sprintf("BoundedPareto(xm=%g, alpha=%g, cap=%g)", d.P.Xm, d.P.Alpha, d.Cap)
+}

@@ -1,0 +1,389 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const sampleN = 20000
+
+func sampleMean(t *testing.T, d Dist, n int, seed int64) float64 {
+	t.Helper()
+	g := NewRNG(seed)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(g)
+	}
+	return sum / float64(n)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	g := NewRNG(7)
+	c1 := g.Split("alpha")
+	c2 := g.Split("alpha")
+	// Splitting with the same label from the same parent seed must yield the
+	// same stream (pure function of seed and label).
+	for i := 0; i < 10; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatalf("split streams with identical labels diverged at draw %d", i)
+		}
+	}
+	c3 := NewRNG(7).Split("beta")
+	c4 := NewRNG(7).Split("alpha")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c3.Float64() != c4.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	g := NewRNG(1)
+	if g.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !g.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	for i := 0; i < sampleN; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / sampleN
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) frequency = %v, want ≈0.25", frac)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := NewExponential(0.5)
+	m := sampleMean(t, d, sampleN, 3)
+	if math.Abs(m-d.Mean())/d.Mean() > 0.05 {
+		t.Errorf("sample mean %v, analytic %v", m, d.Mean())
+	}
+}
+
+func TestExponentialCDF(t *testing.T) {
+	d := NewExponential(2)
+	if got := d.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+	if got := d.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	want := 1 - math.Exp(-2)
+	if got := d.CDF(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF(1) = %v, want %v", got, want)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate <= 0")
+		}
+	}()
+	NewExponential(0)
+}
+
+func TestParetoMeanAndSupport(t *testing.T) {
+	d := NewPareto(1000, 2.5)
+	g := NewRNG(9)
+	var sum float64
+	for i := 0; i < sampleN; i++ {
+		x := d.Sample(g)
+		if x < d.Xm {
+			t.Fatalf("pareto sample %v below scale %v", x, d.Xm)
+		}
+		sum += x
+	}
+	m := sum / sampleN
+	if math.Abs(m-d.Mean())/d.Mean() > 0.1 {
+		t.Errorf("sample mean %v, analytic %v", m, d.Mean())
+	}
+	if !math.IsNaN(NewPareto(1, 0.9).Mean()) {
+		t.Error("mean should be NaN for alpha <= 1")
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	d := NewLognormal(8, 0.5)
+	m := sampleMean(t, d, sampleN, 11)
+	if math.Abs(m-d.Mean())/d.Mean() > 0.05 {
+		t.Errorf("sample mean %v, analytic %v", m, d.Mean())
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	d := NewGeometric(0.3)
+	m := sampleMean(t, d, sampleN, 13)
+	if math.Abs(m-d.Mean()) > 0.1 {
+		t.Errorf("sample mean %v, analytic %v", m, d.Mean())
+	}
+	if got := NewGeometric(1).Sample(NewRNG(1)); got != 0 {
+		t.Errorf("Geometric(1) sample = %v, want 0", got)
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	d := NewUniform(2, 10)
+	m := sampleMean(t, d, sampleN, 17)
+	if math.Abs(m-6) > 0.1 {
+		t.Errorf("sample mean %v, want ≈6", m)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{V: 3.5}
+	if d.Sample(NewRNG(1)) != 3.5 || d.Mean() != 3.5 {
+		t.Error("constant distribution not constant")
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	var sum float64
+	for r := 1; r <= z.N; r++ {
+		sum += z.Prob(r)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Zipf probabilities sum to %v, want 1", sum)
+	}
+	if z.Prob(0) != 0 || z.Prob(101) != 0 {
+		t.Error("out-of-range ranks should have probability 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	g := NewRNG(23)
+	counts := make([]int64, z.N)
+	for i := 0; i < 100000; i++ {
+		counts[z.Rank(g)-1]++
+	}
+	// Rank 1 should dominate: with s=1 and n=1000, p(1) ≈ 1/H_1000 ≈ 0.133.
+	frac1 := float64(counts[0]) / 100000
+	if math.Abs(frac1-z.Prob(1)) > 0.01 {
+		t.Errorf("rank-1 frequency %v, analytic %v", frac1, z.Prob(1))
+	}
+	// Empirical skew should recover s ≈ 1 over the head of the distribution.
+	s, r2, err := FitZipfExponent(counts[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.8 || s > 1.2 {
+		t.Errorf("fitted skew %v (r2=%v), want ≈1", s, r2)
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	z := NewZipf(10, 0.8)
+	g := NewRNG(29)
+	for i := 0; i < 10000; i++ {
+		r := z.Rank(g)
+		if r < 1 || r > 10 {
+			t.Fatalf("rank %d out of [1,10]", r)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(4, 0)
+	for r := 1; r <= 4; r++ {
+		if math.Abs(z.Prob(r)-0.25) > 1e-9 {
+			t.Errorf("Prob(%d) = %v, want 0.25", r, z.Prob(r))
+		}
+	}
+}
+
+func TestBoundedParetoSupport(t *testing.T) {
+	d := NewBoundedPareto(500, 1.2, 1<<20)
+	g := NewRNG(31)
+	for i := 0; i < sampleN; i++ {
+		x := d.Sample(g)
+		if x < 500 || x > 1<<20 {
+			t.Fatalf("bounded pareto sample %v outside [500, 2^20]", x)
+		}
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	d := NewBoundedPareto(1000, 1.3, 1e8)
+	m := sampleMean(t, d, 200000, 37)
+	if math.Abs(m-d.Mean())/d.Mean() > 0.15 {
+		t.Errorf("sample mean %v, analytic %v", m, d.Mean())
+	}
+}
+
+func TestBoundedParetoMeanAlphaOne(t *testing.T) {
+	d := NewBoundedPareto(1000, 1.0, 1e6)
+	m := sampleMean(t, d, 200000, 41)
+	if math.Abs(m-d.Mean())/d.Mean() > 0.15 {
+		t.Errorf("sample mean %v, analytic %v (alpha=1 branch)", m, d.Mean())
+	}
+}
+
+// Property: Zipf CDF is monotone and every sampled rank is feasible for
+// arbitrary (n, s) in a reasonable range.
+func TestZipfProperty(t *testing.T) {
+	f := func(nRaw uint8, sRaw uint8, seed int64) bool {
+		n := int(nRaw%200) + 1
+		s := float64(sRaw%30) / 10 // 0.0 .. 2.9
+		z := NewZipf(n, s)
+		prev := 0.0
+		for i := 0; i < n; i++ {
+			if z.cdf[i] < prev-1e-12 {
+				return false
+			}
+			prev = z.cdf[i]
+		}
+		if math.Abs(z.cdf[n-1]-1) > 1e-12 {
+			return false
+		}
+		g := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			r := z.Rank(g)
+			if r < 1 || r > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distribution samples are always finite and non-negative for the
+// families specweb uses for sizes and counts.
+func TestSamplesFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		dists := []Dist{
+			NewExponential(0.001),
+			NewPareto(100, 1.1),
+			NewLognormal(9, 1.2),
+			NewGeometric(0.4),
+			NewBoundedPareto(100, 1.1, 1e9),
+		}
+		for _, d := range dists {
+			for i := 0; i < 20; i++ {
+				x := d.Sample(g)
+				if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistStrings(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want string
+	}{
+		{NewExponential(2), "Exp(rate=2)"},
+		{NewPareto(1, 1.5), "Pareto(xm=1, alpha=1.5)"},
+		{NewLognormal(8, 0.5), "Lognormal(mu=8, sigma=0.5)"},
+		{NewGeometric(0.3), "Geometric(p=0.3)"},
+		{NewUniform(1, 2), "Uniform[1, 2)"},
+		{Constant{V: 3}, "Constant(3)"},
+		{NewZipf(5, 1), "Zipf(n=5, s=1)"},
+		{NewBoundedPareto(1, 1.5, 10), "BoundedPareto(xm=1, alpha=1.5, cap=10)"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := map[string]func(){
+		"pareto xm":        func() { NewPareto(0, 1) },
+		"pareto alpha":     func() { NewPareto(1, 0) },
+		"lognormal sigma":  func() { NewLognormal(1, -1) },
+		"geometric low":    func() { NewGeometric(0) },
+		"geometric high":   func() { NewGeometric(1.5) },
+		"uniform inverted": func() { NewUniform(2, 1) },
+		"zipf n":           func() { NewZipf(0, 1) },
+		"zipf s":           func() { NewZipf(1, -1) },
+		"bpareto cap":      func() { NewBoundedPareto(10, 1, 5) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfSampleIsRank(t *testing.T) {
+	z := NewZipf(10, 1)
+	g := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		v := z.Sample(g)
+		if v != float64(int(v)) || v < 1 || v > 10 {
+			t.Fatalf("Sample = %v, want integer rank in [1,10]", v)
+		}
+	}
+}
+
+func TestZipfMean(t *testing.T) {
+	z := NewZipf(4, 0) // uniform over 1..4
+	if m := z.Mean(); math.Abs(m-2.5) > 1e-9 {
+		t.Errorf("mean = %v, want 2.5", m)
+	}
+}
+
+func TestRNGHelpers(t *testing.T) {
+	g := NewRNG(5)
+	if v := g.Intn(10); v < 0 || v >= 10 {
+		t.Errorf("Intn out of range: %d", v)
+	}
+	if v := g.Int63n(100); v < 0 || v >= 100 {
+		t.Errorf("Int63n out of range: %d", v)
+	}
+	p := g.Perm(5)
+	seen := map[int]bool{}
+	for _, x := range p {
+		seen[x] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Perm not a permutation: %v", p)
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 15 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned by fitting routines that need at least two
+// usable points.
+var ErrInsufficientData = errors.New("stats: insufficient data to fit")
+
+// FitExponentialHitCurve estimates λ for the paper's popularity model
+//
+//	H(b) = 1 - exp(-λ·b)
+//
+// from an empirical hit curve: points (b_i, H_i) where H_i is the fraction
+// of requests covered by the most popular b_i bytes. The fit is weighted
+// linear least squares on the transformed model -log(1-H) = λ·b (a
+// regression through the origin). Each point is weighted by (1-H)², the
+// inverse variance of the transformed observation under additive noise on H,
+// so the saturated tail of the curve — where log(1-H) amplifies noise —
+// does not dominate the estimate. Points with H >= hCap are discarded
+// outright because log(1-H) blows up as the empirical curve saturates.
+func FitExponentialHitCurve(bytes []float64, hits []float64) (lambda float64, err error) {
+	const hCap = 0.999
+	if len(bytes) != len(hits) {
+		return 0, errors.New("stats: bytes and hits length mismatch")
+	}
+	var sxy, sxx float64
+	n := 0
+	for i := range bytes {
+		b, h := bytes[i], hits[i]
+		if b <= 0 || h <= 0 || h >= hCap || math.IsNaN(b) || math.IsNaN(h) {
+			continue
+		}
+		y := -math.Log(1 - h)
+		w := (1 - h) * (1 - h)
+		sxy += w * b * y
+		sxx += w * b * b
+		n++
+	}
+	if n < 2 || sxx == 0 {
+		return 0, ErrInsufficientData
+	}
+	lambda = sxy / sxx
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return 0, ErrInsufficientData
+	}
+	return lambda, nil
+}
+
+// LinearFit computes ordinary least squares y = a + b·x and returns the
+// intercept a, slope b, and the coefficient of determination r².
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, ErrInsufficientData
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, ErrInsufficientData
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		r2 = 1
+	} else {
+		var ssRes float64
+		for i := range xs {
+			d := ys[i] - (a + b*xs[i])
+			ssRes += d * d
+		}
+		r2 = 1 - ssRes/ssTot
+	}
+	return a, b, r2, nil
+}
+
+// FitZipfExponent estimates the Zipf skew s from per-rank request counts
+// (counts[0] is the most popular item) via a log-log regression
+// log(count) = c - s·log(rank). Zero counts are skipped.
+func FitZipfExponent(counts []int64) (s float64, r2 float64, err error) {
+	var xs, ys []float64
+	for i, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(float64(c)))
+	}
+	if len(xs) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	_, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		return 0, 0, err
+	}
+	return -b, r2, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics for xs. An empty sample yields a
+// zero-count Summary with NaN fields.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{N: 0, Mean: nan, Std: nan, Min: nan, Max: nan, Median: nan}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}

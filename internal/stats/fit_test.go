@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitExponentialHitCurveRecoversLambda(t *testing.T) {
+	// Generate a clean synthetic curve from a known lambda and verify the
+	// fit recovers it. lambda is per-byte, in the paper's observed range.
+	const lambda = 6.247e-7
+	var bs, hs []float64
+	for b := 100e3; b <= 20e6; b += 250e3 {
+		bs = append(bs, b)
+		hs = append(hs, 1-math.Exp(-lambda*b))
+	}
+	got, err := FitExponentialHitCurve(bs, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-lambda)/lambda > 0.01 {
+		t.Errorf("fitted lambda %v, want %v", got, lambda)
+	}
+}
+
+func TestFitExponentialHitCurveNoisy(t *testing.T) {
+	const lambda = 1e-6
+	g := NewRNG(5)
+	var bs, hs []float64
+	for b := 50e3; b <= 10e6; b += 100e3 {
+		h := 1 - math.Exp(-lambda*b)
+		h += (g.Float64() - 0.5) * 0.02
+		if h <= 0 || h >= 1 {
+			continue
+		}
+		bs = append(bs, b)
+		hs = append(hs, h)
+	}
+	got, err := FitExponentialHitCurve(bs, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-lambda)/lambda > 0.10 {
+		t.Errorf("fitted lambda %v, want within 10%% of %v", got, lambda)
+	}
+}
+
+func TestFitExponentialHitCurveErrors(t *testing.T) {
+	if _, err := FitExponentialHitCurve([]float64{1}, []float64{0.1, 0.2}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := FitExponentialHitCurve(nil, nil); err == nil {
+		t.Error("empty input not rejected")
+	}
+	// All points saturated -> nothing usable.
+	if _, err := FitExponentialHitCurve([]float64{1, 2, 3}, []float64{1, 1, 1}); err == nil {
+		t.Error("saturated curve not rejected")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("got a=%v b=%v r2=%v, want 1, 2, 1", a, b, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1, 1, 1}, []float64{2, 3, 4}); err == nil {
+		t.Error("vertical data not rejected")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point not rejected")
+	}
+	// Constant y: slope 0, r2 defined as 1 by convention here.
+	a, b, r2, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-5) > 1e-12 || math.Abs(b) > 1e-12 || r2 != 1 {
+		t.Errorf("constant fit a=%v b=%v r2=%v", a, b, r2)
+	}
+}
+
+func TestFitZipfExponent(t *testing.T) {
+	// Exact 1/r^1.2 counts.
+	counts := make([]int64, 200)
+	for i := range counts {
+		counts[i] = int64(1e6 / math.Pow(float64(i+1), 1.2))
+	}
+	s, r2, err := FitZipfExponent(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1.2) > 0.05 {
+		t.Errorf("fitted skew %v (r2=%v), want 1.2", s, r2)
+	}
+}
+
+func TestFitZipfExponentSkipsZeros(t *testing.T) {
+	if _, _, err := FitZipfExponent([]int64{0, 0, 5}); err == nil {
+		t.Error("fewer than 2 usable points not rejected")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Interpolated case.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.Std-2.138) > 0.01 {
+		t.Errorf("std %v, want ≈2.138 (sample std)", s.Std)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median %v, want 4.5", s.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty summary %+v", empty)
+	}
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Values outside the
+// range are clamped into the first/last bin so that nothing is silently
+// dropped; the paper's Figure 4 histogram of p[i,j] values is produced with
+// one of these over [0, 1].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with n equal-width bins over [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: histogram requires n > 0 bins, got %d", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram requires hi > lo, got [%v, %v)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+
+// AddN records n observations of the same value.
+func (h *Histogram) AddN(x float64, n int64) {
+	h.Counts[h.binOf(x)] += n
+	h.total += n
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if math.IsNaN(x) || x < h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return len(h.Counts) - 1
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	b := int((x - h.Lo) / w)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// BinLo returns the inclusive lower edge of bin i.
+func (h *Histogram) BinLo(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w
+}
+
+// Fraction returns the fraction of observations in bin i, or 0 when empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// PeakBins returns the indices of local maxima whose count is at least
+// minCount, in increasing bin order. Used by tests to verify the 1/k peak
+// structure of the dependency histogram.
+func (h *Histogram) PeakBins(minCount int64) []int {
+	var peaks []int
+	for i, c := range h.Counts {
+		if c < minCount {
+			continue
+		}
+		left := int64(-1)
+		if i > 0 {
+			left = h.Counts[i-1]
+		}
+		right := int64(-1)
+		if i < len(h.Counts)-1 {
+			right = h.Counts[i+1]
+		}
+		if c >= left && c >= right && (c > left || c > right) {
+			peaks = append(peaks, i)
+		}
+	}
+	return peaks
+}
+
+// Render draws an ASCII bar chart of the histogram, width columns wide,
+// suitable for terminal output from the cmd/ tools.
+func (h *Histogram) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var max int64
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = int(float64(c) / float64(max) * float64(width))
+		}
+		fmt.Fprintf(&b, "[%6.3f, %6.3f) %8d |%s\n",
+			h.BinLo(i), h.BinLo(i)+(h.Hi-h.Lo)/float64(len(h.Counts)), c,
+			strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// CumulativeCurve accumulates (x, weight) points and reports the cumulative
+// fraction of total weight covered by the first k points in insertion order.
+// specweb uses it to build Figure 1's "fraction of requests covered by the
+// most popular b bytes" curve.
+type CumulativeCurve struct {
+	xs    []float64
+	ws    []float64
+	total float64
+}
+
+// Append adds a point with position x (e.g. cumulative bytes) and weight w
+// (e.g. requests attributable to this block).
+func (c *CumulativeCurve) Append(x, w float64) {
+	c.xs = append(c.xs, x)
+	c.ws = append(c.ws, w)
+	c.total += w
+}
+
+// Len returns the number of points.
+func (c *CumulativeCurve) Len() int { return len(c.xs) }
+
+// Point returns the x position and cumulative weight fraction after point i.
+func (c *CumulativeCurve) Point(i int) (x, cumFrac float64) {
+	var cum float64
+	for j := 0; j <= i; j++ {
+		cum += c.ws[j]
+	}
+	if c.total == 0 {
+		return c.xs[i], 0
+	}
+	return c.xs[i], cum / c.total
+}
+
+// Points materializes the whole curve as parallel slices of x positions and
+// cumulative fractions.
+func (c *CumulativeCurve) Points() (xs, fracs []float64) {
+	xs = append([]float64(nil), c.xs...)
+	fracs = make([]float64, len(c.ws))
+	var cum float64
+	for i, w := range c.ws {
+		cum += w
+		if c.total > 0 {
+			fracs[i] = cum / c.total
+		}
+	}
+	return xs, fracs
+}
+
+// FracAt returns the cumulative weight fraction at position x by linear
+// interpolation, assuming the points were appended in increasing x order.
+func (c *CumulativeCurve) FracAt(x float64) float64 {
+	xs, fracs := c.Points()
+	if len(xs) == 0 || c.total == 0 {
+		return 0
+	}
+	if x <= xs[0] {
+		if xs[0] == 0 {
+			return fracs[0]
+		}
+		return fracs[0] * x / xs[0]
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= xs[i] {
+			span := xs[i] - xs[i-1]
+			if span == 0 {
+				return fracs[i]
+			}
+			t := (x - xs[i-1]) / span
+			return fracs[i-1] + t*(fracs[i]-fracs[i-1])
+		}
+	}
+	return fracs[len(fracs)-1]
+}

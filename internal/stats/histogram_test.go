@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.Add(0.05) // bin 0
+	h.Add(0.15) // bin 1
+	h.Add(0.95) // bin 9
+	h.Add(1.0)  // clamped into bin 9
+	h.Add(-0.5) // clamped into bin 0
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[9] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddN(3, 7)
+	if h.Counts[1] != 7 || h.Total() != 7 {
+		t.Errorf("AddN: counts=%v total=%d", h.Counts, h.Total())
+	}
+}
+
+func TestHistogramNaNClamped(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(math.NaN())
+	if h.Counts[0] != 1 {
+		t.Errorf("NaN should be clamped into bin 0, counts=%v", h.Counts)
+	}
+}
+
+func TestHistogramBinCenters(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	want := []float64{0.125, 0.375, 0.625, 0.875}
+	for i, w := range want {
+		if got := h.BinCenter(i); math.Abs(got-w) > 1e-12 {
+			t.Errorf("BinCenter(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := h.BinLo(2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("BinLo(2) = %v, want 0.5", got)
+	}
+}
+
+func TestHistogramFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+	h.Add(0.1)
+	h.Add(0.2)
+	h.Add(0.9)
+	if math.Abs(h.Fraction(0)-2.0/3) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPeaks(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	// Build peaks in bins 2 and 7.
+	h.AddN(0.25, 100)
+	h.AddN(0.15, 20)
+	h.AddN(0.35, 30)
+	h.AddN(0.75, 80)
+	h.AddN(0.65, 10)
+	h.AddN(0.85, 5)
+	peaks := h.PeakBins(50)
+	if len(peaks) != 2 || peaks[0] != 2 || peaks[1] != 7 {
+		t.Errorf("peaks = %v, want [2 7]", peaks)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.AddN(0.1, 10)
+	h.AddN(0.5, 5)
+	out := h.Render(20)
+	if !strings.Contains(out, "####################") {
+		t.Errorf("largest bin should render a full-width bar:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("rendered %d lines, want 3", lines)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCumulativeCurve(t *testing.T) {
+	var c CumulativeCurve
+	c.Append(100, 60)
+	c.Append(200, 30)
+	c.Append(300, 10)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	x, f := c.Point(0)
+	if x != 100 || math.Abs(f-0.6) > 1e-12 {
+		t.Errorf("Point(0) = (%v, %v)", x, f)
+	}
+	_, f = c.Point(2)
+	if math.Abs(f-1) > 1e-12 {
+		t.Errorf("final cumulative fraction %v, want 1", f)
+	}
+	xs, fs := c.Points()
+	if len(xs) != 3 || len(fs) != 3 || math.Abs(fs[1]-0.9) > 1e-12 {
+		t.Errorf("Points() = %v %v", xs, fs)
+	}
+}
+
+func TestCumulativeCurveFracAt(t *testing.T) {
+	var c CumulativeCurve
+	c.Append(100, 50)
+	c.Append(200, 50)
+	if got := c.FracAt(150); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("FracAt(150) = %v, want 0.75", got)
+	}
+	if got := c.FracAt(50); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("FracAt(50) = %v, want 0.25 (linear below first point)", got)
+	}
+	if got := c.FracAt(1e9); got != 1 {
+		t.Errorf("FracAt beyond range = %v, want 1", got)
+	}
+	var empty CumulativeCurve
+	if empty.FracAt(10) != 0 {
+		t.Error("empty curve FracAt should be 0")
+	}
+}
+
+// Property: histogram conserves observations (total equals the number of
+// Adds) and fractions sum to 1 for any inputs.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(0, 1, 8)
+		for _, v := range vals {
+			h.Add(v)
+		}
+		var n int64
+		var fsum float64
+		for i, c := range h.Counts {
+			n += c
+			fsum += h.Fraction(i)
+		}
+		if n != int64(len(vals)) || n != h.Total() {
+			return false
+		}
+		return len(vals) == 0 || math.Abs(fsum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cumulative curve fractions are monotone non-decreasing and end
+// at 1 for positive weights.
+func TestCumulativeCurveMonotoneProperty(t *testing.T) {
+	f := func(ws []uint16) bool {
+		var c CumulativeCurve
+		x := 0.0
+		total := 0
+		for _, w := range ws {
+			x += 1
+			c.Append(x, float64(w))
+			total += int(w)
+		}
+		_, fs := c.Points()
+		prev := 0.0
+		for _, fr := range fs {
+			if fr < prev-1e-12 {
+				return false
+			}
+			prev = fr
+		}
+		return total == 0 || len(fs) == 0 || math.Abs(fs[len(fs)-1]-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package stats provides the statistical substrate used throughout specweb:
+// deterministic random sources, the heavy-tailed distributions that web
+// workload synthesis requires (Zipf, Pareto, lognormal), histogramming, and
+// the least-squares exponential fit used to estimate the popularity
+// parameter λ of the paper's H(b) = 1 - exp(-λ·b) model.
+//
+// Everything in this package is deterministic for a given seed so that every
+// experiment in the repository is reproducible bit-for-bit.
+package stats
+
+import (
+	"math/rand"
+)
+
+// RNG wraps math/rand.Rand with a fixed, splittable seeding discipline.
+// All specweb components draw randomness through an RNG so that a single
+// experiment seed determines the entire run.
+type RNG struct {
+	r    *rand.Rand
+	seed int64
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Split derives an independent child generator from this one. The child's
+// stream is a pure function of the parent seed and the label — it does not
+// consume any parent draws — so adding a new consumer of randomness does not
+// perturb existing streams.
+func (g *RNG) Split(label string) *RNG {
+	// FNV-1a over the label bytes, mixed with the parent seed.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	h ^= uint64(g.seed)
+	h *= prime64
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return NewRNG(int64(h ^ 0x9e3779b97f4a7c15))
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63n returns a uniform draw in [0, n). It panics if n <= 0.
+func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// NormFloat64 returns a standard normal draw.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential draw with rate 1.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}

@@ -1,0 +1,432 @@
+// Package synth generates synthetic access traces against a webgraph.Site,
+// standing in for the 1995 cs-www.bu.edu HTTP logs that drove the paper's
+// evaluation (205,925 accesses, 8,474 clients, >20,000 sessions over
+// January–March 1995).
+//
+// The generator is a random surfer with session structure:
+//
+//   - Sessions arrive as a Poisson process over the simulated days, issued
+//     by a population of local (LAN) and remote clients.
+//   - A session starts at an entry page drawn Zipf-skewed — reweighted by
+//     the page's audience (local pages for local clients) and, for remote
+//     clients, by a per-region permutation of entry preference. The former
+//     yields the paper's remote/local/global popularity classes (§2), the
+//     latter its geographic locality of reference.
+//   - Within a session the surfer alternates traversal strides (following
+//     uniformly-chosen anchors with short think times — the paper's
+//     traversal dependencies with probability peaks at 1/k) and jumps to a
+//     fresh entry page after a long pause.
+//   - Every page view also requests the page's embedded objects (the
+//     paper's embedding dependencies, p[i,j] = 1).
+//
+// Every request a surfer makes is emitted: the output models a server-side
+// log with cache-less clients, matching the paper's setup where client
+// caching is imposed later by the simulator, not baked into the trace.
+//
+// The generator also emits the site's document-update log (per-day update
+// draws from each document's UpdateProb), which §2's mutability
+// classification and the dissemination simulator's re-push accounting need.
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"specweb/internal/netsim"
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// Config parameterizes trace generation.
+type Config struct {
+	Site *webgraph.Site
+	// Topology optionally supplies the client population and its regions.
+	// When nil, a flat population of RemoteClients + LocalClients is used.
+	Topology *netsim.Topology
+
+	// Population (used only when Topology == nil).
+	RemoteClients int
+	LocalClients  int
+
+	// Time structure.
+	Start time.Time
+	Days  int
+	// SessionsPerDay is the mean of the Poisson session-arrival process.
+	SessionsPerDay float64
+	// LocalSessionFraction is the probability a session comes from a local
+	// client.
+	LocalSessionFraction float64
+
+	// Navigation.
+	PagesPerSession stats.Dist // pages viewed per session (≥1)
+	ThinkTime       stats.Dist // seconds between page views inside a stride
+	JumpGap         stats.Dist // seconds of pause when a new stride begins
+	FollowLinkProb  float64    // continue the stride by following an anchor
+	// EmbeddedDelay is the spacing in seconds between a page request and
+	// its embedded-object requests (browsers fetched them back-to-back).
+	EmbeddedDelay float64
+
+	// Popularity shaping.
+	EntrySkew float64 // overrides Site.EntrySkew when > 0
+	// AudienceBias is the weight multiplier favoring pages whose audience
+	// matches the requesting client (≥1). 1 disables the remote/local
+	// structure; the paper's three classes need a strong bias.
+	AudienceBias float64
+	// GeoLocality is the probability that a remote client's entry choice
+	// uses its region's permuted preference order rather than the global
+	// one. 0 disables geographic locality.
+	GeoLocality float64
+
+	// Noise is the fraction of extra junk requests interleaved into the
+	// trace — 404s for missing documents, CGI script hits, and accesses
+	// through the "/" alias — the stuff the paper's preprocessing footnote
+	// removes ("removal of accesses to non-existent documents, to live
+	// documents, and to scripts, as well as renaming accesses to
+	// aliases"). 0 produces a clean trace.
+	Noise float64
+}
+
+// DefaultConfig returns a configuration calibrated to the paper's trace
+// scale: with the DepartmentSite profile and ≈90 days it produces roughly
+// 200k requests from thousands of clients.
+func DefaultConfig(site *webgraph.Site, topo *netsim.Topology) Config {
+	return Config{
+		Site:                 site,
+		Topology:             topo,
+		RemoteClients:        2000,
+		LocalClients:         60,
+		Start:                time.Date(1995, time.January, 1, 0, 0, 0, 0, time.UTC),
+		Days:                 90,
+		SessionsPerDay:       220,
+		LocalSessionFraction: 0.45,
+		PagesPerSession:      stats.NewGeometric(0.22), // ≈3.5 extra pages → ≈4.5 views
+		ThinkTime:            stats.NewLognormal(0.6, 0.6),
+		JumpGap:              stats.NewLognormal(4.6, 0.5), // ≈100 s pauses
+		FollowLinkProb:       0.72,
+		EmbeddedDelay:        0.3,
+		AudienceBias:         12,
+		GeoLocality:          0.6,
+	}
+}
+
+// Update is one document-modification event.
+type Update struct {
+	Day  int
+	Doc  webgraph.DocID
+	Time time.Time
+}
+
+// Result bundles the generated trace with the update log.
+type Result struct {
+	Trace   *trace.Trace
+	Updates []Update
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Site == nil {
+		return fmt.Errorf("synth: nil site")
+	}
+	if c.Days <= 0 {
+		return fmt.Errorf("synth: Days must be > 0, got %d", c.Days)
+	}
+	if c.SessionsPerDay <= 0 {
+		return fmt.Errorf("synth: SessionsPerDay must be > 0, got %v", c.SessionsPerDay)
+	}
+	if c.Topology == nil && c.RemoteClients+c.LocalClients <= 0 {
+		return fmt.Errorf("synth: no client population")
+	}
+	if c.PagesPerSession == nil || c.ThinkTime == nil || c.JumpGap == nil {
+		return fmt.Errorf("synth: nil navigation distribution")
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"LocalSessionFraction", c.LocalSessionFraction},
+		{"FollowLinkProb", c.FollowLinkProb},
+		{"GeoLocality", c.GeoLocality},
+		{"Noise", c.Noise},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("synth: %s = %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.AudienceBias < 1 {
+		return fmt.Errorf("synth: AudienceBias must be >= 1, got %v", c.AudienceBias)
+	}
+	return nil
+}
+
+type client struct {
+	id     trace.ClientID
+	remote bool
+	region int
+}
+
+// Generate produces a trace and update log. The output trace is
+// chronologically sorted and passes trace.Validate.
+func Generate(cfg Config, g *stats.RNG) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	site := cfg.Site
+
+	locals, remotes := population(cfg)
+	if len(locals) == 0 && cfg.LocalSessionFraction > 0 {
+		return nil, fmt.Errorf("synth: LocalSessionFraction > 0 but no local clients")
+	}
+	if len(remotes) == 0 && cfg.LocalSessionFraction < 1 {
+		return nil, fmt.Errorf("synth: remote sessions required but no remote clients")
+	}
+
+	ec := newEntryChooser(site, cfg, g.Split("entries"))
+	nav := g.Split("nav")
+	arr := g.Split("arrivals")
+	upd := g.Split("updates")
+
+	res := &Result{Trace: &trace.Trace{}}
+
+	// Sessions arrive with exponential gaps at rate SessionsPerDay per day.
+	day := 24 * time.Hour
+	horizon := cfg.Start.Add(time.Duration(cfg.Days) * day)
+	gapMean := float64(day) / cfg.SessionsPerDay
+	at := cfg.Start
+	for {
+		at = at.Add(time.Duration(arr.ExpFloat64() * gapMean))
+		if !at.Before(horizon) {
+			break
+		}
+		var cl client
+		if arr.Bool(cfg.LocalSessionFraction) {
+			cl = locals[arr.Intn(len(locals))]
+		} else {
+			cl = remotes[arr.Intn(len(remotes))]
+		}
+		emitSession(res.Trace, site, cfg, ec, nav, cl, at)
+	}
+
+	// Noise: junk requests the preprocessing stage exists to remove.
+	if cfg.Noise > 0 {
+		ng := g.Split("noise")
+		n := int(cfg.Noise * float64(res.Trace.Len()))
+		all := append(append([]client(nil), locals...), remotes...)
+		span := horizon.Sub(cfg.Start)
+		for i := 0; i < n; i++ {
+			cl := all[ng.Intn(len(all))]
+			at := cfg.Start.Add(time.Duration(ng.Float64() * float64(span)))
+			req := trace.Request{
+				Time:   at,
+				Client: cl.id,
+				Doc:    webgraph.None,
+				Remote: cl.remote,
+			}
+			switch ng.Intn(3) {
+			case 0: // non-existent document: a 404, or a 200 for a
+				// document that existed when logged but not on the
+				// current site (deleted mid-trace)
+				req.Path = fmt.Sprintf("/missing/m%04d.html", ng.Intn(5000))
+				if ng.Bool(0.5) {
+					req.Status = 404
+				} else {
+					req.Status = 200
+					req.Size = 1024
+				}
+			case 1: // live document / script
+				req.Path = fmt.Sprintf("/cgi-bin/query?q=%d", ng.Intn(1000))
+				req.Status = 200
+				req.Size = 512
+			default: // alias of the home page
+				req.Path = "/"
+				req.Status = 200
+				req.Size = site.Doc(site.Entries[0]).Size
+			}
+			res.Trace.Requests = append(res.Trace.Requests, req)
+		}
+	}
+
+	// Update log: one draw per document per day.
+	for d := 0; d < cfg.Days; d++ {
+		when := cfg.Start.Add(time.Duration(d)*day + 12*time.Hour)
+		for i := range site.Docs {
+			if upd.Bool(site.Docs[i].UpdateProb) {
+				res.Updates = append(res.Updates, Update{Day: d, Doc: site.Docs[i].ID, Time: when})
+			}
+		}
+	}
+
+	res.Trace.SortByTime()
+	return res, nil
+}
+
+func population(cfg Config) (locals, remotes []client) {
+	if cfg.Topology != nil {
+		t := cfg.Topology
+		for _, cid := range t.Clients() {
+			nid, _ := t.ClientNode(cid)
+			n := t.Node(nid)
+			c := client{id: cid, region: n.Region}
+			if t.Node(n.Parent).Kind == netsim.LANGateway {
+				locals = append(locals, c)
+			} else {
+				c.remote = true
+				remotes = append(remotes, c)
+			}
+		}
+		return locals, remotes
+	}
+	for i := 0; i < cfg.LocalClients; i++ {
+		locals = append(locals, client{id: trace.ClientID(fmt.Sprintf("ws%03d.local", i))})
+	}
+	for i := 0; i < cfg.RemoteClients; i++ {
+		// Without a topology, spread remote clients over 8 synthetic
+		// regions so geographic locality still has structure.
+		remotes = append(remotes, client{
+			id:     trace.ClientID(fmt.Sprintf("c%05d.org%03d", i, i%97)),
+			remote: true,
+			region: i % 8,
+		})
+	}
+	return locals, remotes
+}
+
+// entryChooser draws session entry pages with Zipf skew, audience
+// reweighting, and per-region permutations.
+type entryChooser struct {
+	site    *webgraph.Site
+	entries []webgraph.DocID
+	zipf    *stats.Zipf
+	bias    float64
+	geo     float64
+	// perms[r] is region r's preference order over entries.
+	perms map[int][]int
+	g     *stats.RNG
+}
+
+func newEntryChooser(site *webgraph.Site, cfg Config, g *stats.RNG) *entryChooser {
+	skew := site.EntrySkew
+	if cfg.EntrySkew > 0 {
+		skew = cfg.EntrySkew
+	}
+	return &entryChooser{
+		site:    site,
+		entries: site.Entries,
+		zipf:    stats.NewZipf(len(site.Entries), skew),
+		bias:    cfg.AudienceBias,
+		geo:     cfg.GeoLocality,
+		perms:   make(map[int][]int),
+		g:       g,
+	}
+}
+
+func (e *entryChooser) perm(region int) []int {
+	if p, ok := e.perms[region]; ok {
+		return p
+	}
+	// Deterministic per-region permutation: derived from a child stream so
+	// the set of regions touched does not perturb other draws.
+	pg := e.g.Split(fmt.Sprintf("region-%d", region))
+	p := pg.Perm(len(e.entries))
+	e.perms[region] = p
+	return p
+}
+
+// choose draws an entry page for the given client. Audience reweighting is
+// by rejection: a draw whose audience conflicts with the client is kept only
+// with probability 1/bias.
+func (e *entryChooser) choose(cl client) webgraph.DocID {
+	for attempt := 0; ; attempt++ {
+		rank := e.zipf.Rank(e.g) - 1
+		idx := rank
+		if cl.remote && cl.region >= 0 && e.g.Bool(e.geo) {
+			idx = e.perm(cl.region)[rank]
+		}
+		id := e.entries[idx]
+		if attempt >= 24 {
+			return id // give up rejecting; keeps termination unconditional
+		}
+		aud := e.site.Doc(id).Audience
+		mismatch := (cl.remote && aud == webgraph.LocalOnly) ||
+			(!cl.remote && aud == webgraph.RemoteOnly)
+		if !mismatch || e.g.Bool(1/e.bias) {
+			return id
+		}
+	}
+}
+
+// emitSession walks one surfing session and appends its requests.
+func emitSession(tr *trace.Trace, site *webgraph.Site, cfg Config,
+	ec *entryChooser, g *stats.RNG, cl client, start time.Time) {
+
+	pages := int(cfg.PagesPerSession.Sample(g)) + 1
+	at := start
+	cur := ec.choose(cl)
+	emitPageView(tr, site, cfg, cl, &at, cur)
+
+	for v := 1; v < pages; v++ {
+		links := site.Doc(cur).Links
+		if len(links) > 0 && g.Bool(cfg.FollowLinkProb) {
+			// Continue the stride: short think time, uniform anchor.
+			at = at.Add(secs(cfg.ThinkTime.Sample(g)))
+			cur = links[g.Intn(len(links))]
+		} else {
+			// New stride: long pause, fresh entry.
+			at = at.Add(secs(cfg.JumpGap.Sample(g)))
+			cur = ec.choose(cl)
+		}
+		emitPageView(tr, site, cfg, cl, &at, cur)
+	}
+}
+
+func emitPageView(tr *trace.Trace, site *webgraph.Site, cfg Config,
+	cl client, at *time.Time, page webgraph.DocID) {
+
+	d := site.Doc(page)
+	tr.Requests = append(tr.Requests, trace.Request{
+		Time:   *at,
+		Client: cl.id,
+		Doc:    page,
+		Size:   d.Size,
+		Remote: cl.remote,
+		Status: 200,
+		Path:   d.Path,
+	})
+	for _, e := range d.Embedded {
+		*at = at.Add(secs(cfg.EmbeddedDelay))
+		ed := site.Doc(e)
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time:   *at,
+			Client: cl.id,
+			Doc:    e,
+			Size:   ed.Size,
+			Remote: cl.remote,
+			Status: 200,
+			Path:   ed.Path,
+		})
+	}
+}
+
+func secs(s float64) time.Duration {
+	if s < 0 {
+		s = 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// RequestedDocs returns the distinct documents appearing in the trace,
+// sorted by ID — the paper's "974 documents accessed during the analysis
+// period".
+func RequestedDocs(tr *trace.Trace) []webgraph.DocID {
+	seen := make(map[webgraph.DocID]bool)
+	for i := range tr.Requests {
+		seen[tr.Requests[i].Doc] = true
+	}
+	out := make([]webgraph.DocID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,359 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"specweb/internal/netsim"
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+func tinySetup(t *testing.T, seed int64) (*webgraph.Site, Config) {
+	t.Helper()
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(site, nil)
+	cfg.Days = 7
+	cfg.SessionsPerDay = 40
+	cfg.RemoteClients = 100
+	cfg.LocalClients = 10
+	return site, cfg
+}
+
+func gen(t *testing.T, cfg Config, seed int64) *Result {
+	t.Helper()
+	res, err := Generate(cfg, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGenerateBasics(t *testing.T) {
+	_, cfg := tinySetup(t, 1)
+	res := gen(t, cfg, 2)
+	if res.Trace.Len() < 500 {
+		t.Fatalf("trace has %d requests, want ≥500 for 7 days × 40 sessions", res.Trace.Len())
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	first, last, _ := res.Trace.Span()
+	if first.Before(cfg.Start) {
+		t.Errorf("first request %v before start %v", first, cfg.Start)
+	}
+	// Navigation extends past the last arrival, but not unboundedly.
+	if last.After(cfg.Start.Add(time.Duration(cfg.Days+2) * 24 * time.Hour)) {
+		t.Errorf("last request %v way past horizon", last)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	_, cfg := tinySetup(t, 3)
+	a := gen(t, cfg, 5)
+	b := gen(t, cfg, 5)
+	if a.Trace.Len() != b.Trace.Len() || len(a.Updates) != len(b.Updates) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			a.Trace.Len(), len(a.Updates), b.Trace.Len(), len(b.Updates))
+	}
+	for i := range a.Trace.Requests {
+		ra, rb := a.Trace.Requests[i], b.Trace.Requests[i]
+		if ra != rb {
+			t.Fatalf("request %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+	c := gen(t, cfg, 6)
+	if c.Trace.Len() == a.Trace.Len() && c.Trace.Requests[0] == a.Trace.Requests[0] {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestRemoteLocalMix(t *testing.T) {
+	_, cfg := tinySetup(t, 7)
+	res := gen(t, cfg, 8)
+	f := res.Trace.RemoteFraction()
+	if f < 0.35 || f > 0.8 {
+		t.Errorf("remote fraction %v, want ≈0.55 for LocalSessionFraction=0.45", f)
+	}
+}
+
+func TestAudienceBiasShapesAccess(t *testing.T) {
+	site, cfg := tinySetup(t, 9)
+	cfg.Days = 20
+	cfg.SessionsPerDay = 80
+	res := gen(t, cfg, 10)
+
+	// For entry pages (where bias applies directly), local-audience pages
+	// should see a clearly lower remote fraction than remote-audience ones.
+	type acc struct{ remote, total int }
+	byDoc := map[webgraph.DocID]*acc{}
+	for i := range res.Trace.Requests {
+		r := &res.Trace.Requests[i]
+		a := byDoc[r.Doc]
+		if a == nil {
+			a = &acc{}
+			byDoc[r.Doc] = a
+		}
+		a.total++
+		if r.Remote {
+			a.remote++
+		}
+	}
+	var localSum, localN, remoteSum, remoteN float64
+	for _, e := range site.Entries {
+		a := byDoc[e]
+		if a == nil || a.total < 10 {
+			continue
+		}
+		frac := float64(a.remote) / float64(a.total)
+		switch site.Doc(e).Audience {
+		case webgraph.LocalOnly:
+			localSum += frac
+			localN++
+		case webgraph.RemoteOnly:
+			remoteSum += frac
+			remoteN++
+		}
+	}
+	if localN == 0 || remoteN == 0 {
+		t.Skip("tiny site lacks both audience classes among entries")
+	}
+	if localSum/localN >= remoteSum/remoteN {
+		t.Errorf("local-audience entry remote-fraction %.2f >= remote-audience %.2f",
+			localSum/localN, remoteSum/remoteN)
+	}
+}
+
+func TestEmbeddedFollowPages(t *testing.T) {
+	site, cfg := tinySetup(t, 11)
+	res := gen(t, cfg, 12)
+	// Find a page with embedded objects and verify each of its requests is
+	// followed by its embedded objects from the same client within ~1s.
+	var page *webgraph.Document
+	for i := range site.Docs {
+		if site.Docs[i].Kind == webgraph.Page && len(site.Docs[i].Embedded) > 0 {
+			page = &site.Docs[i]
+			break
+		}
+	}
+	if page == nil {
+		t.Skip("no page with embedded objects")
+	}
+	byClient := res.Trace.ByClient()
+	checked := 0
+	for _, reqs := range byClient {
+		for i := range reqs {
+			if reqs[i].Doc != page.ID {
+				continue
+			}
+			want := map[webgraph.DocID]bool{}
+			for _, e := range page.Embedded {
+				want[e] = true
+			}
+			for j := i + 1; j < len(reqs) && len(want) > 0; j++ {
+				if reqs[j].Time.Sub(reqs[i].Time) > 5*time.Second {
+					break
+				}
+				delete(want, reqs[j].Doc)
+			}
+			if len(want) > 0 {
+				t.Fatalf("page %d at %v missing embedded %v", page.ID, reqs[i].Time, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skipf("page %d never requested", page.ID)
+	}
+}
+
+func TestSessionStructure(t *testing.T) {
+	_, cfg := tinySetup(t, 13)
+	res := gen(t, cfg, 14)
+	sessions := res.Trace.Sessions(30 * time.Minute)
+	if len(sessions) < 100 {
+		t.Errorf("found %d sessions, want roughly days×rate = 280", len(sessions))
+	}
+	strides := res.Trace.Strides(5 * time.Second)
+	if len(strides) <= len(sessions) {
+		t.Errorf("strides (%d) should outnumber sessions (%d)", len(strides), len(sessions))
+	}
+	// Mean requests per session should be a handful, as in the paper
+	// (205,925 / 20,000 ≈ 10).
+	mean := float64(res.Trace.Len()) / float64(len(sessions))
+	if mean < 2 || mean > 40 {
+		t.Errorf("mean requests/session = %v, want single/double digits", mean)
+	}
+}
+
+func TestUpdateLog(t *testing.T) {
+	site, cfg := tinySetup(t, 15)
+	cfg.Days = 60
+	res := gen(t, cfg, 16)
+	if len(res.Updates) == 0 {
+		t.Fatal("no updates generated")
+	}
+	perDoc := map[webgraph.DocID]int{}
+	for _, u := range res.Updates {
+		if u.Day < 0 || u.Day >= cfg.Days {
+			t.Fatalf("update day %d outside [0,%d)", u.Day, cfg.Days)
+		}
+		perDoc[u.Doc]++
+	}
+	// Mutable docs (2%/day) should update noticeably more often than
+	// immutable ones (0.4%/day) in aggregate.
+	var mutUpd, mutDocs, immUpd, immDocs float64
+	for i := range site.Docs {
+		d := &site.Docs[i]
+		if d.Kind != webgraph.Page {
+			continue
+		}
+		if d.UpdateProb >= 0.02 {
+			mutUpd += float64(perDoc[d.ID])
+			mutDocs++
+		} else {
+			immUpd += float64(perDoc[d.ID])
+			immDocs++
+		}
+	}
+	if mutDocs == 0 {
+		t.Skip("no mutable pages in tiny site")
+	}
+	if mutUpd/mutDocs <= immUpd/immDocs {
+		t.Errorf("mutable update rate %.2f <= immutable %.2f",
+			mutUpd/mutDocs, immUpd/immDocs)
+	}
+}
+
+func TestTopologyPopulation(t *testing.T) {
+	site, _ := tinySetup(t, 17)
+	topo, err := netsim.Generate(netsim.TinyConfig(), stats.NewRNG(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(site, topo)
+	cfg.Days = 5
+	cfg.SessionsPerDay = 30
+	res := gen(t, cfg, 19)
+	// Every client in the trace must exist in the topology.
+	for _, c := range res.Trace.Clients() {
+		if _, ok := topo.ClientNode(c); !ok {
+			t.Fatalf("trace client %s not in topology", c)
+		}
+	}
+	// Remote flags must agree with topology position.
+	for i := range res.Trace.Requests {
+		r := &res.Trace.Requests[i]
+		nid, _ := topo.ClientNode(r.Client)
+		isLAN := topo.Node(topo.Node(nid).Parent).Kind == netsim.LANGateway
+		if r.Remote == isLAN {
+			t.Fatalf("request by %s remote=%v but LAN=%v", r.Client, r.Remote, isLAN)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	site, cfg := tinySetup(t, 21)
+	bad := cfg
+	bad.Site = nil
+	if _, err := Generate(bad, stats.NewRNG(1)); err == nil {
+		t.Error("nil site accepted")
+	}
+	bad = cfg
+	bad.Days = 0
+	if _, err := Generate(bad, stats.NewRNG(1)); err == nil {
+		t.Error("zero days accepted")
+	}
+	bad = cfg
+	bad.SessionsPerDay = 0
+	if _, err := Generate(bad, stats.NewRNG(1)); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad = cfg
+	bad.FollowLinkProb = 1.5
+	if _, err := Generate(bad, stats.NewRNG(1)); err == nil {
+		t.Error("bad probability accepted")
+	}
+	bad = cfg
+	bad.AudienceBias = 0.5
+	if _, err := Generate(bad, stats.NewRNG(1)); err == nil {
+		t.Error("bias < 1 accepted")
+	}
+	bad = cfg
+	bad.ThinkTime = nil
+	if _, err := Generate(bad, stats.NewRNG(1)); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	bad = cfg
+	bad.LocalClients = 0
+	bad.RemoteClients = 0
+	if _, err := Generate(bad, stats.NewRNG(1)); err == nil {
+		t.Error("empty population accepted")
+	}
+	bad = DefaultConfig(site, nil)
+	bad.LocalClients = 0
+	bad.LocalSessionFraction = 0.3
+	if _, err := Generate(bad, stats.NewRNG(1)); err == nil {
+		t.Error("local sessions without local clients accepted")
+	}
+}
+
+func TestRequestedDocs(t *testing.T) {
+	_, cfg := tinySetup(t, 23)
+	res := gen(t, cfg, 24)
+	docs := RequestedDocs(res.Trace)
+	if len(docs) < 10 {
+		t.Errorf("only %d distinct docs requested", len(docs))
+	}
+	for i := 1; i < len(docs); i++ {
+		if docs[i] <= docs[i-1] {
+			t.Fatal("RequestedDocs not sorted/unique")
+		}
+	}
+}
+
+func TestNoiseInjectionAndCleanup(t *testing.T) {
+	site, cfg := tinySetup(t, 31)
+	cfg.Noise = 0.1
+	res := gen(t, cfg, 32)
+
+	var junk int
+	for i := range res.Trace.Requests {
+		r := &res.Trace.Requests[i]
+		if r.Doc == webgraph.None {
+			junk++
+		}
+	}
+	if junk == 0 {
+		t.Fatal("no noise injected despite Noise=0.1")
+	}
+	// The paper's preprocessing removes all of it (aliases are renamed and
+	// kept).
+	opts := trace.DefaultPreprocess()
+	opts.Aliases = map[string]string{"/": site.Doc(site.Entries[0]).Path}
+	clean, st := trace.Preprocess(res.Trace, opts, func(p string) (webgraph.DocID, bool) {
+		d := site.ByPath(p)
+		if d == nil {
+			return webgraph.None, false
+		}
+		return d.ID, true
+	})
+	if err := func() error { clean.SortByTime(); return clean.Validate() }(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.Requests {
+		if clean.Requests[i].Doc == webgraph.None {
+			t.Fatal("unresolved request survived preprocessing")
+		}
+	}
+	if st.DroppedMissing == 0 || st.DroppedScripts == 0 || st.DroppedStatus == 0 || st.Renamed == 0 {
+		t.Errorf("preprocessing stats %+v: every junk class should appear", st)
+	}
+	if clean.Len() <= res.Trace.Len()-junk-1 {
+		t.Errorf("cleaned %d of %d; aliases should have been kept", clean.Len(), res.Trace.Len())
+	}
+}

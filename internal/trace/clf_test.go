@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"specweb/internal/webgraph"
+)
+
+func TestCLFRoundTrip(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{
+			Time:   time.Date(1995, time.February, 3, 8, 30, 0, 0, time.UTC),
+			Client: "alpha.example.com",
+			Doc:    3,
+			Size:   2048,
+			Remote: true,
+			Status: 200,
+			Path:   "/pages/p0003.html",
+		},
+		{
+			Time:   time.Date(1995, time.February, 3, 8, 30, 5, 0, time.UTC),
+			Client: "ws12.local",
+			Doc:    4,
+			Size:   512,
+			Remote: false,
+			Status: 200,
+			Path:   "/img/o00001",
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCLF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(p string) (webgraph.DocID, bool) {
+		switch p {
+		case "/pages/p0003.html":
+			return 3, true
+		case "/img/o00001":
+			return 4, true
+		}
+		return webgraph.None, false
+	}
+	got, err := ParseCLF(&buf, resolve, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("parsed %d requests, want 2", got.Len())
+	}
+	for i := range tr.Requests {
+		w, g := tr.Requests[i], got.Requests[i]
+		if !g.Time.Equal(w.Time) || g.Client != w.Client || g.Doc != w.Doc ||
+			g.Size != w.Size || g.Remote != w.Remote || g.Path != w.Path {
+			t.Errorf("request %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestWriteCLFDefaultsStatus(t *testing.T) {
+	tr := &Trace{Requests: []Request{{
+		Time: time.Now().UTC(), Client: "h", Path: "/a", Size: 1,
+	}}}
+	var buf bytes.Buffer
+	if err := WriteCLF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\" 200 1") {
+		t.Errorf("zero status should write 200: %q", buf.String())
+	}
+}
+
+func TestParseCLFRealLine(t *testing.T) {
+	// A line in the shape of real 1995 NCSA logs.
+	line := `piweba3y.prodigy.com - - [09/Jan/1995:00:00:12 -0500] "GET /images/logo.gif HTTP/1.0" 200 13402`
+	tr, err := ParseCLF(strings.NewReader(line), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("parsed %d", tr.Len())
+	}
+	r := tr.Requests[0]
+	if r.Client != "piweba3y.prodigy.com" || r.Size != 13402 || r.Status != 200 ||
+		r.Path != "/images/logo.gif" || !r.Remote || r.Doc != webgraph.None {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Time.UTC().Hour() != 5 {
+		t.Errorf("timezone not applied: %v", r.Time)
+	}
+}
+
+func TestParseCLFDashBytes(t *testing.T) {
+	line := `h.local - - [09/Jan/1995:00:00:12 -0500] "GET /a HTTP/1.0" 304 -`
+	tr, err := ParseCLF(strings.NewReader(line), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Requests[0].Size != 0 || tr.Requests[0].Status != 304 {
+		t.Errorf("parsed %+v", tr.Requests[0])
+	}
+	if tr.Requests[0].Remote {
+		t.Error(".local host should not be remote")
+	}
+}
+
+func TestParseCLFBadLines(t *testing.T) {
+	input := strings.Join([]string{
+		`good.host - - [09/Jan/1995:00:00:12 -0500] "GET /a HTTP/1.0" 200 10`,
+		`garbage`,
+		``,
+		`no.quote - - [09/Jan/1995:00:00:13 -0500] GET /b 200 10`,
+		`bad.time - - [not-a-time] "GET /c HTTP/1.0" 200 10`,
+		`bad.status - - [09/Jan/1995:00:00:14 -0500] "GET /d HTTP/1.0" xx 10`,
+		`bad.bytes - - [09/Jan/1995:00:00:15 -0500] "GET /e HTTP/1.0" 200 yy`,
+		`short.req - - [09/Jan/1995:00:00:16 -0500] "GET" 200 10`,
+	}, "\n")
+	var bad int
+	tr, err := ParseCLF(strings.NewReader(input), nil, func(string, error) { bad++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("kept %d lines, want 1", tr.Len())
+	}
+	if bad != 6 {
+		t.Errorf("reported %d bad lines, want 6", bad)
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	resolve := func(p string) (webgraph.DocID, bool) {
+		if p == "/index.html" || p == "/b" {
+			return 1, true
+		}
+		return webgraph.None, false
+	}
+	tr := &Trace{Requests: []Request{
+		{Time: time.Now(), Client: "a", Path: "/", Status: 200, Doc: webgraph.None},             // alias → kept
+		{Time: time.Now(), Client: "a", Path: "/cgi-bin/x", Status: 200, Doc: webgraph.None},    // script
+		{Time: time.Now(), Client: "a", Path: "/b?q=1", Status: 200, Doc: webgraph.None},        // query → script
+		{Time: time.Now(), Client: "a", Path: "/missing.html", Status: 200, Doc: webgraph.None}, // 404 target
+		{Time: time.Now(), Client: "a", Path: "/b", Status: 404, Doc: 1},                        // bad status
+		{Time: time.Now(), Client: "a", Path: "/b", Status: 200, Doc: webgraph.None, Size: 10},  // good
+	}}
+	opts := DefaultPreprocess()
+	opts.Aliases = map[string]string{"/": "/index.html"}
+	out, st := Preprocess(tr, opts, resolve)
+	if out.Len() != 2 {
+		t.Fatalf("kept %d, want 2 (alias + good): %+v", out.Len(), out.Requests)
+	}
+	if out.Requests[0].Path != "/index.html" || out.Requests[0].Doc != 1 {
+		t.Errorf("alias not canonicalized: %+v", out.Requests[0])
+	}
+	if st.In != 6 || st.Kept != 2 || st.DroppedScripts != 2 || st.DroppedMissing != 1 ||
+		st.DroppedStatus != 1 || st.Renamed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPreprocessKeepStatuses(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Time: time.Now(), Client: "a", Path: "/a", Status: 304, Doc: 1},
+	}}
+	out, _ := Preprocess(tr, PreprocessOptions{KeepStatuses: []int{304}}, nil)
+	if out.Len() != 1 {
+		t.Error("KeepStatuses not honored")
+	}
+	out, _ = Preprocess(tr, PreprocessOptions{}, nil)
+	if out.Len() != 0 {
+		t.Error("default should keep only 200/0")
+	}
+}
+
+func TestIsScriptPath(t *testing.T) {
+	for _, p := range []string{"/cgi-bin/query", "/search?q=x", "/run.cgi", "/x.pl", "/y.php"} {
+		if !IsScriptPath(p) {
+			t.Errorf("%q should be a script", p)
+		}
+	}
+	for _, p := range []string{"/index.html", "/img/logo.gif", "/papers/p.ps"} {
+		if IsScriptPath(p) {
+			t.Errorf("%q should not be a script", p)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+
+	"specweb/internal/webgraph"
+)
+
+// PreprocessOptions mirrors the log cleaning of §3.2's footnote: "removal of
+// accesses to non-existent documents, to live documents, and to scripts, as
+// well as renaming accesses to aliases of a document."
+type PreprocessOptions struct {
+	// Aliases maps alias paths to canonical paths (e.g. "/" → "/index.html").
+	Aliases map[string]string
+	// DropScripts removes requests whose path looks like a CGI script or
+	// query ("live documents" in the paper's terminology).
+	DropScripts bool
+	// DropUnresolved removes requests whose path does not resolve to a
+	// document on the site (404s, typos).
+	DropUnresolved bool
+	// KeepStatuses limits the trace to the listed HTTP statuses. Empty
+	// keeps 200 only.
+	KeepStatuses []int
+}
+
+// DefaultPreprocess returns the paper's cleaning options.
+func DefaultPreprocess() PreprocessOptions {
+	return PreprocessOptions{
+		DropScripts:    true,
+		DropUnresolved: true,
+	}
+}
+
+// IsScriptPath reports whether a URL path names a script or dynamically
+// generated ("live") resource.
+func IsScriptPath(path string) bool {
+	if strings.Contains(path, "?") {
+		return true
+	}
+	if strings.Contains(path, "/cgi-bin/") || strings.HasPrefix(path, "cgi-bin/") {
+		return true
+	}
+	for _, ext := range []string{".cgi", ".pl", ".sh", ".php"} {
+		if strings.HasSuffix(path, ext) {
+			return true
+		}
+	}
+	return false
+}
+
+// PreprocessStats reports what Preprocess removed or rewrote.
+type PreprocessStats struct {
+	In             int
+	Kept           int
+	DroppedStatus  int
+	DroppedScripts int
+	DroppedMissing int
+	Renamed        int
+}
+
+// Preprocess cleans a parsed trace per the options, resolving documents with
+// resolve (which may be nil when DropUnresolved is false). It returns a new
+// trace and the cleaning statistics.
+func Preprocess(t *Trace, opts PreprocessOptions, resolve DocResolver) (*Trace, PreprocessStats) {
+	keep := map[int]bool{}
+	if len(opts.KeepStatuses) == 0 {
+		keep[200] = true
+		keep[0] = true // synthetic traces may leave Status unset
+	} else {
+		for _, s := range opts.KeepStatuses {
+			keep[s] = true
+		}
+	}
+	out := &Trace{Requests: make([]Request, 0, len(t.Requests))}
+	st := PreprocessStats{In: len(t.Requests)}
+	for i := range t.Requests {
+		r := t.Requests[i]
+		if !keep[r.Status] {
+			st.DroppedStatus++
+			continue
+		}
+		if canon, ok := opts.Aliases[r.Path]; ok {
+			r.Path = canon
+			r.Doc = webgraph.None // re-resolve below
+			st.Renamed++
+		}
+		if opts.DropScripts && IsScriptPath(r.Path) {
+			st.DroppedScripts++
+			continue
+		}
+		if r.Doc == webgraph.None && resolve != nil {
+			if id, ok := resolve(r.Path); ok {
+				r.Doc = id
+			}
+		}
+		if opts.DropUnresolved && r.Doc == webgraph.None {
+			st.DroppedMissing++
+			continue
+		}
+		out.Requests = append(out.Requests, r)
+	}
+	st.Kept = len(out.Requests)
+	return out, st
+}

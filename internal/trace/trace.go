@@ -1,0 +1,215 @@
+// Package trace defines specweb's access-trace model and the operations the
+// paper performs on raw HTTP logs: Common Log Format reading and writing,
+// the preprocessing of §3.2 (dropping accesses to non-existent documents and
+// scripts, renaming aliases), per-client ordering, and the segmentation of a
+// client's request stream into traversal strides and sessions
+// (StrideTimeout / SessionTimeout, §3.2).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"specweb/internal/webgraph"
+)
+
+// ClientID identifies a requesting client (host or proxy) in a trace.
+type ClientID string
+
+// Request is one client-initiated document access.
+type Request struct {
+	Time   time.Time
+	Client ClientID
+	Doc    webgraph.DocID
+	Size   int64 // bytes transferred (the document size at access time)
+	Remote bool  // true if the client is outside the server's organization
+	Status int   // HTTP status; preprocessing keeps only 200s
+	Path   string
+}
+
+// Trace is a time-ordered sequence of requests against one site.
+type Trace struct {
+	Requests []Request
+}
+
+// Len returns the number of requests.
+func (t *Trace) Len() int { return len(t.Requests) }
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	return &Trace{Requests: append([]Request(nil), t.Requests...)}
+}
+
+// Span returns the first and last request times. ok is false for an empty
+// trace.
+func (t *Trace) Span() (first, last time.Time, ok bool) {
+	if len(t.Requests) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return t.Requests[0].Time, t.Requests[len(t.Requests)-1].Time, true
+}
+
+// SortByTime orders requests chronologically (stable, so simultaneous
+// requests keep their relative order).
+func (t *Trace) SortByTime() {
+	sort.SliceStable(t.Requests, func(i, j int) bool {
+		return t.Requests[i].Time.Before(t.Requests[j].Time)
+	})
+}
+
+// Validate checks trace invariants: chronological order and non-negative
+// sizes.
+func (t *Trace) Validate() error {
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		if r.Size < 0 {
+			return fmt.Errorf("trace: request %d has negative size %d", i, r.Size)
+		}
+		if r.Client == "" {
+			return fmt.Errorf("trace: request %d has empty client", i)
+		}
+		if i > 0 && r.Time.Before(t.Requests[i-1].Time) {
+			return fmt.Errorf("trace: request %d out of order (%v before %v)",
+				i, r.Time, t.Requests[i-1].Time)
+		}
+	}
+	return nil
+}
+
+// Clients returns the distinct client IDs in first-appearance order.
+func (t *Trace) Clients() []ClientID {
+	seen := make(map[ClientID]bool)
+	var out []ClientID
+	for i := range t.Requests {
+		c := t.Requests[i].Client
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ByClient groups requests per client, preserving chronological order within
+// each client.
+func (t *Trace) ByClient() map[ClientID][]Request {
+	m := make(map[ClientID][]Request)
+	for i := range t.Requests {
+		r := t.Requests[i]
+		m[r.Client] = append(m[r.Client], r)
+	}
+	return m
+}
+
+// TotalBytes sums the bytes of all requests.
+func (t *Trace) TotalBytes() int64 {
+	var b int64
+	for i := range t.Requests {
+		b += t.Requests[i].Size
+	}
+	return b
+}
+
+// RemoteFraction returns the fraction of requests issued by remote clients.
+func (t *Trace) RemoteFraction() float64 {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range t.Requests {
+		if t.Requests[i].Remote {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.Requests))
+}
+
+// Window returns the sub-trace with request times in [from, to).
+// The trace must be time-sorted.
+func (t *Trace) Window(from, to time.Time) *Trace {
+	lo := sort.Search(len(t.Requests), func(i int) bool {
+		return !t.Requests[i].Time.Before(from)
+	})
+	hi := sort.Search(len(t.Requests), func(i int) bool {
+		return !t.Requests[i].Time.Before(to)
+	})
+	return &Trace{Requests: t.Requests[lo:hi]}
+}
+
+// Stride is a maximal run of one client's requests in which successive
+// requests are separated by less than the stride timeout (§3.2: "a sequence
+// of requests where the time between successive requests is less than
+// StrideTimeout seconds"). Strides are the unit over which document
+// dependencies are significant.
+type Stride struct {
+	Client   ClientID
+	Requests []Request
+}
+
+// Segment splits one client's chronologically ordered requests into maximal
+// runs with inter-request gaps strictly less than timeout. A non-positive
+// timeout yields one single-request segment per request.
+func Segment(reqs []Request, timeout time.Duration) [][]Request {
+	if len(reqs) == 0 {
+		return nil
+	}
+	var out [][]Request
+	start := 0
+	for i := 1; i < len(reqs); i++ {
+		if timeout <= 0 || reqs[i].Time.Sub(reqs[i-1].Time) >= timeout {
+			out = append(out, reqs[start:i])
+			start = i
+		}
+	}
+	out = append(out, reqs[start:])
+	return out
+}
+
+// Strides segments the whole trace into per-client strides using
+// strideTimeout. The result preserves chronological order within each
+// stride; stride order follows each client's first request.
+func (t *Trace) Strides(strideTimeout time.Duration) []Stride {
+	var out []Stride
+	for _, c := range t.Clients() {
+		reqs := t.clientRequests(c)
+		for _, seg := range Segment(reqs, strideTimeout) {
+			out = append(out, Stride{Client: c, Requests: seg})
+		}
+	}
+	return out
+}
+
+// Session is a maximal run of one client's requests with gaps below the
+// session timeout; it is the lifetime of the paper's client cache model
+// ("a document ... remains in the cache until it is purged at the end of
+// the session", §3.2).
+type Session struct {
+	Client   ClientID
+	Requests []Request
+}
+
+// Sessions segments the trace into per-client sessions using
+// sessionTimeout. Passing a non-positive timeout models cache-less clients
+// (every request its own session); the paper's SessionTimeout = ∞ is
+// expressed by passing a duration longer than the trace span.
+func (t *Trace) Sessions(sessionTimeout time.Duration) []Session {
+	var out []Session
+	for _, c := range t.Clients() {
+		reqs := t.clientRequests(c)
+		for _, seg := range Segment(reqs, sessionTimeout) {
+			out = append(out, Session{Client: c, Requests: seg})
+		}
+	}
+	return out
+}
+
+func (t *Trace) clientRequests(c ClientID) []Request {
+	var out []Request
+	for i := range t.Requests {
+		if t.Requests[i].Client == c {
+			out = append(out, t.Requests[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package userprofile implements the client-side alternative sketched at
+// the end of §3.4: "client-initiated prefetching could be based on user
+// logs (as opposed to server logs) ... extensive user logs are analyzed to
+// obtain a per-user relationship similar to the P and P* relationships
+// (i.e. a user profile). Such a relationship is used to initiate document
+// prefetching."
+//
+// Each client builds its own dependency profile online from its own request
+// stream only, and after every fetch prefetches the successors its profile
+// rates above a threshold. The paper's preliminary finding — reproduced by
+// this simulator — is structural: per-user prefetching is "extremely
+// effective for access patterns that involve frequently-traversed
+// documents, but not effective at all for access patterns that involve
+// newly-traversed documents", because a profile built from one user's past
+// can only ever name documents that user has already seen. Server-side
+// speculative service has no such blind spot, which is §3.4's argument for
+// combining the two.
+package userprofile
+
+import (
+	"fmt"
+	"time"
+
+	"specweb/internal/cache"
+	"specweb/internal/costmodel"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// Config parameterizes the per-user prefetching simulation.
+type Config struct {
+	Site  *webgraph.Site
+	Costs costmodel.Costs
+
+	// Client cache model (as in simulate).
+	SessionTimeout time.Duration
+	CacheCapacity  int64
+
+	// Profile estimation.
+	StrideTimeout  time.Duration // pairs form within strides, as in §3.1
+	MinOccurrences int
+	Smoothing      float64
+
+	// Prefetch policy.
+	PrefetchTp  float64
+	MaxPrefetch int   // per request; 0 means unlimited
+	MaxSize     int64 // per-document cap; 0 = ∞
+}
+
+// Default returns baseline-compatible parameters. The cache is a
+// single-session one (60 minutes): with an infinite multi-session cache a
+// per-user profile is pointless, since every document the profile knows is
+// already cached — the profile's value is re-warming the cache at the start
+// of each session.
+func Default(site *webgraph.Site) Config {
+	return Config{
+		Site:           site,
+		Costs:          costmodel.Default(),
+		SessionTimeout: 60 * time.Minute,
+		StrideTimeout:  5 * time.Second,
+		MinOccurrences: 2,
+		Smoothing:      1,
+		PrefetchTp:     0.4,
+		MaxPrefetch:    8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Site == nil {
+		return fmt.Errorf("userprofile: nil site")
+	}
+	if err := c.Costs.Validate(); err != nil {
+		return err
+	}
+	if c.StrideTimeout <= 0 {
+		return fmt.Errorf("userprofile: StrideTimeout must be positive, got %v", c.StrideTimeout)
+	}
+	if c.PrefetchTp < 0 || c.PrefetchTp > 1 {
+		return fmt.Errorf("userprofile: PrefetchTp %v outside [0,1]", c.PrefetchTp)
+	}
+	return nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec   costmodel.Tally // the prefetching arm
+	Base   costmodel.Tally // the plain arm
+	Ratios costmodel.Ratios
+
+	Prefetched int64 // prefetch fetches issued
+	Used       int64 // prefetched documents later requested
+	// RepeatConversions counts used prefetches of documents the client had
+	// requested before; NovelConversions of first-time documents. By
+	// construction of per-user profiles NovelConversions is always zero —
+	// the §3.4 structural finding — and is reported to make the contrast
+	// with server-side speculation measurable.
+	RepeatConversions int64
+	NovelConversions  int64
+	// RepeatMisses and NovelMisses split the *baseline* misses by whether
+	// the client had seen the document before: the reachable and
+	// unreachable demand for per-user prefetching.
+	RepeatMisses int64
+	NovelMisses  int64
+}
+
+// profile is one client's online dependency estimate.
+type profile struct {
+	occ    map[webgraph.DocID]float64
+	pairs  map[webgraph.DocID]map[webgraph.DocID]float64
+	stride []timedDoc // the in-progress stride
+
+	visited map[webgraph.DocID]bool
+
+	baseCache cache.Cache
+	specCache cache.Cache
+	pending   map[webgraph.DocID]bool
+}
+
+type timedDoc struct {
+	at  time.Time
+	doc webgraph.DocID
+	// paired records the successors this occurrence has already counted,
+	// so a document requested twice after it still counts once (the
+	// per-occurrence-distinct semantics of markov.Estimate).
+	paired map[webgraph.DocID]bool
+}
+
+func newProfile(cfg Config) *profile {
+	return &profile{
+		occ:       make(map[webgraph.DocID]float64),
+		pairs:     make(map[webgraph.DocID]map[webgraph.DocID]float64),
+		visited:   make(map[webgraph.DocID]bool),
+		baseCache: cache.New(cfg.SessionTimeout, cfg.CacheCapacity),
+		specCache: cache.New(cfg.SessionTimeout, cfg.CacheCapacity),
+		pending:   make(map[webgraph.DocID]bool),
+	}
+}
+
+// observe folds a request into the profile: every earlier document of the
+// current stride gains a pair edge to doc (distinct per occurrence, as in
+// markov.Estimate), then doc joins the stride.
+func (p *profile) observe(at time.Time, doc webgraph.DocID, strideTimeout time.Duration) {
+	// Trim the stride: it ends when the gap to its last request reaches
+	// the timeout.
+	if n := len(p.stride); n > 0 && at.Sub(p.stride[n-1].at) >= strideTimeout {
+		p.stride = p.stride[:0]
+	}
+	for i := range p.stride {
+		td := &p.stride[i]
+		if td.doc == doc || td.paired[doc] {
+			continue
+		}
+		if td.paired == nil {
+			td.paired = make(map[webgraph.DocID]bool)
+		}
+		td.paired[doc] = true
+		row := p.pairs[td.doc]
+		if row == nil {
+			row = make(map[webgraph.DocID]float64)
+			p.pairs[td.doc] = row
+		}
+		row[doc]++
+	}
+	p.occ[doc]++
+	p.stride = append(p.stride, timedDoc{at: at, doc: doc})
+	p.visited[doc] = true
+}
+
+// successors returns doc's profile successors with probability ≥ tp, best
+// first.
+func (p *profile) successors(doc webgraph.DocID, cfg Config) []webgraph.DocID {
+	row := p.pairs[doc]
+	if row == nil || p.occ[doc] < float64(cfg.MinOccurrences) {
+		return nil
+	}
+	den := p.occ[doc] + cfg.Smoothing
+	type cand struct {
+		doc webgraph.DocID
+		pr  float64
+	}
+	var cands []cand
+	for d, c := range row {
+		pr := c / den
+		if pr >= cfg.PrefetchTp {
+			cands = append(cands, cand{d, pr})
+		}
+	}
+	// Selection sort by probability then ID: candidate lists are tiny.
+	for i := 0; i < len(cands); i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].pr > cands[best].pr ||
+				(cands[j].pr == cands[best].pr && cands[j].doc < cands[best].doc) {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	out := make([]webgraph.DocID, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, c.doc)
+	}
+	return out
+}
+
+// Run replays the trace with per-user profile prefetching against the plain
+// baseline.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("userprofile: empty trace")
+	}
+	res := &Result{}
+	profiles := make(map[trace.ClientID]*profile)
+
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if r.Doc == webgraph.None {
+			continue
+		}
+		p := profiles[r.Client]
+		if p == nil {
+			p = newProfile(cfg)
+			profiles[r.Client] = p
+		}
+		p.baseCache.Touch(r.Time)
+		p.specCache.Touch(r.Time)
+
+		res.Base.AccessedBytes += r.Size
+		res.Spec.AccessedBytes += r.Size
+
+		wasSeen := p.visited[r.Doc]
+
+		// Plain arm.
+		if !p.baseCache.Has(r.Doc) {
+			res.Base.Requests++
+			res.Base.BytesSent += r.Size
+			res.Base.MissBytes += r.Size
+			res.Base.Latency += cfg.Costs.RequestLatency(r.Size)
+			p.baseCache.Put(r.Doc, r.Size)
+			if wasSeen {
+				res.RepeatMisses++
+			} else {
+				res.NovelMisses++
+			}
+		}
+
+		// Prefetching arm.
+		if p.specCache.Has(r.Doc) {
+			if p.pending[r.Doc] {
+				delete(p.pending, r.Doc)
+				res.Used++
+				if wasSeen {
+					res.RepeatConversions++
+				} else {
+					res.NovelConversions++
+				}
+			}
+		} else {
+			res.Spec.Requests++
+			res.Spec.BytesSent += r.Size
+			res.Spec.MissBytes += r.Size
+			res.Spec.Latency += cfg.Costs.RequestLatency(r.Size)
+			p.specCache.Put(r.Doc, r.Size)
+		}
+
+		// Client-initiated prefetching from the user's own profile.
+		succ := p.successors(r.Doc, cfg)
+		issued := 0
+		for _, d := range succ {
+			if cfg.MaxPrefetch > 0 && issued >= cfg.MaxPrefetch {
+				break
+			}
+			if p.specCache.Has(d) || !cfg.Site.Valid(d) {
+				continue
+			}
+			size := cfg.Site.Doc(d).Size
+			if cfg.MaxSize > 0 && size > cfg.MaxSize {
+				continue
+			}
+			res.Spec.Requests++
+			res.Spec.BytesSent += size
+			res.Prefetched++
+			issued++
+			p.specCache.Put(d, size)
+			p.pending[d] = true
+		}
+
+		// Learn from the request (after acting, so the profile never
+		// predicts from the request it is reacting to).
+		p.observe(r.Time, r.Doc, cfg.StrideTimeout)
+	}
+	res.Ratios = costmodel.Compare(res.Spec, res.Base)
+	return res, nil
+}

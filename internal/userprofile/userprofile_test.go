@@ -1,0 +1,241 @@
+package userprofile
+
+import (
+	"testing"
+	"time"
+
+	"specweb/internal/simulate"
+	"specweb/internal/stats"
+	"specweb/internal/synth"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+var t0 = time.Date(1995, time.April, 3, 10, 0, 0, 0, time.UTC)
+
+func mkSiteAndTrace(t *testing.T) (*webgraph.Site, *trace.Trace) {
+	t.Helper()
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synth.DefaultConfig(site, nil)
+	cfg.Days = 20
+	cfg.SessionsPerDay = 50
+	cfg.RemoteClients = 40 // few clients → plenty of repeat traversal
+	cfg.LocalClients = 6
+	res, err := synth.Generate(cfg, stats.NewRNG(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site, res.Trace
+}
+
+func TestRunBasics(t *testing.T) {
+	site, tr := mkSiteAndTrace(t)
+	res, err := Run(tr, Default(site))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefetched == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if res.Used == 0 {
+		t.Fatal("no prefetches used")
+	}
+	if res.Used > res.Prefetched {
+		t.Errorf("used %d > prefetched %d", res.Used, res.Prefetched)
+	}
+	if res.Spec.AccessedBytes != res.Base.AccessedBytes {
+		t.Error("arms diverged on accessed bytes")
+	}
+	// Miss rate must improve (prefetched docs are in cache when needed).
+	if res.Ratios.MissRate >= 1 {
+		t.Errorf("miss ratio %v: prefetching should help", res.Ratios.MissRate)
+	}
+}
+
+// The package's reason to exist: a per-user profile can never convert a
+// first-visit access.
+func TestNovelAccessesUnreachable(t *testing.T) {
+	site, tr := mkSiteAndTrace(t)
+	res, err := Run(tr, Default(site))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NovelConversions != 0 {
+		t.Errorf("per-user prefetching converted %d novel accesses — impossible by construction",
+			res.NovelConversions)
+	}
+	if res.RepeatConversions == 0 {
+		t.Error("no repeat conversions: profiles learned nothing")
+	}
+	if res.NovelMisses == 0 {
+		t.Error("workload has no novel misses; the contrast is vacuous")
+	}
+}
+
+// §3.4's argument for the hybrid: server-side speculation does convert
+// novel accesses.
+func TestServerSpeculationConvertsNovel(t *testing.T) {
+	site, tr := mkSiteAndTrace(t)
+	scfg := simulate.Baseline(site, 0.25)
+	sres, err := simulate.Run(tr, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.NovelConversions == 0 {
+		t.Error("server-side speculation converted no novel accesses")
+	}
+	ures, err := Run(tr, Default(site))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.NovelConversions >= sres.NovelConversions {
+		t.Errorf("user profiles (%d) should trail server speculation (%d) on novel conversions",
+			ures.NovelConversions, sres.NovelConversions)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	site, tr := mkSiteAndTrace(t)
+	a, err := Run(tr, Default(site))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, Default(site))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Error("identical runs diverged")
+	}
+}
+
+func TestMaxPrefetchAndMaxSize(t *testing.T) {
+	site, tr := mkSiteAndTrace(t)
+	loose := Default(site)
+	loose.MaxPrefetch = 0
+	loose.PrefetchTp = 0.2
+	rl, err := Run(tr, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := loose
+	tight.MaxPrefetch = 1
+	rt, err := Run(tr, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Prefetched > rl.Prefetched {
+		t.Errorf("MaxPrefetch=1 issued more prefetches (%d) than unlimited (%d)",
+			rt.Prefetched, rl.Prefetched)
+	}
+	capped := loose
+	capped.MaxSize = 2048
+	rc, err := Run(tr, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Spec.BytesSent > rl.Spec.BytesSent {
+		t.Error("MaxSize cap increased bytes")
+	}
+}
+
+func TestProfileObserve(t *testing.T) {
+	cfg := Default(nil)
+	cfg.Site = &webgraph.Site{} // not used by observe/successors
+	p := newProfile(cfg)
+	// Teach 1 → 2 within strides, three times.
+	at := t0
+	for i := 0; i < 3; i++ {
+		p.observe(at, 1, cfg.StrideTimeout)
+		p.observe(at.Add(time.Second), 2, cfg.StrideTimeout)
+		at = at.Add(time.Hour)
+	}
+	succ := p.successors(1, cfg)
+	if len(succ) != 1 || succ[0] != 2 {
+		t.Errorf("successors(1) = %v, want [2]", succ)
+	}
+	// Stride boundary: a request an hour later pairs with nothing.
+	if got := p.successors(2, cfg); len(got) != 0 {
+		t.Errorf("successors(2) = %v, want none (cross-stride)", got)
+	}
+}
+
+func TestProfileDistinctPerOccurrence(t *testing.T) {
+	cfg := Default(nil)
+	cfg.Site = &webgraph.Site{}
+	cfg.MinOccurrences = 1
+	cfg.Smoothing = 0
+	p := newProfile(cfg)
+	p.observe(t0, 1, cfg.StrideTimeout)
+	p.observe(t0.Add(time.Second), 2, cfg.StrideTimeout)
+	p.observe(t0.Add(2*time.Second), 2, cfg.StrideTimeout)
+	// Pair (1→2) must count once despite two 2's in the stride.
+	if got := p.pairs[1][2]; got != 1 {
+		t.Errorf("pair count = %v, want 1", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	site, tr := mkSiteAndTrace(t)
+	bad := Default(site)
+	bad.Site = nil
+	if _, err := Run(tr, bad); err == nil {
+		t.Error("nil site accepted")
+	}
+	bad = Default(site)
+	bad.StrideTimeout = 0
+	if _, err := Run(tr, bad); err == nil {
+		t.Error("zero stride timeout accepted")
+	}
+	bad = Default(site)
+	bad.PrefetchTp = 2
+	if _, err := Run(tr, bad); err == nil {
+		t.Error("bad threshold accepted")
+	}
+	if _, err := Run(&trace.Trace{}, Default(site)); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestCrossSessionLearning(t *testing.T) {
+	// A user browses page 1 → 2 across several sessions; from the second
+	// visit on, the profile prefetches 2 at the start of each session even
+	// though the session cache is cold.
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default(site)
+	cfg.MinOccurrences = 2
+	cfg.PrefetchTp = 0.3
+	d1, d2 := site.Docs[0].ID, site.Docs[1].ID
+	tr := &trace.Trace{}
+	at := t0
+	for s := 0; s < 6; s++ {
+		tr.Requests = append(tr.Requests,
+			trace.Request{Time: at, Client: "u", Doc: d1, Size: site.Doc(d1).Size},
+			trace.Request{Time: at.Add(2 * time.Second), Client: "u", Doc: d2, Size: site.Doc(d2).Size},
+		)
+		at = at.Add(3 * time.Hour) // beyond the 60-minute session timeout
+	}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sessions 3..6 (after MinOccurrences reached) prefetch d2 on seeing
+	// d1; all of them convert.
+	if res.Prefetched < 3 {
+		t.Errorf("prefetched %d, want ≥3 cross-session prefetches", res.Prefetched)
+	}
+	if res.Used < 3 || res.RepeatConversions != res.Used {
+		t.Errorf("used=%d repeat=%d: conversions should all be repeats",
+			res.Used, res.RepeatConversions)
+	}
+	// The prefetching arm's misses on d2 drop accordingly.
+	if res.Spec.MissBytes >= res.Base.MissBytes {
+		t.Error("prefetching did not reduce miss bytes")
+	}
+}
