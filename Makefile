@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-short clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full 90-day evaluation workload; takes several minutes.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Small workload; seconds.
+bench-short:
+	$(GO) test -short -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

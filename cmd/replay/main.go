@@ -10,9 +10,15 @@
 // with no files at all. (Page paths are deterministic per profile; a few
 // object paths may 404 because the object population depends on the
 // generator stream — replay a tracegen file for an exact match.)
+//
+// With -json the run emits a structured summary — the paper's four
+// speculative/non-speculative ratios (bandwidth, server load, service
+// time, byte miss rate; Figs. 5–6) plus latency percentiles — so runs are
+// machine-comparable across configurations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +41,7 @@ func main() {
 		rate      = flag.Float64("rate", 30, "sessions/day to synthesize")
 		seed      = flag.Int64("seed", 1995, "seed for the synthesized trace")
 		profile   = flag.String("profile", "department", "profile for the synthesized trace: department, media, or tiny (must match the server's)")
+		asJSON    = flag.Bool("json", false, "emit the run summary as JSON on stdout")
 	)
 	flag.Parse()
 
@@ -55,16 +62,11 @@ func main() {
 		}
 	} else {
 		cfg := experiments.DefaultWorkload()
-		switch *profile {
-		case "department":
-			cfg.Profile = webgraph.DepartmentSite()
-		case "media":
-			cfg.Profile = webgraph.MediaSite()
-		case "tiny":
-			cfg.Profile = webgraph.TinySite()
-		default:
-			fail(fmt.Errorf("unknown profile %q", *profile))
+		p, err := webgraph.ProfileByName(*profile)
+		if err != nil {
+			fail(err)
 		}
+		cfg.Profile = p
 		cfg.Days = *days
 		cfg.SessionsPerDay = *rate
 		cfg.Seed = *seed
@@ -87,13 +89,30 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("clients:     %d\n", stats.Clients)
-	fmt.Printf("requests:    %d (errors %d)\n", stats.Requests, stats.Errors)
-	fmt.Printf("cache hits:  %d (%.1f%%)\n", stats.CacheHits,
-		100*float64(stats.CacheHits)/float64(max64(stats.Requests, 1)))
-	fmt.Printf("pushed:      %d speculative documents received\n", stats.Pushed)
-	fmt.Printf("prefetched:  %d hint-driven fetches\n", stats.Prefetched)
-	fmt.Printf("bytes in:    %s\n", experiments.FmtBytes(stats.BytesIn))
+	sum := stats.Summary()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Printf("clients:     %d\n", sum.Clients)
+	fmt.Printf("requests:    %d (errors %d)\n", sum.Requests, sum.Errors)
+	fmt.Printf("cache hits:  %d (%.1f%%), %d manufactured by speculation\n", sum.CacheHits,
+		100*float64(sum.CacheHits)/float64(max64(sum.Requests, 1)), sum.SpecHits)
+	fmt.Printf("pushed:      %d speculative documents received\n", sum.Pushed)
+	fmt.Printf("prefetched:  %d hint-driven fetches\n", sum.Prefetched)
+	fmt.Printf("bytes in:    %s (baseline %s)\n",
+		experiments.FmtBytes(sum.BytesIn), experiments.FmtBytes(sum.BaselineBytes))
+	fmt.Printf("ratios vs non-speculative (Figs. 5-6):\n")
+	fmt.Printf("  bandwidth:      %.3f\n", sum.Ratios.Bandwidth)
+	fmt.Printf("  server load:    %.3f\n", sum.Ratios.ServerLoad)
+	fmt.Printf("  service time:   %.3f\n", sum.Ratios.ServiceTime)
+	fmt.Printf("  byte miss rate: %.3f\n", sum.Ratios.ByteMissRate)
+	fmt.Printf("latency ms:  p50 %.2f  p90 %.2f  p99 %.2f  mean %.2f  max %.2f\n",
+		sum.LatencyMS.P50, sum.LatencyMS.P90, sum.LatencyMS.P99, sum.LatencyMS.Mean, sum.LatencyMS.Max)
 }
 
 func max64(a, b int64) int64 {

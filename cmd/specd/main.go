@@ -7,16 +7,29 @@
 // Usage:
 //
 //	specd -addr :8095 -profile department -mode hybrid
+//
+// Prometheus metrics are exposed at /metrics on the main listener. With
+// -obs-addr a second listener additionally serves /debug/vars (expvar),
+// /debug/pprof/* and /debug/spans (recent trace spans as JSON), kept off
+// the main port so profiling endpoints are never exposed to clients by
+// accident.
 package main
 
 import (
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"specweb/internal/httpspec"
+	"specweb/internal/obs"
 	"specweb/internal/stats"
 	"specweb/internal/webgraph"
 )
@@ -24,50 +37,116 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":8095", "listen address")
+		obsAddr = flag.String("obs-addr", "", "observability listen address for /metrics, /debug/vars, /debug/pprof and /debug/spans (empty: disabled)")
 		profile = flag.String("profile", "department", "site profile: department, media, or tiny")
 		mode    = flag.String("mode", "hybrid", "delivery mode: push, hints, or hybrid")
 		seed    = flag.Int64("seed", 1995, "site generation seed")
 		tp      = flag.Float64("tp", 0.25, "speculation threshold")
 	)
 	flag.Parse()
+	log := obs.Logger("specd")
 
-	var p webgraph.Profile
-	switch *profile {
-	case "department":
-		p = webgraph.DepartmentSite()
-	case "media":
-		p = webgraph.MediaSite()
-	case "tiny":
-		p = webgraph.TinySite()
-	default:
-		fmt.Fprintf(os.Stderr, "specd: unknown profile %q\n", *profile)
+	p, err := webgraph.ProfileByName(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specd:", err)
 		os.Exit(2)
 	}
 	site, err := webgraph.Generate(p, stats.NewRNG(*seed))
 	if err != nil {
-		log.Fatal("specd: ", err)
+		fmt.Fprintln(os.Stderr, "specd:", err)
+		os.Exit(1)
 	}
 
 	cfg := httpspec.DefaultServerConfig()
 	cfg.Engine.Tp = *tp
-	switch *mode {
-	case "push":
-		cfg.Mode = httpspec.ModePush
-	case "hints":
-		cfg.Mode = httpspec.ModeHints
-	case "hybrid":
-		cfg.Mode = httpspec.ModeHybrid
-	default:
-		fmt.Fprintf(os.Stderr, "specd: unknown mode %q\n", *mode)
+	cfg.Mode, err = httpspec.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specd:", err)
 		os.Exit(2)
 	}
 
 	srv, err := httpspec.NewServer(httpspec.NewSiteStore(site), cfg)
 	if err != nil {
-		log.Fatal("specd: ", err)
+		fmt.Fprintln(os.Stderr, "specd:", err)
+		os.Exit(1)
 	}
-	log.Printf("specd: serving %d documents (%d pages) on %s, mode=%s tp=%.2f",
-		site.NumDocs(), site.NumPages(), *addr, *mode, *tp)
-	log.Printf("specd: try GET %s  (stats at /spec/stats)", site.Doc(site.Entries[0]).Path)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("/metrics", obs.Default.Handler())
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		obsSrv = &http.Server{
+			Addr:    *obsAddr,
+			Handler: obsMux(),
+			// pprof profile captures legitimately run for tens of
+			// seconds, so the write timeout is generous here.
+			ReadTimeout:  10 * time.Second,
+			WriteTimeout: 2 * time.Minute,
+			IdleTimeout:  60 * time.Second,
+		}
+		go func() {
+			log.Info("observability listening", "addr", *obsAddr)
+			if err := obsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("observability server failed", "err", err)
+			}
+		}()
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("serving site",
+			"docs", site.NumDocs(), "pages", site.NumPages(),
+			"addr", *addr, "mode", *mode, "tp", *tp,
+			"entry", site.Doc(site.Entries[0]).Path)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Info("shutting down", "reason", "signal")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "specd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Error("shutdown incomplete", "err", err)
+	}
+	if obsSrv != nil {
+		_ = obsSrv.Shutdown(shutdownCtx)
+	}
+	log.Info("bye")
+}
+
+// obsMux assembles the observability endpoints: Prometheus metrics,
+// expvar, pprof and the span ring.
+func obsMux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.Handle("/metrics", obs.Default.Handler())
+	m.Handle("/debug/vars", expvar.Handler())
+	m.Handle("/debug/spans", obs.DefaultTracer.Handler())
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return m
 }

@@ -29,17 +29,12 @@ func main() {
 	flag.Parse()
 
 	cfg := experiments.DefaultWorkload()
-	switch *profile {
-	case "department":
-		cfg.Profile = webgraph.DepartmentSite()
-	case "media":
-		cfg.Profile = webgraph.MediaSite()
-	case "tiny":
-		cfg.Profile = webgraph.TinySite()
-	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q\n", *profile)
+	p, err := webgraph.ProfileByName(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(2)
 	}
+	cfg.Profile = p
 	cfg.Days = *days
 	cfg.SessionsPerDay = *rate
 	cfg.Seed = *seed

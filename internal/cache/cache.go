@@ -14,10 +14,44 @@ import (
 	"container/list"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
+	"specweb/internal/obs"
 	"specweb/internal/webgraph"
 )
+
+// cacheMetrics aggregates over every live cache instance (replays and
+// simulations build one cache per client, so per-instance series would
+// explode; the paper's quantities are fleet totals anyway). Registered
+// lazily in obs.Default on first cache construction.
+type cacheMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	purges    *obs.Counter
+	bytes     *obs.Gauge
+	docs      *obs.Gauge
+}
+
+var (
+	metricsOnce sync.Once
+	met         cacheMetrics
+)
+
+func metrics() *cacheMetrics {
+	metricsOnce.Do(func() {
+		met = cacheMetrics{
+			hits:      obs.Default.Counter("specweb_cache_hits_total", "Client-cache lookups that hit.", nil),
+			misses:    obs.Default.Counter("specweb_cache_misses_total", "Client-cache lookups that missed.", nil),
+			evictions: obs.Default.Counter("specweb_cache_evictions_total", "Documents evicted by the LRU capacity bound.", nil),
+			purges:    obs.Default.Counter("specweb_cache_purges_total", "End-of-session cache purges.", nil),
+			bytes:     obs.Default.Gauge("specweb_cache_bytes", "Bytes currently cached across all live caches.", nil),
+			docs:      obs.Default.Gauge("specweb_cache_docs", "Documents currently cached across all live caches.", nil),
+		}
+	})
+	return &met
+}
 
 // Forever is the SessionTimeout value meaning "never purge" (the paper's
 // SessionTimeout = ∞).
@@ -55,7 +89,7 @@ func New(timeout time.Duration, capacity int64) Cache {
 	if timeout <= 0 {
 		return nullCache{}
 	}
-	return &lruCache{timeout: timeout, capacity: capacity,
+	return &lruCache{timeout: timeout, capacity: capacity, met: metrics(),
 		entries: make(map[webgraph.DocID]*list.Element), order: list.New()}
 }
 
@@ -77,6 +111,7 @@ type lruEntry struct {
 type lruCache struct {
 	timeout  time.Duration
 	capacity int64
+	met      *cacheMetrics
 
 	last    time.Time
 	started bool
@@ -94,6 +129,9 @@ func (c *lruCache) Touch(at time.Time) {
 }
 
 func (c *lruCache) purge() {
+	c.met.purges.Inc()
+	c.met.bytes.Add(-float64(c.bytes))
+	c.met.docs.Add(-float64(c.order.Len()))
 	c.entries = make(map[webgraph.DocID]*list.Element)
 	c.order.Init()
 	c.bytes = 0
@@ -103,6 +141,9 @@ func (c *lruCache) Has(doc webgraph.DocID) bool {
 	e, ok := c.entries[doc]
 	if ok {
 		c.order.MoveToFront(e)
+		c.met.hits.Inc()
+	} else {
+		c.met.misses.Inc()
 	}
 	return ok
 }
@@ -120,18 +161,23 @@ func (c *lruCache) Put(doc webgraph.DocID, size int64) {
 			c.order.Remove(e)
 			delete(c.entries, doc)
 			c.bytes -= ent.size
+			c.met.bytes.Add(-float64(ent.size))
+			c.met.docs.Add(-1)
 		}
 		return
 	}
 	if e, ok := c.entries[doc]; ok {
 		ent := e.Value.(*lruEntry)
 		c.bytes += size - ent.size
+		c.met.bytes.Add(float64(size - ent.size))
 		ent.size = size
 		c.order.MoveToFront(e)
 	} else {
 		e := c.order.PushFront(&lruEntry{doc: doc, size: size})
 		c.entries[doc] = e
 		c.bytes += size
+		c.met.bytes.Add(float64(size))
+		c.met.docs.Add(1)
 	}
 	if c.capacity > 0 {
 		for c.bytes > c.capacity && c.order.Len() > 1 {
@@ -149,6 +195,9 @@ func (c *lruCache) evictOldest() {
 	c.order.Remove(e)
 	delete(c.entries, ent.doc)
 	c.bytes -= ent.size
+	c.met.evictions.Inc()
+	c.met.bytes.Add(-float64(ent.size))
+	c.met.docs.Add(-1)
 }
 
 func (c *lruCache) Len() int     { return c.order.Len() }

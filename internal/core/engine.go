@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"specweb/internal/markov"
+	"specweb/internal/obs"
 	"specweb/internal/speculation"
 	"specweb/internal/trace"
 	"specweb/internal/webgraph"
@@ -50,6 +51,10 @@ type EngineConfig struct {
 	// EmbedThreshold splits hybrid responses: candidates at or above it
 	// are pushed, the rest hinted.
 	EmbedThreshold float64
+
+	// Metrics selects the registry the engine's metrics register in;
+	// nil means the process-wide obs.Default.
+	Metrics *obs.Registry
 }
 
 // DefaultEngineConfig mirrors the paper's baseline with a moderate
@@ -92,6 +97,7 @@ type SizeFunc func(webgraph.DocID) (int64, bool)
 type Engine struct {
 	cfg  EngineConfig
 	size SizeFunc
+	met  *engineMetrics
 
 	mu          sync.Mutex
 	buffer      *trace.Trace // requests since the last refresh
@@ -100,6 +106,35 @@ type Engine struct {
 	lastRefresh time.Time
 	started     bool
 	recorded    int64
+}
+
+// engineMetrics are the engine's observability series. Decision counters
+// share one family, split by outcome, so the speculative "what happened
+// to each candidate above/below T_p" breakdown is one Prometheus query.
+type engineMetrics struct {
+	recorded         *obs.Counter
+	refreshes        *obs.Counter
+	push             *obs.Counter
+	hint             *obs.Counter
+	belowThreshold   *obs.Counter
+	digestSuppressed *obs.Counter
+	pairs            *obs.Gauge
+	docs             *obs.Gauge
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	const decisions = "specweb_engine_decisions_total"
+	const decisionsHelp = "Speculation candidate decisions by outcome."
+	return &engineMetrics{
+		recorded:         reg.Counter("specweb_engine_recorded_total", "Client requests observed by the engine.", nil),
+		refreshes:        reg.Counter("specweb_engine_refreshes_total", "Dependency-matrix update cycles (the paper's UpdateCycle).", nil),
+		push:             reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "push"}),
+		hint:             reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "hint"}),
+		belowThreshold:   reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "below_threshold"}),
+		digestSuppressed: reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "digest_suppressed"}),
+		pairs:            reg.Gauge("specweb_engine_pairs", "Dependency pairs in the current P* estimate.", nil),
+		docs:             reg.Gauge("specweb_engine_docs", "Documents with at least one successor in P*.", nil),
+	}
 }
 
 // NewEngine builds an engine. size may be nil when MaxSize is unused.
@@ -124,6 +159,7 @@ func NewEngine(cfg EngineConfig, size SizeFunc) (*Engine, error) {
 	return &Engine{
 		cfg:     cfg,
 		size:    size,
+		met:     newEngineMetrics(cfg.Metrics),
 		buffer:  &trace.Trace{},
 		aging:   ag,
 		current: markov.NewMatrix(),
@@ -150,6 +186,7 @@ func (e *Engine) Record(client trace.ClientID, doc webgraph.DocID, at time.Time)
 		Time: at, Client: client, Doc: doc, Size: size,
 	})
 	e.recorded++
+	e.met.recorded.Inc()
 	if at.Sub(e.lastRefresh) >= e.cfg.RefreshEvery {
 		e.refreshLocked(at)
 	}
@@ -176,6 +213,9 @@ func (e *Engine) refreshLocked(at time.Time) {
 	e.current = e.aging.Snapshot()
 	e.buffer = carry
 	e.lastRefresh = at
+	e.met.refreshes.Inc()
+	e.met.pairs.Set(float64(e.current.NumPairs()))
+	e.met.docs.Set(float64(e.current.NumRows()))
 }
 
 // splitOpenStrides partitions buf into requests safe to finalize and the
@@ -235,30 +275,22 @@ func (e *Engine) filterSize(docs []markov.Successor) []markov.Successor {
 	return out
 }
 
-// Speculate returns the documents to push along with doc, excluding any the
-// caller knows the client has (the cooperative digest; may be nil).
-func (e *Engine) Speculate(doc webgraph.DocID, have map[webgraph.DocID]bool) []webgraph.DocID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// candidatesLocked returns doc's speculation candidates with the
+// cooperative-digest filter applied, counting the candidates the digest
+// suppressed and the successors the policy left below T_p. Callers hold
+// the lock.
+func (e *Engine) candidatesLocked(doc webgraph.DocID, have map[webgraph.DocID]bool) []speculation.Hint {
 	cands := e.filterSize(e.selectorLocked().Policy.Candidates(doc))
-	out := make([]webgraph.DocID, 0, len(cands))
-	for _, c := range cands {
-		if c.Doc == doc || have[c.Doc] {
-			continue
-		}
-		out = append(out, c.Doc)
+	if row := e.current.Row(doc); len(row) > len(cands) {
+		e.met.belowThreshold.Add(int64(len(row) - len(cands)))
 	}
-	return out
-}
-
-// Hints returns the server-assisted prefetching list for doc.
-func (e *Engine) Hints(doc webgraph.DocID, have map[webgraph.DocID]bool) []speculation.Hint {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	cands := e.filterSize(e.selectorLocked().Policy.Candidates(doc))
 	out := make([]speculation.Hint, 0, len(cands))
 	for _, c := range cands {
-		if c.Doc == doc || have[c.Doc] {
+		if c.Doc == doc {
+			continue
+		}
+		if have[c.Doc] {
+			e.met.digestSuppressed.Inc()
 			continue
 		}
 		var size int64
@@ -270,16 +302,43 @@ func (e *Engine) Hints(doc webgraph.DocID, have map[webgraph.DocID]bool) []specu
 	return out
 }
 
+// Speculate returns the documents to push along with doc, excluding any the
+// caller knows the client has (the cooperative digest; may be nil).
+func (e *Engine) Speculate(doc webgraph.DocID, have map[webgraph.DocID]bool) []webgraph.DocID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cands := e.candidatesLocked(doc, have)
+	out := make([]webgraph.DocID, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, c.Doc)
+	}
+	e.met.push.Add(int64(len(out)))
+	return out
+}
+
+// Hints returns the server-assisted prefetching list for doc.
+func (e *Engine) Hints(doc webgraph.DocID, have map[webgraph.DocID]bool) []speculation.Hint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.candidatesLocked(doc, have)
+	e.met.hint.Add(int64(len(out)))
+	return out
+}
+
 // Split returns the hybrid response for doc: candidates at or above
 // EmbedThreshold to push, the rest as hints.
 func (e *Engine) Split(doc webgraph.DocID, have map[webgraph.DocID]bool) (push []webgraph.DocID, hints []speculation.Hint) {
-	for _, h := range e.Hints(doc, have) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, h := range e.candidatesLocked(doc, have) {
 		if h.P >= e.cfg.EmbedThreshold {
 			push = append(push, h.Doc)
 		} else {
 			hints = append(hints, h)
 		}
 	}
+	e.met.push.Add(int64(len(push)))
+	e.met.hint.Add(int64(len(hints)))
 	return push, hints
 }
 

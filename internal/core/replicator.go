@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"specweb/internal/allocation"
+	"specweb/internal/obs"
 	"specweb/internal/stats"
 	"specweb/internal/webgraph"
 )
@@ -16,6 +17,8 @@ import (
 // duplicate, the exponential-model fit λ, and — acting as a proxy — the
 // optimal split of a storage budget across several home servers.
 type Replicator struct {
+	met replicatorMetrics
+
 	mu     sync.Mutex
 	sizes  map[webgraph.DocID]int64
 	total  map[webgraph.DocID]int64 // all requests
@@ -24,9 +27,30 @@ type Replicator struct {
 	remReq int64
 }
 
-// NewReplicator returns an empty tracker.
-func NewReplicator() *Replicator {
+type replicatorMetrics struct {
+	requests     *obs.Counter
+	remote       *obs.Counter
+	replicaSets  *obs.Counter
+	replicaDocs  *obs.Gauge
+	replicaBytes *obs.Gauge
+}
+
+// NewReplicator returns an empty tracker with metrics in obs.Default.
+func NewReplicator() *Replicator { return NewReplicatorIn(nil) }
+
+// NewReplicatorIn returns an empty tracker registering its metrics in reg
+// (nil means obs.Default).
+func NewReplicatorIn(reg *obs.Registry) *Replicator {
+	const scoped = "specweb_replicator_requests_total"
+	const scopedHelp = "Requests observed by the dissemination tracker, by client scope."
 	return &Replicator{
+		met: replicatorMetrics{
+			requests:     reg.Counter(scoped, scopedHelp, obs.Labels{"scope": "all"}),
+			remote:       reg.Counter(scoped, scopedHelp, obs.Labels{"scope": "remote"}),
+			replicaSets:  reg.Counter("specweb_replicator_replica_sets_total", "Replica-set computations served to proxies.", nil),
+			replicaDocs:  reg.Gauge("specweb_replicator_replica_docs", "Documents in the most recent replica set.", nil),
+			replicaBytes: reg.Gauge("specweb_replicator_replica_bytes", "Bytes selected for dissemination in the most recent replica set.", nil),
+		},
 		sizes:  make(map[webgraph.DocID]int64),
 		total:  make(map[webgraph.DocID]int64),
 		remote: make(map[webgraph.DocID]int64),
@@ -40,9 +64,11 @@ func (r *Replicator) Record(doc webgraph.DocID, size int64, remote bool) {
 	r.sizes[doc] = size
 	r.total[doc]++
 	r.reqs++
+	r.met.requests.Inc()
 	if remote {
 		r.remote[doc]++
 		r.remReq++
+		r.met.remote.Inc()
 	}
 }
 
@@ -87,6 +113,9 @@ func (r *Replicator) ReplicaSet(budget int64) []webgraph.DocID {
 		used += size
 		out = append(out, id)
 	}
+	r.met.replicaSets.Inc()
+	r.met.replicaDocs.Set(float64(len(out)))
+	r.met.replicaBytes.Set(float64(used))
 	return out
 }
 

@@ -18,9 +18,11 @@ package dissemination
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"specweb/internal/clienttree"
 	"specweb/internal/netsim"
+	"specweb/internal/obs"
 	"specweb/internal/popularity"
 	"specweb/internal/synth"
 	"specweb/internal/trace"
@@ -86,6 +88,27 @@ type Point struct {
 	RootBytesBaseline int64
 	RootBytes         int64
 	MaxProxyBytes     int64
+
+	// AlphaC is the measured intercepted-request fraction: the share of
+	// trace requests some proxy served instead of the home server (the
+	// live counterpart of eq. 1's α).
+	AlphaC float64
+	// PerProxy breaks the interception down by placed proxy, sorted by
+	// node ID.
+	PerProxy []ProxyLoad
+}
+
+// ProxyLoad is one proxy's share of a sweep point.
+type ProxyLoad struct {
+	Node netsim.NodeID
+	// Requests is how many trace requests the proxy served; AlphaC is
+	// that count as a fraction of all trace requests.
+	Requests int64
+	AlphaC   float64
+	// Bytes is the load served; SavedByteHops the bytes×hops the proxy
+	// kept off the paths above it.
+	Bytes         int64
+	SavedByteHops int64
 }
 
 // Simulate runs the sweep over cfg.ProxyCounts and returns one Point per
@@ -167,6 +190,23 @@ func Simulate(tr *trace.Trace, cfg Config) ([]Point, error) {
 		}
 		rootBytes := totalBytes - proxyBytes
 
+		totalReqs := int64(tr.Len())
+		var intercepted int64
+		perLoads := make([]ProxyLoad, 0, len(proxies))
+		for _, p := range proxies {
+			st := perProxy[p]
+			intercepted += st.requests
+			perLoads = append(perLoads, ProxyLoad{
+				Node:          p,
+				Requests:      st.requests,
+				AlphaC:        float64(st.requests) / float64(totalReqs),
+				Bytes:         st.bytes,
+				SavedByteHops: st.savedByteHops,
+			})
+		}
+		sort.Slice(perLoads, func(i, j int) bool { return perLoads[i].Node < perLoads[j].Node })
+		alphaC := float64(intercepted) / float64(totalReqs)
+
 		var push int64
 		if cfg.IncludePushCost {
 			chosen := make(map[netsim.NodeID]bool, len(proxies))
@@ -211,6 +251,18 @@ func Simulate(tr *trace.Trace, cfg Config) ([]Point, error) {
 		if baseline > 0 {
 			red = 100 * float64(baseline-service-push) / float64(baseline)
 		}
+
+		// Publish the sweep point, labeled by proxy count so a sweep
+		// leaves one series per x position (a handful per run).
+		k := obs.Labels{"proxies": strconv.Itoa(len(proxies))}
+		obs.Default.Gauge("specweb_dissemination_alpha",
+			"Intercepted-request fraction α_C at the last sweep point.", k).Set(alphaC)
+		obs.Default.Gauge("specweb_dissemination_reduction_pct",
+			"Net bytes×hops reduction percentage at the last sweep point.", k).Set(red)
+		obs.Default.Counter("specweb_dissemination_saved_byte_hops_total",
+			"Cumulative bytes×hops kept off the network by dissemination, net of push cost.", nil).
+			Add(baseline - service - push)
+
 		points = append(points, Point{
 			Proxies:           len(proxies),
 			ReplicaBytes:      replicaBytes,
@@ -222,6 +274,8 @@ func Simulate(tr *trace.Trace, cfg Config) ([]Point, error) {
 			RootBytesBaseline: totalBytes,
 			RootBytes:         rootBytes,
 			MaxProxyBytes:     maxProxyBytes,
+			AlphaC:            alphaC,
+			PerProxy:          perLoads,
 		})
 	}
 	return points, nil
@@ -338,6 +392,7 @@ func buildHoldings(tr *trace.Trace, cfg Config, an *popularity.Analysis,
 }
 
 type proxyStats struct {
+	requests      int64
 	bytes         int64
 	savedByteHops int64
 }
@@ -378,6 +433,7 @@ func replay(tr *trace.Trace, topo *netsim.Topology, proxies []netsim.NodeID,
 		total += r.Size * int64(hops)
 		if servedAt != netsim.NoNode {
 			st := per[servedAt]
+			st.requests++
 			st.bytes += r.Size
 			st.savedByteHops += r.Size * int64(depth-hops)
 		}

@@ -33,6 +33,26 @@ type ClientStats struct {
 	Pushed     int64 // documents received speculatively
 	Prefetched int64 // documents fetched because of hints
 	BytesIn    int64
+
+	// SpecHits counts cache hits served by a document that arrived
+	// speculatively (pushed or prefetched) and had not been requested
+	// before — the hits speculation itself manufactured. SpecHitBytes is
+	// their byte total: exactly what a non-speculative client would have
+	// had to fetch over the wire.
+	SpecHits     int64
+	SpecHitBytes int64
+	// DemandBytes is the byte total of every client-initiated fetch (hit
+	// or miss); MissBytes the requested-document bytes actually fetched.
+	// MissBytes/DemandBytes is the live byte miss rate of §3.3.
+	DemandBytes int64
+	MissBytes   int64
+}
+
+// cacheEntry is one cached document; spec marks it as having arrived
+// speculatively and not yet been requested.
+type cacheEntry struct {
+	body []byte
+	spec bool
 }
 
 // Client is a caching HTTP client that understands the speculative
@@ -43,7 +63,7 @@ type Client struct {
 	base string
 
 	mu    sync.Mutex
-	cache map[string][]byte
+	cache map[string]cacheEntry
 	stats ClientStats
 }
 
@@ -53,7 +73,7 @@ func NewClient(base string, cfg ClientConfig) *Client {
 	if cfg.HTTP == nil {
 		cfg.HTTP = http.DefaultClient
 	}
-	return &Client{cfg: cfg, base: strings.TrimRight(base, "/"), cache: make(map[string][]byte)}
+	return &Client{cfg: cfg, base: strings.TrimRight(base, "/"), cache: make(map[string]cacheEntry)}
 }
 
 // Stats returns a snapshot of the client counters.
@@ -75,7 +95,7 @@ func (c *Client) Cached(path string) bool {
 func (c *Client) EndSession() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cache = make(map[string][]byte)
+	c.cache = make(map[string]cacheEntry)
 }
 
 // Get fetches a document, serving from cache when possible. fromCache
@@ -83,10 +103,20 @@ func (c *Client) EndSession() {
 func (c *Client) Get(path string) (body []byte, fromCache bool, err error) {
 	c.mu.Lock()
 	c.stats.Fetches++
-	if b, ok := c.cache[path]; ok {
+	if e, ok := c.cache[path]; ok {
 		c.stats.CacheHits++
+		c.stats.DemandBytes += int64(len(e.body))
+		if e.spec {
+			// First request for a speculatively delivered document:
+			// count the manufactured hit, then treat it as an ordinary
+			// cached document from here on.
+			c.stats.SpecHits++
+			c.stats.SpecHitBytes += int64(len(e.body))
+			e.spec = false
+			c.cache[path] = e
+		}
 		c.mu.Unlock()
-		return b, true, nil
+		return e.body, true, nil
 	}
 	digest := c.digestLocked()
 	c.mu.Unlock()
@@ -95,6 +125,10 @@ func (c *Client) Get(path string) (body []byte, fromCache bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
+	c.mu.Lock()
+	c.stats.DemandBytes += int64(len(body))
+	c.stats.MissBytes += int64(len(body))
+	c.mu.Unlock()
 	// Hint-driven prefetching happens synchronously so behaviour is
 	// deterministic; a production client would fetch in the background.
 	for _, h := range hints {
@@ -154,7 +188,7 @@ func (c *Client) fetch(path string, digest string) ([]byte, []clientHint, error)
 		return nil, nil, err
 	}
 	c.mu.Lock()
-	c.cache[path] = body
+	c.cache[path] = cacheEntry{body: body}
 	c.stats.BytesIn += int64(len(body))
 	c.mu.Unlock()
 	return body, hints, nil
@@ -184,7 +218,7 @@ func (c *Client) ingestBundle(want string, r io.Reader, boundary string) ([]byte
 		pushed := part.Header.Get(HeaderPushed) != ""
 		c.mu.Lock()
 		if _, ok := c.cache[loc]; !ok {
-			c.cache[loc] = body
+			c.cache[loc] = cacheEntry{body: body, spec: pushed}
 			if pushed {
 				c.stats.Pushed++
 			}
@@ -235,7 +269,7 @@ func (c *Client) prefetch(path string) {
 	}
 	c.mu.Lock()
 	if _, ok := c.cache[path]; !ok {
-		c.cache[path] = body
+		c.cache[path] = cacheEntry{body: body, spec: true}
 		c.stats.Prefetched++
 		c.stats.BytesIn += int64(len(body))
 	}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
+
+	"specweb/internal/obs"
 )
 
 // Proxy is a dissemination service proxy (§2): it holds replicas of a home
@@ -16,6 +19,9 @@ import (
 type Proxy struct {
 	origin string
 	http   *http.Client
+	met    *proxyMetrics
+	tracer *obs.Tracer
+	log    *slog.Logger
 
 	mu       sync.RWMutex
 	replicas map[string][]byte
@@ -26,24 +32,62 @@ type Proxy struct {
 	forward atomic.Int64
 }
 
-// NewProxy fronts the origin server (base URL).
+// proxyMetrics aggregate over every proxy instance in the process (the
+// snapshot-style ProxyStats stays per instance).
+type proxyMetrics struct {
+	hits           *obs.Counter
+	misses         *obs.Counter
+	hitBytes       *obs.Counter
+	originErrors   *obs.Counter
+	disseminations *obs.Counter
+	replicas       *obs.Gauge
+	replicaBytes   *obs.Gauge
+}
+
+func newProxyMetrics(reg *obs.Registry) *proxyMetrics {
+	const requests = "specweb_proxy_requests_total"
+	const requestsHelp = "Requests handled by the dissemination proxy, by outcome."
+	return &proxyMetrics{
+		hits:           reg.Counter(requests, requestsHelp, obs.Labels{"result": "hit"}),
+		misses:         reg.Counter(requests, requestsHelp, obs.Labels{"result": "miss"}),
+		hitBytes:       reg.Counter("specweb_proxy_hit_bytes_total", "Bytes served from local replicas.", nil),
+		originErrors:   reg.Counter("specweb_proxy_origin_errors_total", "Failed forwards and replica pulls against the origin.", nil),
+		disseminations: reg.Counter("specweb_proxy_disseminations_total", "Replica-set refreshes pulled from the origin.", nil),
+		replicas:       reg.Gauge("specweb_proxy_replicas", "Documents currently replicated at the proxy.", nil),
+		replicaBytes:   reg.Gauge("specweb_proxy_replica_bytes", "Bytes currently replicated at the proxy.", nil),
+	}
+}
+
+// NewProxy fronts the origin server (base URL), registering metrics in
+// the process-wide obs.Default.
 func NewProxy(origin string, client *http.Client) *Proxy {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &Proxy{origin: origin, http: client, replicas: make(map[string][]byte)}
+	return &Proxy{
+		origin:   origin,
+		http:     client,
+		met:      newProxyMetrics(nil),
+		tracer:   obs.DefaultTracer,
+		log:      obs.Logger("proxy"),
+		replicas: make(map[string][]byte),
+	}
 }
 
 // Disseminate asks the origin which documents deserve replication within
 // the byte budget (the origin's Replicator decides, per §2's server-driven
 // model) and pulls them. It replaces the current replica set.
 func (p *Proxy) Disseminate(budget int64) (int, error) {
+	sp := p.tracer.Start("proxy.disseminate")
+	defer sp.Finish()
 	resp, err := p.http.Get(fmt.Sprintf("%s/spec/replicas?budget=%d", p.origin, budget))
 	if err != nil {
+		p.met.originErrors.Inc()
 		return 0, fmt.Errorf("httpspec: fetching replica list: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		p.met.originErrors.Inc()
 		return 0, fmt.Errorf("httpspec: replica list: %s", resp.Status)
 	}
 	var paths []string
@@ -51,16 +95,23 @@ func (p *Proxy) Disseminate(budget int64) (int, error) {
 		return 0, fmt.Errorf("httpspec: decoding replica list: %w", err)
 	}
 	fresh := make(map[string][]byte, len(paths))
+	var freshBytes int64
 	for _, path := range paths {
 		body, err := p.pull(path)
 		if err != nil {
+			p.met.originErrors.Inc()
 			return 0, err
 		}
 		fresh[path] = body
+		freshBytes += int64(len(body))
 	}
 	p.mu.Lock()
 	p.replicas = fresh
 	p.mu.Unlock()
+	p.met.disseminations.Inc()
+	p.met.replicas.Set(float64(len(fresh)))
+	p.met.replicaBytes.Set(float64(freshBytes))
+	p.log.Info("replica set refreshed", "docs", len(fresh), "bytes", freshBytes, "budget", budget)
 	return len(fresh), nil
 }
 
@@ -103,6 +154,9 @@ func (p *Proxy) Stats() ProxyStats {
 // streaming the response back (including speculative headers, which pass
 // through untouched).
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sp := p.tracer.Start("proxy.request")
+	sp.SetAttr("path", r.URL.Path)
+	defer sp.Finish()
 	if r.Method == http.MethodGet {
 		p.mu.RLock()
 		body, ok := p.replicas[r.URL.Path]
@@ -110,6 +164,9 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if ok {
 			p.hits.Add(1)
 			p.hitB.Add(int64(len(body)))
+			p.met.hits.Inc()
+			p.met.hitBytes.Add(int64(len(body)))
+			sp.SetAttr("result", "hit")
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Header().Set("X-Served-By", "specweb-proxy")
 			_, _ = w.Write(body)
@@ -117,9 +174,12 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	p.misses.Add(1)
+	p.met.misses.Inc()
+	sp.SetAttr("result", "miss")
 	req, err := http.NewRequest(r.Method, p.origin+r.URL.RequestURI(), r.Body)
 	if err != nil {
 		p.forward.Add(1)
+		p.met.originErrors.Inc()
 		http.Error(w, "bad gateway", http.StatusBadGateway)
 		return
 	}
@@ -127,6 +187,8 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	resp, err := p.http.Do(req)
 	if err != nil {
 		p.forward.Add(1)
+		p.met.originErrors.Inc()
+		p.log.Warn("forward failed", "path", r.URL.Path, "err", err)
 		http.Error(w, "bad gateway", http.StatusBadGateway)
 		return
 	}

@@ -3,6 +3,8 @@ package httpspec
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"time"
 
 	"specweb/internal/trace"
 )
@@ -32,10 +34,139 @@ type ReplayStats struct {
 	Clients    int
 	Requests   int64 // client-initiated fetches replayed
 	CacheHits  int64
+	SpecHits   int64 // cache hits manufactured by speculation
 	Pushed     int64
 	Prefetched int64
 	BytesIn    int64
 	Errors     int64
+
+	// SpecHitBytes, DemandBytes and MissBytes feed the paper's ratios;
+	// see ClientStats for their definitions.
+	SpecHitBytes int64
+	DemandBytes  int64
+	MissBytes    int64
+
+	latencies  []float64 // per successful client-initiated request, seconds
+	missDurSum float64
+	missCount  int64
+}
+
+// PaperRatios are the four quantities of §3's evaluation (Figs. 5–6),
+// each expressed as speculative service over the non-speculative baseline
+// a client with the same session cache would have seen. Bandwidth > 1 is
+// the cost of speculation; server load, service time and byte miss rate
+// < 1 are its benefits. Ratios are 1 when a run has no traffic to
+// compare.
+type PaperRatios struct {
+	// Bandwidth: bytes over the wire / bytes a non-speculative client
+	// would have fetched.
+	Bandwidth float64 `json:"bandwidth"`
+	// ServerLoad: server requests issued / server requests a
+	// non-speculative client would have issued (spec hits would each
+	// have been a request).
+	ServerLoad float64 `json:"server_load"`
+	// ServiceTime: observed mean request time / estimated baseline mean,
+	// where each speculation-manufactured cache hit is charged the mean
+	// cache-miss time it avoided.
+	ServiceTime float64 `json:"service_time"`
+	// ByteMissRate: requested bytes fetched over the wire / requested
+	// bytes the baseline would have fetched (§3.3's byte miss rate,
+	// speculative over non-speculative).
+	ByteMissRate float64 `json:"byte_miss_rate"`
+}
+
+// LatencySummary reports client-observed request latency in milliseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// ReplaySummary is the structured per-run result cmd/replay emits as
+// JSON, so runs are machine-comparable across configurations and PRs.
+type ReplaySummary struct {
+	Clients       int            `json:"clients"`
+	Requests      int64          `json:"requests"`
+	Errors        int64          `json:"errors"`
+	CacheHits     int64          `json:"cache_hits"`
+	SpecHits      int64          `json:"spec_hits"`
+	Pushed        int64          `json:"pushed"`
+	Prefetched    int64          `json:"prefetched"`
+	BytesIn       int64          `json:"bytes_in"`
+	DemandBytes   int64          `json:"demand_bytes"`
+	BaselineBytes int64          `json:"baseline_bytes"`
+	Ratios        PaperRatios    `json:"ratios"`
+	LatencyMS     LatencySummary `json:"latency_ms"`
+}
+
+// ratio divides speculative by baseline, reporting the neutral 1 when
+// there is nothing to compare.
+func ratio(spec, baseline float64) float64 {
+	if baseline == 0 {
+		return 1
+	}
+	return spec / baseline
+}
+
+// Summary computes the paper's four ratios and the latency percentiles
+// for the run.
+func (s *ReplayStats) Summary() ReplaySummary {
+	baselineBytes := s.MissBytes + s.SpecHitBytes
+	specServerReqs := float64(s.Requests-s.CacheHits) + float64(s.Prefetched)
+	baseServerReqs := float64(s.Requests-s.CacheHits) + float64(s.SpecHits)
+
+	var durSum float64
+	for _, d := range s.latencies {
+		durSum += d
+	}
+	var meanMiss float64
+	if s.missCount > 0 {
+		meanMiss = s.missDurSum / float64(s.missCount)
+	}
+	serviceTime := 1.0
+	if n := float64(len(s.latencies)); n > 0 {
+		baselineDur := durSum + float64(s.SpecHits)*meanMiss
+		serviceTime = ratio(durSum/n, baselineDur/n)
+	}
+
+	lat := LatencySummary{}
+	if len(s.latencies) > 0 {
+		sorted := append([]float64(nil), s.latencies...)
+		sort.Float64s(sorted)
+		pick := func(q float64) float64 {
+			i := int(q * float64(len(sorted)-1))
+			return sorted[i] * 1000
+		}
+		lat = LatencySummary{
+			P50:  pick(0.50),
+			P90:  pick(0.90),
+			P99:  pick(0.99),
+			Mean: durSum / float64(len(sorted)) * 1000,
+			Max:  sorted[len(sorted)-1] * 1000,
+		}
+	}
+
+	return ReplaySummary{
+		Clients:       s.Clients,
+		Requests:      s.Requests,
+		Errors:        s.Errors,
+		CacheHits:     s.CacheHits,
+		SpecHits:      s.SpecHits,
+		Pushed:        s.Pushed,
+		Prefetched:    s.Prefetched,
+		BytesIn:       s.BytesIn,
+		DemandBytes:   s.DemandBytes,
+		BaselineBytes: baselineBytes,
+		Ratios: PaperRatios{
+			Bandwidth:    ratio(float64(s.BytesIn), float64(baselineBytes)),
+			ServerLoad:   ratio(specServerReqs, baseServerReqs),
+			ServiceTime:  serviceTime,
+			ByteMissRate: ratio(float64(s.MissBytes), float64(baselineBytes)),
+		},
+		LatencyMS: lat,
+	}
 }
 
 // Replay walks the trace in order, issuing each request through a per-client
@@ -69,8 +200,17 @@ func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 			sinceSession[r.Client] = 0
 		}
 		sinceSession[r.Client]++
-		if _, _, err := c.Get(r.Path); err != nil {
+		start := time.Now()
+		_, fromCache, err := c.Get(r.Path)
+		if err != nil {
 			stats.Errors++
+			continue
+		}
+		dur := time.Since(start).Seconds()
+		stats.latencies = append(stats.latencies, dur)
+		if !fromCache {
+			stats.missDurSum += dur
+			stats.missCount++
 		}
 	}
 	stats.Clients = len(clients)
@@ -78,9 +218,13 @@ func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 		cs := c.Stats()
 		stats.Requests += cs.Fetches
 		stats.CacheHits += cs.CacheHits
+		stats.SpecHits += cs.SpecHits
 		stats.Pushed += cs.Pushed
 		stats.Prefetched += cs.Prefetched
 		stats.BytesIn += cs.BytesIn
+		stats.SpecHitBytes += cs.SpecHitBytes
+		stats.DemandBytes += cs.DemandBytes
+		stats.MissBytes += cs.MissBytes
 	}
 	return stats, nil
 }

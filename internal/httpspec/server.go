@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"specweb/internal/core"
+	"specweb/internal/obs"
 	"specweb/internal/trace"
 	"specweb/internal/webgraph"
 )
@@ -44,6 +45,20 @@ const (
 	ModeHybrid
 )
 
+// ParseMode resolves a command-line mode name — the one switch shared by
+// every binary that takes a -mode flag.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "push":
+		return ModePush, nil
+	case "hints":
+		return ModeHints, nil
+	case "hybrid":
+		return ModeHybrid, nil
+	}
+	return 0, fmt.Errorf("httpspec: unknown mode %q (want push, hints, or hybrid)", name)
+}
+
 // ServerConfig parameterizes a speculative HTTP server.
 type ServerConfig struct {
 	Engine core.EngineConfig
@@ -53,6 +68,11 @@ type ServerConfig struct {
 	// Clock supplies request times; nil means time.Now. Tests and
 	// trace replays inject their own.
 	Clock func() time.Time
+	// Metrics selects the registry the server (and its engine and
+	// replicator) register metrics in; nil means obs.Default.
+	Metrics *obs.Registry
+	// Tracer records per-request spans; nil means obs.DefaultTracer.
+	Tracer *obs.Tracer
 }
 
 // DefaultServerConfig returns a push-mode server with the baseline engine.
@@ -80,6 +100,8 @@ type Server struct {
 	cfg    ServerConfig
 	engine *core.Engine
 	repl   *core.Replicator
+	met    *serverMetrics
+	tracer *obs.Tracer
 
 	requests   atomic.Int64
 	bytesSent  atomic.Int64
@@ -87,6 +109,36 @@ type Server struct {
 	hintsSent  atomic.Int64
 	notFound   atomic.Int64
 	bundles    atomic.Int64
+}
+
+// serverMetrics are the server's observability series; the snapshot-style
+// ServerStats struct stays for the JSON /spec/stats endpoint.
+type serverMetrics struct {
+	requests    *obs.Counter
+	notFound    *obs.Counter
+	bytesSent   *obs.Counter
+	pushedDocs  *obs.Counter
+	pushedBytes *obs.Counter
+	hints       *obs.Counter
+	bundles     *obs.Counter
+	digestDocs  *obs.Counter
+	latency     *obs.Histogram
+	respBytes   *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests:    reg.Counter("specweb_server_requests_total", "Client-initiated document requests served.", nil),
+		notFound:    reg.Counter("specweb_server_not_found_total", "Requests for unknown paths.", nil),
+		bytesSent:   reg.Counter("specweb_server_bytes_sent_total", "Response bytes written (documents and bundle parts).", nil),
+		pushedDocs:  reg.Counter("specweb_server_pushed_docs_total", "Documents pushed speculatively in bundles.", nil),
+		pushedBytes: reg.Counter("specweb_server_pushed_bytes_total", "Bytes pushed speculatively in bundles.", nil),
+		hints:       reg.Counter("specweb_server_hints_total", "Link rel=prefetch hints attached to responses.", nil),
+		bundles:     reg.Counter("specweb_server_bundles_total", "Multipart bundles built.", nil),
+		digestDocs:  reg.Counter("specweb_server_digest_docs_total", "Documents announced in cooperative Spec-Have digests.", nil),
+		latency:     reg.Histogram("specweb_server_request_seconds", "Document request service time in seconds.", obs.LatencyBuckets(), nil),
+		respBytes:   reg.Histogram("specweb_server_response_bytes", "Response size in bytes per document request.", obs.SizeBuckets(), nil),
+	}
 }
 
 // NewServer builds a server over the store.
@@ -97,13 +149,26 @@ func NewServer(store Store, cfg ServerConfig) (*Server, error) {
 	if cfg.MaxPush <= 0 {
 		cfg.MaxPush = 16
 	}
+	if cfg.Engine.Metrics == nil {
+		cfg.Engine.Metrics = cfg.Metrics
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer
+	}
 	eng, err := core.NewEngine(cfg.Engine, func(id webgraph.DocID) (int64, bool) {
 		return store.Size(id)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{store: store, cfg: cfg, engine: eng, repl: core.NewReplicator()}, nil
+	return &Server{
+		store:  store,
+		cfg:    cfg,
+		engine: eng,
+		repl:   core.NewReplicatorIn(cfg.Metrics),
+		met:    newServerMetrics(cfg.Metrics),
+		tracer: cfg.Tracer,
+	}, nil
 }
 
 // Engine exposes the online engine (for tests and stats).
@@ -147,13 +212,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
+	sp := s.tracer.Start("server.request")
+	sp.SetAttr("path", r.URL.Path)
+	defer sp.Finish()
+
 	id, ok := s.store.Lookup(r.URL.Path)
 	if !ok {
 		s.notFound.Add(1)
+		s.met.notFound.Inc()
+		sp.SetAttr("status", "404")
 		http.NotFound(w, r)
 		return
 	}
 	s.requests.Add(1)
+	s.met.requests.Inc()
 
 	client := clientID(r)
 	at := s.now()
@@ -162,8 +235,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.repl.Record(id, size, isRemote(client))
 
 	have := parseHave(r.Header.Get(HeaderHave), s.store)
+	s.met.digestDocs.Add(int64(len(have)))
 	have[id] = true // never push the requested document
 
+	spec := s.tracer.StartChild("server.speculate", sp.ID())
 	var push []webgraph.DocID
 	var hints []hint
 	switch s.cfg.Mode {
@@ -183,20 +258,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if len(push) > s.cfg.MaxPush {
 		push = push[:s.cfg.MaxPush]
 	}
+	spec.SetAttr("push", strconv.Itoa(len(push)))
+	spec.SetAttr("hints", strconv.Itoa(len(hints)))
+	spec.Finish()
 
 	for _, h := range hints {
 		if path, ok := s.store.Path(h.doc); ok {
 			w.Header().Add("Link", fmt.Sprintf("<%s>; rel=\"prefetch\"; spec-p=%.3f", path, h.p))
 			s.hintsSent.Add(1)
+			s.met.hints.Inc()
 		}
 	}
 
 	wantBundle := strings.Contains(r.Header.Get(HeaderAccept), acceptBundle)
+	var written int64
 	if wantBundle && len(push) > 0 {
-		s.serveBundle(w, id, push)
-		return
+		bsp := s.tracer.StartChild("server.bundle", sp.ID())
+		written = s.serveBundle(w, id, push)
+		bsp.Finish()
+		sp.SetAttr("kind", "bundle")
+	} else {
+		written = s.serveDoc(w, id)
+		sp.SetAttr("kind", "doc")
 	}
-	s.serveDoc(w, id)
+	s.met.respBytes.Observe(float64(written))
+	s.met.latency.Observe(time.Since(start).Seconds())
 }
 
 type hint struct {
@@ -204,26 +290,30 @@ type hint struct {
 	p   float64
 }
 
-func (s *Server) serveDoc(w http.ResponseWriter, id webgraph.DocID) {
+func (s *Server) serveDoc(w http.ResponseWriter, id webgraph.DocID) int64 {
 	body, ok := s.store.Content(id)
 	if !ok {
 		http.Error(w, "document vanished", http.StatusInternalServerError)
-		return
+		return 0
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	n, _ := w.Write(body)
 	s.bytesSent.Add(int64(n))
+	s.met.bytesSent.Add(int64(n))
+	return int64(n)
 }
 
 // serveBundle writes a multipart/mixed response: the requested document
 // first, then each speculative document, every part carrying its
-// Content-Location.
-func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []webgraph.DocID) {
+// Content-Location. Returns the body bytes written.
+func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []webgraph.DocID) int64 {
 	mw := multipart.NewWriter(w)
 	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
 	s.bundles.Add(1)
+	s.met.bundles.Inc()
 
+	var total int64
 	writePart := func(doc webgraph.DocID, pushed bool) {
 		path, ok := s.store.Path(doc)
 		if !ok {
@@ -244,9 +334,13 @@ func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []we
 			return
 		}
 		n, _ := pw.Write(body)
+		total += int64(n)
 		s.bytesSent.Add(int64(n))
+		s.met.bytesSent.Add(int64(n))
 		if pushed {
 			s.docsPushed.Add(1)
+			s.met.pushedDocs.Inc()
+			s.met.pushedBytes.Add(int64(n))
 		}
 	}
 	writePart(id, false)
@@ -254,6 +348,7 @@ func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []we
 		writePart(d, true)
 	}
 	_ = mw.Close()
+	return total
 }
 
 func (s *Server) serveStats(w http.ResponseWriter) {

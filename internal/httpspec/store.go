@@ -19,7 +19,10 @@ package httpspec
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
+	"specweb/internal/cache"
 	"specweb/internal/webgraph"
 )
 
@@ -36,14 +39,36 @@ type Store interface {
 }
 
 // SiteStore adapts a webgraph.Site as a Store, synthesizing deterministic
-// document bodies of the declared sizes.
+// document bodies of the declared sizes. Rendered bodies are kept in a
+// bounded LRU so popular documents are synthesized once, not per request;
+// the LRU accounting (and its hit/miss/eviction metrics) comes from
+// internal/cache.
 type SiteStore struct {
 	site *webgraph.Site
+
+	mu     sync.Mutex
+	model  cache.Cache
+	bodies map[webgraph.DocID][]byte
 }
 
-// NewSiteStore wraps a site.
+// DefaultBodyCacheBytes bounds the rendered-body cache NewSiteStore
+// installs — enough for every hot document on the stock profiles.
+const DefaultBodyCacheBytes = 16 << 20
+
+// NewSiteStore wraps a site with the default body cache.
 func NewSiteStore(site *webgraph.Site) *SiteStore {
-	return &SiteStore{site: site}
+	return NewSiteStoreCached(site, DefaultBodyCacheBytes)
+}
+
+// NewSiteStoreCached wraps a site with a body cache of the given byte
+// capacity; capacity <= 0 disables caching (every Content call renders).
+func NewSiteStoreCached(site *webgraph.Site, capacity int64) *SiteStore {
+	s := &SiteStore{site: site}
+	if capacity > 0 {
+		s.model = cache.New(cache.Forever, capacity)
+		s.bodies = make(map[webgraph.DocID][]byte)
+	}
+	return s
 }
 
 // Lookup resolves a path.
@@ -71,13 +96,48 @@ func (s *SiteStore) Size(id webgraph.DocID) (int64, bool) {
 	return s.site.Doc(id).Size, true
 }
 
-// Content synthesizes the document body: a readable header followed by a
-// deterministic filler pattern, exactly Size bytes long.
+// Content returns the document body: a readable header followed by a
+// deterministic filler pattern, exactly Size bytes long. Callers must
+// treat the slice as read-only — cached bodies are shared.
 func (s *SiteStore) Content(id webgraph.DocID) ([]byte, bool) {
 	if !s.site.Valid(id) {
 		return nil, false
 	}
-	d := s.site.Doc(id)
+	if s.model != nil {
+		s.mu.Lock()
+		s.model.Touch(time.Now())
+		if s.model.Has(id) {
+			if body, ok := s.bodies[id]; ok {
+				s.mu.Unlock()
+				return body, true
+			}
+		}
+		s.mu.Unlock()
+	}
+	body := renderBody(s.site.Doc(id))
+	if s.model != nil {
+		s.mu.Lock()
+		s.model.Put(id, int64(len(body)))
+		s.bodies[id] = body
+		// The model evicts on its own; mirror its retained set whenever
+		// the two disagree so evicted bodies are actually released.
+		if s.model.Len() < len(s.bodies) {
+			keep := make(map[webgraph.DocID]bool, s.model.Len())
+			for _, d := range s.model.Docs() {
+				keep[d] = true
+			}
+			for d := range s.bodies {
+				if !keep[d] {
+					delete(s.bodies, d)
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return body, true
+}
+
+func renderBody(d *webgraph.Document) []byte {
 	header := fmt.Sprintf("specweb synthetic %s doc=%d path=%s\n", d.Kind, d.ID, d.Path)
 	n := int(d.Size)
 	body := make([]byte, n)
@@ -85,7 +145,7 @@ func (s *SiteStore) Content(id webgraph.DocID) ([]byte, bool) {
 	for i := len(header); i < n; i++ {
 		body[i] = byte('a' + (i+int(d.ID))%26)
 	}
-	return body, true
+	return body
 }
 
 // Site exposes the wrapped site.

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"sync"
+)
+
+var (
+	logMu   sync.RWMutex
+	logBase = slog.New(slog.NewTextHandler(os.Stderr, nil))
+)
+
+// SetLogger replaces the base logger every component logger derives from
+// (e.g. to swap in a JSON handler or a test sink). Loggers already handed
+// out keep their old handler.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		return
+	}
+	logMu.Lock()
+	logBase = l
+	logMu.Unlock()
+}
+
+// Logger returns the shared structured logger tagged with the given
+// component name — the one consistent attribute every subsystem logs
+// with, so output can be filtered per component.
+func Logger(component string) *slog.Logger {
+	logMu.RLock()
+	defer logMu.RUnlock()
+	return logBase.With("component", component)
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("x_total", "help", nil); again != c {
+		t.Error("get-or-create returned a different counter")
+	}
+	if other := r.Counter("x_total", "help", Labels{"k": "v"}); other == c {
+		t.Error("labeled series aliases the unlabeled one")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "", nil)
+	g.Set(2.5)
+	g.Add(-1)
+	if v := g.Value(); v != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", v)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on counter-vs-gauge mismatch")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestNilRegistryFallsBackToDefault(t *testing.T) {
+	var r *Registry
+	c := r.Counter("obs_test_nil_fallback_total", "", nil)
+	if c != Default.Counter("obs_test_nil_fallback_total", "", nil) {
+		t.Error("nil registry did not resolve to Default")
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4, 8}, nil)
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if s := h.Sum(); math.Abs(s-119.5) > 1e-9 {
+		t.Errorf("sum = %v", s)
+	}
+	// Median falls in the (2,4] bucket.
+	if q := h.Quantile(0.5); q < 2 || q > 4 {
+		t.Errorf("p50 = %v, want within (2,4]", q)
+	}
+	// The tail observation sits in +Inf: quantile caps at the last bound.
+	if q := h.Quantile(0.999); q != 8 {
+		t.Errorf("p99.9 = %v, want 8", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty", "", []float64{1, 2}, nil)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+// TestPrometheusExposition is the golden test for the text format.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("specweb_requests_total", "Requests served.", nil)
+	c.Add(3)
+	cl := r.Counter("specweb_requests_total", "Requests served.", Labels{"mode": "push"})
+	cl.Add(2)
+	g := r.Gauge("specweb_occupancy_bytes", "Cached bytes.", nil)
+	g.Set(1536)
+	h := r.Histogram("specweb_latency_seconds", "Request latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP specweb_latency_seconds Request latency.
+# TYPE specweb_latency_seconds histogram
+specweb_latency_seconds_bucket{le="0.1"} 1
+specweb_latency_seconds_bucket{le="1"} 2
+specweb_latency_seconds_bucket{le="+Inf"} 3
+specweb_latency_seconds_sum 5.55
+specweb_latency_seconds_count 3
+# HELP specweb_occupancy_bytes Cached bytes.
+# TYPE specweb_occupancy_bytes gauge
+specweb_occupancy_bytes 1536
+# HELP specweb_requests_total Requests served.
+# TYPE specweb_requests_total counter
+specweb_requests_total 3
+specweb_requests_total{mode="push"} 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "one_total 1") {
+		t.Errorf("body %q", rec.Body.String())
+	}
+}
+
+// TestConcurrentUpdates exercises every metric type from many goroutines;
+// run with -race. Final values must be exact (no lost updates).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "", nil)
+			g := r.Gauge("conc_gauge", "", nil)
+			h := r.Histogram("conc_hist", "", []float64{0.5, 1}, nil)
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("conc_total", "", nil).Value(); v != workers*each {
+		t.Errorf("counter = %d, want %d", v, workers*each)
+	}
+	if v := r.Gauge("conc_gauge", "", nil).Value(); v != workers*each {
+		t.Errorf("gauge = %v, want %d", v, workers*each)
+	}
+	h := r.Histogram("conc_hist", "", nil, nil)
+	if h.Count() != workers*each {
+		t.Errorf("hist count = %d, want %d", h.Count(), workers*each)
+	}
+	if s := h.Sum(); math.Abs(s-0.25*workers*each) > 1e-6 {
+		t.Errorf("hist sum = %v", s)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTracer is the process-wide tracer the cmd binaries expose at
+// /debug/spans. Components accept a *Tracer and fall back to this when
+// given nil.
+var DefaultTracer = NewTracer(256)
+
+// SpanID identifies one span; 0 means "no span / no parent".
+type SpanID uint64
+
+// Span is one finished operation. The ring keeps only finished spans;
+// in-flight ones live on their *ActiveSpan until Finish.
+type Span struct {
+	ID       SpanID            `json:"id"`
+	Parent   SpanID            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records spans into a bounded ring: the most recent spans are
+// retained, older ones overwritten. All methods are safe on a nil
+// *Tracer (they no-op), so instrumentation never needs a nil check.
+type Tracer struct {
+	capacity int
+	next     atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	head  int    // next write position
+	total uint64 // spans ever finished
+}
+
+// NewTracer returns a tracer retaining the last capacity finished spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{capacity: capacity, ring: make([]Span, 0, capacity)}
+}
+
+// ActiveSpan is an in-flight span; call Finish to record it.
+type ActiveSpan struct {
+	t     *Tracer
+	span  Span
+	attrs map[string]string
+}
+
+// Start begins a root span.
+func (t *Tracer) Start(name string) *ActiveSpan {
+	return t.StartChild(name, 0)
+}
+
+// StartChild begins a span under parent (0 for a root span).
+func (t *Tracer) StartChild(name string, parent SpanID) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, span: Span{
+		ID:     SpanID(t.next.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Start:  time.Now(),
+	}}
+}
+
+// ID returns the span's ID (0 on a nil span), for parenting children.
+func (s *ActiveSpan) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.span.ID
+}
+
+// SetAttr attaches a key/value annotation.
+func (s *ActiveSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[k] = v
+}
+
+// Finish stamps the duration and pushes the span into the ring.
+func (s *ActiveSpan) Finish() {
+	if s == nil {
+		return
+	}
+	s.span.Duration = time.Since(s.span.Start)
+	s.span.Attrs = s.attrs
+	t := s.t
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, s.span)
+	} else {
+		t.ring[t.head] = s.span
+	}
+	t.head = (t.head + 1) % t.capacity
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) < t.capacity {
+		out = append(out, t.ring...)
+		return out
+	}
+	out = append(out, t.ring[t.head:]...)
+	out = append(out, t.ring[:t.head]...)
+	return out
+}
+
+// Total returns how many spans have ever finished (including overwritten
+// ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Handler serves the ring as JSON — mount it at /debug/spans.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total uint64 `json:"total"`
+			Spans []Span `json:"spans"`
+		}{t.Total(), t.Recent()})
+	})
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSpanParentChild(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("request")
+	child := tr.StartChild("speculate", root.ID())
+	child.SetAttr("doc", "/a")
+	child.Finish()
+	root.Finish()
+
+	spans := tr.Recent()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	// Child finished first, so it is oldest.
+	if spans[0].Name != "speculate" || spans[0].Parent != root.ID() {
+		t.Errorf("child span %+v", spans[0])
+	}
+	if spans[0].Attrs["doc"] != "/a" {
+		t.Errorf("attrs %+v", spans[0].Attrs)
+	}
+	if spans[1].Name != "request" || spans[1].Parent != 0 {
+		t.Errorf("root span %+v", spans[1])
+	}
+	if spans[0].ID == spans[1].ID {
+		t.Error("span IDs collide")
+	}
+}
+
+// TestSpanRingOverflow: a full ring keeps only the newest spans, oldest
+// first, and keeps counting the total.
+func TestSpanRingOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	names := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"}
+	for _, n := range names {
+		tr.Start(n).Finish()
+	}
+	spans := tr.Recent()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans retained, want 4", len(spans))
+	}
+	for i, want := range []string{"s6", "s7", "s8", "s9"} {
+		if spans[i].Name != want {
+			t.Errorf("spans[%d] = %q, want %q", i, spans[i].Name, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("noop")
+	s.SetAttr("k", "v")
+	if s.ID() != 0 {
+		t.Error("nil span has nonzero ID")
+	}
+	s.Finish() // must not panic
+	if tr.Recent() != nil || tr.Total() != 0 {
+		t.Error("nil tracer reports spans")
+	}
+}
+
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Start("one").Finish()
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	var out struct {
+		Total uint64 `json:"total"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if out.Total != 1 || len(out.Spans) != 1 || out.Spans[0].Name != "one" {
+		t.Errorf("handler output %+v", out)
+	}
+}
+
+func TestLoggerTagsComponent(t *testing.T) {
+	var b strings.Builder
+	logMu.RLock()
+	old := logBase
+	logMu.RUnlock()
+	SetLogger(slog.New(slog.NewTextHandler(&b, nil)))
+	defer SetLogger(old)
+	Logger("server").Info("hello", "n", 1)
+	got := b.String()
+	if !strings.Contains(got, "component=server") || !strings.Contains(got, "msg=hello") {
+		t.Errorf("log line %q", got)
+	}
+}

@@ -55,6 +55,25 @@ type Profile struct {
 	ObjectUpdateProb float64 // objects change essentially never
 }
 
+// ProfileNames lists the built-in profile names ProfileByName accepts.
+func ProfileNames() []string {
+	return []string{"department", "media", "tiny"}
+}
+
+// ProfileByName resolves a command-line profile name — the switch shared
+// by every cmd that builds a site.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "department":
+		return DepartmentSite(), nil
+	case "media":
+		return MediaSite(), nil
+	case "tiny":
+		return TinySite(), nil
+	}
+	return Profile{}, fmt.Errorf("webgraph: unknown profile %q (want department, media, or tiny)", name)
+}
+
 // DepartmentSite returns a profile calibrated to the cs-www.bu.edu numbers
 // reported in §2: roughly 2000 documents totalling ≈50 MB, strongly skewed
 // popularity, a majority-local audience, and infrequent updates outside a
