@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-short clean
+.PHONY: all build vet test race chaos bench bench-short clean
 
 all: vet build test
 
@@ -10,11 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: chaos
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection suite: the resilience layer (retry/backoff, circuit
+# breaking, deadline propagation, the fault injector itself) and the
+# proxy/client/replay failure paths, all under the race detector.
+chaos:
+	$(GO) test -race ./internal/resilience/... \
+		-run 'Test' -count=1
+	$(GO) test -race ./internal/httpspec/ -count=1 \
+		-run 'TestProxyPartialDisseminate|TestProxyServesStaleWhenOriginDown|TestProxyBreakerOpensAndRecovers|TestProxyStripsHopByHopHeaders|TestStripHopByHop|TestChaosReplayAvailability|TestReplaySummaryChaosFieldOptIn|TestClientCountsStaleServes|TestClientRetriesThroughFaults'
 
 # Full 90-day evaluation workload; takes several minutes.
 bench:

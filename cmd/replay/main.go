@@ -15,16 +15,29 @@
 // speculative/non-speculative ratios (bandwidth, server load, service
 // time, byte miss rate; Figs. 5–6) plus latency percentiles — so runs are
 // machine-comparable across configurations.
+//
+// With -chaos the replay injects deterministic faults into its own
+// transport (connection errors, 5xx bursts, truncated bodies, latency —
+// the -fault-* flags), retries demand fetches with capped jittered
+// backoff, and reports an availability section: the fraction of replayed
+// requests ultimately answered despite the faults, plus retry and
+// stale-serve counts. Example:
+//
+//	replay -chaos -fault-error-rate 0.2 -json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"specweb/internal/experiments"
 	"specweb/internal/httpspec"
+	"specweb/internal/resilience"
+	"specweb/internal/resilience/faults"
 	"specweb/internal/trace"
 	"specweb/internal/webgraph"
 )
@@ -42,6 +55,18 @@ func main() {
 		seed      = flag.Int64("seed", 1995, "seed for the synthesized trace")
 		profile   = flag.String("profile", "department", "profile for the synthesized trace: department, media, or tiny (must match the server's)")
 		asJSON    = flag.Bool("json", false, "emit the run summary as JSON on stdout")
+
+		chaos   = flag.Bool("chaos", false, "inject faults into the replay transport and report availability")
+		retries = flag.Int("retries", 4, "max attempts per demand fetch under -chaos (1 = no retries)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout under -chaos (0 = none)")
+
+		faultSeed     = flag.Int64("fault-seed", 0, "chaos: fault injection seed (0 = fixed default)")
+		faultErr      = flag.Float64("fault-error-rate", 0.2, "chaos: probability a request fails with a connection error")
+		fault5xx      = flag.Float64("fault-5xx-rate", 0, "chaos: probability a request draws a synthetic 500 burst")
+		fault5xxBurst = flag.Int("fault-5xx-burst", 1, "chaos: consecutive 500s per 5xx draw")
+		faultLatency  = flag.Duration("fault-latency", 0, "chaos: added latency per request")
+		faultJitter   = flag.Duration("fault-latency-jitter", 0, "chaos: uniform extra latency in [0, jitter)")
+		faultTruncate = flag.Float64("fault-truncate-rate", 0, "chaos: probability a response body is cut short")
 	)
 	flag.Parse()
 
@@ -79,17 +104,50 @@ func main() {
 	fmt.Fprintf(os.Stderr, "replay: %d requests from %d clients against %s\n",
 		tr.Len(), len(tr.Clients()), *server)
 
-	stats, err := httpspec.Replay(tr, httpspec.ReplayConfig{
+	rcfg := httpspec.ReplayConfig{
 		Base:               *server,
 		AcceptBundles:      *bundles,
 		Cooperative:        *coop,
 		PrefetchThreshold:  *prefetch,
 		SessionGapRequests: *session,
-	})
+	}
+	var inj *faults.Injector
+	if *chaos {
+		// Chaos mode injects faults into the replay's own transport, so
+		// the server under test stays pristine and the experiment needs
+		// only this one process flag.
+		fcfg := faults.Config{
+			Seed:          *faultSeed,
+			ErrorRate:     *faultErr,
+			Rate5xx:       *fault5xx,
+			Burst5xx:      *fault5xxBurst,
+			Latency:       *faultLatency,
+			LatencyJitter: *faultJitter,
+			TruncateRate:  *faultTruncate,
+		}
+		inj = faults.New(fcfg)
+		rcfg.HTTP = &http.Client{Transport: inj.Transport(nil)}
+		rcfg.Chaos = true
+		rcfg.RequestTimeout = *timeout
+		if *retries > 1 {
+			rc := resilience.DefaultRetryConfig()
+			rc.MaxAttempts = *retries
+			rcfg.Retry = rc
+		}
+		fmt.Fprintf(os.Stderr, "replay: chaos mode (error %.2f, 5xx %.2f×%d, truncate %.2f, latency %s+%s, retries %d)\n",
+			*faultErr, *fault5xx, *fault5xxBurst, *faultTruncate, *faultLatency, *faultJitter, *retries)
+	}
+
+	stats, err := httpspec.Replay(tr, rcfg)
 	if err != nil {
 		fail(err)
 	}
 	sum := stats.Summary()
+	if inj != nil {
+		fs := inj.Stats()
+		fmt.Fprintf(os.Stderr, "replay: injected faults: %d errors, %d 5xx, %d truncations, %d delays\n",
+			fs.Errors, fs.Fives, fs.Truncations, fs.Delays)
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -113,6 +171,12 @@ func main() {
 	fmt.Printf("  byte miss rate: %.3f\n", sum.Ratios.ByteMissRate)
 	fmt.Printf("latency ms:  p50 %.2f  p90 %.2f  p99 %.2f  mean %.2f  max %.2f\n",
 		sum.LatencyMS.P50, sum.LatencyMS.P90, sum.LatencyMS.P99, sum.LatencyMS.Mean, sum.LatencyMS.Max)
+	if sum.Chaos != nil {
+		fmt.Printf("chaos:\n")
+		fmt.Printf("  availability:   %.4f\n", sum.Chaos.Availability)
+		fmt.Printf("  retries:        %d\n", sum.Chaos.Retries)
+		fmt.Printf("  stale serves:   %d (ratio %.4f)\n", sum.Chaos.StaleServes, sum.Chaos.StaleRatio)
+	}
 }
 
 func max64(a, b int64) int64 {

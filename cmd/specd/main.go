@@ -30,6 +30,7 @@ import (
 
 	"specweb/internal/httpspec"
 	"specweb/internal/obs"
+	"specweb/internal/resilience/faults"
 	"specweb/internal/stats"
 	"specweb/internal/webgraph"
 )
@@ -42,6 +43,14 @@ func main() {
 		mode    = flag.String("mode", "hybrid", "delivery mode: push, hints, or hybrid")
 		seed    = flag.Int64("seed", 1995, "site generation seed")
 		tp      = flag.Float64("tp", 0.25, "speculation threshold")
+
+		faultSeed     = flag.Int64("fault-seed", 0, "fault injection seed (0 = fixed default)")
+		faultErr      = flag.Float64("fault-error-rate", 0, "probability a request's connection is aborted mid-response")
+		fault5xx      = flag.Float64("fault-5xx-rate", 0, "probability a request draws a synthetic 500 burst")
+		fault5xxBurst = flag.Int("fault-5xx-burst", 1, "consecutive 500s per 5xx draw")
+		faultLatency  = flag.Duration("fault-latency", 0, "added latency per request")
+		faultJitter   = flag.Duration("fault-latency-jitter", 0, "uniform extra latency in [0, jitter)")
+		faultTruncate = flag.Float64("fault-truncate-rate", 0, "probability a response body is cut short mid-stream")
 	)
 	flag.Parse()
 	log := obs.Logger("specd")
@@ -71,8 +80,31 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With any -fault-* flag set, the site handler is wrapped in a
+	// deterministic fault injector — the origin half of a chaos
+	// experiment. /metrics stays outside the wrap so the injected-fault
+	// counters remain scrapeable while the "site" misbehaves.
+	var handler http.Handler = srv
+	fcfg := faults.Config{
+		Seed:          *faultSeed,
+		ErrorRate:     *faultErr,
+		Rate5xx:       *fault5xx,
+		Burst5xx:      *fault5xxBurst,
+		Latency:       *faultLatency,
+		LatencyJitter: *faultJitter,
+		TruncateRate:  *faultTruncate,
+	}
+	if fcfg.Enabled() {
+		inj := faults.New(fcfg)
+		handler = inj.Middleware(srv)
+		log.Info("fault injection enabled",
+			"error_rate", *faultErr, "rate_5xx", *fault5xx, "burst_5xx", *fault5xxBurst,
+			"latency", *faultLatency, "jitter", *faultJitter, "truncate_rate", *faultTruncate,
+			"seed", *faultSeed)
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", srv)
+	mux.Handle("/", handler)
 	mux.Handle("/metrics", obs.Default.Handler())
 
 	httpSrv := &http.Server{

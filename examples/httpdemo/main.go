@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -115,7 +116,7 @@ func main() {
 	// A dissemination proxy: pull the most remotely-popular documents and
 	// front the origin.
 	proxy := httpspec.NewProxy(ts.URL, nil)
-	n, err := proxy.Disseminate(2 * page.Size)
+	n, err := proxy.Disseminate(context.Background(), 2*page.Size)
 	if err != nil {
 		log.Fatal(err)
 	}

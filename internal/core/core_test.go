@@ -282,6 +282,48 @@ func TestReplicatorFitAndDemand(t *testing.T) {
 	}
 }
 
+func TestReplicatorRotateAndDemandFallback(t *testing.T) {
+	r := NewReplicator()
+	for d := 0; d < 40; d++ {
+		n := 1 << uint(10-d/4)
+		for i := 0; i < n; i++ {
+			r.Record(webgraph.DocID(d), 4096, true)
+		}
+	}
+	good, err := r.Demand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r.Rotate()
+	total, remote := r.Requests()
+	if total != 0 || remote != 0 {
+		t.Errorf("after rotate requests = %d/%d, want 0/0", total, remote)
+	}
+	if set := r.ReplicaSet(1 << 20); len(set) != 0 {
+		t.Errorf("after rotate replica set = %v, want empty", set)
+	}
+
+	// The fresh window has nothing to fit, but Demand degrades to the
+	// last good fit instead of failing.
+	if _, err := r.FitLambda(); err == nil {
+		t.Fatal("fit on empty window accepted")
+	}
+	dem, err := r.Demand()
+	if err != nil {
+		t.Fatalf("demand after rotate: %v", err)
+	}
+	if dem != good {
+		t.Errorf("fallback demand = %+v, want %+v", dem, good)
+	}
+
+	// A replicator that never fitted still errors.
+	fresh := NewReplicator()
+	if _, err := fresh.Demand(); err == nil {
+		t.Error("demand with no history accepted")
+	}
+}
+
 func TestReplicatorFitNoRemote(t *testing.T) {
 	r := NewReplicator()
 	r.Record(1, 10, false)

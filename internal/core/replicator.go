@@ -19,20 +19,23 @@ import (
 type Replicator struct {
 	met replicatorMetrics
 
-	mu     sync.Mutex
-	sizes  map[webgraph.DocID]int64
-	total  map[webgraph.DocID]int64 // all requests
-	remote map[webgraph.DocID]int64 // remote requests
-	reqs   int64
-	remReq int64
+	mu         sync.Mutex
+	sizes      map[webgraph.DocID]int64
+	total      map[webgraph.DocID]int64 // all requests
+	remote     map[webgraph.DocID]int64 // remote requests
+	reqs       int64
+	remReq     int64
+	lastDemand *ServerDemand // last successful fit, for degraded service
 }
 
 type replicatorMetrics struct {
-	requests     *obs.Counter
-	remote       *obs.Counter
-	replicaSets  *obs.Counter
-	replicaDocs  *obs.Gauge
-	replicaBytes *obs.Gauge
+	requests        *obs.Counter
+	remote          *obs.Counter
+	replicaSets     *obs.Counter
+	demandFallbacks *obs.Counter
+	rotations       *obs.Counter
+	replicaDocs     *obs.Gauge
+	replicaBytes    *obs.Gauge
 }
 
 // NewReplicator returns an empty tracker with metrics in obs.Default.
@@ -45,11 +48,13 @@ func NewReplicatorIn(reg *obs.Registry) *Replicator {
 	const scopedHelp = "Requests observed by the dissemination tracker, by client scope."
 	return &Replicator{
 		met: replicatorMetrics{
-			requests:     reg.Counter(scoped, scopedHelp, obs.Labels{"scope": "all"}),
-			remote:       reg.Counter(scoped, scopedHelp, obs.Labels{"scope": "remote"}),
-			replicaSets:  reg.Counter("specweb_replicator_replica_sets_total", "Replica-set computations served to proxies.", nil),
-			replicaDocs:  reg.Gauge("specweb_replicator_replica_docs", "Documents in the most recent replica set.", nil),
-			replicaBytes: reg.Gauge("specweb_replicator_replica_bytes", "Bytes selected for dissemination in the most recent replica set.", nil),
+			requests:        reg.Counter(scoped, scopedHelp, obs.Labels{"scope": "all"}),
+			remote:          reg.Counter(scoped, scopedHelp, obs.Labels{"scope": "remote"}),
+			replicaSets:     reg.Counter("specweb_replicator_replica_sets_total", "Replica-set computations served to proxies.", nil),
+			demandFallbacks: reg.Counter("specweb_replicator_demand_fallbacks_total", "Demand exports served from the last good fit because the current window could not be fitted.", nil),
+			rotations:       reg.Counter("specweb_replicator_rotations_total", "Observation-window rotations.", nil),
+			replicaDocs:     reg.Gauge("specweb_replicator_replica_docs", "Documents in the most recent replica set.", nil),
+			replicaBytes:    reg.Gauge("specweb_replicator_replica_bytes", "Bytes selected for dissemination in the most recent replica set.", nil),
 		},
 		sizes:  make(map[webgraph.DocID]int64),
 		total:  make(map[webgraph.DocID]int64),
@@ -77,6 +82,20 @@ func (r *Replicator) Requests() (total, remote int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.reqs, r.remReq
+}
+
+// Rotate starts a fresh observation window, discarding the access counts
+// but keeping document sizes and the last good demand fit. Long-running
+// servers rotate periodically so popularity tracks the current workload
+// instead of the process's whole history; Demand stays answerable across
+// the empty start of a new window via the retained fit.
+func (r *Replicator) Rotate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total = make(map[webgraph.DocID]int64)
+	r.remote = make(map[webgraph.DocID]int64)
+	r.reqs, r.remReq = 0, 0
+	r.met.rotations.Inc()
 }
 
 // rankedLocked returns docs by decreasing remote popularity (ties by ID).
@@ -150,18 +169,31 @@ type ServerDemand struct {
 // over the observation period and the fitted λ. The duration normalization
 // cancels in eq. 4, so raw totals are fine as long as every server in the
 // cluster reports over the same period.
+//
+// When the current window cannot be fitted — typically right after a
+// Rotate, before any remote traffic has arrived — Demand degrades to the
+// last successful fit instead of failing, so cluster-wide allocation
+// keeps working through the transient. Fallbacks are counted in
+// specweb_replicator_demand_fallbacks_total. The error is only returned
+// when no fit has ever succeeded.
 func (r *Replicator) Demand() (ServerDemand, error) {
 	lam, err := r.FitLambda()
-	if err != nil {
-		return ServerDemand{}, err
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err != nil {
+		if r.lastDemand != nil {
+			r.met.demandFallbacks.Inc()
+			return *r.lastDemand, nil
+		}
+		return ServerDemand{}, err
+	}
 	var remoteBytes float64
 	for id, n := range r.remote {
 		remoteBytes += float64(n) * float64(r.sizes[id])
 	}
-	return ServerDemand{R: remoteBytes, Lambda: lam}, nil
+	d := ServerDemand{R: remoteBytes, Lambda: lam}
+	r.lastDemand = &d
+	return d, nil
 }
 
 // AllocateProxy splits a proxy's storage budget across the demands of a

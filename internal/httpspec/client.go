@@ -1,6 +1,7 @@
 package httpspec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"mime"
@@ -9,6 +10,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"specweb/internal/resilience"
 )
 
 // ClientConfig parameterizes a speculative HTTP client.
@@ -24,6 +28,17 @@ type ClientConfig struct {
 	PrefetchThreshold float64
 	// HTTP is the underlying client; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Timeout bounds each demand fetch attempt and each prefetch; 0
+	// means no client-imposed deadline (a caller context still applies).
+	Timeout time.Duration
+	// Retrier, when non-nil, retries failed demand fetches (transport
+	// errors, 5xx, truncated bodies) — shared across clients so its
+	// retry budget is global. When nil, Retry with MaxAttempts > 1
+	// builds a private one; otherwise fetches are single-attempt.
+	Retrier *resilience.Retrier
+	Retry   resilience.RetryConfig
+	// Breaker, when non-nil, guards demand fetches (shared per origin).
+	Breaker *resilience.Breaker
 }
 
 // ClientStats counts the client's activity.
@@ -46,6 +61,12 @@ type ClientStats struct {
 	// MissBytes/DemandBytes is the live byte miss rate of §3.3.
 	DemandBytes int64
 	MissBytes   int64
+
+	// Retries counts re-attempted demand fetches; StaleServes counts
+	// responses a proxy marked as served from its stale store while the
+	// origin was down — both feed the chaos-mode availability report.
+	Retries     int64
+	StaleServes int64
 }
 
 // cacheEntry is one cached document; spec marks it as having arrived
@@ -59,8 +80,9 @@ type cacheEntry struct {
 // protocol: it consumes bundles, follows prefetch hints, and keeps a
 // session cache keyed by URL path.
 type Client struct {
-	cfg  ClientConfig
-	base string
+	cfg     ClientConfig
+	base    string
+	retrier *resilience.Retrier
 
 	mu    sync.Mutex
 	cache map[string]cacheEntry
@@ -73,7 +95,12 @@ func NewClient(base string, cfg ClientConfig) *Client {
 	if cfg.HTTP == nil {
 		cfg.HTTP = http.DefaultClient
 	}
-	return &Client{cfg: cfg, base: strings.TrimRight(base, "/"), cache: make(map[string]cacheEntry)}
+	retrier := cfg.Retrier
+	if retrier == nil && cfg.Retry.MaxAttempts > 1 {
+		retrier = resilience.NewRetrier(cfg.Retry)
+	}
+	return &Client{cfg: cfg, base: strings.TrimRight(base, "/"),
+		retrier: retrier, cache: make(map[string]cacheEntry)}
 }
 
 // Stats returns a snapshot of the client counters.
@@ -101,6 +128,13 @@ func (c *Client) EndSession() {
 // Get fetches a document, serving from cache when possible. fromCache
 // reports whether the body came from the local cache.
 func (c *Client) Get(path string) (body []byte, fromCache bool, err error) {
+	return c.GetCtx(context.Background(), path)
+}
+
+// GetCtx is Get with cancellation and deadline propagation: the caller's
+// context bounds the demand fetch, its retries, and any synchronous
+// hint-driven prefetches.
+func (c *Client) GetCtx(ctx context.Context, path string) (body []byte, fromCache bool, err error) {
 	c.mu.Lock()
 	c.stats.Fetches++
 	if e, ok := c.cache[path]; ok {
@@ -121,7 +155,23 @@ func (c *Client) Get(path string) (body []byte, fromCache bool, err error) {
 	digest := c.digestLocked()
 	c.mu.Unlock()
 
-	body, hints, err := c.fetch(path, digest)
+	var hints []clientHint
+	if c.retrier != nil {
+		attempts := 0
+		err = c.retrier.Do(ctx, func(ctx context.Context) error {
+			attempts++
+			var ferr error
+			body, hints, ferr = c.fetch(ctx, path, digest)
+			return ferr
+		})
+		if attempts > 1 {
+			c.mu.Lock()
+			c.stats.Retries += int64(attempts - 1)
+			c.mu.Unlock()
+		}
+	} else {
+		body, hints, err = c.fetch(ctx, path, digest)
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -135,7 +185,7 @@ func (c *Client) Get(path string) (body []byte, fromCache bool, err error) {
 		if h.p < c.cfg.PrefetchThreshold || c.cfg.PrefetchThreshold == 0 {
 			continue
 		}
-		c.prefetch(h.path)
+		c.prefetch(ctx, h.path)
 	}
 	return body, false, nil
 }
@@ -147,10 +197,31 @@ type clientHint struct {
 
 // fetch performs one HTTP request and ingests the response (direct body or
 // bundle), returning the requested document's body and any prefetch hints.
-func (c *Client) fetch(path string, digest string) ([]byte, []clientHint, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+// Transport errors, 5xx responses and truncated bodies return retryable
+// errors; 4xx responses are marked permanent so the retrier stops.
+func (c *Client) fetch(ctx context.Context, path string, digest string) ([]byte, []clientHint, error) {
+	if c.cfg.Breaker != nil {
+		if err := c.cfg.Breaker.Allow(); err != nil {
+			return nil, nil, resilience.Permanent(err)
+		}
+	}
+	body, hints, err := c.fetchAllowed(ctx, path, digest)
+	if c.cfg.Breaker != nil {
+		if resilience.IsPermanent(err) {
+			c.cfg.Breaker.Record(nil) // the origin answered; 4xx is not its failure
+		} else {
+			c.cfg.Breaker.Record(err)
+		}
+	}
+	return body, hints, err
+}
+
+func (c *Client) fetchAllowed(ctx context.Context, path string, digest string) ([]byte, []clientHint, error) {
+	cctx, cancel := resilience.EnsureDeadline(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, resilience.Permanent(err)
 	}
 	if c.cfg.ID != "" {
 		req.Header.Set(HeaderClient, c.cfg.ID)
@@ -167,7 +238,16 @@ func (c *Client) fetch(path string, digest string) ([]byte, []clientHint, error)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, nil, fmt.Errorf("httpspec: GET %s: %s", path, resp.Status)
+		ferr := fmt.Errorf("httpspec: GET %s: %s", path, resp.Status)
+		if resp.StatusCode >= 500 {
+			return nil, nil, ferr
+		}
+		return nil, nil, resilience.Permanent(ferr)
+	}
+	if resp.Header.Get(HeaderStale) != "" {
+		c.mu.Lock()
+		c.stats.StaleServes++
+		c.mu.Unlock()
 	}
 
 	var hints []clientHint
@@ -236,7 +316,9 @@ func (c *Client) ingestBundle(want string, r io.Reader, boundary string) ([]byte
 }
 
 // prefetch fetches a hinted path into the cache (no hint recursion).
-func (c *Client) prefetch(path string) {
+// Prefetches are speculative, so they stay single-attempt: a failed
+// prefetch costs nothing the demand path will not recover later.
+func (c *Client) prefetch(ctx context.Context, path string) {
 	c.mu.Lock()
 	if _, ok := c.cache[path]; ok {
 		c.mu.Unlock()
@@ -245,7 +327,9 @@ func (c *Client) prefetch(path string) {
 	digest := c.digestLocked()
 	c.mu.Unlock()
 
-	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	cctx, cancel := resilience.EnsureDeadline(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return
 	}

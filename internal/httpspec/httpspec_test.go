@@ -1,6 +1,7 @@
 package httpspec
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -329,7 +330,7 @@ func TestReplicasEndpointAndProxy(t *testing.T) {
 	}
 
 	proxy := NewProxy(w.ts.URL, nil)
-	n, err := proxy.Disseminate(popular.Size + 100)
+	n, err := proxy.Disseminate(context.Background(), popular.Size+100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -625,7 +626,7 @@ func TestProxyForwardsToDeadOrigin(t *testing.T) {
 	if proxy.Stats().ForwardErrors != 1 {
 		t.Error("forward error not counted")
 	}
-	if _, err := proxy.Disseminate(1000); err == nil {
+	if _, err := proxy.Disseminate(context.Background(), 1000); err == nil {
 		t.Error("dissemination from dead origin succeeded")
 	}
 }

@@ -1,35 +1,81 @@
 package httpspec
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"specweb/internal/obs"
+	"specweb/internal/resilience"
 )
 
 // Proxy is a dissemination service proxy (§2): it holds replicas of a home
 // server's most popular documents and fronts the server, serving replica
 // hits locally and forwarding everything else. In the paper's vision these
-// are rentable "information outlets" placed near consumers.
+// are rentable "information outlets" placed near consumers — which only
+// works if the proxy stays useful while the home server flaps. Forwards
+// and replica pulls are retried with jittered backoff behind a per-origin
+// circuit breaker, replica refreshes apply partially instead of
+// all-or-nothing, and when the origin is unreachable the proxy degrades
+// to serving superseded ("stale") replicas rather than failing — the
+// paper's proxy-as-availability argument made concrete.
 type Proxy struct {
-	origin string
-	http   *http.Client
-	met    *proxyMetrics
-	tracer *obs.Tracer
-	log    *slog.Logger
+	origin  string
+	http    *http.Client
+	cfg     ProxyConfig
+	retrier *resilience.Retrier
+	breaker *resilience.Breaker
+	met     *proxyMetrics
+	tracer  *obs.Tracer
+	log     *slog.Logger
 
-	mu       sync.RWMutex
-	replicas map[string][]byte
+	mu         sync.RWMutex
+	replicas   map[string][]byte
+	stale      map[string][]byte // superseded replicas kept for degraded service
+	staleBytes int64
 
-	hits    atomic.Int64
-	misses  atomic.Int64
-	hitB    atomic.Int64
-	forward atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	hitB        atomic.Int64
+	forward     atomic.Int64
+	staleServes atomic.Int64
+}
+
+// ProxyConfig parameterizes the proxy's resilience behaviour. The zero
+// value gives sane production defaults; NewProxy uses it.
+type ProxyConfig struct {
+	// HTTP is the origin-facing client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Retry shapes forward/pull retries; a zero value (MaxAttempts 0)
+	// takes resilience.DefaultRetryConfig. Set MaxAttempts to 1 to
+	// disable retries.
+	Retry resilience.RetryConfig
+	// Breaker shapes the per-origin circuit; zero fields take
+	// resilience.DefaultBreakerConfig.
+	Breaker resilience.BreakerConfig
+	// ForwardTimeout bounds each forwarded request (default 30s);
+	// PullTimeout bounds each replica pull (default 30s). A caller
+	// deadline that is already tighter wins.
+	ForwardTimeout time.Duration
+	PullTimeout    time.Duration
+	// DisableServeStale turns off the degraded-mode stale replica
+	// service, restoring plain 502s on origin failure.
+	DisableServeStale bool
+	// MaxStaleBytes caps the stale store (default 64 MiB); overflow
+	// evicts arbitrary entries.
+	MaxStaleBytes int64
+	// Metrics selects the registry; nil means obs.Default.
+	Metrics *obs.Registry
+	// Tracer records spans; nil means obs.DefaultTracer.
+	Tracer *obs.Tracer
 }
 
 // proxyMetrics aggregate over every proxy instance in the process (the
@@ -39,9 +85,13 @@ type proxyMetrics struct {
 	misses         *obs.Counter
 	hitBytes       *obs.Counter
 	originErrors   *obs.Counter
+	staleServes    *obs.Counter
 	disseminations *obs.Counter
+	partials       *obs.Counter
 	replicas       *obs.Gauge
 	replicaBytes   *obs.Gauge
+	staleDocs      *obs.Gauge
+	staleBytesG    *obs.Gauge
 }
 
 func newProxyMetrics(reg *obs.Registry) *proxyMetrics {
@@ -51,80 +101,229 @@ func newProxyMetrics(reg *obs.Registry) *proxyMetrics {
 		hits:           reg.Counter(requests, requestsHelp, obs.Labels{"result": "hit"}),
 		misses:         reg.Counter(requests, requestsHelp, obs.Labels{"result": "miss"}),
 		hitBytes:       reg.Counter("specweb_proxy_hit_bytes_total", "Bytes served from local replicas.", nil),
-		originErrors:   reg.Counter("specweb_proxy_origin_errors_total", "Failed forwards and replica pulls against the origin.", nil),
+		originErrors:   reg.Counter("specweb_proxy_origin_errors_total", "Failed forwards and replica pulls against the origin (per attempt).", nil),
+		staleServes:    reg.Counter("specweb_proxy_stale_serves_total", "Requests served from superseded replicas while the origin was unreachable.", nil),
 		disseminations: reg.Counter("specweb_proxy_disseminations_total", "Replica-set refreshes pulled from the origin.", nil),
+		partials:       reg.Counter("specweb_proxy_partial_disseminations_total", "Replica-set refreshes applied partially after pull failures.", nil),
 		replicas:       reg.Gauge("specweb_proxy_replicas", "Documents currently replicated at the proxy.", nil),
 		replicaBytes:   reg.Gauge("specweb_proxy_replica_bytes", "Bytes currently replicated at the proxy.", nil),
+		staleDocs:      reg.Gauge("specweb_proxy_stale_docs", "Superseded replicas retained for degraded service.", nil),
+		staleBytesG:    reg.Gauge("specweb_proxy_stale_bytes", "Bytes retained in the stale store.", nil),
 	}
 }
 
-// NewProxy fronts the origin server (base URL), registering metrics in
-// the process-wide obs.Default.
+// NewProxy fronts the origin server (base URL) with default resilience,
+// registering metrics in the process-wide obs.Default.
 func NewProxy(origin string, client *http.Client) *Proxy {
-	if client == nil {
-		client = http.DefaultClient
+	return NewProxyWith(origin, ProxyConfig{HTTP: client})
+}
+
+// NewProxyWith fronts the origin with explicit resilience configuration.
+func NewProxyWith(origin string, cfg ProxyConfig) *Proxy {
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = resilience.DefaultRetryConfig()
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 30 * time.Second
+	}
+	if cfg.PullTimeout <= 0 {
+		cfg.PullTimeout = 30 * time.Second
+	}
+	if cfg.MaxStaleBytes <= 0 {
+		cfg.MaxStaleBytes = 64 << 20
+	}
+	bcfg := cfg.Breaker
+	if bcfg.Name == "" {
+		bcfg.Name = origin
+	}
+	if bcfg.Metrics == nil {
+		bcfg.Metrics = cfg.Metrics
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer
 	}
 	return &Proxy{
 		origin:   origin,
-		http:     client,
-		met:      newProxyMetrics(nil),
-		tracer:   obs.DefaultTracer,
+		http:     cfg.HTTP,
+		cfg:      cfg,
+		retrier:  resilience.NewRetrierIn(cfg.Metrics, cfg.Retry),
+		breaker:  resilience.NewBreaker(bcfg),
+		met:      newProxyMetrics(cfg.Metrics),
+		tracer:   cfg.Tracer,
 		log:      obs.Logger("proxy"),
 		replicas: make(map[string][]byte),
+		stale:    make(map[string][]byte),
 	}
 }
 
+// Breaker exposes the origin circuit (for stats and tests).
+func (p *Proxy) Breaker() *resilience.Breaker { return p.breaker }
+
 // Disseminate asks the origin which documents deserve replication within
 // the byte budget (the origin's Replicator decides, per §2's server-driven
-// model) and pulls them. It replaces the current replica set.
-func (p *Proxy) Disseminate(budget int64) (int, error) {
+// model) and pulls them. The refresh is best-effort: documents that pull
+// successfully are applied even when others fail, so one flaky transfer
+// no longer discards a whole refresh. It returns the number of documents
+// applied; a non-nil error alongside a positive count means a partial
+// refresh. The superseded replica set is retained for stale service.
+func (p *Proxy) Disseminate(ctx context.Context, budget int64) (int, error) {
 	sp := p.tracer.Start("proxy.disseminate")
 	defer sp.Finish()
-	resp, err := p.http.Get(fmt.Sprintf("%s/spec/replicas?budget=%d", p.origin, budget))
+
+	paths, err := p.fetchReplicaList(ctx, budget)
 	if err != nil {
-		p.met.originErrors.Inc()
-		return 0, fmt.Errorf("httpspec: fetching replica list: %w", err)
+		return 0, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		p.met.originErrors.Inc()
-		return 0, fmt.Errorf("httpspec: replica list: %s", resp.Status)
-	}
-	var paths []string
-	if err := json.NewDecoder(resp.Body).Decode(&paths); err != nil {
-		return 0, fmt.Errorf("httpspec: decoding replica list: %w", err)
-	}
+
 	fresh := make(map[string][]byte, len(paths))
 	var freshBytes int64
+	var pullErrs []error
 	for _, path := range paths {
-		body, err := p.pull(path)
+		if ctx.Err() != nil {
+			pullErrs = append(pullErrs, ctx.Err())
+			break
+		}
+		body, err := p.pull(ctx, path)
 		if err != nil {
-			p.met.originErrors.Inc()
-			return 0, err
+			pullErrs = append(pullErrs, err)
+			continue
 		}
 		fresh[path] = body
 		freshBytes += int64(len(body))
 	}
+
 	p.mu.Lock()
+	p.retireLocked(p.replicas)
 	p.replicas = fresh
+	staleDocs, staleBytes := len(p.stale), p.staleBytes
 	p.mu.Unlock()
+
 	p.met.disseminations.Inc()
 	p.met.replicas.Set(float64(len(fresh)))
 	p.met.replicaBytes.Set(float64(freshBytes))
+	p.met.staleDocs.Set(float64(staleDocs))
+	p.met.staleBytesG.Set(float64(staleBytes))
+
+	if len(pullErrs) > 0 {
+		p.met.partials.Inc()
+		p.log.Warn("partial replica refresh",
+			"applied", len(fresh), "failed", len(pullErrs), "budget", budget)
+		return len(fresh), fmt.Errorf("httpspec: partial refresh, %d of %d documents applied: %w",
+			len(fresh), len(paths), errors.Join(pullErrs...))
+	}
 	p.log.Info("replica set refreshed", "docs", len(fresh), "bytes", freshBytes, "budget", budget)
 	return len(fresh), nil
 }
 
-func (p *Proxy) pull(path string) ([]byte, error) {
-	resp, err := p.http.Get(p.origin + path)
-	if err != nil {
-		return nil, fmt.Errorf("httpspec: pulling %s: %w", path, err)
+// fetchReplicaList asks the origin's replicator for the replica paths.
+func (p *Proxy) fetchReplicaList(ctx context.Context, budget int64) ([]string, error) {
+	var paths []string
+	err := p.retrier.Do(ctx, func(ctx context.Context) error {
+		cctx, cancel := resilience.EnsureDeadline(ctx, p.cfg.PullTimeout)
+		defer cancel()
+		if err := p.breaker.Allow(); err != nil {
+			return resilience.Permanent(err)
+		}
+		req, err := http.NewRequestWithContext(cctx, http.MethodGet,
+			fmt.Sprintf("%s/spec/replicas?budget=%d", p.origin, budget), nil)
+		if err != nil {
+			p.breaker.Record(nil)
+			return resilience.Permanent(err)
+		}
+		resp, err := p.http.Do(req)
+		if err != nil {
+			p.breaker.Record(err)
+			p.met.originErrors.Inc()
+			return fmt.Errorf("httpspec: fetching replica list: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			ferr := fmt.Errorf("httpspec: replica list: %s", resp.Status)
+			p.met.originErrors.Inc()
+			if resp.StatusCode >= 500 {
+				p.breaker.Record(ferr)
+				return ferr
+			}
+			p.breaker.Record(nil) // the origin answered; our request was bad
+			return resilience.Permanent(ferr)
+		}
+		var got []string
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			p.breaker.Record(err)
+			return fmt.Errorf("httpspec: decoding replica list: %w", err)
+		}
+		p.breaker.Record(nil)
+		paths = got
+		return nil
+	})
+	return paths, err
+}
+
+// pull fetches one document body from the origin with retries under the
+// breaker.
+func (p *Proxy) pull(ctx context.Context, path string) ([]byte, error) {
+	var body []byte
+	err := p.retrier.Do(ctx, func(ctx context.Context) error {
+		cctx, cancel := resilience.EnsureDeadline(ctx, p.cfg.PullTimeout)
+		defer cancel()
+		if err := p.breaker.Allow(); err != nil {
+			return resilience.Permanent(err)
+		}
+		req, err := http.NewRequestWithContext(cctx, http.MethodGet, p.origin+path, nil)
+		if err != nil {
+			p.breaker.Record(nil)
+			return resilience.Permanent(err)
+		}
+		resp, err := p.http.Do(req)
+		if err != nil {
+			p.breaker.Record(err)
+			p.met.originErrors.Inc()
+			return fmt.Errorf("httpspec: pulling %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			perr := fmt.Errorf("httpspec: pulling %s: %s", path, resp.Status)
+			p.met.originErrors.Inc()
+			if resp.StatusCode >= 500 {
+				p.breaker.Record(perr)
+				return perr
+			}
+			p.breaker.Record(nil)
+			return resilience.Permanent(perr)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			p.breaker.Record(err)
+			p.met.originErrors.Inc()
+			return fmt.Errorf("httpspec: pulling %s: %w", path, err)
+		}
+		p.breaker.Record(nil)
+		body = b
+		return nil
+	})
+	return body, err
+}
+
+// retireLocked moves a superseded replica set into the stale store,
+// evicting arbitrary entries when over the byte cap. Callers hold mu.
+func (p *Proxy) retireLocked(old map[string][]byte) {
+	for path, body := range old {
+		if prev, ok := p.stale[path]; ok {
+			p.staleBytes -= int64(len(prev))
+		}
+		p.stale[path] = body
+		p.staleBytes += int64(len(body))
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("httpspec: pulling %s: %s", path, resp.Status)
+	for path, body := range p.stale {
+		if p.staleBytes <= p.cfg.MaxStaleBytes {
+			break
+		}
+		delete(p.stale, path)
+		p.staleBytes -= int64(len(body))
 	}
-	return io.ReadAll(resp.Body)
 }
 
 // ProxyStats counts proxy activity.
@@ -133,26 +332,54 @@ type ProxyStats struct {
 	Misses        int64
 	HitBytes      int64
 	ForwardErrors int64
+	StaleServes   int64
 	Replicas      int
+	StaleDocs     int
 }
 
 // Stats returns a snapshot of the proxy counters.
 func (p *Proxy) Stats() ProxyStats {
 	p.mu.RLock()
 	n := len(p.replicas)
+	ns := len(p.stale)
 	p.mu.RUnlock()
 	return ProxyStats{
 		Hits:          p.hits.Load(),
 		Misses:        p.misses.Load(),
 		HitBytes:      p.hitB.Load(),
 		ForwardErrors: p.forward.Load(),
+		StaleServes:   p.staleServes.Load(),
 		Replicas:      n,
+		StaleDocs:     ns,
+	}
+}
+
+// hopByHop are the header fields a proxy must not forward (RFC 7230 §6.1
+// plus the de-facto Proxy-Connection).
+var hopByHop = [...]string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// stripHopByHop removes hop-by-hop fields, including any named by the
+// Connection header, in place.
+func stripHopByHop(h http.Header) {
+	for _, f := range h.Values("Connection") {
+		for _, name := range strings.Split(f, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				h.Del(name)
+			}
+		}
+	}
+	for _, name := range hopByHop {
+		h.Del(name)
 	}
 }
 
 // ServeHTTP serves replica hits locally and forwards misses to the origin,
 // streaming the response back (including speculative headers, which pass
-// through untouched).
+// through untouched). When the origin is unreachable — transport failure
+// or open circuit — GETs degrade to the stale store before giving up.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sp := p.tracer.Start("proxy.request")
 	sp.SetAttr("path", r.URL.Path)
@@ -176,23 +403,23 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.misses.Add(1)
 	p.met.misses.Inc()
 	sp.SetAttr("result", "miss")
-	req, err := http.NewRequest(r.Method, p.origin+r.URL.RequestURI(), r.Body)
+
+	resp, err := p.forwardOrigin(r)
 	if err != nil {
 		p.forward.Add(1)
-		p.met.originErrors.Inc()
-		http.Error(w, "bad gateway", http.StatusBadGateway)
-		return
-	}
-	req.Header = r.Header.Clone()
-	resp, err := p.http.Do(req)
-	if err != nil {
-		p.forward.Add(1)
-		p.met.originErrors.Inc()
+		if p.serveStale(w, r, sp) {
+			return
+		}
 		p.log.Warn("forward failed", "path", r.URL.Path, "err", err)
-		http.Error(w, "bad gateway", http.StatusBadGateway)
+		if errors.Is(err, resilience.ErrOpen) {
+			http.Error(w, "origin circuit open", http.StatusServiceUnavailable)
+		} else {
+			http.Error(w, "bad gateway", http.StatusBadGateway)
+		}
 		return
 	}
 	defer resp.Body.Close()
+	stripHopByHop(resp.Header)
 	for k, vs := range resp.Header {
 		for _, v := range vs {
 			w.Header().Add(k, v)
@@ -200,4 +427,100 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// forwardOrigin relays one request to the origin. Idempotent methods are
+// retried under the breaker; anything else gets a single attempt. The
+// caller owns the returned response body.
+func (p *Proxy) forwardOrigin(r *http.Request) (*http.Response, error) {
+	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead
+	var resp *http.Response
+	op := func(ctx context.Context) error {
+		cctx, cancel := resilience.EnsureDeadline(ctx, p.cfg.ForwardTimeout)
+		if err := p.breaker.Allow(); err != nil {
+			cancel()
+			return resilience.Permanent(err)
+		}
+		req, err := http.NewRequestWithContext(cctx, r.Method, p.origin+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			cancel()
+			p.breaker.Record(nil)
+			p.met.originErrors.Inc()
+			return resilience.Permanent(err)
+		}
+		req.Header = r.Header.Clone()
+		stripHopByHop(req.Header)
+		got, err := p.http.Do(req)
+		if err != nil {
+			cancel()
+			p.breaker.Record(err)
+			p.met.originErrors.Inc()
+			return err
+		}
+		// The response body must outlive this attempt; tie the timeout's
+		// cancel to the body so the caller's Close releases it.
+		got.Body = &cancelOnClose{ReadCloser: got.Body, cancel: cancel}
+		if resp != nil {
+			resp.Body.Close()
+		}
+		resp = got
+		if got.StatusCode >= 500 && idempotent {
+			ferr := fmt.Errorf("httpspec: origin: %s", got.Status)
+			p.breaker.Record(ferr)
+			p.met.originErrors.Inc()
+			return ferr // retried; the last 5xx still streams through below
+		}
+		p.breaker.Record(nil)
+		return nil
+	}
+	var err error
+	if idempotent {
+		err = p.retrier.Do(r.Context(), op)
+	} else {
+		err = op(r.Context())
+	}
+	if resp != nil {
+		// Even when retries exhausted on persistent 5xx, relay the
+		// origin's last answer rather than synthesizing one.
+		return resp, nil
+	}
+	return nil, err
+}
+
+// cancelOnClose releases a per-attempt timeout when the response body is
+// closed.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// serveStale answers a GET from the stale store, reporting whether it
+// did. Stale responses are marked so clients and chaos replays can count
+// degraded service.
+func (p *Proxy) serveStale(w http.ResponseWriter, r *http.Request, sp *obs.ActiveSpan) bool {
+	if p.cfg.DisableServeStale || r.Method != http.MethodGet {
+		return false
+	}
+	p.mu.RLock()
+	body, ok := p.stale[r.URL.Path]
+	p.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	p.staleServes.Add(1)
+	p.met.staleServes.Inc()
+	sp.SetAttr("result", "stale")
+	p.log.Info("serving stale replica", "path", r.URL.Path)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Served-By", "specweb-proxy")
+	w.Header().Set(HeaderStale, "1")
+	w.Header().Set("Warning", `110 specweb-proxy "Response is Stale"`)
+	_, _ = w.Write(body)
+	return true
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"specweb/internal/resilience"
 	"specweb/internal/trace"
 )
 
@@ -27,6 +28,15 @@ type ReplayConfig struct {
 	SessionGapRequests int
 	// HTTP is the shared transport; nil means http.DefaultClient.
 	HTTP *http.Client
+
+	// Retry, when MaxAttempts > 1, retries failed demand fetches through
+	// one shared Retrier (so the retry budget is global across clients).
+	Retry resilience.RetryConfig
+	// RequestTimeout bounds each replayed request attempt; 0 disables.
+	RequestTimeout time.Duration
+	// Chaos adds the availability/degradation section to the summary —
+	// kept opt-in so non-chaos summaries stay byte-identical.
+	Chaos bool
 }
 
 // ReplayStats aggregates the outcome over all replayed clients.
@@ -45,6 +55,12 @@ type ReplayStats struct {
 	SpecHitBytes int64
 	DemandBytes  int64
 	MissBytes    int64
+
+	// Retried and StaleServes aggregate the clients' degraded-mode
+	// accounting; Chaos marks the run for summary reporting.
+	Retried     int64
+	StaleServes int64
+	Chaos       bool
 
 	latencies  []float64 // per successful client-initiated request, seconds
 	missDurSum float64
@@ -84,8 +100,25 @@ type LatencySummary struct {
 	Max  float64 `json:"max"`
 }
 
+// ChaosSummary reports how the run held up under injected faults: the
+// fraction of replayed requests that were ultimately answered (from
+// cache, origin, retried forwards, or stale replicas), and how much
+// degraded machinery it took.
+type ChaosSummary struct {
+	// Availability is answered requests / replayed requests.
+	Availability float64 `json:"availability"`
+	// Retries counts re-attempted demand fetches across all clients.
+	Retries int64 `json:"retries"`
+	// StaleServes counts responses marked as stale-replica service;
+	// StaleRatio is their share of all replayed requests.
+	StaleServes int64   `json:"stale_serves"`
+	StaleRatio  float64 `json:"stale_ratio"`
+}
+
 // ReplaySummary is the structured per-run result cmd/replay emits as
 // JSON, so runs are machine-comparable across configurations and PRs.
+// Chaos is present only for chaos-mode runs, keeping fault-free output
+// byte-identical to earlier versions.
 type ReplaySummary struct {
 	Clients       int            `json:"clients"`
 	Requests      int64          `json:"requests"`
@@ -99,6 +132,7 @@ type ReplaySummary struct {
 	BaselineBytes int64          `json:"baseline_bytes"`
 	Ratios        PaperRatios    `json:"ratios"`
 	LatencyMS     LatencySummary `json:"latency_ms"`
+	Chaos         *ChaosSummary  `json:"chaos,omitempty"`
 }
 
 // ratio divides speculative by baseline, reporting the neutral 1 when
@@ -148,7 +182,7 @@ func (s *ReplayStats) Summary() ReplaySummary {
 		}
 	}
 
-	return ReplaySummary{
+	sum := ReplaySummary{
 		Clients:       s.Clients,
 		Requests:      s.Requests,
 		Errors:        s.Errors,
@@ -167,6 +201,19 @@ func (s *ReplayStats) Summary() ReplaySummary {
 		},
 		LatencyMS: lat,
 	}
+	if s.Chaos {
+		reqs := float64(s.Requests)
+		if reqs == 0 {
+			reqs = 1
+		}
+		sum.Chaos = &ChaosSummary{
+			Availability: float64(s.Requests-s.Errors) / reqs,
+			Retries:      s.Retried,
+			StaleServes:  s.StaleServes,
+			StaleRatio:   float64(s.StaleServes) / reqs,
+		}
+	}
+	return sum
 }
 
 // Replay walks the trace in order, issuing each request through a per-client
@@ -179,9 +226,16 @@ func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("httpspec: empty trace")
 	}
+	// One shared retrier gives the whole replay a single retry budget;
+	// one shared breaker keeps every client's view of the origin's
+	// health consistent, as a real proxy population's would be.
+	var retrier *resilience.Retrier
+	if cfg.Retry.MaxAttempts > 1 {
+		retrier = resilience.NewRetrier(cfg.Retry)
+	}
 	clients := make(map[trace.ClientID]*Client)
 	sinceSession := make(map[trace.ClientID]int)
-	stats := &ReplayStats{}
+	stats := &ReplayStats{Chaos: cfg.Chaos}
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
 		c := clients[r.Client]
@@ -192,6 +246,8 @@ func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 				Cooperative:       cfg.Cooperative,
 				PrefetchThreshold: cfg.PrefetchThreshold,
 				HTTP:              cfg.HTTP,
+				Timeout:           cfg.RequestTimeout,
+				Retrier:           retrier,
 			})
 			clients[r.Client] = c
 		}
@@ -225,6 +281,8 @@ func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 		stats.SpecHitBytes += cs.SpecHitBytes
 		stats.DemandBytes += cs.DemandBytes
 		stats.MissBytes += cs.MissBytes
+		stats.Retried += cs.Retries
+		stats.StaleServes += cs.StaleServes
 	}
 	return stats, nil
 }

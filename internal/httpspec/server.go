@@ -28,6 +28,9 @@ const (
 	// HeaderPushed marks a bundle part as speculative (absent on the
 	// requested document itself).
 	HeaderPushed = "Spec-Pushed"
+	// HeaderStale marks a response served from a proxy's superseded
+	// replica store while the origin was unreachable (degraded mode).
+	HeaderStale = "X-Specweb-Stale"
 
 	acceptBundle = "bundle"
 )

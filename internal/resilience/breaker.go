@@ -1,0 +1,323 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+// ErrOpen is returned by Allow (and Do) while the breaker is rejecting
+// traffic. Callers degrade gracefully — the proxy serves stale replicas —
+// instead of hammering a struggling origin.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerState is the circuit state machine position.
+type BreakerState int
+
+const (
+	// Closed passes traffic through, tracking the failure rate.
+	Closed BreakerState = iota
+	// Open rejects traffic until the cool-down elapses.
+	Open
+	// HalfOpen lets a bounded number of probes through; success closes
+	// the circuit, failure reopens it.
+	HalfOpen
+)
+
+// String renders the state for logs and metric labels.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// Name tags the breaker's metric series and log lines (e.g. the
+	// origin host it guards).
+	Name string
+	// Window is the number of recent outcomes the failure rate is
+	// computed over (default 20).
+	Window int
+	// MinSamples is the minimum outcomes in the window before the rate
+	// can trip the circuit (default 5), so one early failure in an idle
+	// window does not open it.
+	MinSamples int
+	// FailureRate opens the circuit when failures/outcomes in the window
+	// reaches it (default 0.5).
+	FailureRate float64
+	// OpenFor is the cool-down before an open circuit admits a half-open
+	// probe (default 1s).
+	OpenFor time.Duration
+	// HalfOpenProbes is the number of consecutive probe successes needed
+	// to close again (default 1).
+	HalfOpenProbes int
+	// Clock supplies the time; nil means time.Now. Tests inject their
+	// own to step through the cool-down deterministically.
+	Clock func() time.Time
+	// Metrics selects the registry; nil means obs.Default.
+	Metrics *obs.Registry
+}
+
+// DefaultBreakerConfig returns the stock thresholds.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:         20,
+		MinSamples:     5,
+		FailureRate:    0.5,
+		OpenFor:        time.Second,
+		HalfOpenProbes: 1,
+	}
+}
+
+// BreakerStats snapshots a breaker's activity.
+type BreakerStats struct {
+	State     BreakerState
+	Successes int64
+	Failures  int64
+	Rejected  int64 // calls refused while open
+	Opens     int64 // closed/half-open → open transitions
+}
+
+// Breaker is a failure-rate circuit breaker with half-open probing.
+type Breaker struct {
+	cfg BreakerConfig
+	met breakerMetrics
+
+	mu        sync.Mutex
+	state     BreakerState
+	outcomes  []bool // ring of recent outcomes; true = failure
+	size      int    // occupied slots
+	next      int    // ring cursor
+	failures  int    // failures among occupied slots
+	openedAt  time.Time
+	probes    int // probes in flight while half-open
+	probeWins int // consecutive probe successes
+	stats     BreakerStats
+}
+
+type breakerMetrics struct {
+	toOpen     *obs.Counter
+	toHalfOpen *obs.Counter
+	toClosed   *obs.Counter
+	rejected   *obs.Counter
+	state      *obs.Gauge
+}
+
+// NewBreaker builds a breaker with cfg; zero fields take defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	def := DefaultBreakerConfig()
+	if cfg.Window <= 0 {
+		cfg.Window = def.Window
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = def.MinSamples
+	}
+	if cfg.FailureRate <= 0 || cfg.FailureRate > 1 {
+		cfg.FailureRate = def.FailureRate
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = def.OpenFor
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = def.HalfOpenProbes
+	}
+	labels := obs.Labels{"breaker": cfg.Name}
+	const transitions = "specweb_breaker_transitions_total"
+	const transitionsHelp = "Circuit breaker state transitions, by destination state."
+	reg := cfg.Metrics
+	return &Breaker{
+		cfg: cfg,
+		met: breakerMetrics{
+			toOpen:     reg.Counter(transitions, transitionsHelp, obs.Labels{"breaker": cfg.Name, "to": "open"}),
+			toHalfOpen: reg.Counter(transitions, transitionsHelp, obs.Labels{"breaker": cfg.Name, "to": "half-open"}),
+			toClosed:   reg.Counter(transitions, transitionsHelp, obs.Labels{"breaker": cfg.Name, "to": "closed"}),
+			rejected:   reg.Counter("specweb_breaker_rejected_total", "Calls refused while the circuit was open.", labels),
+			state:      reg.Gauge("specweb_breaker_state", "Current circuit state (0 closed, 1 open, 2 half-open).", labels),
+		},
+		outcomes: make([]bool, cfg.Window),
+	}
+}
+
+func (b *Breaker) now() time.Time {
+	if b.cfg.Clock != nil {
+		return b.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// State returns the current circuit state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a snapshot of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.stats
+	s.State = b.state
+	return s
+}
+
+// Allow reports whether a call may proceed. While open it returns ErrOpen
+// until the cool-down elapses, then admits probes one at a time in
+// half-open state. Every Allow that returns nil must be matched by a
+// Record with the call's outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			b.stats.Rejected++
+			b.met.rejected.Inc()
+			return ErrOpen
+		}
+		b.setStateLocked(HalfOpen)
+		b.probes = 1
+		b.probeWins = 0
+		return nil
+	default: // HalfOpen: one probe at a time
+		if b.probes > 0 {
+			b.stats.Rejected++
+			b.met.rejected.Inc()
+			return ErrOpen
+		}
+		b.probes = 1
+		return nil
+	}
+}
+
+// Record reports the outcome of a call admitted by Allow.
+func (b *Breaker) Record(err error) {
+	failed := err != nil
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if failed {
+		b.stats.Failures++
+	} else {
+		b.stats.Successes++
+	}
+	switch b.state {
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if failed {
+			b.trip()
+			return
+		}
+		b.probeWins++
+		if b.probeWins >= b.cfg.HalfOpenProbes {
+			b.resetLocked()
+			b.setStateLocked(Closed)
+		}
+	case Open:
+		// A straggler finishing after the trip; ignore for the machine.
+	default: // Closed
+		b.observeLocked(failed)
+		if b.size >= b.cfg.MinSamples &&
+			float64(b.failures)/float64(b.size) >= b.cfg.FailureRate {
+			b.trip()
+		}
+	}
+}
+
+// Do runs op under the breaker: Allow, run, Record.
+func (b *Breaker) Do(op func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op()
+	b.Record(err)
+	return err
+}
+
+// observeLocked pushes one outcome into the ring.
+func (b *Breaker) observeLocked(failed bool) {
+	if b.size == len(b.outcomes) {
+		if b.outcomes[b.next] {
+			b.failures--
+		}
+	} else {
+		b.size++
+	}
+	b.outcomes[b.next] = failed
+	if failed {
+		b.failures++
+	}
+	b.next = (b.next + 1) % len(b.outcomes)
+}
+
+// resetLocked clears the outcome window.
+func (b *Breaker) resetLocked() {
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.size, b.next, b.failures = 0, 0, 0
+	b.probes, b.probeWins = 0, 0
+}
+
+// trip opens the circuit. Callers hold mu.
+func (b *Breaker) trip() {
+	b.openedAt = b.now()
+	b.stats.Opens++
+	b.setStateLocked(Open)
+}
+
+func (b *Breaker) setStateLocked(s BreakerState) {
+	b.state = s
+	b.met.state.Set(float64(s))
+	switch s {
+	case Open:
+		b.met.toOpen.Inc()
+	case HalfOpen:
+		b.met.toHalfOpen.Inc()
+	case Closed:
+		b.met.toClosed.Inc()
+	}
+}
+
+// BreakerGroup hands out one breaker per origin, sharing a config — the
+// per-origin circuit the proxy tier uses when fronting several home
+// servers.
+type BreakerGroup struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerGroup builds an empty group; each breaker takes cfg with its
+// origin as the Name.
+func NewBreakerGroup(cfg BreakerConfig) *BreakerGroup {
+	return &BreakerGroup{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// For returns the breaker guarding origin, creating it on first use.
+func (g *BreakerGroup) For(origin string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.m[origin]
+	if !ok {
+		cfg := g.cfg
+		cfg.Name = origin
+		b = NewBreaker(cfg)
+		g.m[origin] = b
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+// fakeClock steps time by hand.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	cfg := DefaultBreakerConfig()
+	cfg.Name = "test-origin"
+	cfg.Window = 10
+	cfg.MinSamples = 4
+	cfg.FailureRate = 0.5
+	cfg.OpenFor = time.Second
+	cfg.Clock = clk.Now
+	cfg.Metrics = obs.NewRegistry()
+	return NewBreaker(cfg)
+}
+
+var errBoom = errors.New("boom")
+
+func TestBreakerOpensAtFailureRate(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	// Three failures among four samples: 75% ≥ 50% → open.
+	for _, fail := range []bool{false, true, true, true} {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected: %v", err)
+		}
+		if fail {
+			b.Record(errBoom)
+		} else {
+			b.Record(nil)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Errorf("open breaker allowed a call: %v", err)
+	}
+	if st := b.Stats(); st.Opens != 1 || st.Rejected == 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestBreakerStaysClosedBelowMinSamples(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	// 100% failure rate but fewer than MinSamples outcomes.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(errBoom)
+	}
+	if b.State() != Closed {
+		t.Errorf("tripped on %d samples below MinSamples", 3)
+	}
+}
+
+func tripBreaker(t *testing.T, b *Breaker) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(errBoom)
+	}
+	if b.State() != Open {
+		t.Fatal("breaker did not open")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	tripBreaker(t, b)
+
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("cool-down elapsed but probe rejected: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Error("second concurrent probe admitted")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Errorf("recovered breaker rejected: %v", err)
+	}
+	b.Record(nil)
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	tripBreaker(t, b)
+
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// The cool-down restarts from the failed probe.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Error("reopened breaker admitted a call immediately")
+	}
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Errorf("second probe window rejected: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Error("breaker did not close after eventual recovery")
+	}
+}
+
+func TestBreakerMultiProbeClose(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	cfg := DefaultBreakerConfig()
+	cfg.Window = 10
+	cfg.MinSamples = 4
+	cfg.HalfOpenProbes = 2
+	cfg.Clock = clk.Now
+	cfg.Metrics = obs.NewRegistry()
+	b := NewBreaker(cfg)
+	tripBreaker(t, b)
+
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil)
+	if b.State() != HalfOpen {
+		t.Fatalf("closed after 1 of 2 probes")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Error("did not close after the configured probe count")
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		_ = b.Do(func() error { return errBoom })
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Errorf("Do through open breaker: %v", err)
+	}
+}
+
+func TestBreakerGroupPerOrigin(t *testing.T) {
+	cfg := DefaultBreakerConfig()
+	cfg.Metrics = obs.NewRegistry()
+	g := NewBreakerGroup(cfg)
+	a, b := g.For("http://a"), g.For("http://b")
+	if a == b {
+		t.Fatal("distinct origins share a breaker")
+	}
+	if g.For("http://a") != a {
+		t.Error("same origin did not reuse its breaker")
+	}
+	// Tripping one origin leaves the other closed.
+	for i := 0; i < 6; i++ {
+		if err := a.Allow(); err == nil {
+			a.Record(errBoom)
+		}
+	}
+	if a.State() != Open {
+		t.Error("origin a did not open")
+	}
+	if b.State() != Closed {
+		t.Error("origin b opened sympathetically")
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := b.Allow(); err != nil {
+					clk.Advance(10 * time.Millisecond)
+					continue
+				}
+				if (g+i)%3 == 0 {
+					b.Record(errBoom)
+				} else {
+					b.Record(nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Successes+st.Failures == 0 {
+		t.Error("no outcomes recorded")
+	}
+}

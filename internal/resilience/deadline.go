@@ -1,0 +1,35 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// EnsureDeadline returns a context whose deadline is at most d from now,
+// keeping any earlier deadline already on ctx — the propagation rule for
+// the dissemination hot paths: a caller's tighter budget always wins, and
+// no call runs unbounded. d <= 0 leaves ctx untouched.
+func EnsureDeadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	want := time.Now().Add(d)
+	if existing, ok := ctx.Deadline(); ok && existing.Before(want) {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, want)
+}
+
+// Remaining reports the time left until ctx's deadline, or def when ctx
+// has none. A context already past its deadline reports zero.
+func Remaining(ctx context.Context, def time.Duration) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return def
+	}
+	left := time.Until(dl)
+	if left < 0 {
+		return 0
+	}
+	return left
+}

@@ -1,0 +1,68 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestEnsureDeadlineCapsUnboundedContext(t *testing.T) {
+	ctx, cancel := EnsureDeadline(context.Background(), time.Minute)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline set")
+	}
+	if until := time.Until(dl); until > time.Minute || until < 50*time.Second {
+		t.Errorf("deadline %v from now", until)
+	}
+}
+
+func TestEnsureDeadlineKeepsEarlierDeadline(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	ctx, cancel2 := EnsureDeadline(parent, time.Hour)
+	defer cancel2()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("deadline lost")
+	}
+	if time.Until(dl) > time.Second {
+		t.Errorf("later deadline overrode the caller's tighter budget: %v", time.Until(dl))
+	}
+}
+
+func TestEnsureDeadlineTightensLaterDeadline(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	ctx, cancel2 := EnsureDeadline(parent, 20*time.Millisecond)
+	defer cancel2()
+	dl, _ := ctx.Deadline()
+	if time.Until(dl) > time.Second {
+		t.Errorf("deadline not tightened: %v away", time.Until(dl))
+	}
+}
+
+func TestEnsureDeadlineZeroIsNoop(t *testing.T) {
+	ctx, cancel := EnsureDeadline(context.Background(), 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero budget set a deadline")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	if got := Remaining(context.Background(), time.Minute); got != time.Minute {
+		t.Errorf("default not returned: %v", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if got := Remaining(ctx, time.Minute); got <= time.Minute {
+		t.Errorf("remaining %v for an hour-long budget", got)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if got := Remaining(expired, time.Minute); got != 0 {
+		t.Errorf("expired context reports %v", got)
+	}
+}

@@ -1,0 +1,328 @@
+// Package faults injects failures into the HTTP dissemination stack so
+// its resilience can be exercised reproducibly: added latency, connection
+// errors, 5xx bursts, and truncated bodies, all drawn from a seeded
+// source so a chaos run replays decision-for-decision. The same Injector
+// works on both sides of the wire — as an http.RoundTripper wrapping a
+// client transport (an unreliable network/origin as seen by one client)
+// and as server middleware (an unreliable origin as seen by everyone).
+//
+// Injected faults are counted per kind in internal/obs
+// (specweb_faults_injected_total), so a chaos experiment can report how
+// much failure it actually generated next to how much the stack absorbed.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+// ErrInjected is the root of every synthetic connection error, so tests
+// and logs can tell injected failures from real ones.
+var ErrInjected = errors.New("faults: injected connection error")
+
+// Config parameterizes an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed makes the fault stream deterministic; 0 uses a fixed default.
+	Seed int64
+	// ErrorRate is the probability a request fails with a synthetic
+	// connection error (client side) or an aborted connection (server
+	// side).
+	ErrorRate float64
+	// Rate5xx is the probability a request draws a synthetic 500
+	// response; each draw injects Burst5xx consecutive 500s, modelling
+	// the bursty way origins actually fail.
+	Rate5xx float64
+	// Burst5xx is the length of each 5xx burst (default 1).
+	Burst5xx int
+	// Latency is added to every request, plus a uniform draw from
+	// [0, LatencyJitter).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// TruncateRate is the probability a response body is cut short
+	// mid-stream, leaving the reader with an unexpected EOF.
+	TruncateRate float64
+	// Sleep waits out injected latency; nil uses a context-aware real
+	// sleep. Tests inject their own to keep chaos runs fast.
+	Sleep func(ctx context.Context, d time.Duration)
+	// Metrics selects the registry; nil means obs.Default.
+	Metrics *obs.Registry
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.ErrorRate > 0 || c.Rate5xx > 0 || c.TruncateRate > 0 ||
+		c.Latency > 0 || c.LatencyJitter > 0
+}
+
+// Stats counts the faults an Injector has actually injected.
+type Stats struct {
+	Delays      int64
+	Errors      int64
+	Fives       int64 // synthetic 5xx responses
+	Truncations int64
+}
+
+// Injector draws faults from a seeded stream.
+type Injector struct {
+	cfg Config
+	met injectorMetrics
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	burstLeft int
+	stats     Stats
+}
+
+type injectorMetrics struct {
+	delays      *obs.Counter
+	errors      *obs.Counter
+	fives       *obs.Counter
+	truncations *obs.Counter
+}
+
+// New builds an Injector; zero-value knobs inject nothing.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if cfg.Burst5xx <= 0 {
+		cfg.Burst5xx = 1
+	}
+	reg := cfg.Metrics
+	const name = "specweb_faults_injected_total"
+	const help = "Faults injected into the stack, by kind."
+	return &Injector{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+		met: injectorMetrics{
+			delays:      reg.Counter(name, help, obs.Labels{"kind": "delay"}),
+			errors:      reg.Counter(name, help, obs.Labels{"kind": "error"}),
+			fives:       reg.Counter(name, help, obs.Labels{"kind": "5xx"}),
+			truncations: reg.Counter(name, help, obs.Labels{"kind": "truncate"}),
+		},
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counts.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// decision is one request's worth of fault draws, taken atomically so
+// the stream stays deterministic under concurrency.
+type decision struct {
+	delay    time.Duration
+	connErr  bool
+	respFive bool
+	truncate bool
+}
+
+func (i *Injector) decide() decision {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var d decision
+	d.delay = i.cfg.Latency
+	if i.cfg.LatencyJitter > 0 {
+		d.delay += time.Duration(i.rng.Int63n(int64(i.cfg.LatencyJitter)))
+	}
+	if d.delay > 0 {
+		i.stats.Delays++
+		i.met.delays.Inc()
+	}
+	if i.cfg.ErrorRate > 0 && i.rng.Float64() < i.cfg.ErrorRate {
+		d.connErr = true
+		i.stats.Errors++
+		i.met.errors.Inc()
+		return d
+	}
+	if i.burstLeft > 0 {
+		i.burstLeft--
+		d.respFive = true
+	} else if i.cfg.Rate5xx > 0 && i.rng.Float64() < i.cfg.Rate5xx {
+		i.burstLeft = i.cfg.Burst5xx - 1
+		d.respFive = true
+	}
+	if d.respFive {
+		i.stats.Fives++
+		i.met.fives.Inc()
+		return d
+	}
+	if i.cfg.TruncateRate > 0 && i.rng.Float64() < i.cfg.TruncateRate {
+		d.truncate = true
+		i.stats.Truncations++
+		i.met.truncations.Inc()
+	}
+	return d
+}
+
+func (i *Injector) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if i.cfg.Sleep != nil {
+		i.cfg.Sleep(ctx, d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// Transport wraps base (nil means http.DefaultTransport) with fault
+// injection: the unreliable network as seen by one client.
+func (i *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{inj: i, base: base}
+}
+
+type faultTransport struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.inj.decide()
+	t.inj.sleep(req.Context(), d.delay)
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case d.connErr:
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL.Path)
+	case d.respFive:
+		return synthetic5xx(req), nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || !d.truncate || resp.Body == nil {
+		return resp, err
+	}
+	n := resp.ContentLength / 2
+	if n <= 0 {
+		n = 256
+	}
+	resp.Body = &truncatedBody{rc: resp.Body, remaining: n}
+	return resp, nil
+}
+
+// synthetic5xx builds a 500 response without touching the origin.
+func synthetic5xx(req *http.Request) *http.Response {
+	body := "injected server error\n"
+	return &http.Response{
+		Status:        "500 Internal Server Error",
+		StatusCode:    http.StatusInternalServerError,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain"}, "X-Specweb-Fault": []string{"5xx"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody yields the first `remaining` bytes then an unexpected
+// EOF, the failure shape of a connection dropped mid-transfer.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF && b.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// Middleware wraps an http.Handler with fault injection: the unreliable
+// origin as seen by every client. Connection errors abort the connection
+// mid-request; truncation aborts it mid-body.
+func (i *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := i.decide()
+		i.sleep(r.Context(), d.delay)
+		switch {
+		case d.connErr:
+			// ErrAbortHandler drops the connection without a response —
+			// the client sees EOF/connection reset.
+			panic(http.ErrAbortHandler)
+		case d.respFive:
+			w.Header().Set("X-Specweb-Fault", "5xx")
+			http.Error(w, "injected server error", http.StatusInternalServerError)
+			return
+		case d.truncate:
+			next.ServeHTTP(&truncatingResponseWriter{ResponseWriter: w}, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncatingResponseWriter forwards roughly half of the declared (or
+// first-write) body, then aborts the connection.
+type truncatingResponseWriter struct {
+	http.ResponseWriter
+	limit   int64
+	written int64
+}
+
+func (t *truncatingResponseWriter) Write(p []byte) (int, error) {
+	if t.limit == 0 {
+		if cl := t.Header().Get("Content-Length"); cl != "" {
+			if n, err := strconv.ParseInt(cl, 10, 64); err == nil && n > 0 {
+				t.limit = (n + 1) / 2
+			}
+		}
+		if t.limit == 0 {
+			t.limit = int64(len(p)+1) / 2
+		}
+	}
+	if t.written >= t.limit {
+		t.abort()
+	}
+	if over := t.written + int64(len(p)) - t.limit; over > 0 {
+		n, _ := t.ResponseWriter.Write(p[:int64(len(p))-over])
+		t.written += int64(n)
+		t.abort()
+	}
+	n, err := t.ResponseWriter.Write(p)
+	t.written += int64(n)
+	return n, err
+}
+
+// abort pushes the partial body onto the wire, then kills the connection
+// so the declared Content-Length can never be satisfied.
+func (t *truncatingResponseWriter) abort() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}

@@ -1,0 +1,267 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+func noSleep() func(context.Context, time.Duration) {
+	return func(context.Context, time.Duration) {}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	for _, c := range []Config{
+		{ErrorRate: 0.1}, {Rate5xx: 0.1}, {TruncateRate: 0.1}, {Latency: time.Millisecond},
+	} {
+		if !c.Enabled() {
+			t.Errorf("config %+v reports disabled", c)
+		}
+	}
+}
+
+func TestTransportInjectsConnectionErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	inj := New(Config{Seed: 42, ErrorRate: 0.5, Metrics: obs.NewRegistry()})
+	client := &http.Client{Transport: inj.Transport(nil)}
+	var errs, oks int
+	for i := 0; i < 200; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			if !strings.Contains(err.Error(), "injected connection error") {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			errs++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		oks++
+	}
+	if errs < 60 || errs > 140 {
+		t.Errorf("injected %d errors out of 200 at rate 0.5", errs)
+	}
+	if st := inj.Stats(); st.Errors != int64(errs) {
+		t.Errorf("stats.Errors = %d, observed %d", st.Errors, errs)
+	}
+}
+
+func TestTransportDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []bool {
+		inj := New(Config{Seed: seed, ErrorRate: 0.3, Metrics: obs.NewRegistry()})
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = inj.decide().connErr
+		}
+		return out
+	}
+	a, b := draw(9), draw(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := draw(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault streams")
+	}
+}
+
+func TestTransportInjects5xxBursts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	inj := New(Config{Seed: 3, Rate5xx: 0.2, Burst5xx: 3, Metrics: obs.NewRegistry()})
+	client := &http.Client{Transport: inj.Transport(nil)}
+	var fives int
+	var runLen, maxRun int
+	for i := 0; i < 150; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusInternalServerError {
+			if resp.Header.Get("X-Specweb-Fault") != "5xx" {
+				t.Fatal("synthetic 5xx missing marker header")
+			}
+			fives++
+			runLen++
+			if runLen > maxRun {
+				maxRun = runLen
+			}
+		} else {
+			runLen = 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if fives == 0 {
+		t.Fatal("no 5xx injected")
+	}
+	if maxRun < 3 {
+		t.Errorf("longest 5xx run %d, want a full burst of 3", maxRun)
+	}
+	if st := inj.Stats(); st.Fives != int64(fives) {
+		t.Errorf("stats.Fives = %d, observed %d", st.Fives, fives)
+	}
+}
+
+func TestTransportTruncatesBodies(t *testing.T) {
+	const body = "0123456789abcdef0123456789abcdef"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer ts.Close()
+
+	inj := New(Config{Seed: 5, TruncateRate: 1, Metrics: obs.NewRegistry()})
+	client := &http.Client{Transport: inj.Transport(nil)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want unexpected EOF", err)
+	}
+	if len(got) >= len(body) {
+		t.Errorf("read %d bytes of %d, nothing truncated", len(got), len(body))
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	var mu sync.Mutex
+	inj := New(Config{
+		Seed: 1, Latency: 30 * time.Millisecond, LatencyJitter: 20 * time.Millisecond,
+		Sleep:   func(_ context.Context, d time.Duration) { mu.Lock(); slept = append(slept, d); mu.Unlock() },
+		Metrics: obs.NewRegistry(),
+	})
+	client := &http.Client{Transport: inj.Transport(nil)}
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if len(slept) != 5 {
+		t.Fatalf("slept %d times, want 5", len(slept))
+	}
+	for _, d := range slept {
+		if d < 30*time.Millisecond || d >= 50*time.Millisecond {
+			t.Errorf("delay %v outside [30ms,50ms)", d)
+		}
+	}
+}
+
+func TestMiddlewareAbortsAndErrors(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	inj := New(Config{Seed: 11, ErrorRate: 0.5, Metrics: obs.NewRegistry()})
+	ts := httptest.NewServer(inj.Middleware(inner))
+	defer ts.Close()
+
+	var errs, oks int
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			errs++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		oks++
+	}
+	if errs == 0 || oks == 0 {
+		t.Errorf("errs=%d oks=%d, want a mix at rate 0.5", errs, oks)
+	}
+}
+
+func TestMiddleware5xx(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	inj := New(Config{Seed: 2, Rate5xx: 1, Metrics: obs.NewRegistry()})
+	ts := httptest.NewServer(inj.Middleware(inner))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestMiddlewareTruncation(t *testing.T) {
+	body := strings.Repeat("x", 4096)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Length", "4096")
+		io.WriteString(w, body)
+	})
+	inj := New(Config{Seed: 4, TruncateRate: 1, Metrics: obs.NewRegistry()})
+	ts := httptest.NewServer(inj.Middleware(inner))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil && len(got) >= len(body) {
+		t.Error("declared-length body arrived intact despite truncation")
+	}
+}
+
+func TestInjectorConcurrent(t *testing.T) {
+	inj := New(Config{Seed: 6, ErrorRate: 0.2, Rate5xx: 0.2, TruncateRate: 0.2, Metrics: obs.NewRegistry()})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				inj.decide()
+			}
+		}()
+	}
+	wg.Wait()
+	st := inj.Stats()
+	if st.Errors == 0 || st.Fives == 0 || st.Truncations == 0 {
+		t.Errorf("fault mix missing kinds: %+v", st)
+	}
+}

@@ -1,0 +1,239 @@
+// Package resilience is the fault-tolerance toolkit for the speculative
+// dissemination stack: capped jittered-exponential retries with a shared
+// retry budget, a per-origin circuit breaker with half-open probing, and
+// deadline-propagation helpers. The paper's §2 argument is that service
+// proxies keep documents available and fast when the home server is the
+// bottleneck; this package is what lets the live HTTP stack actually
+// deliver that promise when the origin misbehaves instead of collapsing
+// on the first transport error.
+//
+// Everything is stdlib-only and safe for concurrent use. Retry jitter is
+// drawn from a seeded source so chaos experiments replay deterministically.
+// Every retry, give-up, budget exhaustion and breaker transition is
+// counted in internal/obs, so degradation is observable rather than
+// silent.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+// RetryConfig parameterizes a Retrier.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values <= 1 disable retries entirely.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries (default 2).
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter·delay (0..1, default 0.5).
+	// Jittered delays are drawn from the seeded source so runs replay.
+	Jitter float64
+	// Budget bounds the total retries this Retrier will spend across all
+	// calls (a global retry budget, so a flapping origin cannot amplify
+	// load unboundedly); 0 means unlimited.
+	Budget int64
+	// Seed seeds the jitter source; the zero value uses a fixed default
+	// so behaviour is deterministic unless callers opt into a stream.
+	Seed int64
+	// Sleep waits between attempts; nil uses a context-aware real sleep.
+	// Tests inject their own to observe the backoff schedule.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultRetryConfig is tuned for LAN-scale origins: up to 4 attempts,
+// 10ms base delay doubling to a 1s cap, half-width jitter.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}
+}
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so a Retrier returns it immediately instead of
+// retrying (e.g. a 404 from the origin is not transient).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was marked with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// RetryStats snapshots a Retrier's activity.
+type RetryStats struct {
+	Attempts        int64 // operations attempted, including first tries
+	Retries         int64 // re-attempts after a transient failure
+	GiveUps         int64 // operations that exhausted MaxAttempts
+	BudgetExhausted int64 // retries denied by the global budget
+}
+
+// Retrier runs operations with capped jittered exponential backoff.
+type Retrier struct {
+	cfg RetryConfig
+	met retryMetrics
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	spent int64
+	stats RetryStats
+}
+
+type retryMetrics struct {
+	retries   *obs.Counter
+	giveUps   *obs.Counter
+	exhausted *obs.Counter
+}
+
+// NewRetrier builds a Retrier registering its metrics in obs.Default.
+func NewRetrier(cfg RetryConfig) *Retrier { return NewRetrierIn(nil, cfg) }
+
+// NewRetrierIn builds a Retrier registering metrics in reg (nil means
+// obs.Default).
+func NewRetrierIn(reg *obs.Registry, cfg RetryConfig) *Retrier {
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 1
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 10 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = time.Second
+	}
+	if cfg.Multiplier <= 1 {
+		cfg.Multiplier = 2
+	}
+	if cfg.Jitter < 0 || cfg.Jitter > 1 {
+		cfg.Jitter = 0.5
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Retrier{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+		met: retryMetrics{
+			retries:   reg.Counter("specweb_resilience_retries_total", "Operation re-attempts after a transient failure.", nil),
+			giveUps:   reg.Counter("specweb_resilience_retry_giveups_total", "Operations abandoned after exhausting their attempts.", nil),
+			exhausted: reg.Counter("specweb_resilience_retry_budget_exhausted_total", "Retries denied because the global retry budget ran out.", nil),
+		},
+	}
+}
+
+// Stats returns a snapshot of the retrier counters.
+func (r *Retrier) Stats() RetryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// delay computes the jittered backoff before retry number n (1-based).
+func (r *Retrier) delay(n int) time.Duration {
+	d := float64(r.cfg.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= r.cfg.Multiplier
+		if d >= float64(r.cfg.MaxDelay) {
+			d = float64(r.cfg.MaxDelay)
+			break
+		}
+	}
+	if r.cfg.Jitter > 0 {
+		r.mu.Lock()
+		f := r.rng.Float64()
+		r.mu.Unlock()
+		d += d * r.cfg.Jitter * (2*f - 1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// takeBudget claims one retry from the global budget.
+func (r *Retrier) takeBudget() bool {
+	if r.cfg.Budget <= 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spent >= r.cfg.Budget {
+		return false
+	}
+	r.spent++
+	return true
+}
+
+func (r *Retrier) sleep(ctx context.Context, d time.Duration) error {
+	if r.cfg.Sleep != nil {
+		return r.cfg.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (r *Retrier) count(f func(*RetryStats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// Do runs op until it succeeds, returns a Permanent error, exhausts the
+// attempts or budget, or ctx is done. The last error is returned.
+func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	var last error
+	for attempt := 1; ; attempt++ {
+		r.count(func(s *RetryStats) { s.Attempts++ })
+		last = op(ctx)
+		if last == nil || IsPermanent(last) || ctx.Err() != nil {
+			return last
+		}
+		if attempt >= r.cfg.MaxAttempts {
+			r.count(func(s *RetryStats) { s.GiveUps++ })
+			r.met.giveUps.Inc()
+			return last
+		}
+		if !r.takeBudget() {
+			r.count(func(s *RetryStats) { s.BudgetExhausted++ })
+			r.met.exhausted.Inc()
+			return last
+		}
+		if err := r.sleep(ctx, r.delay(attempt)); err != nil {
+			return last
+		}
+		r.count(func(s *RetryStats) { s.Retries++ })
+		r.met.retries.Inc()
+	}
+}

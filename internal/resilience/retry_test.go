@@ -1,0 +1,222 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+// noSleep records the backoff schedule instead of waiting it out.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	cfg := DefaultRetryConfig()
+	cfg.Sleep = noSleep(&delays)
+	r := NewRetrierIn(obs.NewRegistry(), cfg)
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.GiveUps != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	var delays []time.Duration
+	cfg := DefaultRetryConfig()
+	cfg.MaxAttempts = 3
+	cfg.Sleep = noSleep(&delays)
+	r := NewRetrierIn(obs.NewRegistry(), cfg)
+	calls := 0
+	wantErr := errors.New("still down")
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if st := r.Stats(); st.GiveUps != 1 {
+		t.Errorf("giveups = %d, want 1", st.GiveUps)
+	}
+	if len(delays) != 2 {
+		t.Errorf("slept %d times, want 2", len(delays))
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	var delays []time.Duration
+	cfg := RetryConfig{
+		MaxAttempts: 6,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0, // exact schedule
+		Sleep:       noSleep(&delays),
+	}
+	r := NewRetrierIn(obs.NewRegistry(), cfg)
+	_ = r.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	want := []time.Duration{10, 20, 40, 40, 40}
+	if len(delays) != len(want) {
+		t.Fatalf("delays %v", delays)
+	}
+	for i, w := range want {
+		if delays[i] != w*time.Millisecond {
+			t.Errorf("delay[%d] = %v, want %v", i, delays[i], w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryJitterDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		cfg := DefaultRetryConfig()
+		cfg.MaxAttempts = 5
+		cfg.Seed = seed
+		cfg.Sleep = noSleep(&delays)
+		r := NewRetrierIn(obs.NewRegistry(), cfg)
+		_ = r.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+		return delays
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("schedules %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestRetryPermanentErrorNotRetried(t *testing.T) {
+	r := NewRetrierIn(obs.NewRegistry(), DefaultRetryConfig())
+	calls := 0
+	base := errors.New("not found")
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(base)
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Errorf("permanent wrapper hides cause: %v", err)
+	}
+	if !IsPermanent(err) {
+		t.Error("IsPermanent lost the marker")
+	}
+	if IsPermanent(base) {
+		t.Error("unwrapped error reported permanent")
+	}
+}
+
+func TestRetryContextCancellation(t *testing.T) {
+	cfg := DefaultRetryConfig()
+	cfg.MaxAttempts = 10
+	cfg.BaseDelay = time.Hour // would hang if the sleep ignored ctx
+	r := NewRetrierIn(obs.NewRegistry(), cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(ctx, func(context.Context) error {
+			calls++
+			cancel()
+			return errors.New("transient")
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled Do returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRetryBudgetShared(t *testing.T) {
+	var delays []time.Duration
+	cfg := DefaultRetryConfig()
+	cfg.MaxAttempts = 4
+	cfg.Budget = 3
+	cfg.Sleep = noSleep(&delays)
+	r := NewRetrierIn(obs.NewRegistry(), cfg)
+	fail := func(context.Context) error { return errors.New("x") }
+	_ = r.Do(context.Background(), fail) // spends 3 retries
+	calls := 0
+	_ = r.Do(context.Background(), func(context.Context) error { calls++; return errors.New("x") })
+	if calls != 1 {
+		t.Errorf("budget-exhausted op ran %d times, want 1", calls)
+	}
+	if st := r.Stats(); st.BudgetExhausted == 0 {
+		t.Errorf("budget exhaustion not counted: %+v", st)
+	}
+}
+
+func TestRetryConcurrent(t *testing.T) {
+	cfg := DefaultRetryConfig()
+	cfg.BaseDelay = time.Microsecond
+	cfg.MaxDelay = 10 * time.Microsecond
+	r := NewRetrierIn(obs.NewRegistry(), cfg)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				n := 0
+				_ = r.Do(context.Background(), func(context.Context) error {
+					n++
+					if n < 2 {
+						return errors.New("flap")
+					}
+					return nil
+				})
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if st := r.Stats(); st.Retries != 8*50 {
+		t.Errorf("retries = %d, want %d", st.Retries, 8*50)
+	}
+}
