@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-short clean
+.PHONY: all build vet test race chaos overload bench bench-short clean
 
 all: vet build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: chaos
+test: chaos overload
 	$(GO) test ./...
 
 race:
@@ -23,7 +23,16 @@ chaos:
 	$(GO) test -race ./internal/resilience/... \
 		-run 'Test' -count=1
 	$(GO) test -race ./internal/httpspec/ -count=1 \
-		-run 'TestProxyPartialDisseminate|TestProxyServesStaleWhenOriginDown|TestProxyBreakerOpensAndRecovers|TestProxyStripsHopByHopHeaders|TestStripHopByHop|TestChaosReplayAvailability|TestReplaySummaryChaosFieldOptIn|TestClientCountsStaleServes|TestClientRetriesThroughFaults'
+		-run 'TestProxyPartialDisseminate|TestProxyServesStaleWhenOriginDown|TestProxyBreakerOpensAndRecovers|TestProxyStripsHopByHopHeaders|TestStripHopByHop|TestChaosReplayAvailability|TestReplaySummaryChaosFieldOptIn|TestClientCountsStaleServes|TestClientRetriesThroughFaults|TestServerDegradationLadder'
+
+# Overload-control suite: the admission controller and governor unit
+# tests, the server degradation ladder, and the open-loop acceptance run
+# (2x saturation: demand p99 near the no-speculation baseline with >=90%
+# of shed work speculative-class), all under the race detector.
+overload:
+	$(GO) test -race ./internal/overload/... -count=1
+	$(GO) test -race ./internal/httpspec/ -count=1 \
+		-run 'TestServerAdmissionSheds|TestServerDegradationLadder|TestStatsOmitOverloadWhenDisabled|TestOpenLoopOverloadAcceptance'
 
 # Full 90-day evaluation workload; takes several minutes.
 bench:

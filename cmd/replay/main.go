@@ -24,6 +24,17 @@
 // stale-serve counts. Example:
 //
 //	replay -chaos -fault-error-rate 0.2 -json
+//
+// With -rate the replay switches from its default closed loop (each
+// request waits for the previous answer) to open-loop arrival: requests
+// are dispatched at the given rate in groups of -burst whether or not the
+// server keeps up — the regime where overload control matters. Open-loop
+// runs add an overload section (shed counts per class, demand p99, the
+// degradation-ladder rung reached) scraped from the server's /spec/stats.
+// Note: -rate used to mean sessions/day for the synthesized trace; that
+// knob is now -sessions.
+//
+//	replay -rate 400 -burst 8 -json
 package main
 
 import (
@@ -51,10 +62,14 @@ func main() {
 		prefetch  = flag.Float64("prefetch", 0, "follow prefetch hints at or above this probability (0 = off)")
 		session   = flag.Int("session", 0, "purge each client's cache every N requests (0 = never)")
 		days      = flag.Int("days", 2, "days to synthesize when no trace file is given")
-		rate      = flag.Float64("rate", 30, "sessions/day to synthesize")
+		sessions  = flag.Float64("sessions", 30, "sessions/day to synthesize")
 		seed      = flag.Int64("seed", 1995, "seed for the synthesized trace")
 		profile   = flag.String("profile", "department", "profile for the synthesized trace: department, media, or tiny (must match the server's)")
 		asJSON    = flag.Bool("json", false, "emit the run summary as JSON on stdout")
+
+		rate    = flag.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop); adds the overload summary section")
+		burst   = flag.Int("burst", 1, "requests dispatched per open-loop arrival tick")
+		prioLow = flag.Float64("priority-low", 0, "fraction of clients tagged Spec-Priority: low (shed first under overload)")
 
 		chaos   = flag.Bool("chaos", false, "inject faults into the replay transport and report availability")
 		retries = flag.Int("retries", 4, "max attempts per demand fetch under -chaos (1 = no retries)")
@@ -93,7 +108,7 @@ func main() {
 		}
 		cfg.Profile = p
 		cfg.Days = *days
-		cfg.SessionsPerDay = *rate
+		cfg.SessionsPerDay = *sessions
 		cfg.Seed = *seed
 		w, err := experiments.Build(cfg)
 		if err != nil {
@@ -110,6 +125,12 @@ func main() {
 		Cooperative:        *coop,
 		PrefetchThreshold:  *prefetch,
 		SessionGapRequests: *session,
+		Rate:               *rate,
+		Burst:              *burst,
+		LowPriority:        *prioLow,
+	}
+	if *rate > 0 {
+		fmt.Fprintf(os.Stderr, "replay: open loop at %.1f req/s, burst %d\n", *rate, *burst)
 	}
 	var inj *faults.Injector
 	if *chaos {
@@ -176,6 +197,15 @@ func main() {
 		fmt.Printf("  availability:   %.4f\n", sum.Chaos.Availability)
 		fmt.Printf("  retries:        %d\n", sum.Chaos.Retries)
 		fmt.Printf("  stale serves:   %d (ratio %.4f)\n", sum.Chaos.StaleServes, sum.Chaos.StaleRatio)
+	}
+	if sum.Overload != nil {
+		ov := sum.Overload
+		fmt.Printf("overload (offered %.1f req/s, burst %d):\n", ov.OfferedRate, ov.Burst)
+		fmt.Printf("  shed:           %d demand, %d speculative (speculative ratio %.3f)\n",
+			ov.DemandShed, ov.SpeculativeShed, ov.ShedSpeculativeRatio)
+		fmt.Printf("  demand p99:     %.2f ms\n", ov.DemandP99MS)
+		fmt.Printf("  ladder:         reached rung %d, ended %s (effective Tp %.3f)\n",
+			ov.MaxRung, ov.Rung, ov.EffectiveTp)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"specweb/internal/httpspec"
 	"specweb/internal/obs"
+	"specweb/internal/overload"
 	"specweb/internal/resilience/faults"
 	"specweb/internal/stats"
 	"specweb/internal/webgraph"
@@ -43,6 +44,13 @@ func main() {
 		mode    = flag.String("mode", "hybrid", "delivery mode: push, hints, or hybrid")
 		seed    = flag.Int64("seed", 1995, "site generation seed")
 		tp      = flag.Float64("tp", 0.25, "speculation threshold")
+
+		ovEnable = flag.Bool("overload", false, "enable overload control: priority admission, the adaptive speculation governor and the degradation ladder")
+		ovDemand = flag.Int("overload-demand", 256, "demand-class concurrency slots")
+		ovSpec   = flag.Int("overload-spec", 64, "speculative-class concurrency slots")
+		ovQueue  = flag.Int("overload-queue", 128, "admission wait-queue depth per class (negative: no queue)")
+		ovWait   = flag.Duration("overload-wait", 2*time.Second, "max time a request may wait for an admission slot")
+		ovTarget = flag.Duration("overload-target", 50*time.Millisecond, "demand-path latency the governor defends")
 
 		faultSeed     = flag.Int64("fault-seed", 0, "fault injection seed (0 = fixed default)")
 		faultErr      = flag.Float64("fault-error-rate", 0, "probability a request's connection is aborted mid-response")
@@ -72,6 +80,25 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "specd:", err)
 		os.Exit(2)
+	}
+
+	var governor *overload.Governor
+	if *ovEnable {
+		ctrl := overload.NewController(overload.Config{
+			DemandSlots: *ovDemand,
+			SpecSlots:   *ovSpec,
+			QueueDepth:  *ovQueue,
+			MaxWait:     *ovWait,
+		})
+		governor = overload.NewGovernor(overload.GovernorConfig{
+			Target:   *ovTarget,
+			Pressure: ctrl.Pressure,
+		})
+		cfg.Admission = ctrl
+		cfg.Governor = governor
+		log.Info("overload control enabled",
+			"demand_slots", *ovDemand, "spec_slots", *ovSpec,
+			"queue", *ovQueue, "max_wait", *ovWait, "target", *ovTarget)
 	}
 
 	srv, err := httpspec.NewServer(httpspec.NewSiteStore(site), cfg)
@@ -108,21 +135,45 @@ func main() {
 	mux.Handle("/metrics", obs.Default.Handler())
 
 	httpSrv := &http.Server{
-		Addr:         *addr,
-		Handler:      mux,
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second,
-		IdleTimeout:  60 * time.Second,
+		Addr:    *addr,
+		Handler: mux,
+		// ReadHeaderTimeout and MaxHeaderBytes close the slowloris hole:
+		// without them a client trickling header bytes holds a connection
+		// (and under admission control, a precious slot) indefinitely.
+		ReadHeaderTimeout: 5 * time.Second,
+		MaxHeaderBytes:    64 << 10,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if governor != nil {
+		// Ticking lets the ladder drain during idle periods, when no
+		// demand request arrives to Observe a latency sample.
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					governor.Tick()
+				}
+			}
+		}()
+	}
+
 	var obsSrv *http.Server
 	if *obsAddr != "" {
 		obsSrv = &http.Server{
-			Addr:    *obsAddr,
-			Handler: obsMux(),
+			Addr:              *obsAddr,
+			Handler:           obsMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+			MaxHeaderBytes:    64 << 10,
 			// pprof profile captures legitimately run for tens of
 			// seconds, so the write timeout is generous here.
 			ReadTimeout:  10 * time.Second,

@@ -230,6 +230,91 @@ func TestEngineConfigValidation(t *testing.T) {
 	}
 }
 
+func TestEngineSetTpValidates(t *testing.T) {
+	e := newTestEngine(t, DefaultEngineConfig())
+	for _, bad := range []float64{-0.1, 1.01, 2} {
+		if err := e.SetTp(bad); err == nil {
+			t.Errorf("SetTp(%v) accepted", bad)
+		}
+	}
+	if err := e.SetTp(0.5); err != nil {
+		t.Fatalf("SetTp(0.5): %v", err)
+	}
+	if got := e.Tp(); got != 0.5 {
+		t.Errorf("Tp() = %v, want 0.5", got)
+	}
+}
+
+func TestEngineSetLimitsValidates(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	e := newTestEngine(t, cfg)
+	if err := e.SetLimits(-1, 0); err == nil {
+		t.Error("negative MaxSize accepted")
+	}
+	if err := e.SetLimits(0, -1); err == nil {
+		t.Error("negative TopK accepted")
+	}
+	feedPattern(e, 20)
+	if err := e.SetLimits(1500, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Doc 2 is 2000 bytes: the new MaxSize must suppress it.
+	if got := e.Speculate(1, nil); len(got) != 0 {
+		t.Errorf("Speculate(1) = %v after MaxSize 1500, want none", got)
+	}
+	if err := e.SetLimits(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Speculate(1, nil); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Speculate(1) = %v after restoring limits, want [2]", got)
+	}
+}
+
+// TestEngineSetTpRace hammers the runtime setters concurrently with the
+// decision paths; meaningful under -race (the Makefile overload target).
+func TestEngineSetTpRace(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	e := newTestEngine(t, cfg)
+	feedPattern(e, 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := e.SetTp(float64(i%10) / 10); err != nil {
+					t.Errorf("SetTp: %v", err)
+					return
+				}
+				if err := e.SetLimits(int64(i%3)*1000, i%4); err != nil {
+					t.Errorf("SetLimits: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			at := t0.Add(time.Duration(w) * time.Minute)
+			client := trace.ClientID(string(rune('p' + w)))
+			for i := 0; i < 500; i++ {
+				e.Record(client, webgraph.DocID(1+i%3), at)
+				e.Speculate(1, nil)
+				e.Split(1, nil)
+				at = at.Add(time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tp := e.Tp(); tp < 0 || tp > 1 {
+		t.Errorf("Tp() = %v outside [0,1] after hammering", tp)
+	}
+}
+
 func TestReplicatorRankingAndReplicaSet(t *testing.T) {
 	r := NewReplicator()
 	for i := 0; i < 50; i++ {

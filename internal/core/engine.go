@@ -342,6 +342,43 @@ func (e *Engine) Split(doc webgraph.DocID, have map[webgraph.DocID]bool) (push [
 	return push, hints
 }
 
+// SetTp replaces the speculation threshold at runtime — the §3.4 knob an
+// overload governor turns as load climbs. The same range check as
+// Config.Validate applies: Tp outside [0,1] is rejected.
+func (e *Engine) SetTp(tp float64) error {
+	if tp < 0 || tp > 1 {
+		return fmt.Errorf("core: Tp %v outside [0,1]", tp)
+	}
+	e.mu.Lock()
+	e.cfg.Tp = tp
+	e.mu.Unlock()
+	return nil
+}
+
+// SetLimits replaces the MaxSize and TopK provisions at runtime (0
+// restores "unbounded" / "threshold-only" respectively); negatives are
+// rejected.
+func (e *Engine) SetLimits(maxSize int64, topK int) error {
+	if maxSize < 0 {
+		return fmt.Errorf("core: MaxSize %d negative", maxSize)
+	}
+	if topK < 0 {
+		return fmt.Errorf("core: TopK %d negative", topK)
+	}
+	e.mu.Lock()
+	e.cfg.MaxSize = maxSize
+	e.cfg.TopK = topK
+	e.mu.Unlock()
+	return nil
+}
+
+// Tp reports the threshold currently in force.
+func (e *Engine) Tp() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg.Tp
+}
+
 // Stats reports the engine's observable state.
 type Stats struct {
 	Recorded   int64

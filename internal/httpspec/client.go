@@ -2,6 +2,7 @@ package httpspec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
@@ -14,6 +15,13 @@ import (
 
 	"specweb/internal/resilience"
 )
+
+// ErrShed marks a demand fetch the server refused under overload control
+// (503 with the X-Specweb-Shed header). It is permanent — retrying into
+// an overloaded server only deepens the overload — so callers see it
+// immediately and should honour Retry-After instead. Detect it with
+// errors.Is.
+var ErrShed = errors.New("httpspec: request shed by overload control")
 
 // ClientConfig parameterizes a speculative HTTP client.
 type ClientConfig struct {
@@ -39,6 +47,10 @@ type ClientConfig struct {
 	Retry   resilience.RetryConfig
 	// Breaker, when non-nil, guards demand fetches (shared per origin).
 	Breaker *resilience.Breaker
+	// Priority tags every demand request (Spec-Priority header):
+	// "low", "" (normal), or "high". Low-priority demand is the first
+	// demand class an overloaded server sheds.
+	Priority string
 }
 
 // ClientStats counts the client's activity.
@@ -67,6 +79,10 @@ type ClientStats struct {
 	// origin was down — both feed the chaos-mode availability report.
 	Retries     int64
 	StaleServes int64
+
+	// Shed counts demand fetches the server refused under overload
+	// control (ErrShed) — deliberate degradation, not failure.
+	Shed int64
 }
 
 // cacheEntry is one cached document; spec marks it as having arrived
@@ -232,12 +248,23 @@ func (c *Client) fetchAllowed(ctx context.Context, path string, digest string) (
 	if c.cfg.Cooperative && digest != "" {
 		req.Header.Set(HeaderHave, digest)
 	}
+	if c.cfg.Priority != "" {
+		req.Header.Set(HeaderPriority, c.cfg.Priority)
+	}
 	resp, err := c.cfg.HTTP.Do(req)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(HeaderShed) != "" {
+			c.mu.Lock()
+			c.stats.Shed++
+			c.mu.Unlock()
+			return nil, nil, resilience.Permanent(
+				fmt.Errorf("httpspec: GET %s: %w (Retry-After %s)",
+					path, ErrShed, resp.Header.Get("Retry-After")))
+		}
 		ferr := fmt.Errorf("httpspec: GET %s: %s", path, resp.Status)
 		if resp.StatusCode >= 500 {
 			return nil, nil, ferr

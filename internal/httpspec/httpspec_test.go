@@ -29,6 +29,12 @@ type testWorld struct {
 }
 
 func newWorld(t *testing.T, mode Mode) *testWorld {
+	return newWorldCfg(t, mode, nil)
+}
+
+// newWorldCfg is newWorld with a hook to adjust the server config (e.g.
+// to attach overload control) before the server is built.
+func newWorldCfg(t *testing.T, mode Mode, mutate func(*ServerConfig)) *testWorld {
 	t.Helper()
 	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(5))
 	if err != nil {
@@ -50,6 +56,9 @@ func newWorld(t *testing.T, mode Mode) *testWorld {
 		w.mu.Lock()
 		defer w.mu.Unlock()
 		return w.now
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	srv, err := NewServer(w.store, cfg)
 	if err != nil {

@@ -8,12 +8,14 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"specweb/internal/obs"
+	"specweb/internal/overload"
 	"specweb/internal/resilience"
 )
 
@@ -47,6 +49,7 @@ type Proxy struct {
 	hitB        atomic.Int64
 	forward     atomic.Int64
 	staleServes atomic.Int64
+	shed        atomic.Int64
 }
 
 // ProxyConfig parameterizes the proxy's resilience behaviour. The zero
@@ -72,6 +75,12 @@ type ProxyConfig struct {
 	// MaxStaleBytes caps the stale store (default 64 MiB); overflow
 	// evicts arbitrary entries.
 	MaxStaleBytes int64
+	// Admission optionally rate-controls the proxy itself: forwards
+	// admit as Demand (replica hits are memory reads and stay free),
+	// replica pulls and refreshes admit as Speculative — under load the
+	// proxy stops creating background transfer work before it refuses
+	// any client. nil disables admission.
+	Admission *overload.Controller
 	// Metrics selects the registry; nil means obs.Default.
 	Metrics *obs.Registry
 	// Tracer records spans; nil means obs.DefaultTracer.
@@ -86,6 +95,7 @@ type proxyMetrics struct {
 	hitBytes       *obs.Counter
 	originErrors   *obs.Counter
 	staleServes    *obs.Counter
+	shed           *obs.Counter
 	disseminations *obs.Counter
 	partials       *obs.Counter
 	replicas       *obs.Gauge
@@ -103,6 +113,7 @@ func newProxyMetrics(reg *obs.Registry) *proxyMetrics {
 		hitBytes:       reg.Counter("specweb_proxy_hit_bytes_total", "Bytes served from local replicas.", nil),
 		originErrors:   reg.Counter("specweb_proxy_origin_errors_total", "Failed forwards and replica pulls against the origin (per attempt).", nil),
 		staleServes:    reg.Counter("specweb_proxy_stale_serves_total", "Requests served from superseded replicas while the origin was unreachable.", nil),
+		shed:           reg.Counter("specweb_proxy_shed_total", "Forwards refused by the proxy's admission controller.", nil),
 		disseminations: reg.Counter("specweb_proxy_disseminations_total", "Replica-set refreshes pulled from the origin.", nil),
 		partials:       reg.Counter("specweb_proxy_partial_disseminations_total", "Replica-set refreshes applied partially after pull failures.", nil),
 		replicas:       reg.Gauge("specweb_proxy_replicas", "Documents currently replicated at the proxy.", nil),
@@ -172,6 +183,18 @@ func (p *Proxy) Breaker() *resilience.Breaker { return p.breaker }
 func (p *Proxy) Disseminate(ctx context.Context, budget int64) (int, error) {
 	sp := p.tracer.Start("proxy.disseminate")
 	defer sp.Finish()
+
+	// A refresh is pure speculative-class work: when the admission
+	// controller is saturated it is the first thing to go, surfacing as
+	// an ordinary refresh failure (full or partial) to the caller.
+	if p.cfg.Admission != nil {
+		release, err := p.cfg.Admission.Acquire(ctx, overload.Speculative)
+		if err != nil {
+			sp.SetAttr("result", "shed")
+			return 0, fmt.Errorf("httpspec: replica refresh shed by admission: %w", err)
+		}
+		defer release()
+	}
 
 	paths, err := p.fetchReplicaList(ctx, budget)
 	if err != nil {
@@ -333,6 +356,7 @@ type ProxyStats struct {
 	HitBytes      int64
 	ForwardErrors int64
 	StaleServes   int64
+	Shed          int64
 	Replicas      int
 	StaleDocs     int
 }
@@ -349,6 +373,7 @@ func (p *Proxy) Stats() ProxyStats {
 		HitBytes:      p.hitB.Load(),
 		ForwardErrors: p.forward.Load(),
 		StaleServes:   p.staleServes.Load(),
+		Shed:          p.shed.Load(),
 		Replicas:      n,
 		StaleDocs:     ns,
 	}
@@ -403,6 +428,22 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.misses.Add(1)
 	p.met.misses.Inc()
 	sp.SetAttr("result", "miss")
+
+	// Replica hits above are memory reads and stay free; a forward ties
+	// up an origin connection, so it has to pass admission.
+	if p.cfg.Admission != nil {
+		release, err := p.cfg.Admission.Acquire(r.Context(), overload.Demand)
+		if err != nil {
+			p.shed.Add(1)
+			p.met.shed.Inc()
+			sp.SetAttr("result", "shed")
+			w.Header().Set("Retry-After", strconv.Itoa(p.cfg.Admission.RetryAfter(overload.Demand)))
+			w.Header().Set(HeaderShed, overload.Demand.String())
+			http.Error(w, "proxy overloaded, retry later", http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+	}
 
 	resp, err := p.forwardOrigin(r)
 	if err != nil {

@@ -1,11 +1,16 @@
 package httpspec
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 
+	"specweb/internal/overload"
 	"specweb/internal/resilience"
 	"specweb/internal/trace"
 )
@@ -37,6 +42,19 @@ type ReplayConfig struct {
 	// Chaos adds the availability/degradation section to the summary —
 	// kept opt-in so non-chaos summaries stay byte-identical.
 	Chaos bool
+
+	// Rate switches the replay to open-loop arrival: requests are issued
+	// at Rate requests/second in groups of Burst without waiting for
+	// earlier responses, modelling offered load instead of the default
+	// closed-loop walk (where a slow server throttles its own clients).
+	// 0 keeps the closed loop. Open-loop runs add the overload section
+	// to the summary.
+	Rate  float64
+	Burst int
+	// LowPriority tags roughly this fraction of clients (chosen by a
+	// stable hash of the client ID) with Spec-Priority: low, the demand
+	// class an overloaded server sheds first. 0 tags nobody.
+	LowPriority float64
 }
 
 // ReplayStats aggregates the outcome over all replayed clients.
@@ -61,6 +79,17 @@ type ReplayStats struct {
 	Retried     int64
 	StaleServes int64
 	Chaos       bool
+
+	// Shed counts demand fetches the server refused under overload
+	// control (ErrShed), kept out of Errors: shedding is deliberate.
+	Shed int64
+	// OpenLoop marks an open-loop run; OfferedRate and Burst echo its
+	// arrival process; ServerOverload is the server's overload snapshot
+	// scraped from /spec/stats after the run (nil when unavailable).
+	OpenLoop       bool
+	OfferedRate    float64
+	Burst          int
+	ServerOverload *ServerOverloadStats
 
 	latencies  []float64 // per successful client-initiated request, seconds
 	missDurSum float64
@@ -115,24 +144,53 @@ type ChaosSummary struct {
 	StaleRatio  float64 `json:"stale_ratio"`
 }
 
+// OverloadSummary reports how an open-loop run interacted with the
+// server's overload control: what load was offered, what was shed and
+// from which class, and how far up the degradation ladder the server
+// climbed. The paper's promise is only kept if shed work is
+// overwhelmingly speculative — ShedSpeculativeRatio is that check.
+type OverloadSummary struct {
+	OfferedRate float64 `json:"offered_rate"`
+	Burst       int     `json:"burst"`
+	// DemandShed is demand requests refused with 503 (server-side count
+	// when the stats scrape succeeded, client-observed otherwise).
+	// SpeculativeShed is speculative work units dropped: suppressed
+	// pushes, despeculated requests, and speculative admission rejects.
+	DemandShed      int64 `json:"demand_shed"`
+	SpeculativeShed int64 `json:"speculative_shed"`
+	// ShedSpeculativeRatio = SpeculativeShed / (SpeculativeShed +
+	// DemandShed); 1 when nothing was shed.
+	ShedSpeculativeRatio float64 `json:"shed_speculative_ratio"`
+	// DemandP99MS is the p99 latency of answered demand requests.
+	DemandP99MS float64 `json:"demand_p99_ms"`
+	// MaxRung / Rung report the highest ladder rung the governor reached
+	// during the run and the rung it ended on; EffectiveTp is the
+	// speculation threshold in force at the end.
+	MaxRung     int     `json:"max_rung"`
+	Rung        string  `json:"rung"`
+	EffectiveTp float64 `json:"effective_tp"`
+}
+
 // ReplaySummary is the structured per-run result cmd/replay emits as
 // JSON, so runs are machine-comparable across configurations and PRs.
-// Chaos is present only for chaos-mode runs, keeping fault-free output
+// Chaos is present only for chaos-mode runs and Overload only for
+// open-loop (-rate) runs, keeping fault-free closed-loop output
 // byte-identical to earlier versions.
 type ReplaySummary struct {
-	Clients       int            `json:"clients"`
-	Requests      int64          `json:"requests"`
-	Errors        int64          `json:"errors"`
-	CacheHits     int64          `json:"cache_hits"`
-	SpecHits      int64          `json:"spec_hits"`
-	Pushed        int64          `json:"pushed"`
-	Prefetched    int64          `json:"prefetched"`
-	BytesIn       int64          `json:"bytes_in"`
-	DemandBytes   int64          `json:"demand_bytes"`
-	BaselineBytes int64          `json:"baseline_bytes"`
-	Ratios        PaperRatios    `json:"ratios"`
-	LatencyMS     LatencySummary `json:"latency_ms"`
-	Chaos         *ChaosSummary  `json:"chaos,omitempty"`
+	Clients       int              `json:"clients"`
+	Requests      int64            `json:"requests"`
+	Errors        int64            `json:"errors"`
+	CacheHits     int64            `json:"cache_hits"`
+	SpecHits      int64            `json:"spec_hits"`
+	Pushed        int64            `json:"pushed"`
+	Prefetched    int64            `json:"prefetched"`
+	BytesIn       int64            `json:"bytes_in"`
+	DemandBytes   int64            `json:"demand_bytes"`
+	BaselineBytes int64            `json:"baseline_bytes"`
+	Ratios        PaperRatios      `json:"ratios"`
+	LatencyMS     LatencySummary   `json:"latency_ms"`
+	Chaos         *ChaosSummary    `json:"chaos,omitempty"`
+	Overload      *OverloadSummary `json:"overload,omitempty"`
 }
 
 // ratio divides speculative by baseline, reporting the neutral 1 when
@@ -213,12 +271,155 @@ func (s *ReplayStats) Summary() ReplaySummary {
 			StaleRatio:   float64(s.StaleServes) / reqs,
 		}
 	}
+	if s.OpenLoop {
+		ov := &OverloadSummary{
+			OfferedRate: s.OfferedRate,
+			Burst:       s.Burst,
+			DemandShed:  s.Shed,
+			DemandP99MS: lat.P99,
+			Rung:        overload.RungName(overload.RungNormal),
+		}
+		if so := s.ServerOverload; so != nil {
+			// The server's ledger is authoritative: it sees admission
+			// rejects and rung sheds alike, and is the only party that
+			// can count suppressed speculation.
+			ov.DemandShed = so.DemandShed
+			ov.SpeculativeShed = so.SpeculativeShed()
+			ov.MaxRung = so.Governor.MaxRungSeen
+			ov.Rung = overload.RungName(so.Governor.Rung)
+			ov.EffectiveTp = so.Governor.EffectiveTp
+		}
+		if total := ov.SpeculativeShed + ov.DemandShed; total > 0 {
+			ov.ShedSpeculativeRatio = float64(ov.SpeculativeShed) / float64(total)
+		} else {
+			ov.ShedSpeculativeRatio = 1
+		}
+		sum.Overload = ov
+	}
 	return sum
+}
+
+// lowPriorityClient decides, by a stable hash, whether a client falls in
+// the low-priority fraction — deterministic across runs of one trace.
+func lowPriorityClient(id trace.ClientID, fraction float64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return float64(h.Sum32()%1000) < fraction*1000
+}
+
+// replayRun holds the shared state of one replay: the client population
+// and the outcome ledger (mutex-guarded, since open-loop requests land
+// concurrently).
+type replayRun struct {
+	cfg     ReplayConfig
+	retrier *resilience.Retrier
+
+	clients      map[trace.ClientID]*Client // dispatcher-only
+	sinceSession map[trace.ClientID]int     // dispatcher-only
+
+	mu    sync.Mutex
+	stats *ReplayStats
+}
+
+// clientFor returns (building on first use) the replay client for id and
+// applies the session-gap purge. Called only from the dispatch loop.
+func (rr *replayRun) clientFor(id trace.ClientID) *Client {
+	c := rr.clients[id]
+	if c == nil {
+		var prio string
+		if lowPriorityClient(id, rr.cfg.LowPriority) {
+			prio = "low"
+		}
+		c = NewClient(rr.cfg.Base, ClientConfig{
+			ID:                string(id),
+			AcceptBundles:     rr.cfg.AcceptBundles,
+			Cooperative:       rr.cfg.Cooperative,
+			PrefetchThreshold: rr.cfg.PrefetchThreshold,
+			HTTP:              rr.cfg.HTTP,
+			Timeout:           rr.cfg.RequestTimeout,
+			Retrier:           rr.retrier,
+			Priority:          prio,
+		})
+		rr.clients[id] = c
+	}
+	if rr.cfg.SessionGapRequests > 0 && rr.sinceSession[id] >= rr.cfg.SessionGapRequests {
+		c.EndSession()
+		rr.sinceSession[id] = 0
+	}
+	rr.sinceSession[id]++
+	return c
+}
+
+// record books one request outcome. Shed requests are deliberate
+// degradation, not failure, so they stay out of Errors (the client's own
+// Shed counter carries them into the overload summary).
+func (rr *replayRun) record(dur float64, fromCache bool, err error) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if err != nil {
+		if !errors.Is(err, ErrShed) {
+			rr.stats.Errors++
+		}
+		return
+	}
+	rr.stats.latencies = append(rr.stats.latencies, dur)
+	if !fromCache {
+		rr.stats.missDurSum += dur
+		rr.stats.missCount++
+	}
+}
+
+// finish aggregates the per-client counters into the run stats.
+func (rr *replayRun) finish() *ReplayStats {
+	stats := rr.stats
+	stats.Clients = len(rr.clients)
+	for _, c := range rr.clients {
+		cs := c.Stats()
+		stats.Requests += cs.Fetches
+		stats.CacheHits += cs.CacheHits
+		stats.SpecHits += cs.SpecHits
+		stats.Pushed += cs.Pushed
+		stats.Prefetched += cs.Prefetched
+		stats.BytesIn += cs.BytesIn
+		stats.SpecHitBytes += cs.SpecHitBytes
+		stats.DemandBytes += cs.DemandBytes
+		stats.MissBytes += cs.MissBytes
+		stats.Retried += cs.Retries
+		stats.StaleServes += cs.StaleServes
+		stats.Shed += cs.Shed
+	}
+	return stats
+}
+
+// scrapeOverload pulls the server's overload snapshot from /spec/stats;
+// nil when the server is unreachable or runs without overload control.
+func scrapeOverload(cfg ReplayConfig) *ServerOverloadStats {
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(cfg.Base + "/spec/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Overload *ServerOverloadStats
+	}
+	if json.NewDecoder(resp.Body).Decode(&payload) != nil {
+		return nil
+	}
+	return payload.Overload
 }
 
 // Replay walks the trace in order, issuing each request through a per-client
 // speculative Client against the server at cfg.Base. Requests whose paths
 // the server does not serve count as errors but do not stop the replay.
+// With cfg.Rate > 0 the walk is open-loop: requests are dispatched on the
+// arrival schedule regardless of how fast the server answers.
 func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 	if cfg.Base == "" {
 		return nil, fmt.Errorf("httpspec: replay needs a base URL")
@@ -233,56 +434,64 @@ func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 	if cfg.Retry.MaxAttempts > 1 {
 		retrier = resilience.NewRetrier(cfg.Retry)
 	}
-	clients := make(map[trace.ClientID]*Client)
-	sinceSession := make(map[trace.ClientID]int)
-	stats := &ReplayStats{Chaos: cfg.Chaos}
+	rr := &replayRun{
+		cfg:          cfg,
+		retrier:      retrier,
+		clients:      make(map[trace.ClientID]*Client),
+		sinceSession: make(map[trace.ClientID]int),
+		stats:        &ReplayStats{Chaos: cfg.Chaos},
+	}
+	if cfg.Rate > 0 {
+		return replayOpenLoop(tr, rr)
+	}
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
-		c := clients[r.Client]
-		if c == nil {
-			c = NewClient(cfg.Base, ClientConfig{
-				ID:                string(r.Client),
-				AcceptBundles:     cfg.AcceptBundles,
-				Cooperative:       cfg.Cooperative,
-				PrefetchThreshold: cfg.PrefetchThreshold,
-				HTTP:              cfg.HTTP,
-				Timeout:           cfg.RequestTimeout,
-				Retrier:           retrier,
-			})
-			clients[r.Client] = c
-		}
-		if cfg.SessionGapRequests > 0 && sinceSession[r.Client] >= cfg.SessionGapRequests {
-			c.EndSession()
-			sinceSession[r.Client] = 0
-		}
-		sinceSession[r.Client]++
+		c := rr.clientFor(r.Client)
 		start := time.Now()
 		_, fromCache, err := c.Get(r.Path)
-		if err != nil {
-			stats.Errors++
-			continue
-		}
-		dur := time.Since(start).Seconds()
-		stats.latencies = append(stats.latencies, dur)
-		if !fromCache {
-			stats.missDurSum += dur
-			stats.missCount++
-		}
+		rr.record(time.Since(start).Seconds(), fromCache, err)
 	}
-	stats.Clients = len(clients)
-	for _, c := range clients {
-		cs := c.Stats()
-		stats.Requests += cs.Fetches
-		stats.CacheHits += cs.CacheHits
-		stats.SpecHits += cs.SpecHits
-		stats.Pushed += cs.Pushed
-		stats.Prefetched += cs.Prefetched
-		stats.BytesIn += cs.BytesIn
-		stats.SpecHitBytes += cs.SpecHitBytes
-		stats.DemandBytes += cs.DemandBytes
-		stats.MissBytes += cs.MissBytes
-		stats.Retried += cs.Retries
-		stats.StaleServes += cs.StaleServes
+	return rr.finish(), nil
+}
+
+// replayOpenLoop dispatches the trace at a fixed arrival rate in bursts,
+// without waiting for responses — the offered load stays constant no
+// matter how the server fares, which is the regime where overload
+// control matters (a closed loop self-throttles and can never
+// meaningfully oversubscribe the server).
+func replayOpenLoop(tr *trace.Trace, rr *replayRun) (*ReplayStats, error) {
+	cfg := rr.cfg
+	burst := cfg.Burst
+	if burst < 1 {
+		burst = 1
 	}
+	interval := time.Duration(float64(burst) / cfg.Rate * float64(time.Second))
+	rr.stats.OpenLoop = true
+	rr.stats.OfferedRate = cfg.Rate
+	rr.stats.Burst = burst
+
+	var wg sync.WaitGroup
+	next := time.Now()
+	for i := range tr.Requests {
+		if i > 0 && i%burst == 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		r := &tr.Requests[i]
+		c := rr.clientFor(r.Client)
+		path := r.Path
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			_, fromCache, err := c.Get(path)
+			rr.record(time.Since(start).Seconds(), fromCache, err)
+		}()
+	}
+	wg.Wait()
+	stats := rr.finish()
+	stats.ServerOverload = scrapeOverload(cfg)
 	return stats, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"specweb/internal/core"
 	"specweb/internal/obs"
+	"specweb/internal/overload"
 	"specweb/internal/trace"
 	"specweb/internal/webgraph"
 )
@@ -31,6 +32,14 @@ const (
 	// HeaderStale marks a response served from a proxy's superseded
 	// replica store while the origin was unreachable (degraded mode).
 	HeaderStale = "X-Specweb-Stale"
+	// HeaderPriority carries the client's demand priority ("low",
+	// "normal" or "high"; absent means normal). Under the deepest
+	// degradation rung, low-priority demand is shed first.
+	HeaderPriority = "Spec-Priority"
+	// HeaderShed marks a 503 as deliberate overload shedding (value is
+	// the shed traffic class), so clients and replays can distinguish
+	// load shedding from failure.
+	HeaderShed = "X-Specweb-Shed"
 
 	acceptBundle = "bundle"
 )
@@ -76,6 +85,13 @@ type ServerConfig struct {
 	Metrics *obs.Registry
 	// Tracer records per-request spans; nil means obs.DefaultTracer.
 	Tracer *obs.Tracer
+	// Admission gates document requests through the overload
+	// controller's demand class; nil admits everything.
+	Admission *overload.Controller
+	// Governor adapts speculation to load (the degradation ladder); nil
+	// leaves the engine's knobs static. NewServer binds it to the
+	// engine with the configured Tp/TopK/MaxSize as the baseline.
+	Governor *overload.Governor
 }
 
 // DefaultServerConfig returns a push-mode server with the baseline engine.
@@ -112,6 +128,13 @@ type Server struct {
 	hintsSent  atomic.Int64
 	notFound   atomic.Int64
 	bundles    atomic.Int64
+
+	// Degradation-ladder accounting: speculative work suppressed (docs
+	// not pushed, requests served without any speculation) and demand
+	// requests shed, per instance.
+	pushSuppressed  atomic.Int64
+	embedSuppressed atomic.Int64
+	demandShed      atomic.Int64
 }
 
 // serverMetrics are the server's observability series; the snapshot-style
@@ -127,6 +150,11 @@ type serverMetrics struct {
 	digestDocs  *obs.Counter
 	latency     *obs.Histogram
 	respBytes   *obs.Histogram
+
+	// specweb_overload_* ladder counters, one per shedding rung.
+	pushSuppressed  *obs.Counter
+	embedSuppressed *obs.Counter
+	demandShed      *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -141,6 +169,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		digestDocs:  reg.Counter("specweb_server_digest_docs_total", "Documents announced in cooperative Spec-Have digests.", nil),
 		latency:     reg.Histogram("specweb_server_request_seconds", "Document request service time in seconds.", obs.LatencyBuckets(), nil),
 		respBytes:   reg.Histogram("specweb_server_response_bytes", "Response size in bytes per document request.", obs.SizeBuckets(), nil),
+		pushSuppressed: reg.Counter("specweb_overload_pushes_suppressed_total",
+			"Documents not pushed because the degradation ladder was at no_push or higher.", nil),
+		embedSuppressed: reg.Counter("specweb_overload_embeds_suppressed_total",
+			"Requests served without any speculation because the ladder was at no_spec or higher.", nil),
+		demandShed: reg.Counter("specweb_overload_demand_shed_total",
+			"Demand requests shed with 503 + Retry-After (admission reject or shed_demand rung).", nil),
 	}
 }
 
@@ -164,6 +198,13 @@ func NewServer(store Store, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The governor throttles this engine's §3.4 knobs, restoring the
+	// configured operating point when load drains.
+	cfg.Governor.Bind(eng, overload.Baseline{
+		Tp:      cfg.Engine.Tp,
+		TopK:    cfg.Engine.TopK,
+		MaxSize: cfg.Engine.MaxSize,
+	})
 	return &Server{
 		store:  store,
 		cfg:    cfg,
@@ -220,6 +261,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sp.SetAttr("path", r.URL.Path)
 	defer sp.Finish()
 
+	// Admission first: a saturated server answers 503 + Retry-After
+	// before doing any work for the request. The wait queue inside
+	// Acquire is deadline-aware, so a request that cannot outlast the
+	// backlog fails immediately rather than timing out silently.
+	if s.cfg.Admission != nil {
+		release, err := s.cfg.Admission.Acquire(r.Context(), overload.Demand)
+		if err != nil {
+			s.shedDemand(w, sp, s.cfg.Admission.RetryAfter(overload.Demand))
+			return
+		}
+		defer release()
+	}
+
 	id, ok := s.store.Lookup(r.URL.Path)
 	if !ok {
 		s.notFound.Add(1)
@@ -228,6 +282,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+
+	// The degradation ladder's last rung: shed lowest-priority demand
+	// before recording or serving anything — the cheapest possible exit.
+	rung := s.cfg.Governor.Rung()
+	sp.SetAttr("rung", overload.RungName(rung))
+	if rung >= overload.RungShedDemand && priorityOf(r) == prioLow {
+		s.shedDemand(w, sp, 1)
+		return
+	}
+
 	s.requests.Add(1)
 	s.met.requests.Inc()
 
@@ -237,33 +301,55 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	size, _ := s.store.Size(id)
 	s.repl.Record(id, size, isRemote(client))
 
-	have := parseHave(r.Header.Get(HeaderHave), s.store)
-	s.met.digestDocs.Add(int64(len(have)))
-	have[id] = true // never push the requested document
-
-	spec := s.tracer.StartChild("server.speculate", sp.ID())
 	var push []webgraph.DocID
 	var hints []hint
-	switch s.cfg.Mode {
-	case ModePush:
-		push = s.engine.Speculate(id, have)
-	case ModeHints:
-		for _, h := range s.engine.Hints(id, have) {
-			hints = append(hints, hint{doc: h.Doc, p: h.P})
+	if rung >= overload.RungNoSpec {
+		// Second rung: no speculation at all — skip the candidate
+		// computation entirely and serve the plain demand response.
+		s.embedSuppressed.Add(1)
+		s.met.embedSuppressed.Inc()
+		sp.SetAttr("speculation", "suppressed")
+	} else {
+		have := parseHave(r.Header.Get(HeaderHave), s.store)
+		s.met.digestDocs.Add(int64(len(have)))
+		have[id] = true // never push the requested document
+
+		spec := s.tracer.StartChild("server.speculate", sp.ID())
+		switch s.cfg.Mode {
+		case ModePush:
+			push = s.engine.Speculate(id, have)
+		case ModeHints:
+			for _, h := range s.engine.Hints(id, have) {
+				hints = append(hints, hint{doc: h.Doc, p: h.P})
+			}
+		case ModeHybrid:
+			p, hs := s.engine.Split(id, have)
+			push = p
+			for _, h := range hs {
+				hints = append(hints, hint{doc: h.Doc, p: h.P})
+			}
 		}
-	case ModeHybrid:
-		p, hs := s.engine.Split(id, have)
-		push = p
-		for _, h := range hs {
-			hints = append(hints, hint{doc: h.Doc, p: h.P})
+		if len(push) > s.cfg.MaxPush {
+			push = push[:s.cfg.MaxPush]
 		}
+		if rung >= overload.RungNoPush && len(push) > 0 {
+			// First rung: stop pushing — the bytes are the expensive
+			// part. The already-computed candidates demote to hints, so
+			// clients keep some speculative benefit at header cost.
+			s.pushSuppressed.Add(int64(len(push)))
+			s.met.pushSuppressed.Add(int64(len(push)))
+			// The engine's effective threshold is a lower bound on every
+			// pushed candidate's probability — advertise that.
+			floor := s.engine.Tp()
+			for _, d := range push {
+				hints = append(hints, hint{doc: d, p: floor})
+			}
+			push = nil
+		}
+		spec.SetAttr("push", strconv.Itoa(len(push)))
+		spec.SetAttr("hints", strconv.Itoa(len(hints)))
+		spec.Finish()
 	}
-	if len(push) > s.cfg.MaxPush {
-		push = push[:s.cfg.MaxPush]
-	}
-	spec.SetAttr("push", strconv.Itoa(len(push)))
-	spec.SetAttr("hints", strconv.Itoa(len(hints)))
-	spec.Finish()
 
 	for _, h := range hints {
 		if path, ok := s.store.Path(h.doc); ok {
@@ -285,12 +371,98 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttr("kind", "doc")
 	}
 	s.met.respBytes.Observe(float64(written))
-	s.met.latency.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	s.met.latency.Observe(elapsed.Seconds())
+	// Feed the governor the full demand-path latency (including any
+	// admission queueing): its control loop is what brings the ladder
+	// back down when this number recovers.
+	s.cfg.Governor.Observe(elapsed)
 }
 
 type hint struct {
 	doc webgraph.DocID
 	p   float64
+}
+
+// Demand priorities carried by HeaderPriority.
+const (
+	prioLow = iota - 1
+	prioNormal
+	prioHigh
+)
+
+// priorityOf parses the request's demand priority; unknown values are
+// normal.
+func priorityOf(r *http.Request) int {
+	switch strings.ToLower(r.Header.Get(HeaderPriority)) {
+	case "low":
+		return prioLow
+	case "high":
+		return prioHigh
+	}
+	return prioNormal
+}
+
+// shedDemand answers a demand request with the overload-control 503:
+// Retry-After so well-behaved clients back off, HeaderShed so replays
+// can separate deliberate shedding from failure.
+func (s *Server) shedDemand(w http.ResponseWriter, sp *obs.ActiveSpan, retryAfter int) {
+	s.demandShed.Add(1)
+	s.met.demandShed.Inc()
+	sp.SetAttr("status", "503")
+	sp.SetAttr("shed", "demand")
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	w.Header().Set(HeaderShed, overload.Demand.String())
+	http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
+}
+
+// ServerOverloadStats reports the server's overload-control state: the
+// ladder counters, the governor, and the admission controller. Zero
+// values throughout when overload control is not configured.
+type ServerOverloadStats struct {
+	PushesSuppressed int64                  `json:"pushes_suppressed"`
+	EmbedsSuppressed int64                  `json:"embeds_suppressed"`
+	DemandShed       int64                  `json:"demand_shed"`
+	Governor         overload.GovernorStats `json:"governor"`
+	Admission        *overload.Stats        `json:"admission,omitempty"`
+}
+
+// SpeculativeShed is the total speculative work units the ladder shed:
+// suppressed pushed documents, despeculated requests, and speculative
+// admission rejections.
+func (o ServerOverloadStats) SpeculativeShed() int64 {
+	n := o.PushesSuppressed + o.EmbedsSuppressed
+	if o.Admission != nil {
+		n += o.Admission.Speculative.Rejected
+	}
+	return n
+}
+
+// TotalDemandShed is every demand request refused with 503: ladder sheds
+// (which include admission rejections counted by shedDemand).
+func (o ServerOverloadStats) TotalDemandShed() int64 { return o.DemandShed }
+
+// OverloadStats snapshots the server's overload control.
+func (s *Server) OverloadStats() ServerOverloadStats {
+	st := ServerOverloadStats{
+		PushesSuppressed: s.pushSuppressed.Load(),
+		EmbedsSuppressed: s.embedSuppressed.Load(),
+		DemandShed:       s.demandShed.Load(),
+		Governor:         s.cfg.Governor.Stats(),
+	}
+	if s.cfg.Admission != nil {
+		adm := s.cfg.Admission.Stats()
+		st.Admission = &adm
+	}
+	return st
+}
+
+// overloadEnabled reports whether any overload control is configured.
+func (s *Server) overloadEnabled() bool {
+	return s.cfg.Admission != nil || s.cfg.Governor != nil
 }
 
 func (s *Server) serveDoc(w http.ResponseWriter, id webgraph.DocID) int64 {
@@ -357,9 +529,14 @@ func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []we
 func (s *Server) serveStats(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	st := struct {
-		Server ServerStats
-		Engine core.Stats
-	}{s.Stats(), s.engine.Stats()}
+		Server   ServerStats
+		Engine   core.Stats
+		Overload *ServerOverloadStats `json:",omitempty"`
+	}{Server: s.Stats(), Engine: s.engine.Stats()}
+	if s.overloadEnabled() {
+		ov := s.OverloadStats()
+		st.Overload = &ov
+	}
 	_ = json.NewEncoder(w).Encode(st)
 }
 

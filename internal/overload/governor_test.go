@@ -1,0 +1,220 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+// steppedClock is a hand-advanced clock shared by governor tests.
+type steppedClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newSteppedClock() *steppedClock {
+	return &steppedClock{now: time.Date(1996, time.February, 26, 9, 0, 0, 0, time.UTC)}
+}
+
+func (c *steppedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *steppedClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// fakeEngine records the knob settings a governor applies.
+type fakeEngine struct {
+	mu      sync.Mutex
+	tp      float64
+	maxSize int64
+	topK    int
+}
+
+func (f *fakeEngine) SetTp(tp float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tp = tp
+	return nil
+}
+
+func (f *fakeEngine) SetLimits(maxSize int64, topK int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.maxSize = maxSize
+	f.topK = topK
+	return nil
+}
+
+func (f *fakeEngine) snapshot() (float64, int64, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tp, f.maxSize, f.topK
+}
+
+func newTestGovernor(clk *steppedClock) (*Governor, *fakeEngine) {
+	g := NewGovernor(GovernorConfig{
+		Target:  10 * time.Millisecond,
+		Alpha:   1, // every sample replaces the EWMA: deterministic steps
+		Hold:    time.Second,
+		Clock:   clk.Now,
+		Metrics: obs.NewRegistry(),
+	})
+	eng := &fakeEngine{}
+	g.Bind(eng, Baseline{Tp: 0.25, TopK: 8, MaxSize: 64 << 10})
+	return g, eng
+}
+
+func TestGovernorClimbsAndDrains(t *testing.T) {
+	clk := newSteppedClock()
+	g, eng := newTestGovernor(clk)
+	if g.Rung() != RungNormal {
+		t.Fatalf("initial rung %d", g.Rung())
+	}
+	// Overloaded samples climb one rung per Hold period, to the top.
+	for want := RungNoPush; want <= RungShedDemand; want++ {
+		clk.Advance(time.Second)
+		g.Observe(100 * time.Millisecond)
+		if got := g.Rung(); got != want {
+			t.Fatalf("after overload sample %d: rung %d, want %d", want, got, want)
+		}
+	}
+	// Further overload holds at the top rung.
+	clk.Advance(time.Second)
+	g.Observe(100 * time.Millisecond)
+	if got := g.Rung(); got != RungShedDemand {
+		t.Fatalf("rung %d past the top", got)
+	}
+	tp, _, _ := eng.snapshot()
+	if tp != 1 {
+		t.Errorf("effective Tp at top rung = %v, want 1", tp)
+	}
+	// Idle samples drain the ladder back down and restore the baseline.
+	for want := RungNoSpec; want >= RungNormal; want-- {
+		clk.Advance(time.Second)
+		g.Observe(time.Millisecond)
+		if got := g.Rung(); got != want {
+			t.Fatalf("draining: rung %d, want %d", got, want)
+		}
+	}
+	tp, maxSize, topK := eng.snapshot()
+	if tp != 0.25 || maxSize != 64<<10 || topK != 8 {
+		t.Errorf("baseline not restored: tp %v maxSize %d topK %d", tp, maxSize, topK)
+	}
+	st := g.Stats()
+	if st.MaxRungSeen != RungShedDemand || st.Moves != 6 {
+		t.Errorf("stats = %+v, want max rung 3, 6 moves", st)
+	}
+}
+
+func TestGovernorHoldSuppressesFlapping(t *testing.T) {
+	clk := newSteppedClock()
+	g, _ := newTestGovernor(clk)
+	clk.Advance(time.Second)
+	g.Observe(100 * time.Millisecond)
+	if g.Rung() != RungNoPush {
+		t.Fatalf("rung %d, want 1", g.Rung())
+	}
+	// More overload inside the hold window must not climb further.
+	for i := 0; i < 10; i++ {
+		g.Observe(100 * time.Millisecond)
+	}
+	if g.Rung() != RungNoPush {
+		t.Errorf("rung %d inside hold window, want still 1", g.Rung())
+	}
+}
+
+func TestGovernorKnobsShrinkPerRung(t *testing.T) {
+	clk := newSteppedClock()
+	g, eng := newTestGovernor(clk)
+	clk.Advance(time.Second)
+	g.Observe(100 * time.Millisecond) // rung 1
+	tp, maxSize, topK := eng.snapshot()
+	if tp <= 0.25 || tp >= 1 {
+		t.Errorf("rung-1 Tp = %v, want between baseline and 1", tp)
+	}
+	if maxSize != 32<<10 || topK != 4 {
+		t.Errorf("rung-1 limits = %d/%d, want 32768/4", maxSize, topK)
+	}
+	clk.Advance(time.Second)
+	g.Observe(100 * time.Millisecond) // rung 2
+	_, maxSize, topK = eng.snapshot()
+	if maxSize != 16<<10 || topK != 2 {
+		t.Errorf("rung-2 limits = %d/%d, want 16384/2", maxSize, topK)
+	}
+}
+
+func TestGovernorPressureSignal(t *testing.T) {
+	clk := newSteppedClock()
+	pressure := 0.0
+	var mu sync.Mutex
+	g := NewGovernor(GovernorConfig{
+		Target: 10 * time.Millisecond,
+		Alpha:  1,
+		Hold:   time.Second,
+		Clock:  clk.Now,
+		Pressure: func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return pressure
+		},
+		Metrics: obs.NewRegistry(),
+	})
+	// Latency is fine, but admission pressure alone must climb the rung.
+	mu.Lock()
+	pressure = 2.0
+	mu.Unlock()
+	clk.Advance(time.Second)
+	g.Observe(time.Millisecond)
+	if g.Rung() != RungNoPush {
+		t.Errorf("rung %d under pure pressure overload, want 1", g.Rung())
+	}
+}
+
+func TestGovernorTickDrainsWithoutTraffic(t *testing.T) {
+	clk := newSteppedClock()
+	g, _ := newTestGovernor(clk)
+	clk.Advance(time.Second)
+	g.Observe(100 * time.Millisecond)
+	if g.Rung() != RungNoPush {
+		t.Fatalf("rung %d, want 1", g.Rung())
+	}
+	// No more demand traffic: ticks alone must bring the ladder down.
+	clk.Advance(time.Second)
+	g.Tick()
+	if g.Rung() != RungNormal {
+		t.Errorf("rung %d after idle tick, want 0", g.Rung())
+	}
+}
+
+func TestNilGovernorIsNoOp(t *testing.T) {
+	var g *Governor
+	g.Observe(time.Second)
+	g.Tick()
+	g.Bind(&fakeEngine{}, Baseline{})
+	if g.Rung() != RungNormal {
+		t.Error("nil governor not RungNormal")
+	}
+	if st := g.Stats(); st.Moves != 0 {
+		t.Error("nil governor stats non-zero")
+	}
+}
+
+func TestRungName(t *testing.T) {
+	names := map[int]string{
+		RungNormal: "normal", RungNoPush: "no_push",
+		RungNoSpec: "no_spec", RungShedDemand: "shed_demand", 9: "unknown",
+	}
+	for r, want := range names {
+		if got := RungName(r); got != want {
+			t.Errorf("RungName(%d) = %q, want %q", r, got, want)
+		}
+	}
+}

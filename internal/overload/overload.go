@@ -1,0 +1,393 @@
+// Package overload is the load-shedding layer for the speculative
+// dissemination stack. The paper's headline result — speculation cuts
+// server load and service time (§3.3, Figs. 5–6) — silently assumes the
+// server has capacity to spare for the speculative work; when it does
+// not, the pushes and replica pulls speculation generates are exactly the
+// load that must be shed first, or the service-time ratio inverts and
+// speculation hurts the demand traffic it was meant to help.
+//
+// Two cooperating mechanisms, both stdlib-only:
+//
+//   - Controller: priority-aware admission over two traffic classes —
+//     Demand (client-initiated GETs) and Speculative (pushes, bundle
+//     embeds, replica pulls) — with per-class concurrency limits and a
+//     bounded, deadline-aware wait queue. A request whose context
+//     deadline would expire before a slot is expected to free is
+//     rejected immediately (the caller answers 503 + Retry-After);
+//     nothing is ever silently queued past its useful life.
+//
+//   - Governor: a feedback controller that samples demand-path latency
+//     (EWMA) and admission pressure, and climbs a degradation ladder as
+//     load rises — first raising the effective speculation threshold
+//     T_p and shrinking MaxSize/TopK (the paper's §3.4 fine-tuning
+//     knobs, turned automatically), then stopping pushes, then stopping
+//     speculation entirely, and only as a last resort shedding
+//     lowest-priority demand. Rungs are restored as load drains.
+//
+// Everything is safe for concurrent use and counted in internal/obs
+// (specweb_overload_*), so degradation is observable rather than silent.
+package overload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+// Class is an admission traffic class.
+type Class int
+
+const (
+	// Demand is client-initiated work: the document GETs the paper's
+	// service-time ratio is measured over.
+	Demand Class = iota
+	// Speculative is work the system created for itself: pushes, bundle
+	// embeds, replica pulls. Always shed before demand.
+	Speculative
+
+	numClasses
+)
+
+// String names the class for labels and logs.
+func (c Class) String() string {
+	switch c {
+	case Demand:
+		return "demand"
+	case Speculative:
+		return "speculative"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Rejection reasons. All wrap ErrRejected, so callers test one sentinel.
+var (
+	// ErrRejected is the root of every admission refusal.
+	ErrRejected = errors.New("overload: admission rejected")
+	// ErrQueueFull means the class's wait queue was at capacity.
+	ErrQueueFull = fmt.Errorf("%w: queue full", ErrRejected)
+	// ErrDeadline means the caller's context deadline would expire
+	// before a slot is expected to free, so queueing would be futile.
+	ErrDeadline = fmt.Errorf("%w: deadline before expected slot", ErrRejected)
+	// ErrTimeout means the request waited MaxWait without a slot freeing.
+	ErrTimeout = fmt.Errorf("%w: queue wait exceeded", ErrRejected)
+	// ErrCanceled means the caller's context ended while queued.
+	ErrCanceled = fmt.Errorf("%w: canceled while queued", ErrRejected)
+)
+
+// Config parameterizes an admission Controller. The zero value takes the
+// defaults noted on each field.
+type Config struct {
+	// DemandSlots and SpecSlots bound concurrent in-flight work per
+	// class (defaults 256 and 64 — speculation gets the smaller share).
+	DemandSlots int
+	SpecSlots   int
+	// QueueDepth bounds each class's wait queue (default 128); 0 keeps
+	// the default, negative disables queueing (immediate reject).
+	QueueDepth int
+	// MaxWait caps how long a request may sit queued (default 2s).
+	MaxWait time.Duration
+	// Clock supplies time for hold-time estimation; nil means time.Now.
+	Clock func() time.Time
+	// Metrics selects the registry; nil means obs.Default.
+	Metrics *obs.Registry
+}
+
+// waiter is one queued acquisition. grant is buffered so a release can
+// hand over a slot without blocking; abandoned marks waiters that gave up
+// (deadline, timeout, cancel) so grants skip them.
+type waiter struct {
+	grant     chan struct{}
+	abandoned bool
+}
+
+// classState is the admission state of one traffic class.
+type classState struct {
+	slots int
+
+	mu       sync.Mutex
+	inflight int
+	queue    []*waiter
+	// holdEWMA estimates how long a slot is held (seconds), feeding the
+	// expected-wait calculation behind deadline-aware rejection.
+	holdEWMA float64
+}
+
+// ClassStats snapshots one class's admission activity.
+type ClassStats struct {
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Queued   int64 `json:"queued"`
+	Inflight int   `json:"inflight"`
+	Waiting  int   `json:"waiting"`
+}
+
+// Stats snapshots the controller.
+type Stats struct {
+	Demand      ClassStats `json:"demand"`
+	Speculative ClassStats `json:"speculative"`
+}
+
+// Controller is the priority-aware admission controller.
+type Controller struct {
+	cfg     Config
+	classes [numClasses]*classState
+
+	admitted [numClasses]*obs.Counter
+	queued   [numClasses]*obs.Counter
+	rejected [numClasses]map[string]*obs.Counter
+	inflight [numClasses]*obs.Gauge
+	waiting  [numClasses]*obs.Gauge
+
+	counts [numClasses]classCounts
+}
+
+// classCounts mirror the per-class counters for snapshot Stats.
+type classCounts struct {
+	admitted atomic.Int64
+	rejected atomic.Int64
+	queued   atomic.Int64
+}
+
+// NewController builds a controller, registering its metrics.
+func NewController(cfg Config) *Controller {
+	if cfg.DemandSlots <= 0 {
+		cfg.DemandSlots = 256
+	}
+	if cfg.SpecSlots <= 0 {
+		cfg.SpecSlots = 64
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	c := &Controller{cfg: cfg}
+	const rejections = "specweb_overload_rejected_total"
+	const rejectionsHelp = "Admission rejections by class and reason."
+	for cl := Class(0); cl < numClasses; cl++ {
+		slots := cfg.DemandSlots
+		if cl == Speculative {
+			slots = cfg.SpecSlots
+		}
+		c.classes[cl] = &classState{slots: slots}
+		lbl := cl.String()
+		c.admitted[cl] = cfg.Metrics.Counter("specweb_overload_admitted_total",
+			"Requests admitted past the overload controller.", obs.Labels{"class": lbl})
+		c.queued[cl] = cfg.Metrics.Counter("specweb_overload_queued_total",
+			"Requests that waited in the admission queue before a verdict.", obs.Labels{"class": lbl})
+		c.rejected[cl] = map[string]*obs.Counter{}
+		for _, reason := range []string{"queue_full", "deadline", "timeout", "canceled"} {
+			c.rejected[cl][reason] = cfg.Metrics.Counter(rejections, rejectionsHelp,
+				obs.Labels{"class": lbl, "reason": reason})
+		}
+		c.inflight[cl] = cfg.Metrics.Gauge("specweb_overload_inflight",
+			"In-flight requests holding an admission slot.", obs.Labels{"class": lbl})
+		c.waiting[cl] = cfg.Metrics.Gauge("specweb_overload_waiting",
+			"Requests waiting in the admission queue.", obs.Labels{"class": lbl})
+	}
+	return c
+}
+
+// expectedWaitLocked estimates how long a newly queued request of this
+// class would wait: the queue ahead of it drains one slot-hold at a time
+// across the class's slots. Callers hold st.mu.
+func (st *classState) expectedWaitLocked() time.Duration {
+	hold := st.holdEWMA
+	if hold <= 0 {
+		// No completions observed yet: assume a conservative 10ms hold
+		// rather than pretending slots free instantly.
+		hold = 0.010
+	}
+	return time.Duration(hold * float64(len(st.queue)+1) / float64(st.slots) * float64(time.Second))
+}
+
+// Acquire admits one unit of work in class cl, blocking in the bounded
+// wait queue when all slots are busy. On success the returned release
+// must be called exactly once when the work completes. On failure the
+// error wraps ErrRejected and the caller should answer 503 with a
+// Retry-After of RetryAfter(cl) seconds.
+func (c *Controller) Acquire(ctx context.Context, cl Class) (release func(), err error) {
+	st := c.classes[cl]
+	st.mu.Lock()
+	if st.inflight < st.slots {
+		st.inflight++
+		c.inflight[cl].Set(float64(st.inflight))
+		st.mu.Unlock()
+		c.countAdmit(cl)
+		return c.releaser(cl, c.cfg.Clock()), nil
+	}
+	if c.cfg.QueueDepth < 0 || len(st.queue) >= c.cfg.QueueDepth {
+		st.mu.Unlock()
+		c.countReject(cl, "queue_full")
+		return nil, ErrQueueFull
+	}
+	// Deadline-aware rejection: if the caller cannot outlast the
+	// expected wait for a slot, fail now instead of queueing a request
+	// that is guaranteed to die waiting.
+	wait := st.expectedWaitLocked()
+	if dl, ok := ctx.Deadline(); ok && c.cfg.Clock().Add(wait).After(dl) {
+		st.mu.Unlock()
+		c.countReject(cl, "deadline")
+		return nil, ErrDeadline
+	}
+	w := &waiter{grant: make(chan struct{}, 1)}
+	st.queue = append(st.queue, w)
+	c.waiting[cl].Set(float64(len(st.queue)))
+	st.mu.Unlock()
+	c.queued[cl].Inc()
+	c.counts[cl].queued.Add(1)
+
+	timer := time.NewTimer(c.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case <-w.grant:
+		// The releasing goroutine transferred its slot to us.
+		c.countAdmit(cl)
+		return c.releaser(cl, c.cfg.Clock()), nil
+	case <-ctx.Done():
+		if c.abandon(cl, w) {
+			c.countReject(cl, "canceled")
+			return nil, ErrCanceled
+		}
+		// Granted in the race window: give the slot straight back.
+		c.countAdmit(cl)
+		c.releaser(cl, c.cfg.Clock())()
+		return nil, ErrCanceled
+	case <-timer.C:
+		if c.abandon(cl, w) {
+			c.countReject(cl, "timeout")
+			return nil, ErrTimeout
+		}
+		c.countAdmit(cl)
+		return c.releaser(cl, c.cfg.Clock()), nil
+	}
+}
+
+// abandon marks a queued waiter as given up, reporting whether it was
+// still unserved (false means a grant won the race).
+func (c *Controller) abandon(cl Class, w *waiter) bool {
+	st := c.classes[cl]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	select {
+	case <-w.grant:
+		return false
+	default:
+	}
+	w.abandoned = true
+	// Compact the queue eagerly so abandoned waiters do not pin depth.
+	q := st.queue[:0]
+	for _, x := range st.queue {
+		if !x.abandoned {
+			q = append(q, x)
+		}
+	}
+	st.queue = q
+	c.waiting[cl].Set(float64(len(st.queue)))
+	return true
+}
+
+// releaser builds the slot-release closure: hand the slot to the next
+// live waiter, or free it. Safe against double calls.
+func (c *Controller) releaser(cl Class, acquired time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			st := c.classes[cl]
+			held := c.cfg.Clock().Sub(acquired).Seconds()
+			st.mu.Lock()
+			if held >= 0 {
+				const alpha = 0.3
+				if st.holdEWMA == 0 {
+					st.holdEWMA = held
+				} else {
+					st.holdEWMA += alpha * (held - st.holdEWMA)
+				}
+			}
+			for len(st.queue) > 0 {
+				w := st.queue[0]
+				st.queue = st.queue[1:]
+				if w.abandoned {
+					continue
+				}
+				c.waiting[cl].Set(float64(len(st.queue)))
+				st.mu.Unlock()
+				w.grant <- struct{}{}
+				return
+			}
+			st.inflight--
+			c.inflight[cl].Set(float64(st.inflight))
+			c.waiting[cl].Set(float64(len(st.queue)))
+			st.mu.Unlock()
+		})
+	}
+}
+
+// RetryAfter suggests a Retry-After value in whole seconds for a
+// rejected request of class cl: the expected time for the backlog to
+// drain, at least 1.
+func (c *Controller) RetryAfter(cl Class) int {
+	st := c.classes[cl]
+	st.mu.Lock()
+	wait := st.expectedWaitLocked()
+	st.mu.Unlock()
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Pressure reports the demand class's load as (inflight+waiting)/slots —
+// 0 idle, 1 saturated, >1 queueing. The Governor uses it as its
+// admission-side signal.
+func (c *Controller) Pressure() float64 {
+	st := c.classes[Demand]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return float64(st.inflight+len(st.queue)) / float64(st.slots)
+}
+
+func (c *Controller) countAdmit(cl Class) {
+	c.admitted[cl].Inc()
+	c.counts[cl].admitted.Add(1)
+}
+
+func (c *Controller) countReject(cl Class, reason string) {
+	c.rejected[cl][reason].Inc()
+	c.counts[cl].rejected.Add(1)
+}
+
+// Stats returns a snapshot of both classes.
+func (c *Controller) Stats() Stats {
+	var out Stats
+	for cl := Class(0); cl < numClasses; cl++ {
+		st := c.classes[cl]
+		s := &c.counts[cl]
+		cs := ClassStats{
+			Admitted: s.admitted.Load(),
+			Rejected: s.rejected.Load(),
+			Queued:   s.queued.Load(),
+		}
+		st.mu.Lock()
+		cs.Inflight = st.inflight
+		cs.Waiting = len(st.queue)
+		st.mu.Unlock()
+		if cl == Demand {
+			out.Demand = cs
+		} else {
+			out.Speculative = cs
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"specweb/internal/obs"
+)
+
+func newTestController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	return NewController(cfg)
+}
+
+func TestAcquireReleaseBasics(t *testing.T) {
+	c := newTestController(t, Config{DemandSlots: 2, SpecSlots: 1})
+	ctx := context.Background()
+	rel1, err := c.Acquire(ctx, Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(ctx, Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Demand.Inflight != 2 || st.Demand.Admitted != 2 {
+		t.Errorf("demand stats = %+v, want inflight 2 admitted 2", st.Demand)
+	}
+	// The speculative class has its own slots.
+	rel3, err := c.Acquire(ctx, Speculative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1()
+	rel2()
+	rel3()
+	rel3() // double release must be a no-op
+	st = c.Stats()
+	if st.Demand.Inflight != 0 || st.Speculative.Inflight != 0 {
+		t.Errorf("inflight after release = %+v", st)
+	}
+}
+
+func TestQueueGrantsInFIFOOrder(t *testing.T) {
+	c := newTestController(t, Config{DemandSlots: 1, QueueDepth: 4, MaxWait: time.Second})
+	ctx := context.Background()
+	rel, err := c.Acquire(ctx, Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 2 {
+				<-start // ensure waiter 1 queues first
+			}
+			r, err := c.Acquire(ctx, Demand)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			r()
+		}(i)
+	}
+	// Wait until waiter 1 is queued, then release waiter 2.
+	waitFor(t, func() bool { return c.Stats().Demand.Waiting == 1 })
+	close(start)
+	waitFor(t, func() bool { return c.Stats().Demand.Waiting == 2 })
+	rel()
+	wg.Wait()
+	close(order)
+	var got []int
+	for i := range order {
+		got = append(got, i)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("grant order = %v, want [1 2]", got)
+	}
+}
+
+func TestQueueFullRejectsImmediately(t *testing.T) {
+	c := newTestController(t, Config{DemandSlots: 1, QueueDepth: -1})
+	rel, err := c.Acquire(context.Background(), Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = c.Acquire(context.Background(), Demand)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Error("ErrQueueFull does not wrap ErrRejected")
+	}
+	if got := c.Stats().Demand.Rejected; got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	if ra := c.RetryAfter(Demand); ra < 1 {
+		t.Errorf("RetryAfter = %d, want >= 1", ra)
+	}
+}
+
+func TestDeadlineAwareRejection(t *testing.T) {
+	// A hold EWMA of 1s with one slot means a queued request expects to
+	// wait ~1s; a 10ms deadline cannot survive that, so the acquire must
+	// fail immediately — not after the deadline expires.
+	now := time.Unix(1000, 0)
+	c := newTestController(t, Config{
+		DemandSlots: 1, QueueDepth: 8,
+		Clock: func() time.Time { return now },
+	})
+	c.classes[Demand].holdEWMA = 1.0
+	rel, err := c.Acquire(context.Background(), Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithDeadline(context.Background(), now.Add(10*time.Millisecond))
+	defer cancel()
+	before := time.Now()
+	_, err = c.Acquire(ctx, Demand)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if since := time.Since(before); since > 100*time.Millisecond {
+		t.Errorf("deadline rejection took %v, want immediate", since)
+	}
+	// A deadline beyond the expected wait queues instead. (Real-clock
+	// based: the context machinery fires Done on wall time, not on the
+	// injected clock.)
+	lctx, lcancel := context.WithTimeout(context.Background(), time.Hour)
+	defer lcancel()
+	done := make(chan error, 1)
+	go func() {
+		r, err := c.Acquire(lctx, Demand)
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Demand.Waiting == 1 })
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("long-deadline acquire: %v", err)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	c := newTestController(t, Config{DemandSlots: 1, QueueDepth: 4, MaxWait: time.Minute})
+	rel, err := c.Acquire(context.Background(), Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, Demand)
+		done <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Demand.Waiting == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := c.Stats().Demand.Waiting; got != 0 {
+		t.Errorf("waiting = %d after cancel, want 0 (abandoned waiter compacted)", got)
+	}
+}
+
+func TestMaxWaitTimeout(t *testing.T) {
+	c := newTestController(t, Config{DemandSlots: 1, QueueDepth: 4, MaxWait: 20 * time.Millisecond})
+	rel, err := c.Acquire(context.Background(), Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = c.Acquire(context.Background(), Demand)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPressureSignal(t *testing.T) {
+	c := newTestController(t, Config{DemandSlots: 2, QueueDepth: 4, MaxWait: time.Minute})
+	if p := c.Pressure(); p != 0 {
+		t.Errorf("idle pressure = %v, want 0", p)
+	}
+	rel1, _ := c.Acquire(context.Background(), Demand)
+	rel2, _ := c.Acquire(context.Background(), Demand)
+	if p := c.Pressure(); p != 1 {
+		t.Errorf("saturated pressure = %v, want 1", p)
+	}
+	go func() {
+		r, err := c.Acquire(context.Background(), Demand)
+		if err == nil {
+			r()
+		}
+	}()
+	waitFor(t, func() bool { return c.Pressure() > 1 })
+	rel1()
+	rel2()
+}
+
+func TestControllerConcurrency(t *testing.T) {
+	c := newTestController(t, Config{DemandSlots: 4, SpecSlots: 2, QueueDepth: 64, MaxWait: time.Second})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := Demand
+			if w%3 == 0 {
+				cl = Speculative
+			}
+			for i := 0; i < 100; i++ {
+				rel, err := c.Acquire(context.Background(), cl)
+				if err != nil {
+					if !errors.Is(err, ErrRejected) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					continue
+				}
+				rel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Demand.Inflight != 0 || st.Speculative.Inflight != 0 {
+		t.Errorf("inflight after drain = %+v", st)
+	}
+	// 10 demand workers and 6 speculative workers, 100 tries each: every
+	// try must end as exactly one of admitted or rejected.
+	if got := st.Demand.Admitted + st.Demand.Rejected; got != 1000 {
+		t.Errorf("demand outcomes = %d, want 1000", got)
+	}
+	if got := st.Speculative.Admitted + st.Speculative.Rejected; got != 600 {
+		t.Errorf("speculative outcomes = %d, want 600", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Demand.String() != "demand" || Speculative.String() != "speculative" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class empty")
+	}
+}
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
