@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos overload bench bench-short clean
+.PHONY: all build vet test race chaos overload bench bench-short \
+	specbench bench-run bench-gate bench-baseline golden clean
 
 all: vet build test
 
@@ -41,6 +42,26 @@ bench:
 # Small workload; seconds.
 bench-short:
 	$(GO) test -short -bench=. -benchmem -run=^$$ .
+
+# Deterministic load-generation benchmark (cmd/specbench). bench-run
+# writes BENCH.json; bench-gate additionally fails on regression against
+# the committed baseline; bench-baseline refreshes that baseline (run on
+# an idle machine and commit the diff deliberately).
+specbench:
+	$(GO) build -o bin/specbench ./cmd/specbench
+
+bench-run: specbench
+	./bin/specbench -short -o BENCH.json
+
+bench-gate: specbench
+	./bin/specbench -short -o BENCH.json -baseline testdata/bench_baseline.json
+
+bench-baseline: specbench
+	./bin/specbench -short -o testdata/bench_baseline.json
+
+# Regenerate the golden files pinning the experiments renderers.
+golden:
+	$(GO) test ./internal/experiments -run Golden -update
 
 clean:
 	$(GO) clean ./...

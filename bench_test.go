@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"specweb/internal/experiments"
+	"specweb/internal/httpspec"
+	"specweb/internal/loadgen"
 	"specweb/internal/popularity"
 	"specweb/internal/simulate"
 )
@@ -473,4 +475,34 @@ func BenchmarkMaxSizeMedia(b *testing.B) {
 	if best, err := experiments.BestMaxSize(rows, 30); err == nil {
 		b.ReportMetric(float64(best.MaxSize)/1024, "best_maxsize_KB_at_30pct")
 	}
+}
+
+// BenchmarkSpecbench drives the live httpspec stack through the
+// deterministic load generator (cmd/specbench's engine) and reports the
+// measured wall-clock and paper metrics for the speculative arm. Each
+// iteration is one full warmup+measurement run.
+func BenchmarkSpecbench(b *testing.B) {
+	cfg := loadgen.Config{
+		Workload:  experiments.SmallWorkload(),
+		Speculate: true,
+		Mode:      httpspec.ModePush,
+		MaxPush:   16,
+	}
+	if !testing.Short() {
+		cfg.Workload = experiments.DefaultWorkload()
+	}
+	b.ResetTimer()
+	var res *loadgen.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, _, _, err = loadgen.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Timing.Throughput, "req/s")
+	b.ReportMetric(res.Timing.Latency.P99, "p99_ms")
+	b.ReportMetric(res.Ratios.Bandwidth, "bandwidth_ratio")
+	b.ReportMetric(res.Ratios.ServerLoad, "server_load_ratio")
+	b.ReportMetric(res.Timing.ServiceTime, "service_time_ratio")
 }

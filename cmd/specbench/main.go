@@ -1,0 +1,235 @@
+// specbench is the deterministic benchmark driver: it generates a
+// synthetic workload, drives the speculative HTTP stack (in-process by
+// default, or a live server with -server), and writes a BENCH.json
+// report — throughput, log-bucketed latency percentiles, error/shed
+// counts, and the paper's four speculative-vs-baseline ratios.
+//
+// By default it runs two arms over the identical workload — speculation
+// on and off — so the report carries the machine-portable arm-relative
+// comparison. With -baseline it additionally gates the run against a
+// committed report and exits non-zero on regression:
+//
+//	specbench -short -o BENCH.json
+//	specbench -short -o BENCH.json -baseline testdata/bench_baseline.json
+//
+// Everything outside the report's timing sections is byte-deterministic
+// for a given seed (same seed ⇒ identical counts and ratios, regardless
+// of worker count or machine), so the gate holds those fields to zero
+// drift and applies the tolerance only to wall-clock metrics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"specweb/internal/experiments"
+	"specweb/internal/httpspec"
+	"specweb/internal/loadgen"
+	"specweb/internal/netsim"
+	"specweb/internal/resilience"
+	"specweb/internal/resilience/faults"
+	"specweb/internal/webgraph"
+)
+
+func main() {
+	var (
+		short   = flag.Bool("short", false, "run the small workload (200-page site, 14 days) instead of the full 90-day evaluation")
+		profile = flag.String("profile", "", "override the site profile: department, media, or tiny")
+		days    = flag.Int("days", 0, "override observed days")
+		sess    = flag.Float64("sessions", 0, "override sessions/day")
+		seed    = flag.Int64("seed", 0, "workload seed (0 = the workload's default)")
+
+		workers = flag.Int("workers", 4, "concurrent client drivers")
+		warmup  = flag.Float64("warmup", 0.3, "leading trace fraction replayed sequentially to train the engine")
+		mode    = flag.String("mode", "hybrid", "delivery mode for the speculative arm: push, hints, or hybrid")
+		maxPush = flag.Int("max-push", 16, "documents pushed per response")
+		coop    = flag.Bool("cooperative", false, "clients send cache digests")
+		pref    = flag.Float64("prefetch", 0.25, "follow prefetch hints at or above this probability (0 = off)")
+		session = flag.Int("session", 50, "purge each client's cache every N requests (negative = never)")
+		reps    = flag.Int("reps", 5, "repeat each arm and report the fastest rep's timing (counts are identical across reps)")
+		think   = flag.Duration("think", 0, "closed-loop think time between a worker's requests")
+		jitter  = flag.Duration("think-jitter", 0, "uniform extra think time in [0, jitter), per-worker RNG stream")
+
+		rate  = flag.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
+		burst = flag.Int("burst", 1, "requests dispatched per open-loop arrival tick")
+
+		server    = flag.String("server", "", "drive this live server instead of the in-process stack (counts are then not byte-deterministic)")
+		realclock = flag.Bool("realclock", false, "in-process server uses wall-clock time (required for latency-driven overload governing; breaks count determinism)")
+		overloadF = flag.Bool("overload", false, "install admission control and the speculation governor on the in-process server")
+		noBase    = flag.Bool("no-baseline-arm", false, "skip the speculation-off arm (faster, but no arm-relative comparison)")
+
+		timeout = flag.Duration("timeout", 0, "per-request timeout (0 = none)")
+		retries = flag.Int("retries", 1, "max attempts per demand fetch (1 = no retries)")
+
+		chaos         = flag.Bool("chaos", false, "inject transport faults (seeded; chaos runs are not byte-deterministic)")
+		faultSeed     = flag.Int64("fault-seed", 0, "chaos: fault injection seed (0 = fixed default)")
+		faultErr      = flag.Float64("fault-error-rate", 0.05, "chaos: probability a request fails with a connection error")
+		fault5xx      = flag.Float64("fault-5xx-rate", 0, "chaos: probability a request draws a synthetic 500 burst")
+		fault5xxBurst = flag.Int("fault-5xx-burst", 1, "chaos: consecutive 500s per 5xx draw")
+		faultLatency  = flag.Duration("fault-latency", 0, "chaos: added latency per request")
+		faultJitter   = flag.Duration("fault-latency-jitter", 0, "chaos: uniform extra latency in [0, jitter)")
+		faultTruncate = flag.Float64("fault-truncate-rate", 0, "chaos: probability a response body is cut short")
+
+		out       = flag.String("o", "BENCH.json", "output report path (- = stdout)")
+		baseline  = flag.String("baseline", "", "gate against this committed BENCH.json and exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 10, "allowed drift in percent for gated metrics")
+		latSlack  = flag.Float64("lat-slack-ms", 0.75, "absolute latency difference forgiven by the gate, in ms")
+		absolute  = flag.Bool("absolute", false, "also gate raw per-arm throughput and p99 (same-machine baselines only)")
+		quiet     = flag.Bool("q", false, "suppress the human summary on stderr")
+	)
+	flag.Parse()
+
+	wl := experiments.DefaultWorkload()
+	if *short {
+		wl = experiments.SmallWorkload()
+	}
+	if *profile != "" {
+		p, err := webgraph.ProfileByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		wl.Profile = p
+		if *profile == "tiny" {
+			wl.Net = netsim.TinyConfig()
+		}
+	}
+	if *days > 0 {
+		wl.Days = *days
+	}
+	if *sess > 0 {
+		wl.SessionsPerDay = *sess
+	}
+	if *seed != 0 {
+		wl.Seed = *seed
+	}
+	m, err := httpspec.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := loadgen.Config{
+		Workload:           wl,
+		Seed:               wl.Seed,
+		Workers:            *workers,
+		WarmupFraction:     *warmup,
+		Speculate:          true,
+		Mode:               m,
+		MaxPush:            *maxPush,
+		Cooperative:        *coop,
+		PrefetchThreshold:  *pref,
+		SessionGapRequests: *session,
+		Reps:               *reps,
+		Think:              *think,
+		ThinkJitter:        *jitter,
+		OpenLoop:           *rate > 0,
+		Rate:               *rate,
+		Burst:              *burst,
+		BaseURL:            *server,
+		RealClock:          *realclock,
+		Overload:           *overloadF,
+		Timeout:            *timeout,
+	}
+	if *retries > 1 {
+		cfg.Retry = resilience.RetryConfig{MaxAttempts: *retries}
+	}
+	if *chaos {
+		cfg.Faults = faults.Config{
+			Seed:          *faultSeed,
+			ErrorRate:     *faultErr,
+			Rate5xx:       *fault5xx,
+			Burst5xx:      *fault5xxBurst,
+			Latency:       *faultLatency,
+			LatencyJitter: *faultJitter,
+			TruncateRate:  *faultTruncate,
+		}
+	}
+
+	start := time.Now()
+	rep, err := loadgen.RunReport(cfg, !*noBase)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		summarize(rep, time.Since(start))
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		violations := loadgen.Compare(base, rep, loadgen.CompareOptions{
+			TolerancePct:   *tolerance,
+			LatencySlackMS: *latSlack,
+			Absolute:       *absolute,
+		})
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "specbench: regression gate FAILED against %s:\n", *baseline)
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  - %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "specbench: regression gate passed against %s (tolerance %.0f%%)\n",
+			*baseline, *tolerance)
+	}
+}
+
+func readReport(path string) (*loadgen.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("specbench: parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func summarize(rep *loadgen.Report, took time.Duration) {
+	w := rep.Workload
+	fmt.Fprintf(os.Stderr, "specbench: %s site, %d clients, %d measured requests (%d warmup), took %v\n",
+		rep.Config.Profile, w.Clients, w.Measured, w.Warmup, took.Round(time.Millisecond))
+	arm := func(name string, r *loadgen.Result) {
+		if r == nil {
+			return
+		}
+		t := r.Timing
+		fmt.Fprintf(os.Stderr,
+			"  %-8s %8.0f req/s  p50 %7.3fms  p99 %7.3fms  p999 %7.3fms  errors %d  shed %d\n",
+			name, t.Throughput, t.Latency.P50, t.Latency.P99, t.Latency.P999,
+			r.Counts.Errors, r.Counts.Shed)
+	}
+	arm("spec", rep.Spec)
+	arm("baseline", rep.Baseline)
+	if r := rep.Spec; r != nil {
+		fmt.Fprintf(os.Stderr,
+			"  ratios   bandwidth %.3f  server_load %.3f  service_time %.3f  byte_miss_rate %.3f\n",
+			r.Ratios.Bandwidth, r.Ratios.ServerLoad, r.Timing.ServiceTime, r.Ratios.ByteMissRate)
+	}
+	if rel := rep.Relative; rel != nil {
+		fmt.Fprintf(os.Stderr, "  relative p99 %.3fx  throughput %.3fx (spec vs no-spec)\n",
+			rel.P99Ratio, rel.ThroughputRatio)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specbench:", err)
+	os.Exit(1)
+}

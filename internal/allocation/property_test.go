@@ -1,0 +1,256 @@
+package allocation
+
+import (
+	"math"
+	"testing"
+
+	"specweb/internal/stats"
+)
+
+// numericAllocate solves the eq. 4–5 program numerically, by a route
+// independent of the closed form's algebra: bisection on the KKT
+// multiplier. The stationarity condition for an interior server is
+// R·λ·e^{-λB} = k, so B_i = max(0, (ln(λ_i R_i) − ln k)/λ_i), which is
+// monotonically decreasing in ln k; bisect ln k (k itself can sit far
+// below float range when demand is high) until the sum hits b0.
+func numericAllocate(b0 float64, servers []Server) []float64 {
+	alloc := func(lnk float64) []float64 {
+		out := make([]float64, len(servers))
+		for i, s := range servers {
+			if s.R <= 0 {
+				continue
+			}
+			if b := (math.Log(s.Lambda*s.R) - lnk) / s.Lambda; b > 0 {
+				out[i] = b
+			}
+		}
+		return out
+	}
+	sum := func(lnk float64) float64 {
+		var t float64
+		for _, b := range alloc(lnk) {
+			t += b
+		}
+		return t
+	}
+	hi := math.Inf(-1)
+	for _, s := range servers {
+		if s.R > 0 {
+			hi = math.Max(hi, math.Log(s.Lambda*s.R))
+		}
+	}
+	if math.IsInf(hi, -1) || b0 == 0 {
+		return make([]float64, len(servers))
+	}
+	lo, step := hi, 1.0
+	for sum(lo) < b0 {
+		lo -= step
+		step *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if sum(mid) > b0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return alloc(lo)
+}
+
+type caseRNG struct{ *stats.RNG }
+
+func (r caseRNG) logUniform(lo, hi float64) float64 {
+	return lo * math.Exp(r.Float64()*math.Log(hi/lo))
+}
+
+// TestExponentialAllocateMatchesNumericOptimum cross-checks the paper's
+// closed-form allocation (eqs. 4–5 with KKT clamping) against the
+// bisection optimizer over randomized λ and R vectors.
+func TestExponentialAllocateMatchesNumericOptimum(t *testing.T) {
+	rng := caseRNG{stats.NewRNG(2024).Split("alloc-property")}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(10)
+		servers := make([]Server, n)
+		for i := range servers {
+			servers[i] = Server{
+				R:      rng.logUniform(0.1, 100),
+				Lambda: rng.logUniform(1e-8, 1e-3),
+			}
+		}
+		b0 := rng.logUniform(1e3, 1e7)
+
+		closed, err := ExponentialAllocate(b0, servers)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var total float64
+		for i, b := range closed {
+			if b < 0 {
+				t.Fatalf("trial %d: negative allocation %v at %d", trial, b, i)
+			}
+			total += b
+		}
+		if math.Abs(total-b0) > 1e-6*b0 {
+			t.Fatalf("trial %d: allocations sum to %v, want %v", trial, total, b0)
+		}
+
+		numeric := numericAllocate(b0, servers)
+		for i := range closed {
+			if diff := math.Abs(closed[i] - numeric[i]); diff > 1e-6*(b0+1) {
+				t.Fatalf("trial %d: server %d closed=%v numeric=%v (Δ=%v)\nservers=%+v b0=%v",
+					trial, i, closed[i], numeric[i], diff, servers, b0)
+			}
+		}
+
+		// The closed form must dominate random feasible allocations.
+		alphaStar := Alpha(closed, servers)
+		for p := 0; p < 5; p++ {
+			perturbed := randomFeasible(rng, b0, n)
+			if a := Alpha(perturbed, servers); a > alphaStar+1e-9 {
+				t.Fatalf("trial %d: random allocation beats the optimum: %v > %v",
+					trial, a, alphaStar)
+			}
+		}
+	}
+}
+
+// randomFeasible draws a non-negative vector summing to b0.
+func randomFeasible(rng caseRNG, b0 float64, n int) []float64 {
+	out := make([]float64, n)
+	var sum float64
+	for i := range out {
+		out[i] = -math.Log(1 - rng.Float64())
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] *= b0 / sum
+	}
+	return out
+}
+
+// TestEqualLambdaMatchesGeneralForm: with one shared λ, eq. 6 must agree
+// with the general closed form wherever its unconstrained result is
+// feasible (non-negative).
+func TestEqualLambdaMatchesGeneralForm(t *testing.T) {
+	rng := caseRNG{stats.NewRNG(2024).Split("eq6")}
+	matched := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		lambda := rng.logUniform(1e-7, 1e-4)
+		rs := make([]float64, n)
+		servers := make([]Server, n)
+		for i := range rs {
+			// R's within one decade keep the unconstrained form feasible
+			// once each server's share of b0 dwarfs ln(R_i/R_j)/λ.
+			rs[i] = rng.logUniform(1, 10)
+			servers[i] = Server{R: rs[i], Lambda: lambda}
+		}
+		b0 := float64(n) / lambda * rng.logUniform(5, 50)
+		eq6, err := EqualLambdaAllocate(b0, lambda, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible := true
+		for _, b := range eq6 {
+			if b < 0 {
+				feasible = false
+			}
+		}
+		if !feasible {
+			continue
+		}
+		matched++
+		general, err := ExponentialAllocate(b0, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range eq6 {
+			if math.Abs(eq6[i]-general[i]) > 1e-6*(b0+1) {
+				t.Fatalf("trial %d: eq6[%d]=%v general=%v", trial, i, eq6[i], general[i])
+			}
+		}
+	}
+	if matched < 100 {
+		t.Fatalf("only %d/200 trials exercised the feasible regime", matched)
+	}
+}
+
+// TestEqualRMatchesGeneralForm: with equal popularity, eq. 7 must agree
+// with the general closed form wherever feasible.
+func TestEqualRMatchesGeneralForm(t *testing.T) {
+	rng := caseRNG{stats.NewRNG(2024).Split("eq7")}
+	matched := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		r := rng.logUniform(0.5, 50)
+		lambdas := make([]float64, n)
+		servers := make([]Server, n)
+		for i := range lambdas {
+			lambdas[i] = rng.logUniform(1e-6, 1e-5)
+			servers[i] = Server{R: r, Lambda: lambdas[i]}
+		}
+		b0 := rng.logUniform(1e6, 1e7)
+		eq7, err := EqualRAllocate(b0, lambdas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible := true
+		for _, b := range eq7 {
+			if b < 0 {
+				feasible = false
+			}
+		}
+		if !feasible {
+			continue
+		}
+		matched++
+		general, err := ExponentialAllocate(b0, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range eq7 {
+			if math.Abs(eq7[i]-general[i]) > 1e-6*(b0+1) {
+				t.Fatalf("trial %d: eq7[%d]=%v general=%v", trial, i, eq7[i], general[i])
+			}
+		}
+	}
+	if matched < 100 {
+		t.Fatalf("only %d/200 trials exercised the feasible regime", matched)
+	}
+}
+
+// TestSymmetricMatchesGeneralForm: identical servers split b0 evenly
+// (eq. 8), and eq. 9's α agrees with the general α.
+func TestSymmetricMatchesGeneralForm(t *testing.T) {
+	rng := caseRNG{stats.NewRNG(2024).Split("eq8")}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		lambda := rng.logUniform(1e-7, 1e-4)
+		r := rng.logUniform(0.5, 50)
+		b0 := rng.logUniform(1e4, 1e7)
+		servers := make([]Server, n)
+		for i := range servers {
+			servers[i] = Server{R: r, Lambda: lambda}
+		}
+		eq8, err := SymmetricAllocate(b0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		general, err := ExponentialAllocate(b0, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range eq8 {
+			if math.Abs(eq8[i]-b0/float64(n)) > 1e-9 {
+				t.Fatalf("trial %d: eq8 not an even split: %v", trial, eq8)
+			}
+			if math.Abs(eq8[i]-general[i]) > 1e-6*(b0+1) {
+				t.Fatalf("trial %d: eq8[%d]=%v general=%v", trial, i, eq8[i], general[i])
+			}
+		}
+		if a9, a := SymmetricAlpha(lambda, b0, n), Alpha(eq8, servers); math.Abs(a9-a) > 1e-9 {
+			t.Fatalf("trial %d: eq9 alpha %v != general alpha %v", trial, a9, a)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// update regenerates the golden files:
+//
+//	go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// checkGolden compares got against testdata/golden/<name>, rewriting the
+// file under -update. Golden files pin the byte-exact renderer output on
+// the small workload, so a change to a figure computation, a float
+// format, or the trace synthesis shows up as a reviewable diff.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./internal/experiments -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file; rerun with -update and review the diff.\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenFigure1CSV(t *testing.T) {
+	res, err := Figure1(smallWorkload(t), 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Figure1CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure1.csv", buf.Bytes())
+}
+
+func TestGoldenFigure2CSV(t *testing.T) {
+	pts, err := Figure2(3, 6.247e-7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Figure2CSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure2.csv", buf.Bytes())
+}
+
+func TestGoldenFigure3CSV(t *testing.T) {
+	curves, err := Figure3(smallWorkload(t), []float64{0.10, 0.04}, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range curves {
+		var buf bytes.Buffer
+		if err := Figure3CSV(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("figure3_f%02.0f.csv", c.Fraction*100)
+		checkGolden(t, name, buf.Bytes())
+	}
+}
+
+func TestGoldenFigure4CSV(t *testing.T) {
+	res, err := Figure4(smallWorkload(t), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Figure4CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure4.csv", buf.Bytes())
+}
+
+func TestGoldenFigure5CSV(t *testing.T) {
+	pts, err := Figure5(smallWorkload(t), []float64{0.95, 0.5, 0.25, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Figure5CSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure5.csv", buf.Bytes())
+
+	// Figure 6 is the same sweep reordered by traffic; pin it too.
+	var buf6 bytes.Buffer
+	if err := Figure5CSV(&buf6, Figure6(pts)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure6.csv", buf6.Bytes())
+}
+
+func TestGoldenTable(t *testing.T) {
+	res, err := Figure1(smallWorkload(t), 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers := []string{"block", "docs", "bytes", "req_frac"}
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Block), strconv.Itoa(r.Docs), FmtBytes(r.CumBytes),
+			strconv.FormatFloat(r.ReqFrac, 'f', 4, 64),
+		})
+	}
+	var buf bytes.Buffer
+	if err := Table(&buf, headers, rows); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table_figure1.txt", buf.Bytes())
+}
+
+func TestGoldenSeries(t *testing.T) {
+	pts, err := Figure5(smallWorkload(t), []float64{0.95, 0.5, 0.25, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs, ys []float64
+	for _, p := range pts {
+		xs = append(xs, p.Tp)
+		ys = append(ys, p.Ratios.ServerLoadReductionPct())
+	}
+	var buf bytes.Buffer
+	if err := Series(&buf, "Figure 5: server load vs tp", xs, ys, "tp", "load %", 40); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "series_figure5.txt", buf.Bytes())
+}

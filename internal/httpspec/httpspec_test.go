@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"specweb/internal/core"
+	"specweb/internal/leakcheck"
 	"specweb/internal/stats"
 	"specweb/internal/synth"
 	"specweb/internal/trace"
@@ -36,6 +37,7 @@ func newWorld(t *testing.T, mode Mode) *testWorld {
 // to attach overload control) before the server is built.
 func newWorldCfg(t *testing.T, mode Mode, mutate func(*ServerConfig)) *testWorld {
 	t.Helper()
+	leakcheck.Check(t) // registered before ts.Close, so it settles last
 	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(5))
 	if err != nil {
 		t.Fatal(err)
@@ -310,9 +312,12 @@ func TestClientSessionPurge(t *testing.T) {
 
 func TestStatsEndpoint(t *testing.T) {
 	w := newWorld(t, ModePush)
-	if _, err := http.Get(w.ts.URL + w.site.Docs[0].Path); err != nil {
+	warm, err := http.Get(w.ts.URL + w.site.Docs[0].Path)
+	if err != nil {
 		t.Fatal(err)
 	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close() // an unclosed body pins the transport's conn goroutines
 	resp, err := http.Get(w.ts.URL + "/spec/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -602,6 +607,7 @@ func TestServerReplicatorAccessor(t *testing.T) {
 }
 
 func TestServerDefaultClock(t *testing.T) {
+	leakcheck.Check(t)
 	site, _ := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(9))
 	cfg := DefaultServerConfig() // no Clock
 	srv, err := NewServer(NewSiteStore(site), cfg)
@@ -621,6 +627,7 @@ func TestServerDefaultClock(t *testing.T) {
 }
 
 func TestProxyForwardsToDeadOrigin(t *testing.T) {
+	leakcheck.Check(t)
 	proxy := NewProxy("http://127.0.0.1:1", nil) // nothing listens there
 	pts := httptest.NewServer(proxy)
 	defer pts.Close()

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"specweb/internal/leakcheck"
 	"specweb/internal/obs"
 	"specweb/internal/stats"
 	"specweb/internal/webgraph"
@@ -18,6 +19,7 @@ import (
 // TestServerMetricsExposition asserts that a server's /metrics output
 // reflects the requests it actually served.
 func TestServerMetricsExposition(t *testing.T) {
+	leakcheck.Check(t)
 	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(5))
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +110,7 @@ func TestServerMetricsSpeculation(t *testing.T) {
 // newWorldWithMetrics mirrors newWorld but isolates metrics in reg.
 func newWorldWithMetrics(t *testing.T, mode Mode, reg *obs.Registry) *testWorld {
 	t.Helper()
+	leakcheck.Check(t)
 	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(5))
 	if err != nil {
 		t.Fatal(err)

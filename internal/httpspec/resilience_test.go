@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"specweb/internal/leakcheck"
 	"specweb/internal/obs"
 	"specweb/internal/resilience"
 	"specweb/internal/resilience/faults"
@@ -33,6 +34,7 @@ func fastRetry(attempts int) resilience.RetryConfig {
 }
 
 func TestProxyPartialDisseminate(t *testing.T) {
+	leakcheck.Check(t)
 	// An origin whose replica list names two documents, one of which
 	// always fails to pull: the refresh must apply the good one instead
 	// of discarding the whole set.
@@ -84,6 +86,7 @@ func TestProxyPartialDisseminate(t *testing.T) {
 }
 
 func TestProxyServesStaleWhenOriginDown(t *testing.T) {
+	leakcheck.Check(t)
 	// Phase 1: the origin advertises /doc and the proxy replicates it.
 	// Phase 2: the replica list empties, superseding /doc into the stale
 	// store. Then the origin dies, and a GET /doc must degrade to the
@@ -163,6 +166,7 @@ func TestProxyServesStaleWhenOriginDown(t *testing.T) {
 }
 
 func TestProxyBreakerOpensAndRecovers(t *testing.T) {
+	leakcheck.Check(t)
 	// Deterministic clock: the test steps through the breaker cool-down.
 	var mu sync.Mutex
 	now := time.Date(1995, time.July, 1, 12, 0, 0, 0, time.UTC)
@@ -422,6 +426,7 @@ func TestReplaySummaryChaosFieldOptIn(t *testing.T) {
 }
 
 func TestClientCountsStaleServes(t *testing.T) {
+	leakcheck.Check(t)
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(HeaderStale, "1")
 		io.WriteString(w, "stale body")
@@ -437,6 +442,7 @@ func TestClientCountsStaleServes(t *testing.T) {
 }
 
 func TestClientRetriesThroughFaults(t *testing.T) {
+	leakcheck.Check(t)
 	// A flaky origin that 500s on every odd request to /a: with retries
 	// the client's Get still succeeds, and the retry count is visible.
 	var calls, total atomic.Int64

@@ -256,7 +256,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	start := time.Now()
+	start := s.now()
 	sp := s.tracer.Start("server.request")
 	sp.SetAttr("path", r.URL.Path)
 	defer sp.Finish()
@@ -371,7 +371,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttr("kind", "doc")
 	}
 	s.met.respBytes.Observe(float64(written))
-	elapsed := time.Since(start)
+	elapsed := s.now().Sub(start)
 	s.met.latency.Observe(elapsed.Seconds())
 	// Feed the governor the full demand-path latency (including any
 	// admission queueing): its control loop is what brings the ladder

@@ -46,6 +46,11 @@ type Store interface {
 type SiteStore struct {
 	site *webgraph.Site
 
+	// clock supplies the LRU timestamps; nil means time.Now. Injected
+	// by tests and the deterministic load generator so store behaviour
+	// is a pure function of the request sequence.
+	clock func() time.Time
+
 	mu     sync.Mutex
 	model  cache.Cache
 	bodies map[webgraph.DocID][]byte
@@ -69,6 +74,20 @@ func NewSiteStoreCached(site *webgraph.Site, capacity int64) *SiteStore {
 		s.bodies = make(map[webgraph.DocID][]byte)
 	}
 	return s
+}
+
+// SetClock injects the time source for the body-cache LRU; nil restores
+// time.Now. Call before serving traffic.
+func (s *SiteStore) SetClock(clock func() time.Time) *SiteStore {
+	s.clock = clock
+	return s
+}
+
+func (s *SiteStore) now() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now()
 }
 
 // Lookup resolves a path.
@@ -105,7 +124,7 @@ func (s *SiteStore) Content(id webgraph.DocID) ([]byte, bool) {
 	}
 	if s.model != nil {
 		s.mu.Lock()
-		s.model.Touch(time.Now())
+		s.model.Touch(s.now())
 		if s.model.Has(id) {
 			if body, ok := s.bodies[id]; ok {
 				s.mu.Unlock()

@@ -1,0 +1,148 @@
+// Package leakcheck fails tests that leave goroutines behind — the
+// cheap, dependency-free cousin of goleak. Register it first thing in a
+// test; at cleanup time it compares the set of interesting goroutine
+// stacks against the snapshot taken at registration, polling briefly so
+// goroutines that are mid-exit (connection readers draining after a
+// server Close) get a chance to finish before being called leaks.
+package leakcheck
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long Check waits for goroutines to drain.
+const settleTimeout = 5 * time.Second
+
+// Check snapshots the current goroutines and registers a cleanup that
+// fails t if new interesting goroutines outlive the test. Register it
+// before any cleanup that tears infrastructure down (t.Cleanup runs
+// last-in first-out, so the leak check must be first in).
+func Check(t testing.TB) {
+	t.Helper()
+	before := interesting()
+	t.Cleanup(func() {
+		// Idle keep-alive connections in the shared transport look like
+		// leaks but are just pooling; drop them before judging.
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(settleTimeout)
+		var leaked map[string]int
+		for {
+			leaked = diff(interesting(), before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+			http.DefaultClient.CloseIdleConnections()
+		}
+		var sigs []string
+		for sig := range leaked {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		var b strings.Builder
+		for _, sig := range sigs {
+			fmt.Fprintf(&b, "\n  %d x %s", leaked[sig], sig)
+		}
+		t.Errorf("leakcheck: %d goroutine kind(s) leaked:%s", len(sigs), b.String())
+	})
+}
+
+// diff returns the signatures (and excess counts) present in after
+// beyond their count in before.
+func diff(after, before map[string]int) map[string]int {
+	out := make(map[string]int)
+	for sig, n := range after {
+		if extra := n - before[sig]; extra > 0 {
+			out[sig] = extra
+		}
+	}
+	return out
+}
+
+// interesting returns a multiset of goroutine signatures, excluding the
+// runtime's and test framework's own goroutines.
+func interesting() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]int)
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		sig, ok := signature(stanza)
+		if ok {
+			out[sig]++
+		}
+	}
+	return out
+}
+
+// benign marks goroutines that belong to the runtime or the testing
+// harness, not to code under test.
+var benign = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.runTests(",
+	"testing.(*M).",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.forcegchelper",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.scavenge",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/pprof.",
+	"runtime/trace.",
+}
+
+// signature reduces a goroutine stanza to its chain of function names —
+// stable across runs, unlike goroutine IDs, addresses, and file offsets.
+func signature(stanza string) (string, bool) {
+	lines := strings.Split(strings.TrimSpace(stanza), "\n")
+	if len(lines) < 2 {
+		return "", false
+	}
+	var funcs []string
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "\t") || strings.HasPrefix(l, "goroutine ") {
+			continue
+		}
+		// Function lines look like "pkg.Func(0x...)" or
+		// "created by pkg.Func in goroutine N".
+		name := l
+		if strings.HasPrefix(name, "created by ") {
+			if i := strings.Index(name, " in goroutine "); i > 0 {
+				name = name[:i]
+			}
+		} else if i := strings.Index(name, "("); i > 0 {
+			name = name[:i]
+		}
+		funcs = append(funcs, name)
+	}
+	if len(funcs) == 0 {
+		return "", false
+	}
+	sig := strings.Join(funcs, " <- ")
+	for _, b := range benign {
+		if strings.Contains(sig, strings.TrimSuffix(b, "(")) {
+			return "", false
+		}
+	}
+	return sig, true
+}

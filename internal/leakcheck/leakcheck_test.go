@@ -1,0 +1,51 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDetectsBlockedGoroutine(t *testing.T) {
+	before := interesting()
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	time.Sleep(20 * time.Millisecond)
+	if len(diff(interesting(), before)) == 0 {
+		t.Fatal("blocked goroutine not detected")
+	}
+	close(ch)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(diff(interesting(), before)) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("goroutine did not settle after unblocking")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCheckPassesWhenClean(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestSignatureStability(t *testing.T) {
+	stanza := "goroutine 42 [chan receive]:\n" +
+		"specweb/internal/httpspec.(*Proxy).loop(0xc000123456)\n" +
+		"\t/root/repo/internal/httpspec/proxy.go:100 +0x19\n" +
+		"created by specweb/internal/httpspec.NewProxy in goroutine 7\n" +
+		"\t/root/repo/internal/httpspec/proxy.go:50 +0x66\n"
+	a, ok := signature(stanza)
+	if !ok {
+		t.Fatal("stanza rejected")
+	}
+	b, _ := signature(strings.ReplaceAll(stanza, "goroutine 7", "goroutine 9"))
+	if a != b {
+		t.Fatalf("signature not stable across spawner IDs:\n%s\n%s", a, b)
+	}
+	if _, ok := signature("goroutine 1 [running]:\ntesting.tRunner(0x1, 0x2)\n\t/x.go:1\n"); ok {
+		t.Fatal("testing harness goroutine not filtered")
+	}
+}

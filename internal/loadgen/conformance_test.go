@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"specweb/internal/leakcheck"
+	"specweb/internal/resilience"
+	"specweb/internal/resilience/faults"
+)
+
+// TestConformanceMatrix drives the full spec × chaos × overload cube
+// through the generator and asserts the cross-cutting invariants:
+//
+//   - fault-free cells are byte-deterministic (two runs, identical
+//     deterministic JSON) with zero errors and zero shed
+//   - chaos cells stay ≥ 50% available behind the retry layer
+//   - overload cells expose the server's admission ledger, and with
+//     uncontended slots overload control is transparent: counts match
+//     the plain cell exactly
+//   - no cell leaks goroutines (checked for the whole matrix)
+//   - demand p99 stays bounded in every fault-free cell
+func TestConformanceMatrix(t *testing.T) {
+	leakcheck.Check(t)
+	for _, spec := range []bool{false, true} {
+		for _, chaos := range []bool{false, true} {
+			for _, over := range []bool{false, true} {
+				name := fmt.Sprintf("spec=%v/chaos=%v/overload=%v", spec, chaos, over)
+				t.Run(name, func(t *testing.T) {
+					runCell(t, spec, chaos, over)
+				})
+			}
+		}
+	}
+}
+
+func cellConfig(spec, chaos, over bool) Config {
+	cfg := tinyConfig()
+	cfg.Speculate = spec
+	cfg.Overload = over
+	if chaos {
+		cfg.Faults = faults.Config{
+			Seed:         42,
+			ErrorRate:    0.05,
+			Rate5xx:      0.03,
+			Burst5xx:     2,
+			TruncateRate: 0.02,
+		}
+		cfg.Retry = resilience.RetryConfig{MaxAttempts: 3}
+	}
+	return cfg
+}
+
+func runCell(t *testing.T, spec, chaos, over bool) {
+	rep, err := RunReport(cellConfig(spec, chaos, over), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Spec
+	c := res.Counts
+
+	if !spec && (c.SpecHits != 0 || c.Pushed != 0 || c.Prefetched != 0) {
+		t.Errorf("speculation leaked into non-spec cell: %+v", c)
+	}
+	if spec && !chaos && c.SpecHits == 0 {
+		t.Errorf("spec cell produced no speculative hits: %+v", c)
+	}
+
+	if over {
+		if res.Overload == nil {
+			t.Fatal("overload cell missing the server ledger")
+		}
+		if res.Overload.Admission.Demand.Admitted == 0 {
+			t.Errorf("admission ledger empty: %+v", res.Overload)
+		}
+	} else if res.Overload != nil {
+		t.Error("overload ledger present without overload control")
+	}
+
+	if chaos {
+		if c.Requests == 0 {
+			t.Fatal("chaos cell measured nothing")
+		}
+		avail := 1 - float64(c.Errors)/float64(c.Requests)
+		if avail < 0.5 {
+			t.Errorf("availability %.2f < 0.5 under chaos (errors=%d of %d)",
+				avail, c.Errors, c.Requests)
+		}
+		return
+	}
+
+	// Fault-free invariants.
+	if c.Errors != 0 || c.WarmupErrors != 0 || c.Shed != 0 {
+		t.Errorf("fault-free cell had failures: %+v", c)
+	}
+	if p99 := res.Timing.Latency.P99; p99 <= 0 || p99 > 5000 {
+		t.Errorf("demand p99 out of bounds: %vms", p99)
+	}
+	// Byte-determinism: a second run with a different worker count must
+	// produce the identical deterministic section.
+	cfg2 := cellConfig(spec, false, over)
+	cfg2.Workers = 7
+	rep2, err := RunReport(cfg2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := rep.DeterministicJSON()
+	rep2.Config.Workers = rep.Config.Workers
+	b, _ := rep2.DeterministicJSON()
+	if !bytes.Equal(a, b) {
+		t.Errorf("fault-free cell not byte-deterministic:\n%s\n--- vs ---\n%s", a, b)
+	}
+
+	// Uncontended overload control must be transparent: same counts as
+	// the matching plain cell.
+	if over {
+		plain, err := RunReport(cellConfig(spec, false, false), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Spec.Counts != c {
+			t.Errorf("overload control changed an uncontended run:\n%+v\n%+v",
+				plain.Spec.Counts, c)
+		}
+	}
+}

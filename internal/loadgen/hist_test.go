@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Bucket upper bounds err high by at most one growth step (2^(1/4)).
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*1.2 {
+			t.Errorf("q%.3f = %v, want within [%v, %v*1.2]", c.q, got, c.want, c.want)
+		}
+	}
+	if h.Max() != time.Second {
+		t.Errorf("max = %v", h.Max())
+	}
+	if m := h.Mean(); m < 490*time.Millisecond || m > 510*time.Millisecond {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistClampsExtremes(t *testing.T) {
+	h := NewHist()
+	h.Observe(-time.Second)
+	h.Observe(time.Nanosecond)
+	h.Observe(time.Hour)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(1); q != time.Hour {
+		t.Errorf("q1 = %v, want exact max cap", q)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b, all := NewHist(), NewHist(), NewHist()
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i*7) * time.Millisecond
+		all.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(NewHist())
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Mean() != all.Mean() {
+		t.Fatal("merge lost samples")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q%.2f differs after merge", q)
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || len(h.Buckets()) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}

@@ -1,0 +1,612 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specweb/internal/experiments"
+	"specweb/internal/httpspec"
+	"specweb/internal/obs"
+	"specweb/internal/overload"
+	"specweb/internal/resilience"
+	"specweb/internal/resilience/faults"
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+)
+
+// Config parameterizes one load-generation run (one arm).
+type Config struct {
+	// Workload selects the synthetic site/trace model; the zero value
+	// means experiments.SmallWorkload(). The trace supplies the session
+	// mix: client population, per-client request order, and session
+	// boundaries all come from the generated trace.
+	Workload experiments.WorkloadConfig
+	// Seed drives the generator's own randomness (think-time jitter)
+	// through per-worker stats.RNG streams; 0 uses Workload.Seed.
+	Seed int64
+	// Workers is the number of concurrent client drivers (default 4).
+	// Clients are partitioned across workers by a stable hash, so each
+	// client's request order is preserved no matter the worker count.
+	Workers int
+	// WarmupFraction is the leading share of the trace replayed
+	// sequentially on trace time to train the speculation engine before
+	// measurement begins (default 0.3). The engine is refreshed once at
+	// the warmup boundary and its model then stays frozen, which is
+	// what makes the measured counters deterministic under concurrency.
+	WarmupFraction float64
+
+	// Speculate selects the arm: true drives speculative clients
+	// against Mode; false drives plain clients (no bundles, no
+	// prefetching) against a push-mode server, which never speculates
+	// for a client that did not opt in.
+	Speculate bool
+	// Mode is the server's delivery mode for the speculative arm; the
+	// zero value is ModePush.
+	Mode httpspec.Mode
+	// MaxPush bounds documents pushed per response (default 16).
+	MaxPush int
+	// Cooperative piggybacks cache digests; PrefetchThreshold enables
+	// hint-driven prefetching (0 disables).
+	Cooperative       bool
+	PrefetchThreshold float64
+	// SessionGapRequests ends a client's session after this many
+	// requests (default 50; negative disables).
+	SessionGapRequests int
+	// Reps repeats each arm and keeps the best-throughput rep's Timing
+	// (default 1). The deterministic section is identical across reps,
+	// so extra reps only de-noise the wall-clock metrics: best-of-N is
+	// what makes a 10% regression gate hold on a shared CI runner.
+	Reps int
+
+	// OpenLoop switches to paced arrival at Rate requests/second in
+	// groups of Burst: the dispatcher hands requests to workers on
+	// schedule without waiting for responses, and latency is measured
+	// from the scheduled arrival (so queueing delay is charged — no
+	// coordinated omission). The default closed loop has each worker
+	// walk its clients' requests back-to-back, separated by Think.
+	OpenLoop bool
+	Rate     float64
+	Burst    int
+	// Think and ThinkJitter separate a worker's consecutive requests in
+	// closed-loop mode: Think plus a uniform draw from [0, ThinkJitter)
+	// off the worker's RNG stream.
+	Think       time.Duration
+	ThinkJitter time.Duration
+
+	// BaseURL drives an external server instead of the in-process
+	// stack. Network runs measure real sockets but cannot promise the
+	// deterministic section stays byte-identical (the server's own
+	// clock governs its speculation refreshes).
+	BaseURL string
+	// RealClock makes the in-process server use wall-clock time instead
+	// of the frozen trace clock — required when an overload Governor
+	// should see real latencies, at the cost of count determinism.
+	RealClock bool
+	// Faults injects transport faults (seeded); chaos runs are not
+	// byte-deterministic because workers consume the fault stream in
+	// completion order.
+	Faults faults.Config
+	// Timeout bounds each request attempt; Retry configures demand
+	// retries through one shared budget.
+	Timeout time.Duration
+	Retry   resilience.RetryConfig
+
+	// Overload installs an admission controller and governor on the
+	// in-process server; AdmissionTune adjusts the controller config
+	// before construction. With generous slots the controller admits
+	// everything and the run stays deterministic.
+	Overload      bool
+	AdmissionTune func(*overload.Config)
+	// ServerTune is the escape hatch for any other server knob.
+	ServerTune func(*httpspec.ServerConfig)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workload.Profile.Pages == 0 {
+		c.Workload = experiments.SmallWorkload()
+	}
+	if c.Seed == 0 {
+		c.Seed = c.Workload.Seed
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.WarmupFraction <= 0 || c.WarmupFraction >= 0.95 {
+		c.WarmupFraction = 0.3
+	}
+	if c.MaxPush == 0 {
+		c.MaxPush = 16
+	}
+	if c.SessionGapRequests == 0 {
+		c.SessionGapRequests = 50
+	}
+	if c.SessionGapRequests < 0 {
+		c.SessionGapRequests = 0
+	}
+	if c.Burst < 1 {
+		c.Burst = 1
+	}
+	if !c.Speculate {
+		c.Mode = httpspec.ModePush
+		c.Cooperative = false
+		c.PrefetchThreshold = 0
+	}
+	return c
+}
+
+func modeName(m httpspec.Mode) string {
+	switch m {
+	case httpspec.ModeHints:
+		return "hints"
+	case httpspec.ModeHybrid:
+		return "hybrid"
+	}
+	return "push"
+}
+
+// run is the shared state of one arm.
+type run struct {
+	cfg     Config
+	base    string
+	hc      *http.Client
+	srv     *httpspec.Server // nil in network mode
+	clients map[trace.ClientID]*Client
+	// order preserves first-appearance order for deterministic
+	// aggregation (map iteration order must not leak into anything).
+	order []trace.ClientID
+}
+
+// Client pairs the protocol client with its warmup snapshot and session
+// counter.
+type Client struct {
+	c            *httpspec.Client
+	warmup       httpspec.ClientStats
+	sinceSession int
+}
+
+// workerResult is one worker's wall-clock ledger.
+type workerResult struct {
+	hist       *Hist
+	errors     int64
+	missDurSum time.Duration
+	missCount  int64
+}
+
+// Run executes one arm: build the workload, stand up the stack, replay
+// the warmup sequentially on trace time, freeze the speculation model,
+// then drive the measurement phase from Workers concurrent client
+// drivers. The returned Result's Counts and Ratios are deterministic for
+// a given config (virtual clock, no faults); Timing is wall-clock.
+func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
+	cfg = cfg.withDefaults()
+	info := ConfigInfo{
+		Profile:            cfg.Workload.Profile.Name,
+		Days:               cfg.Workload.Days,
+		SessionsPerDay:     cfg.Workload.SessionsPerDay,
+		Seed:               cfg.Seed,
+		Workers:            cfg.Workers,
+		WarmupFraction:     cfg.WarmupFraction,
+		Mode:               modeName(cfg.Mode),
+		MaxPush:            cfg.MaxPush,
+		Cooperative:        cfg.Cooperative,
+		PrefetchThreshold:  cfg.PrefetchThreshold,
+		SessionGapRequests: cfg.SessionGapRequests,
+		Reps:               cfg.Reps,
+		OpenLoop:           cfg.OpenLoop,
+		Rate:               cfg.Rate,
+		Burst:              cfg.Burst,
+		ThinkMS:            float64(cfg.Think) / 1e6,
+		RealClock:          cfg.RealClock,
+		Network:            cfg.BaseURL != "",
+		Chaos:              cfg.Faults.Enabled(),
+		Overload:           cfg.Overload,
+	}
+
+	wl, err := experiments.Build(cfg.Workload)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	n := wl.Trace.Len()
+	if n == 0 {
+		return nil, nil, info, fmt.Errorf("loadgen: empty trace")
+	}
+	warmN := int(cfg.WarmupFraction * float64(n))
+	winfo := &WorkloadInfo{
+		Pages:    wl.Site.NumPages(),
+		Clients:  len(wl.Trace.Clients()),
+		Trace:    n,
+		Warmup:   warmN,
+		Measured: n - warmN,
+		Bytes:    wl.Site.TotalBytes(),
+	}
+
+	r := &run{cfg: cfg, clients: make(map[trace.ClientID]*Client)}
+
+	// The virtual clock: warmup advances it along trace time; after the
+	// freeze every server-side timestamp is the warmup boundary, so the
+	// engine never auto-refreshes mid-measurement and its speculation
+	// model stays the frozen snapshot.
+	var vnow atomic.Int64
+	vnow.Store(wl.Trace.Requests[0].Time.UnixNano())
+	vclock := func() time.Time { return time.Unix(0, vnow.Load()) }
+
+	// maybeFaulty wraps a transport with the seeded fault injector when
+	// any chaos knob is set.
+	maybeFaulty := func(rt http.RoundTripper, reg *obs.Registry) http.RoundTripper {
+		if !cfg.Faults.Enabled() {
+			return rt
+		}
+		fcfg := cfg.Faults
+		fcfg.Metrics = reg
+		return faults.New(fcfg).Transport(rt)
+	}
+
+	if cfg.BaseURL != "" {
+		r.base = cfg.BaseURL
+		r.hc = &http.Client{Transport: maybeFaulty(nil, nil)}
+	} else {
+		store := httpspec.NewSiteStore(wl.Site)
+		scfg := httpspec.DefaultServerConfig()
+		scfg.Mode = cfg.Mode
+		scfg.MaxPush = cfg.MaxPush
+		scfg.Metrics = obs.NewRegistry()
+		scfg.Tracer = obs.NewTracer(64)
+		if cfg.RealClock {
+			scfg.Clock = nil // time.Now
+		} else {
+			scfg.Clock = vclock
+			store.SetClock(vclock)
+		}
+		if cfg.Overload {
+			ocfg := overload.Config{Clock: scfg.Clock, Metrics: scfg.Metrics}
+			if cfg.AdmissionTune != nil {
+				cfg.AdmissionTune(&ocfg)
+			}
+			scfg.Admission = overload.NewController(ocfg)
+			scfg.Governor = overload.NewGovernor(overload.GovernorConfig{
+				Clock:    scfg.Clock,
+				Metrics:  scfg.Metrics,
+				Pressure: nil,
+			})
+		}
+		if cfg.ServerTune != nil {
+			cfg.ServerTune(&scfg)
+		}
+		srv, err := httpspec.NewServer(store, scfg)
+		if err != nil {
+			return nil, nil, info, err
+		}
+		r.srv = srv
+		r.base = "http://specbench.invalid"
+		r.hc = &http.Client{Transport: maybeFaulty(NewHandlerTransport(srv), scfg.Metrics)}
+	}
+
+	// One retrier shares the retry budget across all clients, as in
+	// cmd/replay.
+	var retrier *resilience.Retrier
+	if cfg.Retry.MaxAttempts > 1 {
+		retrier = resilience.NewRetrier(cfg.Retry)
+	}
+	for _, id := range wl.Trace.Clients() {
+		r.order = append(r.order, id)
+		r.clients[id] = &Client{c: httpspec.NewClient(r.base, httpspec.ClientConfig{
+			ID:                string(id),
+			AcceptBundles:     cfg.Speculate,
+			Cooperative:       cfg.Cooperative,
+			PrefetchThreshold: cfg.PrefetchThreshold,
+			HTTP:              r.hc,
+			Timeout:           cfg.Timeout,
+			Retrier:           retrier,
+		})}
+	}
+
+	// Warmup: sequential, on trace time. Auto-refreshes fire exactly as
+	// the recorded timestamps dictate.
+	var warmupErrors int64
+	for i := 0; i < warmN; i++ {
+		req := &wl.Trace.Requests[i]
+		vnow.Store(req.Time.UnixNano())
+		cl := r.clients[req.Client]
+		r.sessionGap(cl)
+		if _, _, err := cl.c.Get(req.Path); err != nil {
+			warmupErrors++
+		}
+	}
+	freezeAt := wl.Trace.Requests[0].Time
+	if warmN > 0 {
+		freezeAt = wl.Trace.Requests[warmN-1].Time
+	}
+	vnow.Store(freezeAt.UnixNano())
+	if r.srv != nil {
+		r.srv.Engine().Refresh(freezeAt)
+	}
+	for _, id := range r.order {
+		cl := r.clients[id]
+		cl.warmup = cl.c.Stats()
+	}
+
+	// Measurement: partition the remaining requests by owning worker
+	// (stable client hash), preserving per-client order.
+	queues := make([][]int, cfg.Workers)
+	for i := warmN; i < n; i++ {
+		w := workerOf(wl.Trace.Requests[i].Client, cfg.Workers)
+		queues[w] = append(queues[w], i)
+	}
+
+	results := make([]*workerResult, cfg.Workers)
+	root := stats.NewRNG(cfg.Seed).Split("loadgen")
+	start := time.Now()
+	if cfg.OpenLoop && cfg.Rate > 0 {
+		r.runOpenLoop(wl.Trace, queues, results)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results[w] = r.closedWorker(wl.Trace, queues[w],
+					root.Split(fmt.Sprintf("worker-%d", w)))
+			}(w)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	res := r.aggregate(results, elapsed, warmupErrors)
+	if cfg.Overload && r.srv != nil {
+		ov := r.srv.OverloadStats()
+		res.Overload = &ov
+	}
+	return res, winfo, info, nil
+}
+
+// RunReport executes cfg as the report's speculative arm and, when
+// withBaseline and cfg.Speculate, the identical workload once more with
+// speculation off — the paper's baseline — then assembles the BENCH
+// report with the arm-relative timing comparison.
+func RunReport(cfg Config, withBaseline bool) (*Report, error) {
+	specRes, winfo, cinfo, err := runBest(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Schema: ReportSchema, Config: cinfo, Workload: *winfo, Spec: specRes}
+	if withBaseline && cfg.Speculate {
+		b := cfg
+		b.Speculate = false
+		baseRes, _, _, err := runBest(b)
+		if err != nil {
+			return nil, err
+		}
+		rep.Baseline = baseRes
+		if st, bt := specRes.Timing, baseRes.Timing; st != nil && bt != nil &&
+			bt.Latency.P99 > 0 && bt.Throughput > 0 {
+			rep.Relative = &Relative{
+				P99Ratio:        st.Latency.P99 / bt.Latency.P99,
+				ThroughputRatio: st.Throughput / bt.Throughput,
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runBest executes one arm cfg.Reps times, keeping the first rep's
+// result with the fastest rep's Timing substituted in. Counts are
+// byte-identical across fault-free reps, so this sharpens only the
+// wall-clock section.
+func runBest(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
+	res, winfo, cinfo, err := Run(cfg)
+	if err != nil {
+		return nil, nil, cinfo, err
+	}
+	for i := 1; i < cfg.Reps; i++ {
+		again, _, _, err := Run(cfg)
+		if err != nil {
+			return nil, nil, cinfo, err
+		}
+		if t := again.Timing; t != nil &&
+			(res.Timing == nil || t.Throughput > res.Timing.Throughput) {
+			res.Timing = t
+		}
+	}
+	return res, winfo, cinfo, nil
+}
+
+// sessionGap applies the request-count session purge; callers own the
+// client (dispatcher during warmup, the owning worker afterwards).
+func (r *run) sessionGap(cl *Client) {
+	if r.cfg.SessionGapRequests > 0 && cl.sinceSession >= r.cfg.SessionGapRequests {
+		cl.c.EndSession()
+		cl.sinceSession = 0
+	}
+	cl.sinceSession++
+}
+
+// workerOf assigns a client to a worker by stable hash, so the partition
+// does not depend on trace position or map order.
+func workerOf(id trace.ClientID, workers int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum32() % uint32(workers))
+}
+
+// closedWorker walks its queue back-to-back with optional think time.
+func (r *run) closedWorker(tr *trace.Trace, queue []int, rng *stats.RNG) *workerResult {
+	res := &workerResult{hist: NewHist()}
+	for _, idx := range queue {
+		req := &tr.Requests[idx]
+		cl := r.clients[req.Client]
+		r.sessionGap(cl)
+		if d := r.think(rng); d > 0 {
+			time.Sleep(d)
+		}
+		start := time.Now()
+		_, fromCache, err := cl.c.Get(req.Path)
+		res.observe(time.Since(start), fromCache, err)
+	}
+	return res
+}
+
+func (r *run) think(rng *stats.RNG) time.Duration {
+	d := r.cfg.Think
+	if j := r.cfg.ThinkJitter; j > 0 {
+		d += time.Duration(rng.Float64() * float64(j))
+	}
+	return d
+}
+
+func (res *workerResult) observe(d time.Duration, fromCache bool, err error) {
+	if err != nil {
+		if !errors.Is(err, httpspec.ErrShed) {
+			res.errors++
+		}
+		return
+	}
+	res.hist.Observe(d)
+	if !fromCache {
+		res.missDurSum += d
+		res.missCount++
+	}
+}
+
+// openItem is one paced arrival.
+type openItem struct {
+	idx int
+	at  time.Time
+}
+
+// runOpenLoop paces arrivals at Rate/Burst and hands each to its owning
+// worker; workers drain their channels sequentially, so per-client order
+// holds while the dispatcher never waits for responses. Latency is
+// charged from the scheduled arrival time.
+func (r *run) runOpenLoop(tr *trace.Trace, queues [][]int, results []*workerResult) {
+	cfg := r.cfg
+	interval := time.Duration(float64(cfg.Burst) / cfg.Rate * float64(time.Second))
+	chans := make([]chan openItem, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		chans[w] = make(chan openItem, len(queues[w])+1)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &workerResult{hist: NewHist()}
+			for it := range chans[w] {
+				req := &tr.Requests[it.idx]
+				cl := r.clients[req.Client]
+				r.sessionGap(cl)
+				_, fromCache, err := cl.c.Get(req.Path)
+				res.observe(time.Since(it.at), fromCache, err)
+			}
+			results[w] = res
+		}(w)
+	}
+	next := time.Now()
+	dispatched := 0
+	// Walk measurement requests in global order for pacing.
+	total := 0
+	for _, q := range queues {
+		total += len(q)
+	}
+	cursor := make([]int, cfg.Workers)
+	// Reconstruct global order by merging queue indexes (they are
+	// already globally ordered within each queue; the overall global
+	// order is by trace index).
+	for dispatched < total {
+		best, bestIdx := -1, -1
+		for w := 0; w < cfg.Workers; w++ {
+			if cursor[w] < len(queues[w]) {
+				if idx := queues[w][cursor[w]]; bestIdx == -1 || idx < bestIdx {
+					best, bestIdx = w, idx
+				}
+			}
+		}
+		if dispatched > 0 && dispatched%cfg.Burst == 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		chans[best] <- openItem{idx: bestIdx, at: next}
+		cursor[best]++
+		dispatched++
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+}
+
+// aggregate folds worker ledgers and client counters into the Result.
+func (r *run) aggregate(results []*workerResult, elapsed time.Duration, warmupErrors int64) *Result {
+	hist := NewHist()
+	var errors, missCount int64
+	var missDurSum time.Duration
+	for _, wr := range results {
+		if wr == nil {
+			continue
+		}
+		hist.Merge(wr.hist)
+		errors += wr.errors
+		missDurSum += wr.missDurSum
+		missCount += wr.missCount
+	}
+
+	var c Counts
+	c.Errors = errors
+	for _, id := range r.order {
+		cl := r.clients[id]
+		cs, ws := cl.c.Stats(), cl.warmup
+		c.Requests += cs.Fetches - ws.Fetches
+		c.CacheHits += cs.CacheHits - ws.CacheHits
+		c.SpecHits += cs.SpecHits - ws.SpecHits
+		c.Pushed += cs.Pushed - ws.Pushed
+		c.Prefetched += cs.Prefetched - ws.Prefetched
+		c.Shed += cs.Shed - ws.Shed
+		c.Retries += cs.Retries - ws.Retries
+		c.StaleServes += cs.StaleServes - ws.StaleServes
+		c.BytesIn += cs.BytesIn - ws.BytesIn
+		c.DemandBytes += cs.DemandBytes - ws.DemandBytes
+		c.MissBytes += cs.MissBytes - ws.MissBytes
+		c.SpecHitBytes += cs.SpecHitBytes - ws.SpecHitBytes
+	}
+	c.BaselineBytes = c.MissBytes + c.SpecHitBytes
+	c.WarmupErrors = warmupErrors
+
+	ratios := Ratios{
+		Bandwidth:    ratio(float64(c.BytesIn), float64(c.BaselineBytes)),
+		ServerLoad:   ratio(float64(c.Requests-c.CacheHits+c.Prefetched), float64(c.Requests-c.CacheHits+c.SpecHits)),
+		ByteMissRate: ratio(float64(c.MissBytes), float64(c.BaselineBytes)),
+	}
+
+	timing := &Timing{
+		DurationSeconds: elapsed.Seconds(),
+		Latency:         quantiles(hist),
+		Histogram:       hist.Buckets(),
+		ServiceTime:     1,
+	}
+	if elapsed > 0 {
+		timing.Throughput = float64(hist.Count()) / elapsed.Seconds()
+	}
+	if n := hist.Count(); n > 0 {
+		var meanMiss time.Duration
+		if missCount > 0 {
+			meanMiss = missDurSum / time.Duration(missCount)
+		}
+		observed := float64(hist.sum)
+		baseline := observed + float64(c.SpecHits)*float64(meanMiss)
+		timing.ServiceTime = ratio(observed, baseline)
+	}
+
+	return &Result{Counts: c, Ratios: ratios, Timing: timing}
+}
+
+func ratio(spec, baseline float64) float64 {
+	if baseline <= 0 {
+		return 1
+	}
+	return spec / baseline
+}

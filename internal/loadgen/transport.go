@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// handlerTransport is an http.RoundTripper that invokes an http.Handler
+// directly — no sockets, no syscalls — so in-process benches measure the
+// speculative stack, not the loopback interface. The full protocol
+// surface (headers, status, multipart bundle bodies) passes through
+// unchanged.
+type handlerTransport struct {
+	h http.Handler
+}
+
+// NewHandlerTransport wraps handler as a RoundTripper.
+func NewHandlerTransport(h http.Handler) http.RoundTripper {
+	return handlerTransport{h: h}
+}
+
+// responseRecorder is the minimal ResponseWriter the speculative server
+// needs (it never hijacks or flushes mid-request).
+type responseRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.body.Write(p)
+}
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL == nil {
+		return nil, fmt.Errorf("loadgen: request without URL")
+	}
+	inner := req.Clone(req.Context())
+	if inner.Body == nil {
+		inner.Body = http.NoBody
+	}
+	rec := &responseRecorder{header: make(http.Header)}
+	t.h.ServeHTTP(rec, inner)
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	body := rec.body.Bytes()
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", rec.status, http.StatusText(rec.status)),
+		StatusCode:    rec.status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}, nil
+}
