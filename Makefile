@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build vet test race chaos overload bench bench-short \
-	specbench bench-run bench-gate bench-baseline golden clean
+	bench-smoke specbench bench-run bench-gate bench-baseline golden clean
 
 all: vet build test
 
@@ -42,6 +42,17 @@ bench:
 # Small workload; seconds.
 bench-short:
 	$(GO) test -short -bench=. -benchmem -run=^$$ .
+
+# Hot-path micro-benchmarks under the race detector: a fixed iteration
+# count (-benchtime=100x) makes this a correctness smoke test of the
+# lock-free read path, not a timing run — it catches races and alloc
+# regressions cheaply in CI.
+bench-smoke:
+	$(GO) test -race -run '^$$' -benchtime=100x -cpu 1,4,8 \
+		-bench 'BenchmarkEngine' ./internal/core/
+	$(GO) test -race -run '^$$' -benchtime=5x \
+		-bench 'BenchmarkClosureSerial|BenchmarkClosureParallel|BenchmarkFreeze|BenchmarkFrozenThresholdRow' \
+		./internal/markov/
 
 # Deterministic load-generation benchmark (cmd/specbench). bench-run
 # writes BENCH.json; bench-gate additionally fails on regression against

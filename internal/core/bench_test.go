@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -10,26 +11,32 @@ import (
 )
 
 // BenchmarkEngineRecord measures the online request-ingestion hot path.
+// Run with -cpu 1,4,8 to see shard-striping scale across writers.
 func BenchmarkEngineRecord(b *testing.B) {
 	cfg := DefaultEngineConfig()
 	e, err := NewEngine(cfg, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
-	at := time.Date(1995, time.May, 1, 0, 0, 0, 0, time.UTC)
-	clients := make([]trace.ClientID, 64)
-	for i := range clients {
-		clients[i] = trace.ClientID(fmt.Sprintf("c%02d", i))
-	}
+	base := time.Date(1995, time.May, 1, 0, 0, 0, 0, time.UTC)
+	var gid atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Record(clients[i%64], webgraph.DocID(i%500), at)
-		at = at.Add(time.Second)
-	}
+	b.RunParallel(func(pb *testing.PB) {
+		// One client per goroutine: each maps to a stable shard, so
+		// contention reflects real per-client streams.
+		client := trace.ClientID(fmt.Sprintf("c%02d", gid.Add(1)))
+		at, i := base, 0
+		for pb.Next() {
+			e.Record(client, webgraph.DocID(i%500), at)
+			at = at.Add(time.Millisecond)
+			i++
+		}
+	})
 }
 
-// BenchmarkEngineSpeculate measures the per-request policy query.
-func BenchmarkEngineSpeculate(b *testing.B) {
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
 	cfg := DefaultEngineConfig()
 	cfg.MinOccurrences = 2
 	e, err := NewEngine(cfg, nil)
@@ -46,12 +53,43 @@ func BenchmarkEngineSpeculate(b *testing.B) {
 		at = at.Add(time.Hour)
 	}
 	e.Refresh(at)
+	return e
+}
+
+// BenchmarkEngineSpeculate measures the per-request policy query on the
+// lock-free snapshot path. Run with -cpu 1,4,8: throughput should scale
+// near-linearly and allocs/op must stay 0.
+func BenchmarkEngineSpeculate(b *testing.B) {
+	e := benchEngine(b)
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if got := e.Speculate(1, nil); len(got) == 0 {
-			b.Fatal("nothing learned")
+	b.RunParallel(func(pb *testing.PB) {
+		d := AcquireDecision()
+		defer ReleaseDecision(d)
+		for pb.Next() {
+			e.SpeculateInto(d, 1, nil)
+			if len(d.Push) == 0 {
+				b.Fatal("nothing learned")
+			}
 		}
-	}
+	})
+}
+
+// BenchmarkEngineHints measures the hint-building variant of the read path.
+func BenchmarkEngineHints(b *testing.B) {
+	e := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		d := AcquireDecision()
+		defer ReleaseDecision(d)
+		for pb.Next() {
+			e.HintsInto(d, 1, nil)
+			if len(d.Hints) == 0 {
+				b.Fatal("nothing learned")
+			}
+		}
+	})
 }
 
 // BenchmarkReplicatorRecord measures popularity tracking throughput.

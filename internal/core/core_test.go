@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"specweb/internal/speculation"
 	"specweb/internal/trace"
 	"specweb/internal/webgraph"
 )
@@ -313,6 +315,144 @@ func TestEngineSetTpRace(t *testing.T) {
 	if tp := e.Tp(); tp < 0 || tp > 1 {
 		t.Errorf("Tp() = %v outside [0,1] after hammering", tp)
 	}
+}
+
+// TestEngineShardedRecordDeterminism feeds the same per-client request
+// streams once sequentially and once from concurrent goroutines (one per
+// client, so per-client order holds, as in any real server) and demands
+// byte-identical speculation decisions after refresh — the acceptance bar
+// for the sharded ingestion path.
+func TestEngineShardedRecordDeterminism(t *testing.T) {
+	build := func(concurrent bool) *Engine {
+		cfg := DefaultEngineConfig()
+		cfg.MinOccurrences = 2
+		// One explicit refresh at the end: auto-refresh timing depends on
+		// request interleaving (as it always has — the loadgen harness
+		// trains sequentially for the same reason), which is not what
+		// this test pins.
+		cfg.RefreshEvery = 5000 * time.Hour
+		e := newTestEngine(t, cfg)
+		var wg sync.WaitGroup
+		for c := 0; c < 16; c++ {
+			feed := func(c int) {
+				at := t0.Add(time.Duration(c) * time.Minute)
+				client := trace.ClientID(fmt.Sprintf("client-%02d", c))
+				for i := 0; i < 50; i++ {
+					e.Record(client, 1, at)
+					e.Record(client, webgraph.DocID(2+(c+i)%3), at.Add(time.Second))
+					if c%2 == 0 {
+						e.Record(client, 3, at.Add(2*time.Second))
+					}
+					at = at.Add(time.Hour)
+				}
+			}
+			if concurrent {
+				wg.Add(1)
+				go func(c int) { defer wg.Done(); feed(c) }(c)
+			} else {
+				feed(c)
+			}
+		}
+		wg.Wait()
+		e.Refresh(t0.Add(100 * 24 * time.Hour))
+		return e
+	}
+	seq := build(false)
+	con := build(true)
+	if s, c := seq.Stats(), con.Stats(); s.Recorded != c.Recorded || s.Pairs != c.Pairs || s.Docs != c.Docs {
+		t.Fatalf("stats diverge: sequential %+v concurrent %+v", s, c)
+	}
+	for doc := webgraph.DocID(1); doc <= 5; doc++ {
+		a := seq.Hints(doc, nil)
+		b := con.Hints(doc, nil)
+		if len(a) != len(b) {
+			t.Fatalf("doc %d: sequential %v vs concurrent %v", doc, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("doc %d hint %d: sequential %+v vs concurrent %+v", doc, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestEngineDecisionPathAllocFree pins the tentpole acceptance criterion:
+// a warm pooled Decision makes Speculate/Hints/Split allocation-free.
+func TestEngineDecisionPathAllocFree(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	e := newTestEngine(t, cfg)
+	feedPattern(e, 20, 3)
+	d := AcquireDecision()
+	defer ReleaseDecision(d)
+	e.SplitInto(d, 1, nil) // warm the buffers
+	for name, fn := range map[string]func(){
+		"SpeculateInto": func() { e.SpeculateInto(d, 1, nil) },
+		"HintsInto":     func() { e.HintsInto(d, 1, nil) },
+		"SplitInto":     func() { e.SplitInto(d, 1, nil) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %v per op, want 0", name, allocs)
+		}
+	}
+	e.SpeculateInto(d, 1, nil)
+	if len(d.Push) == 0 {
+		t.Fatal("nothing speculated")
+	}
+}
+
+// TestDecisionPoolRecycles checks Release clears the buffers and Acquire
+// hands back a usable Decision.
+func TestDecisionPoolRecycles(t *testing.T) {
+	d := AcquireDecision()
+	d.Push = append(d.Push, 1, 2, 3)
+	d.Hints = append(d.Hints, speculation.Hint{Doc: 1, P: 0.5})
+	ReleaseDecision(d)
+	got := AcquireDecision()
+	defer ReleaseDecision(got)
+	if len(got.Push) != 0 || len(got.Hints) != 0 {
+		t.Errorf("pooled decision not reset: %d push, %d hints", len(got.Push), len(got.Hints))
+	}
+	ReleaseDecision(nil) // must not panic
+}
+
+// TestEngineSnapshotCutover checks a knob change republishes atomically:
+// decisions concurrent with SetTp see a coherent old or new snapshot.
+func TestEngineSnapshotCutover(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.MinOccurrences = 2
+	cfg.Tp = 0.1
+	e := newTestEngine(t, cfg)
+	// 1→2 always, 1→3 half the time: two distinct probability levels.
+	at := t0
+	for i := 0; i < 40; i++ {
+		e.Record("c", 1, at)
+		e.Record("c", 2, at.Add(time.Second))
+		if i%2 == 0 {
+			e.Record("c", 3, at.Add(2*time.Second))
+		}
+		at = at.Add(time.Hour)
+	}
+	e.Refresh(at)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = e.SetTp(0.1)
+			_ = e.SetTp(0.9)
+		}
+	}()
+	d := AcquireDecision()
+	defer ReleaseDecision(d)
+	for i := 0; i < 2000; i++ {
+		e.SpeculateInto(d, 1, nil)
+		// Tp=0.1 admits {2,3}; Tp=0.9 admits {2}. Anything else means a
+		// torn snapshot.
+		if n := len(d.Push); n != 1 && n != 2 {
+			t.Fatalf("torn decision: %v", d.Push)
+		}
+	}
+	<-done
 }
 
 func TestReplicatorRankingAndReplicaSet(t *testing.T) {

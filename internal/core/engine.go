@@ -13,13 +13,19 @@
 // model, and produces replica sets and per-server storage allocations for
 // service proxies.
 //
-// Both types are safe for concurrent use.
+// Both types are safe for concurrent use. The engine's decision path
+// (Speculate/Hints/Split and their *Into variants) is lock-free: decisions
+// read an immutable {frozen matrix, policy, size cache} snapshot published
+// through an atomic pointer, and Record appends to striped shard buffers,
+// so concurrent requests contend on nothing but their own shard.
 package core
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"specweb/internal/markov"
@@ -51,6 +57,10 @@ type EngineConfig struct {
 	// EmbedThreshold splits hybrid responses: candidates at or above it
 	// are pushed, the rest hinted.
 	EmbedThreshold float64
+
+	// RecordShards overrides the number of striped ingestion buffers
+	// (rounded up to a power of two); 0 sizes them from GOMAXPROCS.
+	RecordShards int
 
 	// Metrics selects the registry the engine's metrics register in;
 	// nil means the process-wide obs.Default.
@@ -86,6 +96,9 @@ func (c *EngineConfig) Validate() error {
 	if c.Tp < 0 || c.Tp > 1 {
 		return fmt.Errorf("core: Tp %v outside [0,1]", c.Tp)
 	}
+	if c.RecordShards < 0 {
+		return fmt.Errorf("core: RecordShards %d negative", c.RecordShards)
+	}
 	return nil
 }
 
@@ -93,19 +106,59 @@ func (c *EngineConfig) Validate() error {
 // Engines consult it for the MaxSize provision.
 type SizeFunc func(webgraph.DocID) (int64, bool)
 
+// snapshot is the engine's immutable read-path state: one frozen matrix,
+// the policy compiled over it with the knobs in force, and the size cache
+// resolved at publish time so decisions never call back into the store.
+// A new snapshot is published on every refresh and every knob change;
+// readers load it once per decision and never take a lock.
+type snapshot struct {
+	frozen *markov.Frozen
+	policy speculation.Policy
+	// sizes caches SizeFunc results for every successor in frozen;
+	// nil when the engine has no SizeFunc. Docs the SizeFunc does not
+	// know are absent (treated as size-unknown, never filtered).
+	sizes map[webgraph.DocID]int64
+
+	tp      float64
+	embed   float64
+	maxSize int64
+	pairs   int
+	docs    int
+}
+
+// recordShard is one striped ingestion buffer. The padding keeps adjacent
+// shards on separate cache lines so uncontended shard locks do not falsely
+// share.
+type recordShard struct {
+	mu   sync.Mutex
+	reqs []trace.Request
+	_    [64]byte
+}
+
 // Engine is the online speculative-service engine.
 type Engine struct {
 	cfg  EngineConfig
 	size SizeFunc
 	met  *engineMetrics
 
-	mu          sync.Mutex
-	buffer      *trace.Trace // requests since the last refresh
-	aging       *markov.Aging
-	current     *markov.Matrix
-	lastRefresh time.Time
-	started     bool
-	recorded    int64
+	// snap is the RCU-style published decision state.
+	snap atomic.Pointer[snapshot]
+
+	// Ingestion: Record hashes the client onto a shard and appends under
+	// that shard's lock only; the refresh cycle drains and merges all
+	// shards under mu.
+	shards    []recordShard
+	shardMask uint32
+
+	recorded    atomic.Int64
+	lastRefresh atomic.Int64 // unix nanos; 0 = never
+	started     atomic.Bool
+
+	// mu serializes the write path: refreshes (drain + AddDay + publish)
+	// and knob changes (republish). The read path never takes it.
+	mu    sync.Mutex
+	aging *markov.Aging
+	carry *trace.Trace // open strides carried across refreshes
 }
 
 // engineMetrics are the engine's observability series. Decision counters
@@ -137,6 +190,27 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	}
 }
 
+// shardCount picks the stripe width: enough shards that concurrent clients
+// rarely collide, bounded so the refresh drain stays cheap.
+func shardCount(configured int) int {
+	n := configured
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0) * 2
+	}
+	if n < 4 {
+		n = 4
+	}
+	if n > 128 {
+		n = 128
+	}
+	// Round up to a power of two so the shard pick is a mask, not a mod.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // NewEngine builds an engine. size may be nil when MaxSize is unused.
 func NewEngine(cfg EngineConfig, size SizeFunc) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
@@ -156,25 +230,41 @@ func NewEngine(cfg EngineConfig, size SizeFunc) (*Engine, error) {
 	}
 	ag := markov.NewAging(decay, est)
 	ag.Transitive = true // the engine speculates on P*, per the baseline
-	return &Engine{
-		cfg:     cfg,
-		size:    size,
-		met:     newEngineMetrics(cfg.Metrics),
-		buffer:  &trace.Trace{},
-		aging:   ag,
-		current: markov.NewMatrix(),
-	}, nil
+	n := shardCount(cfg.RecordShards)
+	e := &Engine{
+		cfg:       cfg,
+		size:      size,
+		met:       newEngineMetrics(cfg.Metrics),
+		shards:    make([]recordShard, n),
+		shardMask: uint32(n - 1),
+		aging:     ag,
+		carry:     &trace.Trace{},
+	}
+	e.installLocked(markov.Freeze(markov.NewMatrix()), nil)
+	return e, nil
+}
+
+// shardOf hashes a client onto its stripe (FNV-1a, allocation-free).
+func shardOf(c trace.ClientID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(c); i++ {
+		h = (h ^ uint32(c[i])) * 16777619
+	}
+	return h
 }
 
 // Record observes one client-initiated request. Times should be
 // non-decreasing; a refresh happens automatically when RefreshEvery has
-// elapsed since the last one.
+// elapsed since the last one. Concurrent requests from different clients
+// land on different shard buffers and never contend.
 func (e *Engine) Record(client trace.ClientID, doc webgraph.DocID, at time.Time) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.started {
-		e.lastRefresh = at
-		e.started = true
+	if !e.started.Load() {
+		e.mu.Lock()
+		if !e.started.Load() {
+			e.lastRefresh.Store(at.UnixNano())
+			e.started.Store(true)
+		}
+		e.mu.Unlock()
 	}
 	var size int64
 	if e.size != nil {
@@ -182,14 +272,36 @@ func (e *Engine) Record(client trace.ClientID, doc webgraph.DocID, at time.Time)
 			size = s
 		}
 	}
-	e.buffer.Requests = append(e.buffer.Requests, trace.Request{
+	sh := &e.shards[shardOf(client)&e.shardMask]
+	sh.mu.Lock()
+	sh.reqs = append(sh.reqs, trace.Request{
 		Time: at, Client: client, Doc: doc, Size: size,
 	})
-	e.recorded++
+	sh.mu.Unlock()
+	e.recorded.Add(1)
 	e.met.recorded.Inc()
-	if at.Sub(e.lastRefresh) >= e.cfg.RefreshEvery {
-		e.refreshLocked(at)
+	if at.Sub(e.lastRefreshTime()) >= e.cfg.RefreshEvery {
+		e.maybeRefresh(at)
 	}
+}
+
+func (e *Engine) lastRefreshTime() time.Time {
+	ns := e.lastRefresh.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// maybeRefresh re-checks the refresh deadline under the write lock, so a
+// burst of requests crossing the boundary triggers exactly one cycle.
+func (e *Engine) maybeRefresh(at time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if at.Sub(e.lastRefreshTime()) < e.cfg.RefreshEvery {
+		return
+	}
+	e.refreshLocked(at)
 }
 
 // Refresh folds the buffered requests into the aged estimate immediately.
@@ -200,22 +312,83 @@ func (e *Engine) Refresh(at time.Time) {
 }
 
 func (e *Engine) refreshLocked(at time.Time) {
-	e.buffer.SortByTime()
+	// Drain the shard buffers into one trace, merging with the open
+	// strides carried from the previous refresh. Per-client order is
+	// preserved: a client maps to exactly one shard, and the sort below
+	// is stable.
+	buf := e.carry
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		buf.Requests = append(buf.Requests, sh.reqs...)
+		if cap(sh.reqs) > 1<<16 {
+			sh.reqs = nil // don't pin a giant buffer across quiet cycles
+		} else {
+			sh.reqs = sh.reqs[:0]
+		}
+		sh.mu.Unlock()
+	}
+	buf.SortByTime()
 	// Strides still open at the refresh instant (their last request is
 	// within StrideTimeout of now) are carried into the next buffer
 	// rather than finalized — otherwise a refresh landing mid-stride
 	// would permanently split the dependency pair across buffers.
-	flush, carry := splitOpenStrides(e.buffer, at, e.cfg.StrideTimeout)
+	flush, carry := splitOpenStrides(buf, at, e.cfg.StrideTimeout)
 	// AddDay never fails here: the config was validated at construction.
 	if err := e.aging.AddDay(flush); err != nil {
 		panic(fmt.Sprintf("core: refresh: %v", err))
 	}
-	e.current = e.aging.Snapshot()
-	e.buffer = carry
-	e.lastRefresh = at
+	e.carry = carry
+	e.lastRefresh.Store(at.UnixNano())
 	e.met.refreshes.Inc()
-	e.met.pairs.Set(float64(e.current.NumPairs()))
-	e.met.docs.Set(float64(e.current.NumRows()))
+	frozen := markov.Freeze(e.aging.Snapshot())
+	e.installLocked(frozen, e.snapshotSizes(frozen))
+	e.met.pairs.Set(float64(frozen.NumPairs()))
+	e.met.docs.Set(float64(frozen.NumRows()))
+}
+
+// snapshotSizes resolves the SizeFunc once per distinct successor at
+// publish time, so the decision path reads a plain map instead of calling
+// into the store.
+func (e *Engine) snapshotSizes(f *markov.Frozen) map[webgraph.DocID]int64 {
+	if e.size == nil {
+		return nil
+	}
+	sizes := make(map[webgraph.DocID]int64)
+	f.RangeRows(func(_ webgraph.DocID, row []markov.Successor) bool {
+		for _, s := range row {
+			if _, seen := sizes[s.Doc]; seen {
+				continue
+			}
+			if sz, ok := e.size(s.Doc); ok {
+				sizes[s.Doc] = sz
+			}
+		}
+		return true
+	})
+	return sizes
+}
+
+// installLocked compiles the policy over frozen with the knobs currently
+// in cfg and publishes the combined snapshot. Callers hold mu (or are the
+// constructor).
+func (e *Engine) installLocked(frozen *markov.Frozen, sizes map[webgraph.DocID]int64) {
+	var pol speculation.Policy
+	if e.cfg.TopK > 0 {
+		pol = speculation.TopK{M: frozen, K: e.cfg.TopK, MinP: e.cfg.Tp}
+	} else {
+		pol = speculation.Threshold{M: frozen, Tp: e.cfg.Tp}
+	}
+	e.snap.Store(&snapshot{
+		frozen:  frozen,
+		policy:  pol,
+		sizes:   sizes,
+		tp:      e.cfg.Tp,
+		embed:   e.cfg.EmbedThreshold,
+		maxSize: e.cfg.MaxSize,
+		pairs:   frozen.NumPairs(),
+		docs:    frozen.NumRows(),
+	})
 }
 
 // splitOpenStrides partitions buf into requests safe to finalize and the
@@ -246,46 +419,63 @@ func splitOpenStrides(buf *trace.Trace, at time.Time, strideTimeout time.Duratio
 	return flush, carry
 }
 
-// selector builds the policy view over the current matrix. Callers hold the
-// lock.
-func (e *Engine) selectorLocked() *speculation.Selector {
-	var pol speculation.Policy
-	if e.cfg.TopK > 0 {
-		pol = speculation.TopK{M: e.current, K: e.cfg.TopK, MinP: e.cfg.Tp}
-	} else {
-		pol = speculation.Threshold{M: e.current, Tp: e.cfg.Tp}
-	}
-	return &speculation.Selector{Policy: pol, Site: nil, MaxSize: 0}
+// Decision is a reusable buffer for one request's speculation outcome.
+// Acquire one from the pool, pass it to the *Into decision methods, and
+// Release it when the response has been written; the backing arrays are
+// recycled, which is what keeps the decision path allocation-free.
+type Decision struct {
+	Push  []webgraph.DocID
+	Hints []speculation.Hint
 }
 
-// filterSize applies the MaxSize provision using the engine's SizeFunc
-// (the speculation.Selector's own filter needs a *webgraph.Site, which an
-// online server may not have).
-func (e *Engine) filterSize(docs []markov.Successor) []markov.Successor {
-	if e.cfg.MaxSize <= 0 || e.size == nil {
-		return docs
-	}
-	out := docs[:0]
-	for _, d := range docs {
-		if s, ok := e.size(d.Doc); ok && s > e.cfg.MaxSize {
-			continue
-		}
-		out = append(out, d)
-	}
-	return out
+// Reset empties the buffers, keeping capacity.
+func (d *Decision) Reset() {
+	d.Push = d.Push[:0]
+	d.Hints = d.Hints[:0]
 }
 
-// candidatesLocked returns doc's speculation candidates with the
-// cooperative-digest filter applied, counting the candidates the digest
-// suppressed and the successors the policy left below T_p. Callers hold
-// the lock.
-func (e *Engine) candidatesLocked(doc webgraph.DocID, have map[webgraph.DocID]bool) []speculation.Hint {
-	cands := e.filterSize(e.selectorLocked().Policy.Candidates(doc))
-	if row := e.current.Row(doc); len(row) > len(cands) {
-		e.met.belowThreshold.Add(int64(len(row) - len(cands)))
+var decisionPool = sync.Pool{New: func() any { return new(Decision) }}
+
+// AcquireDecision returns a cleared Decision from the shared pool.
+func AcquireDecision() *Decision {
+	return decisionPool.Get().(*Decision)
+}
+
+// ReleaseDecision resets d and returns it to the pool. The caller must not
+// retain d.Push or d.Hints afterwards.
+func ReleaseDecision(d *Decision) {
+	if d == nil {
+		return
 	}
-	out := make([]speculation.Hint, 0, len(cands))
+	d.Reset()
+	decisionPool.Put(d)
+}
+
+// decideMode selects what decide appends where.
+type decideMode int
+
+const (
+	modePush decideMode = iota
+	modeHints
+	modeSplit
+)
+
+// decide evaluates the policy for doc against snap and appends the outcome
+// to d: pushes to d.Push, hints to d.Hints (modeSplit partitions at the
+// embed threshold). It applies the MaxSize provision from the snapshot's
+// size cache and the cooperative-digest filter, counting the candidates
+// the digest suppressed and the successors the policy left below T_p.
+// Lock-free and allocation-free given warm buffers.
+func (e *Engine) decide(snap *snapshot, d *Decision, doc webgraph.DocID, have map[webgraph.DocID]bool, mode decideMode) {
+	cands := snap.policy.Candidates(doc)
+	kept := 0
 	for _, c := range cands {
+		if snap.maxSize > 0 {
+			if sz, ok := snap.sizes[c.Doc]; ok && sz > snap.maxSize {
+				continue
+			}
+		}
+		kept++
 		if c.Doc == doc {
 			continue
 		}
@@ -293,65 +483,92 @@ func (e *Engine) candidatesLocked(doc webgraph.DocID, have map[webgraph.DocID]bo
 			e.met.digestSuppressed.Inc()
 			continue
 		}
-		var size int64
-		if e.size != nil {
-			size, _ = e.size(c.Doc)
+		switch mode {
+		case modePush:
+			d.Push = append(d.Push, c.Doc)
+		case modeHints:
+			d.Hints = append(d.Hints, speculation.Hint{Doc: c.Doc, P: c.P, Size: snap.sizes[c.Doc]})
+		case modeSplit:
+			if c.P >= snap.embed {
+				d.Push = append(d.Push, c.Doc)
+			} else {
+				d.Hints = append(d.Hints, speculation.Hint{Doc: c.Doc, P: c.P, Size: snap.sizes[c.Doc]})
+			}
 		}
-		out = append(out, speculation.Hint{Doc: c.Doc, P: c.P, Size: size})
 	}
-	return out
+	if n := snap.frozen.RowLen(doc); n > kept {
+		e.met.belowThreshold.Add(int64(n - kept))
+	}
+}
+
+// SpeculateInto fills d.Push with the documents to push along with doc,
+// excluding any the caller knows the client has (the cooperative digest;
+// may be nil). It takes no locks and, with a pooled Decision, allocates
+// nothing.
+func (e *Engine) SpeculateInto(d *Decision, doc webgraph.DocID, have map[webgraph.DocID]bool) {
+	d.Reset()
+	e.decide(e.snap.Load(), d, doc, have, modePush)
+	e.met.push.Add(int64(len(d.Push)))
+}
+
+// HintsInto fills d.Hints with the server-assisted prefetching list for
+// doc. Lock-free; allocation-free with a pooled Decision.
+func (e *Engine) HintsInto(d *Decision, doc webgraph.DocID, have map[webgraph.DocID]bool) {
+	d.Reset()
+	e.decide(e.snap.Load(), d, doc, have, modeHints)
+	e.met.hint.Add(int64(len(d.Hints)))
+}
+
+// SplitInto fills d with the hybrid response for doc: candidates at or
+// above EmbedThreshold in d.Push, the rest in d.Hints. Lock-free;
+// allocation-free with a pooled Decision.
+func (e *Engine) SplitInto(d *Decision, doc webgraph.DocID, have map[webgraph.DocID]bool) {
+	d.Reset()
+	e.decide(e.snap.Load(), d, doc, have, modeSplit)
+	e.met.push.Add(int64(len(d.Push)))
+	e.met.hint.Add(int64(len(d.Hints)))
 }
 
 // Speculate returns the documents to push along with doc, excluding any the
-// caller knows the client has (the cooperative digest; may be nil).
+// caller knows the client has (the cooperative digest; may be nil). The
+// returned slice is owned by the caller; servers on the hot path should
+// prefer SpeculateInto with a pooled Decision.
 func (e *Engine) Speculate(doc webgraph.DocID, have map[webgraph.DocID]bool) []webgraph.DocID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	cands := e.candidatesLocked(doc, have)
-	out := make([]webgraph.DocID, 0, len(cands))
-	for _, c := range cands {
-		out = append(out, c.Doc)
-	}
-	e.met.push.Add(int64(len(out)))
-	return out
+	var d Decision
+	e.SpeculateInto(&d, doc, have)
+	return d.Push
 }
 
 // Hints returns the server-assisted prefetching list for doc.
 func (e *Engine) Hints(doc webgraph.DocID, have map[webgraph.DocID]bool) []speculation.Hint {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := e.candidatesLocked(doc, have)
-	e.met.hint.Add(int64(len(out)))
-	return out
+	var d Decision
+	e.HintsInto(&d, doc, have)
+	return d.Hints
 }
 
 // Split returns the hybrid response for doc: candidates at or above
 // EmbedThreshold to push, the rest as hints.
 func (e *Engine) Split(doc webgraph.DocID, have map[webgraph.DocID]bool) (push []webgraph.DocID, hints []speculation.Hint) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, h := range e.candidatesLocked(doc, have) {
-		if h.P >= e.cfg.EmbedThreshold {
-			push = append(push, h.Doc)
-		} else {
-			hints = append(hints, h)
-		}
-	}
-	e.met.push.Add(int64(len(push)))
-	e.met.hint.Add(int64(len(hints)))
-	return push, hints
+	var d Decision
+	e.SplitInto(&d, doc, have)
+	return d.Push, d.Hints
 }
 
 // SetTp replaces the speculation threshold at runtime — the §3.4 knob an
 // overload governor turns as load climbs. The same range check as
-// Config.Validate applies: Tp outside [0,1] is rejected.
+// Config.Validate applies: Tp outside [0,1] is rejected. The change is
+// published as a fresh snapshot over the current frozen matrix, so
+// in-flight decisions see either the old or the new threshold, never a
+// mix.
 func (e *Engine) SetTp(tp float64) error {
 	if tp < 0 || tp > 1 {
 		return fmt.Errorf("core: Tp %v outside [0,1]", tp)
 	}
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.cfg.Tp = tp
-	e.mu.Unlock()
+	prev := e.snap.Load()
+	e.installLocked(prev.frozen, prev.sizes)
 	return nil
 }
 
@@ -366,17 +583,17 @@ func (e *Engine) SetLimits(maxSize int64, topK int) error {
 		return fmt.Errorf("core: TopK %d negative", topK)
 	}
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.cfg.MaxSize = maxSize
 	e.cfg.TopK = topK
-	e.mu.Unlock()
+	prev := e.snap.Load()
+	e.installLocked(prev.frozen, prev.sizes)
 	return nil
 }
 
 // Tp reports the threshold currently in force.
 func (e *Engine) Tp() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cfg.Tp
+	return e.snap.Load().tp
 }
 
 // Stats reports the engine's observable state.
@@ -389,12 +606,11 @@ type Stats struct {
 
 // Stats returns a snapshot of the engine state.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	snap := e.snap.Load()
 	return Stats{
-		Recorded:   e.recorded,
-		Pairs:      e.current.NumPairs(),
-		Docs:       e.current.NumRows(),
-		LastUpdate: e.lastRefresh,
+		Recorded:   e.recorded.Load(),
+		Pairs:      snap.pairs,
+		Docs:       snap.docs,
+		LastUpdate: e.lastRefreshTime(),
 	}
 }

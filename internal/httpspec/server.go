@@ -314,18 +314,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.met.digestDocs.Add(int64(len(have)))
 		have[id] = true // never push the requested document
 
+		// The engine's lock-free decision path: the pooled Decision's
+		// buffers back push/hints until the response is written, then
+		// recycle at request end.
+		d := core.AcquireDecision()
+		defer core.ReleaseDecision(d)
 		spec := s.tracer.StartChild("server.speculate", sp.ID())
 		switch s.cfg.Mode {
 		case ModePush:
-			push = s.engine.Speculate(id, have)
+			s.engine.SpeculateInto(d, id, have)
+			push = d.Push
 		case ModeHints:
-			for _, h := range s.engine.Hints(id, have) {
+			s.engine.HintsInto(d, id, have)
+			for _, h := range d.Hints {
 				hints = append(hints, hint{doc: h.Doc, p: h.P})
 			}
 		case ModeHybrid:
-			p, hs := s.engine.Split(id, have)
-			push = p
-			for _, h := range hs {
+			s.engine.SplitInto(d, id, have)
+			push = d.Push
+			for _, h := range d.Hints {
 				hints = append(hints, hint{doc: h.Doc, p: h.P})
 			}
 		}

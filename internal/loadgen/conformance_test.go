@@ -35,6 +35,40 @@ func TestConformanceMatrix(t *testing.T) {
 	}
 }
 
+// TestConformanceHighConcurrency pins the lock-free read path's determinism
+// under maximum goroutine pressure: a single-worker run and a 16-worker run
+// must produce the identical deterministic report. The speculation decision
+// path reads an immutable snapshot and takes no locks, so no interleaving of
+// concurrent readers may change a decision.
+func TestConformanceHighConcurrency(t *testing.T) {
+	leakcheck.Check(t)
+	for _, mode := range []struct {
+		name string
+		over bool
+	}{{"plain", false}, {"overload", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			serial := cellConfig(true, false, mode.over)
+			serial.Workers = 1
+			rep1, err := RunReport(serial, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wide := cellConfig(true, false, mode.over)
+			wide.Workers = 16
+			rep16, err := RunReport(wide, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := rep1.DeterministicJSON()
+			rep16.Config.Workers = rep1.Config.Workers
+			b, _ := rep16.DeterministicJSON()
+			if !bytes.Equal(a, b) {
+				t.Errorf("workers=1 vs workers=16 diverged:\n%s\n--- vs ---\n%s", a, b)
+			}
+		})
+	}
+}
+
 func cellConfig(spec, chaos, over bool) Config {
 	cfg := tinyConfig()
 	cfg.Speculate = spec

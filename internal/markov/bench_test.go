@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -63,6 +64,77 @@ func BenchmarkClosure(b *testing.B) {
 		m.Closure(1e-3, 1e-4, 6)
 	}
 	b.ReportMetric(float64(m.NumPairs()), "input_pairs")
+}
+
+// BenchmarkClosureSerial pins the single-worker closure as the baseline
+// for the parallel variant below.
+func BenchmarkClosureSerial(b *testing.B) {
+	tr := benchTrace(b)
+	m, err := Estimate(tr, DefaultEstimate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.closure(1e-3, 1e-4, 6, 1)
+	}
+	b.ReportMetric(float64(m.NumPairs()), "input_pairs")
+}
+
+// BenchmarkClosureParallel measures the row-parallel worker pool at full
+// width; compare against BenchmarkClosureSerial for the speedup.
+func BenchmarkClosureParallel(b *testing.B) {
+	tr := benchTrace(b)
+	m, err := Estimate(tr, DefaultEstimate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.closure(1e-3, 1e-4, 6, workers)
+	}
+	b.ReportMetric(float64(m.NumPairs()), "input_pairs")
+}
+
+// BenchmarkFreeze measures CSR snapshot construction (refresh-path cost).
+func BenchmarkFreeze(b *testing.B) {
+	tr := benchTrace(b)
+	m, err := Estimate(tr, DefaultEstimate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Freeze(m)
+	}
+	b.ReportMetric(float64(m.NumPairs()), "pairs")
+}
+
+// BenchmarkFrozenThresholdRow measures the zero-alloc binary-search cut on
+// a frozen row — the innermost operation of the request hot path.
+func BenchmarkFrozenThresholdRow(b *testing.B) {
+	tr := benchTrace(b)
+	m, err := Estimate(tr, DefaultEstimate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := Freeze(m)
+	var widest webgraph.DocID
+	best := 0
+	f.RangeRows(func(doc webgraph.DocID, row []Successor) bool {
+		if len(row) > best {
+			widest, best = doc, len(row)
+		}
+		return true
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if row := f.ThresholdRow(widest, 0.05); len(row) == 0 && best > 0 {
+			_ = row
+		}
+	}
 }
 
 // BenchmarkAgingAddDay measures incremental daily folding.

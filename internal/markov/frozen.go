@@ -1,0 +1,161 @@
+package markov
+
+import (
+	"sort"
+
+	"specweb/internal/webgraph"
+)
+
+// Frozen is an immutable, compiled form of a Matrix: a CSR-like layout with
+// one flat successor array, per-row offsets, and a dense document index.
+// Rows are pre-sorted by decreasing probability (ties by ascending DocID),
+// so the policy operations — sorted-row lookup, threshold cut, top-K — are
+// zero-allocation slice and binary-search operations over shared storage.
+//
+// A Frozen is built once per engine refresh with Freeze and then published
+// to concurrent readers; it is never mutated, so it is safe for unlocked
+// use from any number of goroutines. Returned row slices alias the frozen
+// storage and must not be modified.
+type Frozen struct {
+	ids  []webgraph.DocID // row documents, ascending
+	off  []int32          // row r spans succ[off[r]:off[r+1]]
+	succ []Successor      // flat rows, each sorted by (P desc, Doc asc)
+	// dense maps a DocID directly to its row index + 1 (0 = no row) when
+	// the ID space is compact; otherwise lookups binary-search ids.
+	dense []int32
+}
+
+// Freeze compiles m into its immutable CSR form. The input matrix is not
+// retained; later mutations of m do not affect the snapshot.
+func Freeze(m *Matrix) *Frozen {
+	f := &Frozen{
+		ids: make([]webgraph.DocID, 0, len(m.rows)),
+		off: make([]int32, 1, len(m.rows)+1),
+	}
+	pairs := 0
+	var maxID webgraph.DocID
+	for i, row := range m.rows {
+		f.ids = append(f.ids, i)
+		pairs += len(row)
+		if i > maxID {
+			maxID = i
+		}
+	}
+	sort.Slice(f.ids, func(a, b int) bool { return f.ids[a] < f.ids[b] })
+	f.succ = make([]Successor, 0, pairs)
+	for _, i := range f.ids {
+		start := len(f.succ)
+		for j, p := range m.rows[i] {
+			f.succ = append(f.succ, Successor{Doc: j, P: p})
+		}
+		row := f.succ[start:]
+		sort.Slice(row, func(a, b int) bool {
+			if row[a].P != row[b].P {
+				return row[a].P > row[b].P
+			}
+			return row[a].Doc < row[b].Doc
+		})
+		f.off = append(f.off, int32(len(f.succ)))
+	}
+	// The dense index trades O(maxID) words for O(1) row lookup; fall back
+	// to binary search when IDs are sparse enough that the table would
+	// dominate the snapshot's footprint.
+	if n := len(f.ids); n > 0 && maxID >= 0 && int(maxID) < 4*n+1024 {
+		f.dense = make([]int32, int(maxID)+1)
+		for r, id := range f.ids {
+			f.dense[id] = int32(r) + 1
+		}
+	}
+	return f
+}
+
+// rowIndex resolves a document to its row index; ok is false when the
+// document has no successors.
+func (f *Frozen) rowIndex(i webgraph.DocID) (int, bool) {
+	if f.dense != nil {
+		if i < 0 || int(i) >= len(f.dense) {
+			return 0, false
+		}
+		r := f.dense[i]
+		if r == 0 {
+			return 0, false
+		}
+		return int(r) - 1, true
+	}
+	r := sort.Search(len(f.ids), func(k int) bool { return f.ids[k] >= i })
+	if r == len(f.ids) || f.ids[r] != i {
+		return 0, false
+	}
+	return r, true
+}
+
+// SortedRow returns document i's successors in decreasing probability order
+// (ties by ascending DocID). The slice aliases the frozen storage: zero
+// allocation, read-only.
+func (f *Frozen) SortedRow(i webgraph.DocID) []Successor {
+	r, ok := f.rowIndex(i)
+	if !ok {
+		return nil
+	}
+	return f.succ[f.off[r]:f.off[r+1]]
+}
+
+// RowLen returns the number of successors of i without materializing the
+// row.
+func (f *Frozen) RowLen(i webgraph.DocID) int {
+	r, ok := f.rowIndex(i)
+	if !ok {
+		return 0
+	}
+	return int(f.off[r+1] - f.off[r])
+}
+
+// ThresholdRow returns the prefix of i's sorted row with P ≥ tp, located by
+// binary search (the row is sorted by decreasing P, so the candidates form
+// a prefix). Equal-probability successors at the cut keep their
+// deterministic Doc-ascending order. Zero allocation.
+func (f *Frozen) ThresholdRow(i webgraph.DocID, tp float64) []Successor {
+	row := f.SortedRow(i)
+	cut := sort.Search(len(row), func(k int) bool { return row[k].P < tp })
+	return row[:cut]
+}
+
+// TopKRow returns up to k successors of i with P ≥ minP. k < 0 means
+// unbounded. Zero allocation.
+func (f *Frozen) TopKRow(i webgraph.DocID, k int, minP float64) []Successor {
+	row := f.SortedRow(i)
+	if k >= 0 && len(row) > k {
+		row = row[:k]
+	}
+	cut := sort.Search(len(row), func(j int) bool { return row[j].P < minP })
+	return row[:cut]
+}
+
+// Get returns p[i,j] in the snapshot (0 when absent). Lookup is a binary
+// search within the row, which is ordered by probability, so this is O(row)
+// only in the worst case of many probability ties.
+func (f *Frozen) Get(i, j webgraph.DocID) float64 {
+	for _, s := range f.SortedRow(i) {
+		if s.Doc == j {
+			return s.P
+		}
+	}
+	return 0
+}
+
+// NumRows returns the number of documents with at least one successor.
+func (f *Frozen) NumRows() int { return len(f.ids) }
+
+// NumPairs returns the number of (i,j) entries in the snapshot.
+func (f *Frozen) NumPairs() int { return len(f.succ) }
+
+// RangeRows visits every row in ascending DocID order. The row slice
+// aliases frozen storage and must not be modified; returning false stops
+// the iteration.
+func (f *Frozen) RangeRows(fn func(doc webgraph.DocID, row []Successor) bool) {
+	for r, id := range f.ids {
+		if !fn(id, f.succ[f.off[r]:f.off[r+1]]) {
+			return
+		}
+	}
+}

@@ -118,11 +118,12 @@ func TestClosureDominatesP(t *testing.T) {
 	m.Set(1, 3, 0.1)
 	c := m.Closure(1e-9, 1e-9, 0)
 	for _, i := range []webgraph.DocID{1, 2} {
-		for j, p := range m.Row(i) {
+		m.RangeRow(i, func(j webgraph.DocID, p float64) bool {
 			if c.Get(i, j) < p-1e-12 {
 				t.Errorf("closure lost mass: p*[%d,%d]=%v < p=%v", i, j, c.Get(i, j), p)
 			}
-		}
+			return true
+		})
 	}
 }
 
@@ -276,12 +277,11 @@ func TestFigure4Structure(t *testing.T) {
 		if d.Kind != webgraph.Page || len(d.Embedded) == 0 {
 			continue
 		}
-		row := m.Row(d.ID)
-		if row == nil {
+		if m.RowLen(d.ID) == 0 {
 			continue
 		}
 		for _, e := range d.Embedded {
-			if p, ok := row[e]; ok {
+			if p := m.Get(d.ID, e); p > 0 {
 				checked++
 				if p < 0.95 {
 					t.Errorf("embedding p[%d,%d] = %v, want ≈1", d.ID, e, p)

@@ -15,7 +15,10 @@ package markov
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"specweb/internal/stats"
 	"specweb/internal/webgraph"
@@ -63,11 +66,34 @@ func (m *Matrix) Set(i, j webgraph.DocID, p float64) {
 	row[j] = p
 }
 
-// Row returns document i's successors and probabilities. The returned map
-// is the live row; callers must not modify it.
+// Row returns a copy of document i's successors and probabilities. The
+// copy is safe to hold and modify, at the cost of an allocation per call;
+// iteration-only callers should use RangeRow, and hot paths should operate
+// on a Frozen snapshot instead.
 func (m *Matrix) Row(i webgraph.DocID) map[webgraph.DocID]float64 {
-	return m.rows[i]
+	row := m.rows[i]
+	if row == nil {
+		return nil
+	}
+	out := make(map[webgraph.DocID]float64, len(row))
+	for j, p := range row {
+		out[j] = p
+	}
+	return out
 }
+
+// RangeRow visits document i's successors without copying the row.
+// Returning false stops the iteration. The visit order is unspecified.
+func (m *Matrix) RangeRow(i webgraph.DocID, fn func(j webgraph.DocID, p float64) bool) {
+	for j, p := range m.rows[i] {
+		if !fn(j, p) {
+			return
+		}
+	}
+}
+
+// RowLen returns the number of successors of i without copying the row.
+func (m *Matrix) RowLen(i webgraph.DocID) int { return len(m.rows[i]) }
 
 // Successors returns row i as a slice sorted by decreasing probability
 // (ties by DocID), for deterministic policy evaluation.
@@ -144,7 +170,18 @@ func (m *Matrix) Prune(eps float64) {
 // 1 by construction. The iteration is monotone from X = P and stops when no
 // entry moves by more than tol or after maxIter rounds (default 32).
 // Entries below eps are pruned each round to keep the matrix sparse.
+//
+// Each iteration's rows are independent (they read only the previous X), so
+// the fixpoint is evaluated by a worker pool sized to GOMAXPROCS; per-row
+// arithmetic is identical to the serial evaluation, so the result does not
+// depend on the worker count.
 func (m *Matrix) Closure(eps, tol float64, maxIter int) *Matrix {
+	return m.closure(eps, tol, maxIter, runtime.GOMAXPROCS(0))
+}
+
+// closure is Closure with an explicit worker count; workers <= 1 runs the
+// serial evaluation (benchmarked against the parallel one in bench_test.go).
+func (m *Matrix) closure(eps, tol float64, maxIter, workers int) *Matrix {
 	if maxIter <= 0 {
 		maxIter = 32
 	}
@@ -153,44 +190,58 @@ func (m *Matrix) Closure(eps, tol float64, maxIter int) *Matrix {
 	}
 	x := m.Clone()
 	x.Prune(eps)
+	// Snapshot the row set once: m is read-only throughout the iteration.
+	ids := make([]webgraph.DocID, 0, len(m.rows))
+	for i := range m.rows {
+		ids = append(ids, i)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	rows := make([]map[webgraph.DocID]float64, len(ids))
+	deltas := make([]float64, len(ids))
 	for iter := 0; iter < maxIter; iter++ {
+		if workers > 1 {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			// Small chunks keep the pool balanced when row fan-out is
+			// skewed (popular pages have far larger rows).
+			chunk := len(ids)/(workers*8) + 1
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						lo := int(cursor.Add(int64(chunk))) - chunk
+						if lo >= len(ids) {
+							return
+						}
+						hi := lo + chunk
+						if hi > len(ids) {
+							hi = len(ids)
+						}
+						for r := lo; r < hi; r++ {
+							rows[r], deltas[r] = m.closureRow(ids[r], x, eps)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for r, id := range ids {
+				rows[r], deltas[r] = m.closureRow(id, x, eps)
+			}
+		}
 		next := NewMatrix()
 		maxDelta := 0.0
-		for i, row := range m.rows {
-			// acc[j] accumulates Π (1 - contribution) over the direct
-			// edge and every first-step alternative.
-			acc := make(map[webgraph.DocID]float64, len(row)*2)
-			for k, pik := range row {
-				if prev, ok := acc[k]; ok {
-					acc[k] = prev * (1 - pik)
-				} else {
-					acc[k] = 1 - pik
-				}
-				for j, xkj := range x.rows[k] {
-					// Diagonal entries (i→…→i) are kept during the
-					// iteration: they are the return paths longer
-					// chains pass through.
-					c := pik * xkj
-					if prev, ok := acc[j]; ok {
-						acc[j] = prev * (1 - c)
-					} else {
-						acc[j] = 1 - c
-					}
-				}
+		for r, id := range ids {
+			if len(rows[r]) > 0 {
+				next.rows[id] = rows[r]
 			}
-			for j, q := range acc {
-				p := 1 - q
-				if p < eps {
-					continue
-				}
-				if p > 1 {
-					p = 1
-				}
-				next.Set(i, j, p)
-				if d := p - x.Get(i, j); d > maxDelta {
-					maxDelta = d
-				}
+			if deltas[r] > maxDelta {
+				maxDelta = deltas[r]
 			}
+			rows[r] = nil
 		}
 		x = next
 		if maxDelta <= tol {
@@ -206,6 +257,52 @@ func (m *Matrix) Closure(eps, tol float64, maxIter int) *Matrix {
 		}
 	}
 	return x
+}
+
+// closureRow evaluates one row of the noisy-OR fixpoint against the
+// previous iterate x, returning the new row (nil when empty) and the row's
+// largest entry increase.
+func (m *Matrix) closureRow(i webgraph.DocID, x *Matrix, eps float64) (map[webgraph.DocID]float64, float64) {
+	row := m.rows[i]
+	// acc[j] accumulates Π (1 - contribution) over the direct edge and
+	// every first-step alternative.
+	acc := make(map[webgraph.DocID]float64, len(row)*2)
+	for k, pik := range row {
+		if prev, ok := acc[k]; ok {
+			acc[k] = prev * (1 - pik)
+		} else {
+			acc[k] = 1 - pik
+		}
+		for j, xkj := range x.rows[k] {
+			// Diagonal entries (i→…→i) are kept during the iteration:
+			// they are the return paths longer chains pass through.
+			c := pik * xkj
+			if prev, ok := acc[j]; ok {
+				acc[j] = prev * (1 - c)
+			} else {
+				acc[j] = 1 - c
+			}
+		}
+	}
+	out := make(map[webgraph.DocID]float64, len(acc))
+	var maxDelta float64
+	for j, q := range acc {
+		p := 1 - q
+		if p <= 0 || p < eps {
+			continue
+		}
+		if p > 1 {
+			p = 1
+		}
+		out[j] = p
+		if d := p - x.Get(i, j); d > maxDelta {
+			maxDelta = d
+		}
+	}
+	if len(out) == 0 {
+		return nil, maxDelta
+	}
+	return out, maxDelta
 }
 
 // PairHistogram bins every stored probability into a histogram over (0, 1],

@@ -14,6 +14,7 @@ package speculation
 
 import (
 	"fmt"
+	"sort"
 
 	"specweb/internal/markov"
 	"specweb/internal/webgraph"
@@ -30,25 +31,36 @@ type Policy interface {
 	Name() string
 }
 
+// RowSource supplies a document's successors sorted by decreasing
+// probability (ties by ascending DocID). Both the live *markov.Matrix
+// (which sorts and allocates per call) and the immutable *markov.Frozen
+// snapshot (whose rows are pre-sorted shared slices, zero allocation)
+// implement it; hot paths should hand policies a Frozen.
+type RowSource interface {
+	SortedRow(doc webgraph.DocID) []markov.Successor
+}
+
+// cut returns the prefix of a probability-descending row with P ≥ minP,
+// located by binary search. Equal-probability successors straddling minP
+// are all kept, in their deterministic Doc-ascending order.
+func cut(row []markov.Successor, minP float64) []markov.Successor {
+	i := sort.Search(len(row), func(k int) bool { return row[k].P < minP })
+	return row[:i]
+}
+
 // Threshold is the paper's baseline policy: speculate on every successor
 // with probability at least Tp in the matrix M (the closure P* in the
 // baseline configuration; passing the raw P instead is the §3.4 ablation).
 type Threshold struct {
-	M  *markov.Matrix
+	M  RowSource
 	Tp float64
 }
 
-// Candidates returns successors with p ≥ Tp in decreasing probability.
+// Candidates returns successors with p ≥ Tp in decreasing probability. The
+// cut is a binary search on the sorted row; over a Frozen snapshot the
+// whole call allocates nothing.
 func (t Threshold) Candidates(doc webgraph.DocID) []markov.Successor {
-	row := t.M.SortedRow(doc)
-	cut := len(row)
-	for i, s := range row {
-		if s.P < t.Tp {
-			cut = i
-			break
-		}
-	}
-	return row[:cut]
+	return cut(t.M.SortedRow(doc), t.Tp)
 }
 
 // Name identifies the policy.
@@ -57,7 +69,7 @@ func (t Threshold) Name() string { return fmt.Sprintf("p*>=%.2f", t.Tp) }
 // TopK speculates on the K most likely successors, optionally requiring a
 // minimum probability.
 type TopK struct {
-	M    *markov.Matrix
+	M    RowSource
 	K    int
 	MinP float64
 }
@@ -65,18 +77,10 @@ type TopK struct {
 // Candidates returns up to K successors with p ≥ MinP.
 func (t TopK) Candidates(doc webgraph.DocID) []markov.Successor {
 	row := t.M.SortedRow(doc)
-	out := row
-	if t.K >= 0 && len(out) > t.K {
-		out = out[:t.K]
+	if t.K >= 0 && len(row) > t.K {
+		row = row[:t.K]
 	}
-	cut := len(out)
-	for i, s := range out {
-		if s.P < t.MinP {
-			cut = i
-			break
-		}
-	}
-	return out[:cut]
+	return cut(row, t.MinP)
 }
 
 // Name identifies the policy.

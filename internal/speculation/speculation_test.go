@@ -58,6 +58,61 @@ func TestTopKPolicy(t *testing.T) {
 	}
 }
 
+// TestThresholdOverFrozen runs the policies over a frozen snapshot: the
+// candidates must match the live-matrix evaluation exactly (the engine's
+// byte-identical-decisions guarantee rests on this).
+func TestThresholdOverFrozen(t *testing.T) {
+	m := testMatrix()
+	f := markov.Freeze(m)
+	for _, tp := range []float64{0, 0.2, 0.5, 0.9, 1} {
+		live := Threshold{M: m, Tp: tp}.Candidates(1)
+		froz := Threshold{M: f, Tp: tp}.Candidates(1)
+		if len(live) != len(froz) {
+			t.Fatalf("tp=%v: live %v vs frozen %v", tp, live, froz)
+		}
+		for i := range live {
+			if live[i] != froz[i] {
+				t.Errorf("tp=%v[%d]: live %v vs frozen %v", tp, i, live[i], froz[i])
+			}
+		}
+	}
+	for _, k := range []int{0, 1, 2, 10} {
+		live := TopK{M: m, K: k, MinP: 0.3}.Candidates(1)
+		froz := TopK{M: f, K: k, MinP: 0.3}.Candidates(1)
+		if len(live) != len(froz) {
+			t.Fatalf("k=%d: live %v vs frozen %v", k, live, froz)
+		}
+	}
+}
+
+// TestThresholdTieOrdering pins the cut's determinism: equal-probability
+// successors keep ascending-DocID order, and a threshold equal to the tied
+// probability keeps every member of the tie group (the binary search must
+// not split it).
+func TestThresholdTieOrdering(t *testing.T) {
+	m := markov.NewMatrix()
+	m.Set(1, 9, 0.5)
+	m.Set(1, 3, 0.5)
+	m.Set(1, 6, 0.5)
+	m.Set(1, 2, 0.8)
+	m.Set(1, 8, 0.1)
+	for _, src := range []RowSource{m, markov.Freeze(m)} {
+		got := Threshold{M: src, Tp: 0.5}.Candidates(1)
+		want := []webgraph.DocID{2, 3, 6, 9}
+		if len(got) != len(want) {
+			t.Fatalf("cut at tie value = %v, want docs %v", got, want)
+		}
+		for i, d := range want {
+			if got[i].Doc != d {
+				t.Errorf("tie order[%d] = %d, want %d", i, got[i].Doc, d)
+			}
+		}
+		if top := (TopK{M: src, K: 3, MinP: 0.5}).Candidates(1); len(top) != 3 || top[2].Doc != 6 {
+			t.Errorf("topK over ties = %v", top)
+		}
+	}
+}
+
 func TestNonePolicy(t *testing.T) {
 	if c := (None{}).Candidates(1); len(c) != 0 {
 		t.Errorf("None speculated: %v", c)
