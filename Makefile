@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos overload bench bench-short \
+.PHONY: all build vet lint test race chaos overload bench bench-short \
 	bench-smoke specbench bench-run bench-gate bench-baseline golden clean
 
 all: vet build test
@@ -9,6 +9,15 @@ build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# Fast lint pass: gofmt must leave no file behind, then go vet. Kept as
+# its own target so CI can fail formatting in seconds, before any build.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 test: chaos overload

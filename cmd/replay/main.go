@@ -45,6 +45,7 @@ import (
 	"os"
 	"time"
 
+	"specweb/internal/attrib"
 	"specweb/internal/experiments"
 	"specweb/internal/httpspec"
 	"specweb/internal/resilience"
@@ -70,6 +71,9 @@ func main() {
 		rate    = flag.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop); adds the overload summary section")
 		burst   = flag.Int("burst", 1, "requests dispatched per open-loop arrival tick")
 		prioLow = flag.Float64("priority-low", 0, "fraction of clients tagged Spec-Priority: low (shed first under overload)")
+
+		attribOn = flag.Bool("attrib", false, "track speculation attribution (consumed vs wasted bytes per class) and add it to the summary")
+		feedback = flag.Bool("attrib-feedback", false, "piggyback Spec-Attrib resolution tokens so the server's /debug/attrib ledger learns delivery fates")
 
 		chaos   = flag.Bool("chaos", false, "inject faults into the replay transport and report availability")
 		retries = flag.Int("retries", 4, "max attempts per demand fetch under -chaos (1 = no retries)")
@@ -128,6 +132,8 @@ func main() {
 		Rate:               *rate,
 		Burst:              *burst,
 		LowPriority:        *prioLow,
+		Attrib:             *attribOn,
+		AttribFeedback:     *feedback,
 	}
 	if *rate > 0 {
 		fmt.Fprintf(os.Stderr, "replay: open loop at %.1f req/s, burst %d\n", *rate, *burst)
@@ -206,6 +212,30 @@ func main() {
 		fmt.Printf("  demand p99:     %.2f ms\n", ov.DemandP99MS)
 		fmt.Printf("  ladder:         reached rung %d, ended %s (effective Tp %.3f)\n",
 			ov.MaxRung, ov.Rung, ov.EffectiveTp)
+	}
+	if at := sum.Attrib; at != nil {
+		fmt.Printf("attribution:\n")
+		fmt.Printf("  delivered:      %d speculative documents, %s\n",
+			at.Totals.Deliveries, experiments.FmtBytes(at.Totals.DeliveredBytes))
+		fmt.Printf("  consumed:       %d (%s)\n",
+			at.Totals.Consumed, experiments.FmtBytes(at.Totals.ConsumedBytes))
+		fmt.Printf("  wasted:         %d (%s)\n",
+			at.Totals.Wasted, experiments.FmtBytes(at.Totals.WastedBytes))
+		for _, class := range []string{attrib.ClassPush, attrib.ClassPrefetch, attrib.ClassReplica} {
+			ct, ok := at.Classes[class]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-9s       %s delivered, %s wasted\n", class+":",
+				experiments.FmtBytes(ct.DeliveredBytes), experiments.FmtBytes(ct.WastedBytes))
+		}
+		for i, d := range at.Docs {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  top doc:        %s (%s delivered, %s wasted)\n", d.Doc,
+				experiments.FmtBytes(d.DeliveredBytes), experiments.FmtBytes(d.WastedBytes))
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"specweb/internal/httpspec"
 	"specweb/internal/loadgen"
 	"specweb/internal/netsim"
+	"specweb/internal/obs"
 	"specweb/internal/resilience"
 	"specweb/internal/resilience/faults"
 	"specweb/internal/webgraph"
@@ -73,6 +74,7 @@ func main() {
 		faultJitter   = flag.Duration("fault-latency-jitter", 0, "chaos: uniform extra latency in [0, jitter)")
 		faultTruncate = flag.Float64("fault-truncate-rate", 0, "chaos: probability a response body is cut short")
 
+		version   = flag.Bool("version", false, "print build information and exit")
 		out       = flag.String("o", "BENCH.json", "output report path (- = stdout)")
 		baseline  = flag.String("baseline", "", "gate against this committed BENCH.json and exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 10, "allowed drift in percent for gated metrics")
@@ -81,6 +83,11 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress the human summary on stderr")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("specbench", obs.ReadBuild().String())
+		return
+	}
+	obs.RegisterBuildInfo(nil, "specbench")
 
 	wl := experiments.DefaultWorkload()
 	if *short {
@@ -226,6 +233,14 @@ func summarize(rep *loadgen.Report, took time.Duration) {
 	if rel := rep.Relative; rel != nil {
 		fmt.Fprintf(os.Stderr, "  relative p99 %.3fx  throughput %.3fx (spec vs no-spec)\n",
 			rel.P99Ratio, rel.ThroughputRatio)
+	}
+	if r := rep.Spec; r != nil && r.Attrib != nil {
+		at := r.Attrib
+		fmt.Fprintf(os.Stderr,
+			"  attrib   delivered %s  consumed %s  wasted %s (%d docs tracked)\n",
+			experiments.FmtBytes(at.Totals.DeliveredBytes),
+			experiments.FmtBytes(at.Totals.ConsumedBytes),
+			experiments.FmtBytes(at.Totals.WastedBytes), at.TrackedDocs)
 	}
 }
 

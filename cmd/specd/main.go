@@ -10,9 +10,10 @@
 //
 // Prometheus metrics are exposed at /metrics on the main listener. With
 // -obs-addr a second listener additionally serves /debug/vars (expvar),
-// /debug/pprof/* and /debug/spans (recent trace spans as JSON), kept off
-// the main port so profiling endpoints are never exposed to clients by
-// accident.
+// /debug/pprof/*, /debug/spans (recent trace spans as JSON) and
+// /debug/attrib (the speculation attribution ledger: consumed vs wasted
+// bytes per delivery class and per document), kept off the main port so
+// profiling endpoints are never exposed to clients by accident.
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -28,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"specweb/internal/attrib"
 	"specweb/internal/httpspec"
 	"specweb/internal/obs"
 	"specweb/internal/overload"
@@ -39,11 +43,12 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":8095", "listen address")
-		obsAddr = flag.String("obs-addr", "", "observability listen address for /metrics, /debug/vars, /debug/pprof and /debug/spans (empty: disabled)")
+		obsAddr = flag.String("obs-addr", "", "observability listen address for /metrics, /debug/vars, /debug/pprof, /debug/spans and /debug/attrib (empty: disabled)")
 		profile = flag.String("profile", "department", "site profile: department, media, or tiny")
 		mode    = flag.String("mode", "hybrid", "delivery mode: push, hints, or hybrid")
 		seed    = flag.Int64("seed", 1995, "site generation seed")
 		tp      = flag.Float64("tp", 0.25, "speculation threshold")
+		version = flag.Bool("version", false, "print build information and exit")
 
 		ovEnable = flag.Bool("overload", false, "enable overload control: priority admission, the adaptive speculation governor and the degradation ladder")
 		ovDemand = flag.Int("overload-demand", 256, "demand-class concurrency slots")
@@ -61,7 +66,12 @@ func main() {
 		faultTruncate = flag.Float64("fault-truncate-rate", 0, "probability a response body is cut short mid-stream")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("specd", obs.ReadBuild().String())
+		return
+	}
 	log := obs.Logger("specd")
+	build := obs.RegisterBuildInfo(nil, "specd")
 
 	p, err := webgraph.ProfileByName(*profile)
 	if err != nil {
@@ -81,6 +91,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "specd:", err)
 		os.Exit(2)
 	}
+
+	// The attribution ledger outlives any single request: sized past the
+	// site so per-doc rows stay exact, fed by the server's own push
+	// records and the clients' Spec-Attrib feedback.
+	led := attrib.NewLedger(2*site.NumDocs(), nil)
+	cfg.Attrib = led
 
 	var governor *overload.Governor
 	if *ovEnable {
@@ -134,9 +150,61 @@ func main() {
 	mux.Handle("/", handler)
 	mux.Handle("/metrics", obs.Default.Handler())
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Info("serving site",
+		"docs", site.NumDocs(), "pages", site.NumPages(),
+		"addr", *addr, "mode", *mode, "tp", *tp,
+		"version", build.Version, "revision", build.Revision,
+		"entry", site.Doc(site.Entries[0]).Path)
+	err = serve(ctx, serveOpts{
+		addr:     *addr,
+		obsAddr:  *obsAddr,
+		handler:  mux,
+		obsMux:   obsMux(led),
+		governor: governor,
+		log:      log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specd:", err)
+		os.Exit(1)
+	}
+	log.Info("bye")
+}
+
+// serveOpts parameterizes the serve loop, split from main so tests can
+// run the whole lifecycle — bind, serve, signal, graceful stop — against
+// ephemeral ports.
+type serveOpts struct {
+	addr    string
+	obsAddr string // empty: no observability listener
+	handler http.Handler
+	obsMux  http.Handler
+	// governor, when non-nil, is ticked every second so the degradation
+	// ladder drains during idle periods.
+	governor *overload.Governor
+	log      *slog.Logger
+	// ready, when non-nil, receives the bound listener addresses (the
+	// obs address is nil when disabled) before serving begins.
+	ready func(main, obs net.Addr)
+	// shutdownTimeout bounds the graceful drain (default 10s).
+	shutdownTimeout time.Duration
+}
+
+// serve binds the main (and optional observability) listener, serves
+// until ctx is cancelled or a listener fails, then shuts both down
+// gracefully. It returns nil on a clean signal-driven stop.
+func serve(ctx context.Context, o serveOpts) error {
+	if o.shutdownTimeout <= 0 {
+		o.shutdownTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:    *addr,
-		Handler: mux,
+		Handler: o.handler,
 		// ReadHeaderTimeout and MaxHeaderBytes close the slowloris hole:
 		// without them a client trickling header bytes holds a connection
 		// (and under admission control, a precious slot) indefinitely.
@@ -147,31 +215,16 @@ func main() {
 		IdleTimeout:       60 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	if governor != nil {
-		// Ticking lets the ladder drain during idle periods, when no
-		// demand request arrives to Observe a latency sample.
-		go func() {
-			t := time.NewTicker(time.Second)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					governor.Tick()
-				}
-			}
-		}()
-	}
-
+	var obsLn net.Listener
 	var obsSrv *http.Server
-	if *obsAddr != "" {
+	if o.obsAddr != "" {
+		obsLn, err = net.Listen("tcp", o.obsAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
 		obsSrv = &http.Server{
-			Addr:              *obsAddr,
-			Handler:           obsMux(),
+			Handler:           o.obsMux,
 			ReadHeaderTimeout: 5 * time.Second,
 			MaxHeaderBytes:    64 << 10,
 			// pprof profile captures legitimately run for tens of
@@ -180,52 +233,80 @@ func main() {
 			WriteTimeout: 2 * time.Minute,
 			IdleTimeout:  60 * time.Second,
 		}
+	}
+	if o.ready != nil {
+		var oa net.Addr
+		if obsLn != nil {
+			oa = obsLn.Addr()
+		}
+		o.ready(ln.Addr(), oa)
+	}
+
+	// Everything spawned below is cancelled on return, so a listener
+	// failure cannot strand the ticker or the sibling server.
+	tctx, tcancel := context.WithCancel(ctx)
+	defer tcancel()
+	if o.governor != nil {
 		go func() {
-			log.Info("observability listening", "addr", *obsAddr)
-			if err := obsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Error("observability server failed", "err", err)
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-tctx.Done():
+					return
+				case <-t.C:
+					o.governor.Tick()
+				}
 			}
 		}()
 	}
 
-	errCh := make(chan error, 1)
-	go func() {
-		log.Info("serving site",
-			"docs", site.NumDocs(), "pages", site.NumPages(),
-			"addr", *addr, "mode", *mode, "tp", *tp,
-			"entry", site.Doc(site.Entries[0]).Path)
-		errCh <- httpSrv.ListenAndServe()
-	}()
-
-	select {
-	case <-ctx.Done():
-		log.Info("shutting down", "reason", "signal")
-	case err := <-errCh:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "specd:", err)
-			os.Exit(1)
-		}
-		return
+	servers := 1
+	errCh := make(chan error, 2)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	if obsSrv != nil {
+		servers++
+		o.log.Info("observability listening", "addr", obsLn.Addr())
+		go func() { errCh <- obsSrv.Serve(obsLn) }()
 	}
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	var serveErr error
+	running := servers
+	select {
+	case <-ctx.Done():
+		o.log.Info("shutting down", "reason", "signal")
+	case err := <-errCh:
+		running--
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			serveErr = err
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Error("shutdown incomplete", "err", err)
+		o.log.Error("shutdown incomplete", "err", err)
 	}
 	if obsSrv != nil {
 		_ = obsSrv.Shutdown(shutdownCtx)
 	}
-	log.Info("bye")
+	// Reap the Serve goroutines so a graceful stop leaves nothing behind.
+	for ; running > 0; running-- {
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) && serveErr == nil {
+			serveErr = err
+		}
+	}
+	return serveErr
 }
 
 // obsMux assembles the observability endpoints: Prometheus metrics,
-// expvar, pprof and the span ring.
-func obsMux() *http.ServeMux {
+// expvar, pprof, the span ring, and the attribution ledger.
+func obsMux(led *attrib.Ledger) *http.ServeMux {
 	m := http.NewServeMux()
 	m.Handle("/metrics", obs.Default.Handler())
 	m.Handle("/debug/vars", expvar.Handler())
 	m.Handle("/debug/spans", obs.DefaultTracer.Handler())
+	m.Handle("/debug/attrib", led.Handler())
 	m.HandleFunc("/debug/pprof/", pprof.Index)
 	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	m.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"specweb/internal/attrib"
+	"specweb/internal/httpspec"
+	"specweb/internal/leakcheck"
+	"specweb/internal/obs"
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+// TestServeGracefulShutdown runs the full specd lifecycle on ephemeral
+// ports — bind main + observability listeners, answer on both, stop on
+// context cancel — and proves a graceful stop closes both servers and
+// strands no goroutines.
+func TestServeGracefulShutdown(t *testing.T) {
+	leakcheck.Check(t)
+
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := httpspec.DefaultServerConfig()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer(32)
+	led := attrib.NewLedger(2*site.NumDocs(), cfg.Metrics)
+	cfg.Attrib = led
+	srv, err := httpspec.NewServer(httpspec.NewSiteStore(site), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan [2]net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, serveOpts{
+			addr:    "127.0.0.1:0",
+			obsAddr: "127.0.0.1:0",
+			handler: srv,
+			obsMux:  obsMux(led),
+			log:     obs.Logger("specd-test"),
+			ready: func(main, obs net.Addr) {
+				addrs <- [2]net.Addr{main, obs}
+			},
+			shutdownTimeout: 5 * time.Second,
+		})
+	}()
+
+	var mainAddr, obsAddr net.Addr
+	select {
+	case a := <-addrs:
+		mainAddr, obsAddr = a[0], a[1]
+	case err := <-done:
+		t.Fatalf("serve exited before binding: %v", err)
+	}
+	if obsAddr == nil {
+		t.Fatal("observability listener not bound")
+	}
+
+	get := func(addr net.Addr, path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", addr, path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s%s: %s", addr, path, resp.Status)
+		}
+		return string(body)
+	}
+	if body := get(mainAddr, site.Doc(site.Entries[0]).Path); body == "" {
+		t.Fatal("main listener served empty document")
+	}
+	if body := get(obsAddr, "/debug/spans"); !strings.Contains(body, "total") {
+		t.Errorf("/debug/spans payload unexpected: %.80s", body)
+	}
+	if body := get(obsAddr, "/debug/attrib"); !strings.Contains(body, "totals") {
+		t.Errorf("/debug/attrib payload unexpected: %.80s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v on graceful stop, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after cancel")
+	}
+
+	// Both listeners must actually be closed.
+	for _, addr := range []net.Addr{mainAddr, obsAddr} {
+		if _, err := http.Get(fmt.Sprintf("http://%s/", addr)); err == nil {
+			t.Errorf("listener %s still answering after shutdown", addr)
+		}
+	}
+}

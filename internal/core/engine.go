@@ -424,13 +424,18 @@ func splitOpenStrides(buf *trace.Trace, at time.Time, strideTimeout time.Duratio
 // Release it when the response has been written; the backing arrays are
 // recycled, which is what keeps the decision path allocation-free.
 type Decision struct {
-	Push  []webgraph.DocID
+	Push []webgraph.DocID
+	// PushP holds, parallel to Push, the estimated probability that
+	// drove each push — what the attribution ledger records so waste can
+	// later be read against the engine's own confidence.
+	PushP []float64
 	Hints []speculation.Hint
 }
 
 // Reset empties the buffers, keeping capacity.
 func (d *Decision) Reset() {
 	d.Push = d.Push[:0]
+	d.PushP = d.PushP[:0]
 	d.Hints = d.Hints[:0]
 }
 
@@ -486,11 +491,13 @@ func (e *Engine) decide(snap *snapshot, d *Decision, doc webgraph.DocID, have ma
 		switch mode {
 		case modePush:
 			d.Push = append(d.Push, c.Doc)
+			d.PushP = append(d.PushP, c.P)
 		case modeHints:
 			d.Hints = append(d.Hints, speculation.Hint{Doc: c.Doc, P: c.P, Size: snap.sizes[c.Doc]})
 		case modeSplit:
 			if c.P >= snap.embed {
 				d.Push = append(d.Push, c.Doc)
+				d.PushP = append(d.PushP, c.P)
 			} else {
 				d.Hints = append(d.Hints, speculation.Hint{Doc: c.Doc, P: c.P, Size: snap.sizes[c.Doc]})
 			}

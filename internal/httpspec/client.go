@@ -9,10 +9,13 @@ import (
 	"mime/multipart"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"specweb/internal/attrib"
+	"specweb/internal/obs"
 	"specweb/internal/resilience"
 )
 
@@ -51,6 +54,16 @@ type ClientConfig struct {
 	// "low", "" (normal), or "high". Low-priority demand is the first
 	// demand class an overloaded server sheds.
 	Priority string
+	// Tracer records client spans and supplies the traceparent header
+	// propagated on every request; nil means obs.DefaultTracer.
+	Tracer *obs.Tracer
+	// Attrib, when non-nil, records speculative deliveries into this
+	// client's cache and their consumed/wasted resolution.
+	Attrib *attrib.Ledger
+	// AttribFeedback piggybacks Spec-Attrib resolution tokens on demand
+	// requests, so a remote server's ledger learns the fate of the bytes
+	// it speculated (best-effort: tokens on failed requests are lost).
+	AttribFeedback bool
 }
 
 // ClientStats counts the client's activity.
@@ -86,10 +99,14 @@ type ClientStats struct {
 }
 
 // cacheEntry is one cached document; spec marks it as having arrived
-// speculatively and not yet been requested.
+// speculatively and not yet been requested. class is the delivery class
+// for attribution; resolved marks the delivery as already attributed
+// (consumed or wasted) so it resolves exactly once.
 type cacheEntry struct {
-	body []byte
-	spec bool
+	body     []byte
+	spec     bool
+	class    string
+	resolved bool
 }
 
 // Client is a caching HTTP client that understands the speculative
@@ -99,10 +116,12 @@ type Client struct {
 	cfg     ClientConfig
 	base    string
 	retrier *resilience.Retrier
+	tracer  *obs.Tracer
 
-	mu    sync.Mutex
-	cache map[string]cacheEntry
-	stats ClientStats
+	mu      sync.Mutex
+	cache   map[string]cacheEntry
+	stats   ClientStats
+	pending []string // Spec-Attrib feedback tokens awaiting a demand request
 }
 
 // NewClient builds a client for the server at base (e.g. the URL of an
@@ -111,12 +130,15 @@ func NewClient(base string, cfg ClientConfig) *Client {
 	if cfg.HTTP == nil {
 		cfg.HTTP = http.DefaultClient
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer
+	}
 	retrier := cfg.Retrier
 	if retrier == nil && cfg.Retry.MaxAttempts > 1 {
 		retrier = resilience.NewRetrier(cfg.Retry)
 	}
 	return &Client{cfg: cfg, base: strings.TrimRight(base, "/"),
-		retrier: retrier, cache: make(map[string]cacheEntry)}
+		retrier: retrier, tracer: cfg.Tracer, cache: make(map[string]cacheEntry)}
 }
 
 // Stats returns a snapshot of the client counters.
@@ -134,11 +156,56 @@ func (c *Client) Cached(path string) bool {
 	return ok
 }
 
-// EndSession purges the cache (the paper's end-of-session purge).
+// EndSession purges the cache (the paper's end-of-session purge),
+// resolving still-unused speculative entries as wasted.
 func (c *Client) EndSession() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for path, e := range c.cache {
+		if e.spec {
+			c.resolveLocked(path, &e)
+		}
+	}
 	c.cache = make(map[string]cacheEntry)
+}
+
+// ResolveOutstanding resolves every speculative cache entry that was
+// never demanded as wasted, without purging the cache. Benchmarks and
+// replays call it once at the end of a run so the ledger's outstanding
+// count drains to zero before reporting.
+func (c *Client) ResolveOutstanding() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for path, e := range c.cache {
+		if e.spec && !e.resolved {
+			c.resolveLocked(path, &e)
+			c.cache[path] = e
+		}
+	}
+}
+
+// resolveLocked attributes one speculative delivery's fate exactly once:
+// consumed when spec is already cleared by a demand hit, wasted while the
+// entry is still marked speculative. Callers hold mu and must store the
+// entry back if it stays cached.
+func (c *Client) resolveLocked(path string, e *cacheEntry) {
+	if e.resolved || e.class == "" {
+		return
+	}
+	e.resolved = true
+	consumed := !e.spec
+	if consumed {
+		c.cfg.Attrib.Consumed(path, e.class, int64(len(e.body)))
+	} else {
+		c.cfg.Attrib.Wasted(path, e.class, int64(len(e.body)))
+	}
+	if c.cfg.AttribFeedback {
+		kind := "w:"
+		if consumed {
+			kind = "c:"
+		}
+		c.pending = append(c.pending, kind+e.class+":"+path)
+	}
 }
 
 // Get fetches a document, serving from cache when possible. fromCache
@@ -158,18 +225,24 @@ func (c *Client) GetCtx(ctx context.Context, path string) (body []byte, fromCach
 		c.stats.DemandBytes += int64(len(e.body))
 		if e.spec {
 			// First request for a speculatively delivered document:
-			// count the manufactured hit, then treat it as an ordinary
-			// cached document from here on.
+			// count the manufactured hit, resolve the delivery as
+			// consumed, then treat it as an ordinary cached document.
 			c.stats.SpecHits++
 			c.stats.SpecHitBytes += int64(len(e.body))
 			e.spec = false
+			c.resolveLocked(path, &e)
 			c.cache[path] = e
 		}
 		c.mu.Unlock()
 		return e.body, true, nil
 	}
 	digest := c.digestLocked()
+	feedback := c.drainFeedbackLocked()
 	c.mu.Unlock()
+
+	sp := c.tracer.Start("client.get")
+	sp.SetAttr("path", path)
+	defer sp.Finish()
 
 	var hints []clientHint
 	if c.retrier != nil {
@@ -177,7 +250,7 @@ func (c *Client) GetCtx(ctx context.Context, path string) (body []byte, fromCach
 		err = c.retrier.Do(ctx, func(ctx context.Context) error {
 			attempts++
 			var ferr error
-			body, hints, ferr = c.fetch(ctx, path, digest)
+			body, hints, ferr = c.fetch(ctx, sp, path, digest, feedback)
 			return ferr
 		})
 		if attempts > 1 {
@@ -186,7 +259,7 @@ func (c *Client) GetCtx(ctx context.Context, path string) (body []byte, fromCach
 			c.mu.Unlock()
 		}
 	} else {
-		body, hints, err = c.fetch(ctx, path, digest)
+		body, hints, err = c.fetch(ctx, sp, path, digest, feedback)
 	}
 	if err != nil {
 		return nil, false, err
@@ -201,9 +274,26 @@ func (c *Client) GetCtx(ctx context.Context, path string) (body []byte, fromCach
 		if h.p < c.cfg.PrefetchThreshold || c.cfg.PrefetchThreshold == 0 {
 			continue
 		}
-		c.prefetch(ctx, h.path)
+		c.prefetch(ctx, sp, h)
 	}
 	return body, false, nil
+}
+
+// drainFeedbackLocked takes the queued Spec-Attrib tokens (bounded per
+// request so one demand fetch never carries an unbounded header).
+// Callers hold mu.
+func (c *Client) drainFeedbackLocked() string {
+	if len(c.pending) == 0 {
+		return ""
+	}
+	const maxTokens = 32
+	n := len(c.pending)
+	if n > maxTokens {
+		n = maxTokens
+	}
+	out := strings.Join(c.pending[:n], " ")
+	c.pending = append(c.pending[:0], c.pending[n:]...)
+	return out
 }
 
 type clientHint struct {
@@ -215,13 +305,13 @@ type clientHint struct {
 // bundle), returning the requested document's body and any prefetch hints.
 // Transport errors, 5xx responses and truncated bodies return retryable
 // errors; 4xx responses are marked permanent so the retrier stops.
-func (c *Client) fetch(ctx context.Context, path string, digest string) ([]byte, []clientHint, error) {
+func (c *Client) fetch(ctx context.Context, sp *obs.ActiveSpan, path, digest, feedback string) ([]byte, []clientHint, error) {
 	if c.cfg.Breaker != nil {
 		if err := c.cfg.Breaker.Allow(); err != nil {
 			return nil, nil, resilience.Permanent(err)
 		}
 	}
-	body, hints, err := c.fetchAllowed(ctx, path, digest)
+	body, hints, err := c.fetchAllowed(ctx, sp, path, digest, feedback)
 	if c.cfg.Breaker != nil {
 		if resilience.IsPermanent(err) {
 			c.cfg.Breaker.Record(nil) // the origin answered; 4xx is not its failure
@@ -232,12 +322,15 @@ func (c *Client) fetch(ctx context.Context, path string, digest string) ([]byte,
 	return body, hints, err
 }
 
-func (c *Client) fetchAllowed(ctx context.Context, path string, digest string) ([]byte, []clientHint, error) {
+func (c *Client) fetchAllowed(ctx context.Context, sp *obs.ActiveSpan, path, digest, feedback string) ([]byte, []clientHint, error) {
 	cctx, cancel := resilience.EnsureDeadline(ctx, c.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(cctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, nil, resilience.Permanent(err)
+	}
+	if tp := sp.Traceparent(); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
 	}
 	if c.cfg.ID != "" {
 		req.Header.Set(HeaderClient, c.cfg.ID)
@@ -250,6 +343,9 @@ func (c *Client) fetchAllowed(ctx context.Context, path string, digest string) (
 	}
 	if c.cfg.Priority != "" {
 		req.Header.Set(HeaderPriority, c.cfg.Priority)
+	}
+	if feedback != "" {
+		req.Header.Set(HeaderAttrib, feedback)
 	}
 	resp, err := c.cfg.HTTP.Do(req)
 	if err != nil {
@@ -287,7 +383,7 @@ func (c *Client) fetchAllowed(ctx context.Context, path string, digest string) (
 	ct := resp.Header.Get("Content-Type")
 	mt, params, _ := mime.ParseMediaType(ct)
 	if mt == "multipart/mixed" {
-		body, err := c.ingestBundle(path, resp.Body, params["boundary"])
+		body, err := c.ingestBundle(path, resp.Body, params["boundary"], resp.Header.Get(HeaderRung))
 		return body, hints, err
 	}
 	body, err := io.ReadAll(resp.Body)
@@ -302,8 +398,11 @@ func (c *Client) fetchAllowed(ctx context.Context, path string, digest string) (
 }
 
 // ingestBundle reads a multipart bundle, caching every part and returning
-// the part matching the requested path.
-func (c *Client) ingestBundle(want string, r io.Reader, boundary string) ([]byte, error) {
+// the part matching the requested path. Pushed parts are recorded in the
+// attribution ledger; a pushed copy of a document already cached is
+// resolved as wasted on the spot (the bytes crossed the wire for
+// nothing).
+func (c *Client) ingestBundle(want string, r io.Reader, boundary, rung string) ([]byte, error) {
 	if boundary == "" {
 		return nil, fmt.Errorf("httpspec: bundle without boundary")
 	}
@@ -323,12 +422,22 @@ func (c *Client) ingestBundle(want string, r io.Reader, boundary string) ([]byte
 			return nil, fmt.Errorf("httpspec: reading bundle part %q: %w", loc, err)
 		}
 		pushed := part.Header.Get(HeaderPushed) != ""
+		var pMilli int64
+		if pushed {
+			pMilli, _ = strconv.ParseInt(part.Header.Get(HeaderSpecP), 10, 64)
+		}
 		c.mu.Lock()
+		if pushed {
+			c.cfg.Attrib.Delivered(loc, attrib.ClassPush, int64(len(body)), pMilli, rung)
+		}
 		if _, ok := c.cache[loc]; !ok {
-			c.cache[loc] = cacheEntry{body: body, spec: pushed}
+			c.cache[loc] = cacheEntry{body: body, spec: pushed, class: classOf(pushed)}
 			if pushed {
 				c.stats.Pushed++
 			}
+		} else if pushed {
+			// Duplicate push: discarded immediately, pure waste.
+			c.cfg.Attrib.Wasted(loc, attrib.ClassPush, int64(len(body)))
 		}
 		c.stats.BytesIn += int64(len(body))
 		c.mu.Unlock()
@@ -342,10 +451,22 @@ func (c *Client) ingestBundle(want string, r io.Reader, boundary string) ([]byte
 	return wanted, nil
 }
 
+// classOf maps a pushed flag to its attribution class ("" for the demand
+// document itself, which is not a speculative delivery).
+func classOf(pushed bool) string {
+	if pushed {
+		return attrib.ClassPush
+	}
+	return ""
+}
+
 // prefetch fetches a hinted path into the cache (no hint recursion).
 // Prefetches are speculative, so they stay single-attempt: a failed
-// prefetch costs nothing the demand path will not recover later.
-func (c *Client) prefetch(ctx context.Context, path string) {
+// prefetch costs nothing the demand path will not recover later. The
+// request announces itself with Spec-Prefetch and continues the demand
+// fetch's trace as a child span.
+func (c *Client) prefetch(ctx context.Context, parent *obs.ActiveSpan, h clientHint) {
+	path := h.path
 	c.mu.Lock()
 	if _, ok := c.cache[path]; ok {
 		c.mu.Unlock()
@@ -354,11 +475,18 @@ func (c *Client) prefetch(ctx context.Context, path string) {
 	digest := c.digestLocked()
 	c.mu.Unlock()
 
+	sp := c.tracer.StartChild("client.prefetch", parent)
+	sp.SetAttr("path", path)
+	defer sp.Finish()
+
 	cctx, cancel := resilience.EnsureDeadline(ctx, c.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(cctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return
+	}
+	if tp := sp.Traceparent(); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
 	}
 	if c.cfg.ID != "" {
 		req.Header.Set(HeaderClient, c.cfg.ID)
@@ -366,6 +494,7 @@ func (c *Client) prefetch(ctx context.Context, path string) {
 	if c.cfg.Cooperative && digest != "" {
 		req.Header.Set(HeaderHave, digest)
 	}
+	req.Header.Set(HeaderPrefetch, strconv.FormatInt(attrib.PMilli(h.p), 10))
 	resp, err := c.cfg.HTTP.Do(req)
 	if err != nil {
 		return
@@ -380,7 +509,9 @@ func (c *Client) prefetch(ctx context.Context, path string) {
 	}
 	c.mu.Lock()
 	if _, ok := c.cache[path]; !ok {
-		c.cache[path] = cacheEntry{body: body, spec: true}
+		c.cfg.Attrib.Delivered(path, attrib.ClassPrefetch, int64(len(body)),
+			attrib.PMilli(h.p), resp.Header.Get(HeaderRung))
+		c.cache[path] = cacheEntry{body: body, spec: true, class: attrib.ClassPrefetch}
 		c.stats.Prefetched++
 		c.stats.BytesIn += int64(len(body))
 	}

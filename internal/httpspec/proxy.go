@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specweb/internal/attrib"
 	"specweb/internal/obs"
 	"specweb/internal/overload"
 	"specweb/internal/resilience"
@@ -40,7 +41,7 @@ type Proxy struct {
 	log     *slog.Logger
 
 	mu         sync.RWMutex
-	replicas   map[string][]byte
+	replicas   map[string]*replica
 	stale      map[string][]byte // superseded replicas kept for degraded service
 	staleBytes int64
 
@@ -50,6 +51,16 @@ type Proxy struct {
 	forward     atomic.Int64
 	staleServes atomic.Int64
 	shed        atomic.Int64
+}
+
+// replica is one disseminated document. hit is flipped by the read path
+// under the read lock (it is atomic precisely so hits never need the
+// write lock); resolved guards the attribution so each dissemination
+// resolves exactly once.
+type replica struct {
+	body     []byte
+	hit      atomic.Bool
+	resolved atomic.Bool
 }
 
 // ProxyConfig parameterizes the proxy's resilience behaviour. The zero
@@ -85,6 +96,11 @@ type ProxyConfig struct {
 	Metrics *obs.Registry
 	// Tracer records spans; nil means obs.DefaultTracer.
 	Tracer *obs.Tracer
+	// Attrib, when non-nil, records every replica pulled as a
+	// speculative delivery and resolves it — consumed if it served at
+	// least one hit, wasted otherwise — when the replica set is retired
+	// (or on FlushAttrib).
+	Attrib *attrib.Ledger
 }
 
 // proxyMetrics aggregate over every proxy instance in the process (the
@@ -165,7 +181,7 @@ func NewProxyWith(origin string, cfg ProxyConfig) *Proxy {
 		met:      newProxyMetrics(cfg.Metrics),
 		tracer:   cfg.Tracer,
 		log:      obs.Logger("proxy"),
-		replicas: make(map[string][]byte),
+		replicas: make(map[string]*replica),
 		stale:    make(map[string][]byte),
 	}
 }
@@ -196,12 +212,12 @@ func (p *Proxy) Disseminate(ctx context.Context, budget int64) (int, error) {
 		defer release()
 	}
 
-	paths, err := p.fetchReplicaList(ctx, budget)
+	paths, err := p.fetchReplicaList(ctx, sp, budget)
 	if err != nil {
 		return 0, err
 	}
 
-	fresh := make(map[string][]byte, len(paths))
+	fresh := make(map[string]*replica, len(paths))
 	var freshBytes int64
 	var pullErrs []error
 	for _, path := range paths {
@@ -209,12 +225,13 @@ func (p *Proxy) Disseminate(ctx context.Context, budget int64) (int, error) {
 			pullErrs = append(pullErrs, ctx.Err())
 			break
 		}
-		body, err := p.pull(ctx, path)
+		body, err := p.pull(ctx, sp, path)
 		if err != nil {
 			pullErrs = append(pullErrs, err)
 			continue
 		}
-		fresh[path] = body
+		fresh[path] = &replica{body: body}
+		p.cfg.Attrib.Delivered(path, attrib.ClassReplica, int64(len(body)), 0, "")
 		freshBytes += int64(len(body))
 	}
 
@@ -242,7 +259,7 @@ func (p *Proxy) Disseminate(ctx context.Context, budget int64) (int, error) {
 }
 
 // fetchReplicaList asks the origin's replicator for the replica paths.
-func (p *Proxy) fetchReplicaList(ctx context.Context, budget int64) ([]string, error) {
+func (p *Proxy) fetchReplicaList(ctx context.Context, sp *obs.ActiveSpan, budget int64) ([]string, error) {
 	var paths []string
 	err := p.retrier.Do(ctx, func(ctx context.Context) error {
 		cctx, cancel := resilience.EnsureDeadline(ctx, p.cfg.PullTimeout)
@@ -255,6 +272,9 @@ func (p *Proxy) fetchReplicaList(ctx context.Context, budget int64) ([]string, e
 		if err != nil {
 			p.breaker.Record(nil)
 			return resilience.Permanent(err)
+		}
+		if tp := sp.Traceparent(); tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
 		}
 		resp, err := p.http.Do(req)
 		if err != nil {
@@ -286,8 +306,8 @@ func (p *Proxy) fetchReplicaList(ctx context.Context, budget int64) ([]string, e
 }
 
 // pull fetches one document body from the origin with retries under the
-// breaker.
-func (p *Proxy) pull(ctx context.Context, path string) ([]byte, error) {
+// breaker, continuing the dissemination span's trace.
+func (p *Proxy) pull(ctx context.Context, sp *obs.ActiveSpan, path string) ([]byte, error) {
 	var body []byte
 	err := p.retrier.Do(ctx, func(ctx context.Context) error {
 		cctx, cancel := resilience.EnsureDeadline(ctx, p.cfg.PullTimeout)
@@ -299,6 +319,9 @@ func (p *Proxy) pull(ctx context.Context, path string) ([]byte, error) {
 		if err != nil {
 			p.breaker.Record(nil)
 			return resilience.Permanent(err)
+		}
+		if tp := sp.Traceparent(); tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
 		}
 		resp, err := p.http.Do(req)
 		if err != nil {
@@ -331,14 +354,16 @@ func (p *Proxy) pull(ctx context.Context, path string) ([]byte, error) {
 }
 
 // retireLocked moves a superseded replica set into the stale store,
-// evicting arbitrary entries when over the byte cap. Callers hold mu.
-func (p *Proxy) retireLocked(old map[string][]byte) {
-	for path, body := range old {
+// evicting arbitrary entries when over the byte cap, and resolves each
+// retired replica's attribution. Callers hold mu.
+func (p *Proxy) retireLocked(old map[string]*replica) {
+	for path, rep := range old {
+		p.resolveReplica(path, rep)
 		if prev, ok := p.stale[path]; ok {
 			p.staleBytes -= int64(len(prev))
 		}
-		p.stale[path] = body
-		p.staleBytes += int64(len(body))
+		p.stale[path] = rep.body
+		p.staleBytes += int64(len(rep.body))
 	}
 	for path, body := range p.stale {
 		if p.staleBytes <= p.cfg.MaxStaleBytes {
@@ -346,6 +371,29 @@ func (p *Proxy) retireLocked(old map[string][]byte) {
 		}
 		delete(p.stale, path)
 		p.staleBytes -= int64(len(body))
+	}
+}
+
+// resolveReplica attributes one replica's fate exactly once: consumed if
+// it served at least one hit, wasted otherwise.
+func (p *Proxy) resolveReplica(path string, rep *replica) {
+	if !rep.resolved.CompareAndSwap(false, true) {
+		return
+	}
+	if rep.hit.Load() {
+		p.cfg.Attrib.Consumed(path, attrib.ClassReplica, int64(len(rep.body)))
+	} else {
+		p.cfg.Attrib.Wasted(path, attrib.ClassReplica, int64(len(rep.body)))
+	}
+}
+
+// FlushAttrib resolves the current replica set's attribution without
+// retiring it — for end-of-run reports and graceful shutdown.
+func (p *Proxy) FlushAttrib() {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for path, rep := range p.replicas {
+		p.resolveReplica(path, rep)
 	}
 }
 
@@ -406,22 +454,24 @@ func stripHopByHop(h http.Header) {
 // through untouched). When the origin is unreachable — transport failure
 // or open circuit — GETs degrade to the stale store before giving up.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	sp := p.tracer.Start("proxy.request")
+	// Continue the client's trace so client→proxy→server share one ID.
+	sp := p.tracer.StartRemote("proxy.request", r.Header.Get(obs.TraceparentHeader))
 	sp.SetAttr("path", r.URL.Path)
 	defer sp.Finish()
 	if r.Method == http.MethodGet {
 		p.mu.RLock()
-		body, ok := p.replicas[r.URL.Path]
+		rep, ok := p.replicas[r.URL.Path]
 		p.mu.RUnlock()
 		if ok {
+			rep.hit.Store(true)
 			p.hits.Add(1)
-			p.hitB.Add(int64(len(body)))
+			p.hitB.Add(int64(len(rep.body)))
 			p.met.hits.Inc()
-			p.met.hitBytes.Add(int64(len(body)))
+			p.met.hitBytes.Add(int64(len(rep.body)))
 			sp.SetAttr("result", "hit")
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Header().Set("X-Served-By", "specweb-proxy")
-			_, _ = w.Write(body)
+			_, _ = w.Write(rep.body)
 			return
 		}
 	}
@@ -445,7 +495,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer release()
 	}
 
-	resp, err := p.forwardOrigin(r)
+	resp, err := p.forwardOrigin(r, sp)
 	if err != nil {
 		p.forward.Add(1)
 		if p.serveStale(w, r, sp) {
@@ -473,7 +523,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // forwardOrigin relays one request to the origin. Idempotent methods are
 // retried under the breaker; anything else gets a single attempt. The
 // caller owns the returned response body.
-func (p *Proxy) forwardOrigin(r *http.Request) (*http.Response, error) {
+func (p *Proxy) forwardOrigin(r *http.Request, sp *obs.ActiveSpan) (*http.Response, error) {
 	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead
 	var resp *http.Response
 	op := func(ctx context.Context) error {
@@ -491,6 +541,11 @@ func (p *Proxy) forwardOrigin(r *http.Request) (*http.Response, error) {
 		}
 		req.Header = r.Header.Clone()
 		stripHopByHop(req.Header)
+		// Replace the inbound traceparent with the proxy's own span, so
+		// the origin's span parents on this hop, not on the client's.
+		if tp := sp.Traceparent(); tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
+		}
 		got, err := p.http.Do(req)
 		if err != nil {
 			cancel()

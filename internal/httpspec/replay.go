@@ -10,6 +10,8 @@ import (
 	"sync"
 	"time"
 
+	"specweb/internal/attrib"
+	"specweb/internal/obs"
 	"specweb/internal/overload"
 	"specweb/internal/resilience"
 	"specweb/internal/trace"
@@ -55,6 +57,16 @@ type ReplayConfig struct {
 	// stable hash of the client ID) with Spec-Priority: low, the demand
 	// class an overloaded server sheds first. 0 tags nobody.
 	LowPriority float64
+
+	// Attrib adds the speculation attribution section to the summary:
+	// every speculative delivery resolved as consumed or wasted, by
+	// class, with top-K per-doc rows. Opt-in so summaries from earlier
+	// versions stay byte-identical.
+	Attrib bool
+	// AttribFeedback piggybacks Spec-Attrib resolution tokens on demand
+	// requests so the server's own ledger (specd /debug/attrib) learns
+	// the fate of what it speculated.
+	AttribFeedback bool
 }
 
 // ReplayStats aggregates the outcome over all replayed clients.
@@ -90,6 +102,9 @@ type ReplayStats struct {
 	OfferedRate    float64
 	Burst          int
 	ServerOverload *ServerOverloadStats
+
+	// Attrib is the drained attribution ledger (nil unless requested).
+	Attrib *attrib.Report
 
 	latencies  []float64 // per successful client-initiated request, seconds
 	missDurSum float64
@@ -191,6 +206,9 @@ type ReplaySummary struct {
 	LatencyMS     LatencySummary   `json:"latency_ms"`
 	Chaos         *ChaosSummary    `json:"chaos,omitempty"`
 	Overload      *OverloadSummary `json:"overload,omitempty"`
+	// Attrib breaks the speculative bytes down into consumed vs wasted
+	// per delivery class, with top-K per-doc rows (present with -attrib).
+	Attrib *attrib.Report `json:"attrib,omitempty"`
 }
 
 // ratio divides speculative by baseline, reporting the neutral 1 when
@@ -296,6 +314,7 @@ func (s *ReplayStats) Summary() ReplaySummary {
 		}
 		sum.Overload = ov
 	}
+	sum.Attrib = s.Attrib
 	return sum
 }
 
@@ -316,6 +335,7 @@ func lowPriorityClient(id trace.ClientID, fraction float64) bool {
 type replayRun struct {
 	cfg     ReplayConfig
 	retrier *resilience.Retrier
+	attrib  *attrib.Ledger // nil unless cfg.Attrib
 
 	clients      map[trace.ClientID]*Client // dispatcher-only
 	sinceSession map[trace.ClientID]int     // dispatcher-only
@@ -342,6 +362,8 @@ func (rr *replayRun) clientFor(id trace.ClientID) *Client {
 			Timeout:           rr.cfg.RequestTimeout,
 			Retrier:           rr.retrier,
 			Priority:          prio,
+			Attrib:            rr.attrib,
+			AttribFeedback:    rr.cfg.AttribFeedback,
 		})
 		rr.clients[id] = c
 	}
@@ -372,11 +394,17 @@ func (rr *replayRun) record(dur float64, fromCache bool, err error) {
 	}
 }
 
-// finish aggregates the per-client counters into the run stats.
+// finish aggregates the per-client counters into the run stats and
+// drains the attribution ledger: still-unused speculative copies resolve
+// as wasted, so Outstanding reports zero. The ledger's updates commute,
+// so map iteration order cannot change the report.
 func (rr *replayRun) finish() *ReplayStats {
 	stats := rr.stats
 	stats.Clients = len(rr.clients)
 	for _, c := range rr.clients {
+		if rr.attrib != nil {
+			c.ResolveOutstanding()
+		}
 		cs := c.Stats()
 		stats.Requests += cs.Fetches
 		stats.CacheHits += cs.CacheHits
@@ -391,8 +419,14 @@ func (rr *replayRun) finish() *ReplayStats {
 		stats.StaleServes += cs.StaleServes
 		stats.Shed += cs.Shed
 	}
+	if rr.attrib != nil {
+		stats.Attrib = rr.attrib.Report(replayAttribTopDocs)
+	}
 	return stats
 }
+
+// replayAttribTopDocs bounds the per-doc attribution rows in a summary.
+const replayAttribTopDocs = 10
 
 // scrapeOverload pulls the server's overload snapshot from /spec/stats;
 // nil when the server is unreachable or runs without overload control.
@@ -440,6 +474,18 @@ func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 		clients:      make(map[trace.ClientID]*Client),
 		sinceSession: make(map[trace.ClientID]int),
 		stats:        &ReplayStats{Chaos: cfg.Chaos},
+	}
+	if cfg.Attrib {
+		// Size the ledger past the trace's distinct paths (with slack
+		// for pushed documents the trace never demands) so the
+		// space-saving sketch never evicts: per-doc rows stay exact and
+		// the whole ledger commutes (open-loop completion order cannot
+		// change the report).
+		distinct := make(map[string]struct{}, 1024)
+		for i := range tr.Requests {
+			distinct[tr.Requests[i].Path] = struct{}{}
+		}
+		rr.attrib = attrib.NewLedger(2*len(distinct)+64, obs.NewRegistry())
 	}
 	if cfg.Rate > 0 {
 		return replayOpenLoop(tr, rr)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specweb/internal/attrib"
 	"specweb/internal/core"
 	"specweb/internal/obs"
 	"specweb/internal/overload"
@@ -40,6 +41,23 @@ const (
 	// the shed traffic class), so clients and replays can distinguish
 	// load shedding from failure.
 	HeaderShed = "X-Specweb-Shed"
+	// HeaderSpecP carries, on a speculative bundle part, the engine
+	// probability that drove the push, in thousandths — the attribution
+	// ledger's fixed-point currency.
+	HeaderSpecP = "Spec-P"
+	// HeaderRung carries the governor's degradation rung name on
+	// responses, so attribution can bucket deliveries by the overload
+	// state they were decided under.
+	HeaderRung = "Spec-Rung"
+	// HeaderPrefetch marks a request as a hint-driven prefetch and
+	// carries the hint probability in thousandths, letting the server's
+	// ledger record the delivery.
+	HeaderPrefetch = "Spec-Prefetch"
+	// HeaderAttrib piggybacks attribution feedback on demand requests:
+	// space-separated "c:<class>:<path>" (consumed) and
+	// "w:<class>:<path>" (wasted) tokens resolving earlier speculative
+	// deliveries in the server's ledger.
+	HeaderAttrib = "Spec-Attrib"
 
 	acceptBundle = "bundle"
 )
@@ -92,6 +110,10 @@ type ServerConfig struct {
 	// leaves the engine's knobs static. NewServer binds it to the
 	// engine with the configured Tp/TopK/MaxSize as the baseline.
 	Governor *overload.Governor
+	// Attrib, when non-nil, records every speculative delivery this
+	// server makes (pushes, hinted prefetches it serves) and resolves
+	// them from client Spec-Attrib feedback.
+	Attrib *attrib.Ledger
 }
 
 // DefaultServerConfig returns a push-mode server with the baseline engine.
@@ -257,7 +279,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := s.now()
-	sp := s.tracer.Start("server.request")
+	// Continue the caller's trace when it sent one (client or proxy hop),
+	// so one trace ID spans the whole request path.
+	sp := s.tracer.StartRemote("server.request", r.Header.Get(obs.TraceparentHeader))
 	sp.SetAttr("path", r.URL.Path)
 	defer sp.Finish()
 
@@ -286,11 +310,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// The degradation ladder's last rung: shed lowest-priority demand
 	// before recording or serving anything — the cheapest possible exit.
 	rung := s.cfg.Governor.Rung()
-	sp.SetAttr("rung", overload.RungName(rung))
+	rungName := overload.RungName(rung)
+	sp.SetAttr("rung", rungName)
 	if rung >= overload.RungShedDemand && priorityOf(r) == prioLow {
 		s.shedDemand(w, sp, 1)
 		return
 	}
+	if s.cfg.Governor != nil {
+		w.Header().Set(HeaderRung, rungName)
+	}
+
+	// Resolve attribution feedback the client piggybacked before counting
+	// this request's own speculation.
+	s.ingestAttrib(r.Header.Get(HeaderAttrib))
 
 	s.requests.Add(1)
 	s.met.requests.Inc()
@@ -302,6 +334,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.repl.Record(id, size, isRemote(client))
 
 	var push []webgraph.DocID
+	var pushP []float64
 	var hints []hint
 	if rung >= overload.RungNoSpec {
 		// Second rung: no speculation at all — skip the candidate
@@ -319,11 +352,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// recycle at request end.
 		d := core.AcquireDecision()
 		defer core.ReleaseDecision(d)
-		spec := s.tracer.StartChild("server.speculate", sp.ID())
+		spec := s.tracer.StartChild("server.speculate", sp)
 		switch s.cfg.Mode {
 		case ModePush:
 			s.engine.SpeculateInto(d, id, have)
-			push = d.Push
+			push, pushP = d.Push, d.PushP
 		case ModeHints:
 			s.engine.HintsInto(d, id, have)
 			for _, h := range d.Hints {
@@ -331,13 +364,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		case ModeHybrid:
 			s.engine.SplitInto(d, id, have)
-			push = d.Push
+			push, pushP = d.Push, d.PushP
 			for _, h := range d.Hints {
 				hints = append(hints, hint{doc: h.Doc, p: h.P})
 			}
 		}
 		if len(push) > s.cfg.MaxPush {
 			push = push[:s.cfg.MaxPush]
+			pushP = pushP[:s.cfg.MaxPush]
 		}
 		if rung >= overload.RungNoPush && len(push) > 0 {
 			// First rung: stop pushing — the bytes are the expensive
@@ -345,13 +379,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// clients keep some speculative benefit at header cost.
 			s.pushSuppressed.Add(int64(len(push)))
 			s.met.pushSuppressed.Add(int64(len(push)))
-			// The engine's effective threshold is a lower bound on every
-			// pushed candidate's probability — advertise that.
-			floor := s.engine.Tp()
-			for _, d := range push {
-				hints = append(hints, hint{doc: d, p: floor})
+			for i, d := range push {
+				hints = append(hints, hint{doc: d, p: pushP[i]})
 			}
-			push = nil
+			push, pushP = nil, nil
 		}
 		spec.SetAttr("push", strconv.Itoa(len(push)))
 		spec.SetAttr("hints", strconv.Itoa(len(hints)))
@@ -369,17 +400,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	wantBundle := strings.Contains(r.Header.Get(HeaderAccept), acceptBundle)
 	var written int64
 	if wantBundle && len(push) > 0 {
-		bsp := s.tracer.StartChild("server.bundle", sp.ID())
-		written = s.serveBundle(w, id, push)
+		bsp := s.tracer.StartChild("server.bundle", sp)
+		written = s.serveBundle(w, id, push, pushP, rungName)
 		bsp.Finish()
 		sp.SetAttr("kind", "bundle")
 	} else {
 		written = s.serveDoc(w, id)
 		sp.SetAttr("kind", "doc")
+		// A hint-driven prefetch announces itself (with the hint's
+		// probability); the bytes it pulls are a speculative delivery.
+		if pm := r.Header.Get(HeaderPrefetch); pm != "" && s.cfg.Attrib != nil {
+			pMilli, _ := strconv.ParseInt(pm, 10, 64)
+			s.cfg.Attrib.Delivered(r.URL.Path, attrib.ClassPrefetch, written, pMilli, rungName)
+		}
 	}
 	s.met.respBytes.Observe(float64(written))
 	elapsed := s.now().Sub(start)
-	s.met.latency.Observe(elapsed.Seconds())
+	// The trace-ID exemplar ties the latency bucket to a concrete request
+	// inspectable at /debug/spans?trace=….
+	s.met.latency.ObserveTrace(elapsed.Seconds(), sp.TraceID())
 	// Feed the governor the full demand-path latency (including any
 	// admission queueing): its control loop is what brings the ladder
 	// back down when this number recovers.
@@ -488,15 +527,16 @@ func (s *Server) serveDoc(w http.ResponseWriter, id webgraph.DocID) int64 {
 
 // serveBundle writes a multipart/mixed response: the requested document
 // first, then each speculative document, every part carrying its
-// Content-Location. Returns the body bytes written.
-func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []webgraph.DocID) int64 {
+// Content-Location (and, when pushed, the Spec-P probability that drove
+// the push). Returns the body bytes written.
+func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []webgraph.DocID, pushP []float64, rung string) int64 {
 	mw := multipart.NewWriter(w)
 	w.Header().Set("Content-Type", "multipart/mixed; boundary="+mw.Boundary())
 	s.bundles.Add(1)
 	s.met.bundles.Inc()
 
 	var total int64
-	writePart := func(doc webgraph.DocID, pushed bool) {
+	writePart := func(doc webgraph.DocID, pushed bool, pMilli int64) {
 		path, ok := s.store.Path(doc)
 		if !ok {
 			return
@@ -510,6 +550,7 @@ func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []we
 		hdr.Set("Content-Type", "application/octet-stream")
 		if pushed {
 			hdr.Set(HeaderPushed, "1")
+			hdr.Set(HeaderSpecP, strconv.FormatInt(pMilli, 10))
 		}
 		pw, err := mw.CreatePart(hdr)
 		if err != nil {
@@ -523,14 +564,45 @@ func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []we
 			s.docsPushed.Add(1)
 			s.met.pushedDocs.Inc()
 			s.met.pushedBytes.Add(int64(n))
+			s.cfg.Attrib.Delivered(path, attrib.ClassPush, int64(n), pMilli, rung)
 		}
 	}
-	writePart(id, false)
-	for _, d := range push {
-		writePart(d, true)
+	writePart(id, false, 0)
+	for i, d := range push {
+		var pMilli int64
+		if i < len(pushP) {
+			pMilli = attrib.PMilli(pushP[i])
+		}
+		writePart(d, true, pMilli)
 	}
 	_ = mw.Close()
 	return total
+}
+
+// ingestAttrib resolves client Spec-Attrib feedback tokens
+// ("c:<class>:<path>" consumed, "w:<class>:<path>" wasted) against the
+// server's ledger, using the store's current size for the byte amount.
+func (s *Server) ingestAttrib(header string) {
+	if header == "" || s.cfg.Attrib == nil {
+		return
+	}
+	for _, tok := range strings.Fields(header) {
+		parts := strings.SplitN(tok, ":", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		id, ok := s.store.Lookup(parts[2])
+		if !ok {
+			continue
+		}
+		size, _ := s.store.Size(id)
+		switch parts[0] {
+		case "c":
+			s.cfg.Attrib.Consumed(parts[2], parts[1], size)
+		case "w":
+			s.cfg.Attrib.Wasted(parts[2], parts[1], size)
+		}
+	}
 }
 
 func (s *Server) serveStats(w http.ResponseWriter) {
@@ -539,11 +611,13 @@ func (s *Server) serveStats(w http.ResponseWriter) {
 		Server   ServerStats
 		Engine   core.Stats
 		Overload *ServerOverloadStats `json:",omitempty"`
+		Attrib   *attrib.Report       `json:",omitempty"`
 	}{Server: s.Stats(), Engine: s.engine.Stats()}
 	if s.overloadEnabled() {
 		ov := s.OverloadStats()
 		st.Overload = &ov
 	}
+	st.Attrib = s.cfg.Attrib.Report(20)
 	_ = json.NewEncoder(w).Encode(st)
 }
 

@@ -101,6 +101,38 @@ func runCell(t *testing.T, spec, chaos, over bool) {
 		t.Errorf("spec cell produced no speculative hits: %+v", c)
 	}
 
+	// Attribution: only the speculative arm carries a ledger, and a
+	// finished run leaves nothing outstanding — every delivered byte is
+	// accounted consumed or wasted.
+	if !spec && res.Attrib != nil {
+		t.Error("attribution report present in non-spec cell")
+	}
+	if spec {
+		at := res.Attrib
+		if at == nil {
+			t.Fatal("spec cell missing the attribution report")
+		}
+		if at.Outstanding != 0 {
+			t.Errorf("attribution outstanding = %d after drain, want 0", at.Outstanding)
+		}
+		if at.Totals.ConsumedBytes+at.Totals.WastedBytes != at.Totals.DeliveredBytes {
+			t.Errorf("attribution bytes do not balance: consumed %d + wasted %d != delivered %d",
+				at.Totals.ConsumedBytes, at.Totals.WastedBytes, at.Totals.DeliveredBytes)
+		}
+		if at.EvictedDocs != 0 {
+			t.Errorf("ledger sized to the site must not evict, evicted %d", at.EvictedDocs)
+		}
+		if !chaos {
+			if at.Totals.Consumed == 0 || at.Totals.Wasted == 0 {
+				t.Errorf("spec cell attribution missing a side: consumed %d, wasted %d",
+					at.Totals.Consumed, at.Totals.Wasted)
+			}
+			if len(at.Docs) == 0 {
+				t.Error("attribution report has no per-doc rows")
+			}
+		}
+	}
+
 	if over {
 		if res.Overload == nil {
 			t.Fatal("overload cell missing the server ledger")

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specweb/internal/attrib"
 	"specweb/internal/experiments"
 	"specweb/internal/httpspec"
 	"specweb/internal/obs"
@@ -139,6 +140,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// attribTopDocs is how many per-doc attribution rows a BENCH report
+// carries: enough to name the heavy hitters without bloating the file.
+const attribTopDocs = 10
+
 func modeName(m httpspec.Mode) string {
 	switch m {
 	case httpspec.ModeHints:
@@ -227,6 +232,15 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 
 	r := &run{cfg: cfg, clients: make(map[trace.ClientID]*Client)}
 
+	// One shared attribution ledger for the speculative arm. Capacity
+	// covers the whole site, so the space-saving sketch never evicts and
+	// its updates commute — the report is byte-identical no matter how
+	// many workers raced or in what order their sessions resolved.
+	var led *attrib.Ledger
+	if cfg.Speculate {
+		led = attrib.NewLedger(wl.Site.NumDocs(), obs.NewRegistry())
+	}
+
 	// The virtual clock: warmup advances it along trace time; after the
 	// freeze every server-side timestamp is the warmup boundary, so the
 	// engine never auto-refreshes mid-measurement and its speculation
@@ -302,6 +316,7 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 			HTTP:              r.hc,
 			Timeout:           cfg.Timeout,
 			Retrier:           retrier,
+			Attrib:            led,
 		})}
 	}
 
@@ -361,6 +376,15 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 	if cfg.Overload && r.srv != nil {
 		ov := r.srv.OverloadStats()
 		res.Overload = &ov
+	}
+	if led != nil {
+		// Drain the ledger: every speculative copy still sitting unused
+		// in a session cache is waste. Client order is fixed for
+		// reproducible logs, though the ledger commutes regardless.
+		for _, id := range r.order {
+			r.clients[id].c.ResolveOutstanding()
+		}
+		res.Attrib = led.Report(attribTopDocs)
 	}
 	return res, winfo, info, nil
 }

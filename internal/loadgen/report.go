@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"specweb/internal/attrib"
 	"specweb/internal/httpspec"
 )
 
@@ -71,7 +72,13 @@ type Result struct {
 	// Overload is the server's admission/governor ledger, present when
 	// the run installed overload control on the in-process server.
 	Overload *httpspec.ServerOverloadStats `json:"overload,omitempty"`
-	Timing   *Timing                       `json:"timing,omitempty"`
+	// Attrib is the speculation attribution report for the arm: consumed
+	// vs wasted speculative bytes by delivery class, with top-K per-doc
+	// rows. Outstanding deliveries are resolved before the report is
+	// taken, and the ledger is sized to the whole site, so the section is
+	// deterministic — part of the byte-identical fingerprint.
+	Attrib *attrib.Report `json:"attrib,omitempty"`
+	Timing *Timing        `json:"timing,omitempty"`
 }
 
 // Counts are the measurement-phase totals summed over all clients

@@ -1,0 +1,59 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo is the version identity stamped into binaries by the Go
+// toolchain, surfaced for -version flags and the specweb_build_info
+// metric.
+type BuildInfo struct {
+	Version   string // main module version ("(devel)" for local builds)
+	Revision  string // vcs.revision, if the build carried VCS metadata
+	Modified  string // vcs.modified ("true" when built from a dirty tree)
+	GoVersion string
+}
+
+// ReadBuild collects build metadata via runtime/debug.ReadBuildInfo.
+// Fields default to "unknown" when the runtime has nothing (e.g. test
+// binaries built without module info).
+func ReadBuild() BuildInfo {
+	out := BuildInfo{Version: "unknown", Revision: "unknown", Modified: "false", GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value
+		}
+	}
+	return out
+}
+
+// String renders the info for a -version flag.
+func (b BuildInfo) String() string {
+	return b.Version + " (" + b.Revision + ", " + b.GoVersion + ")"
+}
+
+// RegisterBuildInfo publishes the standard always-1 specweb_build_info
+// gauge, labelled with the binary name and build identity, on the given
+// registry (nil means Default). Returns the info so callers can also
+// print it.
+func RegisterBuildInfo(r *Registry, binary string) BuildInfo {
+	b := ReadBuild()
+	r.Gauge("specweb_build_info",
+		"Build identity; always 1, with version info in the labels.",
+		Labels{
+			"binary":     binary,
+			"version":    b.Version,
+			"revision":   b.Revision,
+			"go_version": b.GoVersion,
+		}).Set(1)
+	return b
+}

@@ -87,6 +87,19 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf
 	sum    atomic.Uint64  // float64 bits
 	count  atomic.Int64
+
+	// exemplars holds, per bucket, the most recent trace-ID exemplar
+	// observed into it (set by ObserveTrace). Lazily allocated so plain
+	// histograms pay nothing.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar ties one observed value to the trace that produced it, in the
+// OpenMetrics sense: a concrete request a human can pull up in
+// /debug/spans?trace=… to explain a bucket.
+type exemplar struct {
+	trace string
+	value float64
 }
 
 // Observe records one value.
@@ -101,6 +114,40 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveTrace records one value and attaches the trace ID as the
+// bucket's exemplar (last writer wins). An empty trace ID degrades to a
+// plain Observe.
+func (h *Histogram) ObserveTrace(v float64, traceID string) {
+	if traceID == "" || h.exemplars == nil {
+		h.Observe(v)
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{trace: traceID, value: v})
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Exemplar returns the trace ID last attached to the bucket containing v
+// ("" if none).
+func (h *Histogram) Exemplar(v float64) string {
+	if h.exemplars == nil {
+		return ""
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if e := h.exemplars[i].Load(); e != nil {
+		return e.trace
+	}
+	return ""
 }
 
 // Count returns the number of observations.
@@ -260,7 +307,11 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 	if m, ok := f.series[sig]; ok {
 		return m.(*Histogram)
 	}
-	h := &Histogram{bounds: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+	h := &Histogram{
+		bounds:    f.buckets,
+		counts:    make([]atomic.Int64, len(f.buckets)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(f.buckets)+1),
+	}
 	f.series[sig] = h
 	return h
 }
@@ -343,10 +394,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				var cum int64
 				for i, bound := range m.bounds {
 					cum += m.counts[i].Load()
-					fmt.Fprintf(&b, "%s_bucket{%s} %d\n", f.name, withLe(sig, formatFloat(bound)), cum)
+					fmt.Fprintf(&b, "%s_bucket{%s} %d%s\n", f.name,
+						withLe(sig, formatFloat(bound)), cum, m.exemplarSuffix(i))
 				}
 				cum += m.counts[len(m.bounds)].Load()
-				fmt.Fprintf(&b, "%s_bucket{%s} %d\n", f.name, withLe(sig, "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_bucket{%s} %d%s\n", f.name,
+					withLe(sig, "+Inf"), cum, m.exemplarSuffix(len(m.bounds)))
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, braced(sig), formatFloat(m.Sum()))
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, braced(sig), m.Count())
 			}
@@ -354,6 +407,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// exemplarSuffix renders the bucket's OpenMetrics-style exemplar
+// (` # {trace_id="…"} value`), or "" when the bucket has none.
+func (h *Histogram) exemplarSuffix(i int) string {
+	if h.exemplars == nil {
+		return ""
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return ` # {trace_id="` + e.trace + `"} ` + formatFloat(e.value)
 }
 
 func braced(sig string) string {

@@ -1,8 +1,12 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,12 +17,126 @@ import (
 // given nil.
 var DefaultTracer = NewTracer(256)
 
-// SpanID identifies one span; 0 means "no span / no parent".
+// TraceparentHeader is the W3C trace-context header the speculative
+// stack propagates: a request entering the client carries one trace ID
+// through proxy and server hops (and back through speculative pulls), so
+// the spans of every process involved in a request share a trace ID and
+// can be merged into one tree.
+const TraceparentHeader = "traceparent"
+
+// SpanID identifies one span; 0 means "no span / no parent". IDs are
+// seeded per process so spans from different processes in one trace do
+// not collide when their rings are merged.
 type SpanID uint64
+
+// processSeed makes span and trace IDs unique across processes. It is
+// drawn once from crypto/rand; on failure (no entropy source) the
+// constant fallback still yields unique IDs within the process.
+var processSeed = func() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0x9e3779b97f4a7c15
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+var idCounter atomic.Uint64
+
+// mix64 is the splitmix64 finalizer: a bijective scramble that turns the
+// sequential counter into well-spread 64-bit IDs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func nextID() uint64 {
+	id := mix64(processSeed + idCounter.Add(1))
+	if id == 0 {
+		id = 1 // 0 is reserved for "no span"
+	}
+	return id
+}
+
+// NewTraceID returns a fresh 32-hex-digit trace ID (unique per process,
+// distinct across processes with high probability).
+func NewTraceID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], mix64(processSeed))
+	binary.BigEndian.PutUint64(b[8:], nextID())
+	return hex32(b)
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hex32(b [16]byte) string {
+	var out [32]byte
+	for i, v := range b {
+		out[i*2] = hexDigits[v>>4]
+		out[i*2+1] = hexDigits[v&0xf]
+	}
+	return string(out[:])
+}
+
+func hex16(v uint64) string {
+	var out [16]byte
+	for i := 15; i >= 0; i-- {
+		out[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(out[:])
+}
+
+// FormatTraceparent renders the W3C header value for a span within a
+// trace: 00-<trace-id>-<span-id>-01.
+func FormatTraceparent(traceID string, span SpanID) string {
+	return "00-" + traceID + "-" + hex16(uint64(span)) + "-01"
+}
+
+// ParseTraceparent extracts the trace ID and parent span ID from a W3C
+// traceparent header value. It accepts any version, requires the
+// canonical lowercase-hex field widths, and rejects the all-zero trace
+// and span IDs the spec declares invalid.
+func ParseTraceparent(h string) (traceID string, parent SpanID, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return "", 0, false
+	}
+	var id uint64
+	for _, c := range []byte(parts[2]) {
+		var v byte
+		switch {
+		case c >= '0' && c <= '9':
+			v = c - '0'
+		case c >= 'a' && c <= 'f':
+			v = c - 'a' + 10
+		default:
+			return "", 0, false
+		}
+		id = id<<4 | uint64(v)
+	}
+	allZero := true
+	for _, c := range []byte(parts[1]) {
+		if c != '0' {
+			allZero = false
+		}
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", 0, false
+		}
+	}
+	if allZero || id == 0 {
+		return "", 0, false
+	}
+	return parts[1], SpanID(id), true
+}
 
 // Span is one finished operation. The ring keeps only finished spans;
 // in-flight ones live on their *ActiveSpan until Finish.
 type Span struct {
+	Trace    string            `json:"trace,omitempty"`
 	ID       SpanID            `json:"id"`
 	Parent   SpanID            `json:"parent,omitempty"`
 	Name     string            `json:"name"`
@@ -32,7 +150,10 @@ type Span struct {
 // *Tracer (they no-op), so instrumentation never needs a nil check.
 type Tracer struct {
 	capacity int
-	next     atomic.Uint64
+
+	// clock supplies span start times; tests inject a fixed one so the
+	// /debug/spans format can be pinned by a golden file.
+	clock func() time.Time
 
 	mu    sync.Mutex
 	ring  []Span
@@ -46,7 +167,28 @@ func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{capacity: capacity, ring: make([]Span, 0, capacity)}
+	return &Tracer{capacity: capacity, clock: time.Now, ring: make([]Span, 0, capacity)}
+}
+
+// SetClock injects the span time source (nil restores time.Now). Call
+// before recording spans; deterministic tests use it to pin span output.
+func (t *Tracer) SetClock(clock func() time.Time) {
+	if t == nil {
+		return
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+func (t *Tracer) now() time.Time {
+	t.mu.Lock()
+	clock := t.clock
+	t.mu.Unlock()
+	return clock()
 }
 
 // ActiveSpan is an in-flight span; call Finish to record it.
@@ -56,21 +198,47 @@ type ActiveSpan struct {
 	attrs map[string]string
 }
 
-// Start begins a root span.
+// Start begins a root span under a fresh trace ID.
 func (t *Tracer) Start(name string) *ActiveSpan {
-	return t.StartChild(name, 0)
-}
-
-// StartChild begins a span under parent (0 for a root span).
-func (t *Tracer) StartChild(name string, parent SpanID) *ActiveSpan {
 	if t == nil {
 		return nil
 	}
+	return t.start(name, NewTraceID(), 0)
+}
+
+// StartChild begins a span under parent, inheriting its trace ID. A nil
+// parent starts a fresh root span.
+func (t *Tracer) StartChild(name string, parent *ActiveSpan) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	if parent == nil {
+		return t.Start(name)
+	}
+	return t.start(name, parent.span.Trace, parent.span.ID)
+}
+
+// StartRemote continues a trace arriving from another process: it parses
+// the W3C traceparent header value and begins a span with that trace ID,
+// parented on the remote span. An empty or invalid header starts a fresh
+// root span, so callers can pass the header through unconditionally.
+func (t *Tracer) StartRemote(name, traceparent string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	if trace, parent, ok := ParseTraceparent(traceparent); ok {
+		return t.start(name, trace, parent)
+	}
+	return t.Start(name)
+}
+
+func (t *Tracer) start(name, trace string, parent SpanID) *ActiveSpan {
 	return &ActiveSpan{t: t, span: Span{
-		ID:     SpanID(t.next.Add(1)),
+		Trace:  trace,
+		ID:     SpanID(nextID()),
 		Parent: parent,
 		Name:   name,
-		Start:  time.Now(),
+		Start:  t.now(),
 	}}
 }
 
@@ -80,6 +248,23 @@ func (s *ActiveSpan) ID() SpanID {
 		return 0
 	}
 	return s.span.ID
+}
+
+// TraceID returns the span's trace ID ("" on a nil span).
+func (s *ActiveSpan) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.span.Trace
+}
+
+// Traceparent renders the span as a W3C traceparent header value, for
+// propagation to the next hop ("" on a nil span).
+func (s *ActiveSpan) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.span.Trace, s.span.ID)
 }
 
 // SetAttr attaches a key/value annotation.
@@ -98,10 +283,10 @@ func (s *ActiveSpan) Finish() {
 	if s == nil {
 		return
 	}
-	s.span.Duration = time.Since(s.span.Start)
-	s.span.Attrs = s.attrs
 	t := s.t
 	t.mu.Lock()
+	s.span.Duration = t.clock().Sub(s.span.Start)
+	s.span.Attrs = s.attrs
 	if len(t.ring) < t.capacity {
 		t.ring = append(t.ring, s.span)
 	} else {
@@ -129,6 +314,18 @@ func (t *Tracer) Recent() []Span {
 	return out
 }
 
+// Trace returns the retained spans belonging to one trace ID, oldest
+// first.
+func (t *Tracer) Trace(traceID string) []Span {
+	var out []Span
+	for _, s := range t.Recent() {
+		if s.Trace == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Total returns how many spans have ever finished (including overwritten
 // ones).
 func (t *Tracer) Total() uint64 {
@@ -140,15 +337,71 @@ func (t *Tracer) Total() uint64 {
 	return t.total
 }
 
-// Handler serves the ring as JSON — mount it at /debug/spans.
+// SpanNode is one node of a rendered request tree: a span and the spans
+// parented on it, ordered by start time.
+type SpanNode struct {
+	Span
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// BuildTree arranges spans into parent/child trees. Spans whose parent
+// is absent (0, overwritten, or recorded by another process) become
+// roots. Roots and children are ordered by start time, then span ID, so
+// the rendering is deterministic for a fixed span set.
+func BuildTree(spans []Span) []*SpanNode {
+	nodes := make(map[SpanID]*SpanNode, len(spans))
+	for _, s := range spans {
+		nodes[s.ID] = &SpanNode{Span: s}
+	}
+	var roots []*SpanNode
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	order := func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if !ns[i].Start.Equal(ns[j].Start) {
+				return ns[i].Start.Before(ns[j].Start)
+			}
+			return ns[i].ID < ns[j].ID
+		})
+	}
+	order(roots)
+	for _, n := range nodes {
+		order(n.Children)
+	}
+	return roots
+}
+
+// spansPayload is the /debug/spans JSON document. With a ?trace= filter
+// the payload carries only that trace's spans plus their tree rendering.
+type spansPayload struct {
+	Total uint64      `json:"total"`
+	Trace string      `json:"trace,omitempty"`
+	Spans []Span      `json:"spans"`
+	Tree  []*SpanNode `json:"tree,omitempty"`
+}
+
+// Handler serves the ring as JSON — mount it at /debug/spans. A
+// ?trace=<id> query filters to one trace and adds its request tree, so a
+// whole client→proxy→server request can be read as one nested document.
 func (t *Tracer) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		payload := spansPayload{Total: t.Total()}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			payload.Trace = id
+			payload.Spans = t.Trace(id)
+			payload.Tree = BuildTree(payload.Spans)
+		} else {
+			payload.Spans = t.Recent()
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			Total uint64 `json:"total"`
-			Spans []Span `json:"spans"`
-		}{t.Total(), t.Recent()})
+		_ = enc.Encode(payload)
 	})
 }

@@ -2,16 +2,23 @@ package obs
 
 import (
 	"encoding/json"
+	"flag"
 	"log/slog"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func TestSpanParentChild(t *testing.T) {
 	tr := NewTracer(8)
 	root := tr.Start("request")
-	child := tr.StartChild("speculate", root.ID())
+	child := tr.StartChild("speculate", root)
 	child.SetAttr("doc", "/a")
 	child.Finish()
 	root.Finish()
@@ -32,6 +39,9 @@ func TestSpanParentChild(t *testing.T) {
 	}
 	if spans[0].ID == spans[1].ID {
 		t.Error("span IDs collide")
+	}
+	if spans[0].Trace == "" || spans[0].Trace != spans[1].Trace {
+		t.Errorf("child trace %q != root trace %q", spans[0].Trace, spans[1].Trace)
 	}
 }
 
@@ -57,6 +67,50 @@ func TestSpanRingOverflow(t *testing.T) {
 	}
 }
 
+// TestSpanRingWraparoundConcurrent hammers a tiny ring from many
+// goroutines (run under -race) and then checks the ring's invariants:
+// exactly capacity spans retained, total equals spans finished, and no
+// retained span is a zero value (a torn or skipped slot).
+func TestSpanRingWraparoundConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 200
+		cap     = 7 // deliberately not a power of two
+	)
+	tr := NewTracer(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := tr.Start("op")
+				child := tr.StartChild("child", sp)
+				child.Finish()
+				sp.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := tr.Total(), uint64(workers*perG*2); got != want {
+		t.Errorf("total = %d, want %d", got, want)
+	}
+	spans := tr.Recent()
+	if len(spans) != cap {
+		t.Fatalf("%d spans retained, want %d", len(spans), cap)
+	}
+	seen := make(map[SpanID]bool)
+	for i, s := range spans {
+		if s.ID == 0 || s.Name == "" || s.Start.IsZero() {
+			t.Errorf("spans[%d] is torn/zero: %+v", i, s)
+		}
+		if seen[s.ID] {
+			t.Errorf("span ID %d appears twice in ring", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
 func TestNilTracerIsSafe(t *testing.T) {
 	var tr *Tracer
 	s := tr.Start("noop")
@@ -64,9 +118,129 @@ func TestNilTracerIsSafe(t *testing.T) {
 	if s.ID() != 0 {
 		t.Error("nil span has nonzero ID")
 	}
+	if s.TraceID() != "" || s.Traceparent() != "" {
+		t.Error("nil span has trace identity")
+	}
 	s.Finish() // must not panic
 	if tr.Recent() != nil || tr.Total() != 0 {
 		t.Error("nil tracer reports spans")
+	}
+	if tr.StartChild("c", nil) != nil || tr.StartRemote("r", "") != nil {
+		t.Error("nil tracer returned a span")
+	}
+	tr.SetClock(nil)
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("client.get")
+	h := sp.Traceparent()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q not W3C-shaped", h)
+	}
+	trace, parent, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected own output", h)
+	}
+	if trace != sp.TraceID() {
+		t.Errorf("trace = %q, want %q", trace, sp.TraceID())
+	}
+	if parent != sp.ID() {
+		t.Errorf("parent = %d, want %d", parent, sp.ID())
+	}
+	sp.Finish()
+
+	// A second tracer (standing in for another process) continues it.
+	tr2 := NewTracer(8)
+	remote := tr2.StartRemote("server.request", h)
+	if remote.TraceID() != sp.TraceID() {
+		t.Errorf("remote trace %q, want %q", remote.TraceID(), sp.TraceID())
+	}
+	remote.Finish()
+	if got := tr2.Recent()[0].Parent; got != sp.ID() {
+		t.Errorf("remote parent %d, want %d", got, sp.ID())
+	}
+}
+
+func TestParseTraceparentRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-header",
+		"00-zz-ff-01",
+		"00-0123456789abcdef0123456789abcdef-00000000000000ZZ-01", // bad span hex
+		"00-00000000000000000000000000000000-0000000000000001-01", // zero trace
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span
+		"00-0123456789ABCDEF0123456789ABCDEF-0000000000000001-01", // uppercase
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted garbage", h)
+		}
+	}
+	// And a remote start on garbage degrades to a fresh root.
+	tr := NewTracer(4)
+	sp := tr.StartRemote("req", "garbage")
+	if sp.TraceID() == "" || sp.span.Parent != 0 {
+		t.Errorf("StartRemote on garbage: trace=%q parent=%d", sp.TraceID(), sp.span.Parent)
+	}
+	sp.Finish()
+}
+
+func TestTraceFilterAndTree(t *testing.T) {
+	tr := NewTracer(16)
+	a := tr.Start("request.a")
+	ac := tr.StartChild("speculate", a)
+	ac.Finish()
+	a.Finish()
+	b := tr.Start("request.b")
+	b.Finish()
+
+	got := tr.Trace(a.TraceID())
+	if len(got) != 2 {
+		t.Fatalf("Trace(a) = %d spans, want 2", len(got))
+	}
+	for _, s := range got {
+		if s.Trace != a.TraceID() {
+			t.Errorf("span %q has trace %q", s.Name, s.Trace)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec,
+		httptest.NewRequest("GET", "/debug/spans?trace="+a.TraceID(), nil))
+	var out spansPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if out.Trace != a.TraceID() || len(out.Spans) != 2 {
+		t.Fatalf("filtered payload: trace=%q spans=%d", out.Trace, len(out.Spans))
+	}
+	if len(out.Tree) != 1 {
+		t.Fatalf("tree has %d roots, want 1", len(out.Tree))
+	}
+	root := out.Tree[0]
+	if root.Name != "request.a" || len(root.Children) != 1 || root.Children[0].Name != "speculate" {
+		t.Errorf("tree %+v", root)
+	}
+}
+
+func TestBuildTreeOrphansBecomeRoots(t *testing.T) {
+	// A child whose parent was overwritten in the ring must still render.
+	spans := []Span{
+		{Trace: "t", ID: 5, Parent: 99, Name: "orphan", Start: time.Unix(10, 0)},
+		{Trace: "t", ID: 6, Parent: 0, Name: "root", Start: time.Unix(5, 0)},
+		{Trace: "t", ID: 7, Parent: 6, Name: "kid", Start: time.Unix(6, 0)},
+	}
+	roots := BuildTree(spans)
+	if len(roots) != 2 {
+		t.Fatalf("%d roots, want 2", len(roots))
+	}
+	// Ordered by start time: root (t=5) before orphan (t=10).
+	if roots[0].Name != "root" || roots[1].Name != "orphan" {
+		t.Errorf("root order: %q, %q", roots[0].Name, roots[1].Name)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "kid" {
+		t.Errorf("children %+v", roots[0].Children)
 	}
 }
 
@@ -84,6 +258,50 @@ func TestTracerHandler(t *testing.T) {
 	}
 	if out.Total != 1 || len(out.Spans) != 1 || out.Spans[0].Name != "one" {
 		t.Errorf("handler output %+v", out)
+	}
+}
+
+// TestSpansHandlerGolden pins the /debug/spans wire format (the document
+// CI uploads as an artifact): the ring is populated with fixed spans so
+// the rendered JSON is byte-stable.
+func TestSpansHandlerGolden(t *testing.T) {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tr := NewTracer(8)
+	tr.ring = []Span{
+		{Trace: "0123456789abcdef0123456789abcdef", ID: 0x10, Name: "client.get",
+			Start: t0, Duration: 5 * time.Millisecond,
+			Attrs: map[string]string{"doc": "/index.html"}},
+		{Trace: "0123456789abcdef0123456789abcdef", ID: 0x11, Parent: 0x10,
+			Name: "server.request", Start: t0.Add(time.Millisecond),
+			Duration: 3 * time.Millisecond},
+		{Trace: "0123456789abcdef0123456789abcdef", ID: 0x12, Parent: 0x11,
+			Name: "server.speculate", Start: t0.Add(2 * time.Millisecond),
+			Duration: time.Millisecond},
+	}
+	tr.head = len(tr.ring) % tr.capacity
+	tr.total = uint64(len(tr.ring))
+
+	for name, url := range map[string]string{
+		"spans_golden.json":       "/debug/spans",
+		"spans_trace_golden.json": "/debug/spans?trace=0123456789abcdef0123456789abcdef",
+	} {
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.WriteFile(path, rec.Body.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update): %v", err)
+		}
+		if got := rec.Body.String(); got != string(want) {
+			t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				url, got, want)
+		}
 	}
 }
 

@@ -114,6 +114,9 @@ type Governor struct {
 	loadG  *obs.Gauge
 	effTpG *obs.Gauge
 	movesC *obs.Counter
+	// transC caches the per-transition counters, indexed [from][to];
+	// ladder moves are ±1 so only adjacent cells ever populate.
+	transC [maxRung + 1][maxRung + 1]*obs.Counter
 }
 
 // NewGovernor builds a governor at RungNormal.
@@ -238,6 +241,7 @@ func (g *Governor) evaluateLocked() {
 // moveLocked transitions to rung r and applies the engine knobs for it.
 // Callers hold g.mu.
 func (g *Governor) moveLocked(r int, now time.Time) {
+	from := g.rung
 	g.rung = r
 	if r > g.maxRungSeen {
 		g.maxRungSeen = r
@@ -246,7 +250,22 @@ func (g *Governor) moveLocked(r int, now time.Time) {
 	g.moves++
 	g.rungG.Set(float64(r))
 	g.movesC.Inc()
+	g.transitionCounterLocked(from, r).Inc()
 	g.applyKnobsLocked()
+}
+
+// transitionCounterLocked returns (creating on first use) the labeled
+// counter for one ladder edge, so dashboards can see which direction the
+// governor is moving, not just how often. Callers hold g.mu.
+func (g *Governor) transitionCounterLocked(from, to int) *obs.Counter {
+	if c := g.transC[from][to]; c != nil {
+		return c
+	}
+	c := g.cfg.Metrics.Counter("specweb_overload_transitions_total",
+		"Degradation-ladder rung transitions by edge.",
+		obs.Labels{"from": RungName(from), "to": RungName(to)})
+	g.transC[from][to] = c
+	return c
 }
 
 // applyKnobsLocked turns the §3.4 knobs for the current rung: T_p climbs

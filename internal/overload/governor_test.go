@@ -218,3 +218,49 @@ func TestRungName(t *testing.T) {
 		}
 	}
 }
+
+func TestGovernorTransitionCounters(t *testing.T) {
+	clk := newSteppedClock()
+	reg := obs.NewRegistry()
+	g := NewGovernor(GovernorConfig{
+		Target:  10 * time.Millisecond,
+		Alpha:   1,
+		Hold:    time.Second,
+		Clock:   clk.Now,
+		Metrics: reg,
+	})
+	g.Bind(&fakeEngine{}, Baseline{Tp: 0.25, TopK: 8, MaxSize: 64 << 10})
+
+	// Climb all the way up, then drain all the way down, twice.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < maxRung; i++ {
+			clk.Advance(time.Second)
+			g.Observe(100 * time.Millisecond)
+		}
+		for i := 0; i < maxRung; i++ {
+			clk.Advance(time.Second)
+			g.Observe(time.Millisecond)
+		}
+	}
+
+	edge := func(from, to int) int64 {
+		// Registry.Counter is idempotent, so this reads the live series.
+		return reg.Counter("specweb_overload_transitions_total", "",
+			obs.Labels{"from": RungName(from), "to": RungName(to)}).Value()
+	}
+	for r := RungNormal; r < maxRung; r++ {
+		if got := edge(r, r+1); got != 2 {
+			t.Errorf("transitions %s->%s = %d, want 2", RungName(r), RungName(r+1), got)
+		}
+		if got := edge(r+1, r); got != 2 {
+			t.Errorf("transitions %s->%s = %d, want 2", RungName(r+1), RungName(r), got)
+		}
+	}
+	// No self-loops or rung-skipping edges were ever recorded.
+	if got := edge(RungNormal, RungNoSpec); got != 0 {
+		t.Errorf("skip edge normal->no_spec = %d, want 0", got)
+	}
+	if got := edge(RungNoPush, RungNoPush); got != 0 {
+		t.Errorf("self edge = %d, want 0", got)
+	}
+}
