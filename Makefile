@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build vet lint test race chaos overload bench bench-short \
-	bench-smoke specbench bench-run bench-gate bench-baseline golden clean
+	bench-smoke specbench bench-run bench-gate bench-baseline \
+	bench-scenarios bench-scenarios-baseline golden clean
 
 all: vet build test
 
@@ -78,6 +79,18 @@ bench-gate: specbench
 
 bench-baseline: specbench
 	./bin/specbench -short -o testdata/bench_baseline.json
+
+# Adversarial scenario suite (estguard chaos gate): clean control, the five
+# adversarial profiles under guard, and an unguarded crawler arm. The gate
+# enforces the structural invariants (guarded crawler interception strictly
+# beats unguarded; per-scenario degradation bounds vs clean) and drift
+# bounds against the committed baseline suite.
+bench-scenarios: specbench
+	./bin/specbench -short -reps 1 -scenario-suite -o BENCH-scenarios.json \
+		-baseline testdata/scenarios_baseline.json
+
+bench-scenarios-baseline: specbench
+	./bin/specbench -short -reps 1 -scenario-suite -o testdata/scenarios_baseline.json
 
 # Regenerate the golden files pinning the experiments renderers.
 golden:

@@ -203,6 +203,11 @@ func main() {
 		fmt.Printf("  availability:   %.4f\n", sum.Chaos.Availability)
 		fmt.Printf("  retries:        %d\n", sum.Chaos.Retries)
 		fmt.Printf("  stale serves:   %d (ratio %.4f)\n", sum.Chaos.StaleServes, sum.Chaos.StaleRatio)
+		if sum.Chaos.EstimatorRefreshes > 0 {
+			fmt.Printf("  est refreshes:  %d (%d early, %d snapshots rejected)\n",
+				sum.Chaos.EstimatorRefreshes, sum.Chaos.EstimatorEarlyRefreshes,
+				sum.Chaos.EstimatorRejectedSnapshots)
+		}
 	}
 	if sum.Overload != nil {
 		ov := sum.Overload

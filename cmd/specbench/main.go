@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"specweb/internal/experiments"
@@ -32,6 +33,7 @@ import (
 	"specweb/internal/obs"
 	"specweb/internal/resilience"
 	"specweb/internal/resilience/faults"
+	"specweb/internal/synth"
 	"specweb/internal/webgraph"
 )
 
@@ -61,6 +63,10 @@ func main() {
 		realclock = flag.Bool("realclock", false, "in-process server uses wall-clock time (required for latency-driven overload governing; breaks count determinism)")
 		overloadF = flag.Bool("overload", false, "install admission control and the speculation governor on the in-process server")
 		noBase    = flag.Bool("no-baseline-arm", false, "skip the speculation-off arm (faster, but no arm-relative comparison)")
+
+		scenario  = flag.String("scenario", "", "overlay an adversarial workload profile: "+scenarioNames())
+		estguardF = flag.Bool("estguard", false, "install the estimator-hardening guard (classification/quarantine, drift refresh, confidence damping)")
+		suite     = flag.Bool("scenario-suite", false, "run the adversarial scenario suite (clean + 5 scenarios guarded + crawler unguarded) and write BENCH-scenarios.json")
 
 		timeout = flag.Duration("timeout", 0, "per-request timeout (0 = none)")
 		retries = flag.Int("retries", 1, "max attempts per demand fetch (1 = no retries)")
@@ -117,6 +123,13 @@ func main() {
 		fatal(err)
 	}
 
+	if *scenario != "" {
+		if _, err := synth.ScenarioByName(*scenario); err != nil {
+			fatal(err)
+		}
+		wl.Scenario = *scenario
+	}
+
 	cfg := loadgen.Config{
 		Workload:           wl,
 		Seed:               wl.Seed,
@@ -137,6 +150,7 @@ func main() {
 		BaseURL:            *server,
 		RealClock:          *realclock,
 		Overload:           *overloadF,
+		Estguard:           *estguardF,
 		Timeout:            *timeout,
 	}
 	if *retries > 1 {
@@ -152,6 +166,11 @@ func main() {
 			LatencyJitter: *faultJitter,
 			TruncateRate:  *faultTruncate,
 		}
+	}
+
+	if *suite {
+		runScenarioSuite(cfg, *out, *baseline, *tolerance, *quiet)
+		return
 	}
 
 	start := time.Now()
@@ -195,6 +214,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "specbench: regression gate passed against %s (tolerance %.0f%%)\n",
 			*baseline, *tolerance)
 	}
+}
+
+func scenarioNames() string {
+	names := synth.ScenarioNames()
+	return strings.Join(names[1:], ", ")
+}
+
+// runScenarioSuite executes the adversarial scenario suite, writes the
+// BENCH-scenarios.json report, enforces the structural invariants
+// (guarded crawler interception strictly beats unguarded; per-scenario
+// degradation bounds vs clean), and optionally gates the deterministic
+// metrics against a committed baseline suite.
+func runScenarioSuite(cfg loadgen.Config, out, baseline string, tolerance float64, quiet bool) {
+	start := time.Now()
+	rep, err := loadgen.RunScenarioSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "specbench: scenario suite, %d arms, took %v\n",
+			len(rep.Arms), time.Since(start).Round(time.Millisecond))
+		for _, arm := range rep.Arms {
+			q := int64(0)
+			if arm.Guard != nil {
+				q = arm.Guard.QuarantinedClients
+			}
+			fmt.Fprintf(os.Stderr,
+				"  %-18s interception %.4f  wasted %.4f  bandwidth %.3f  p99 %7.3fms  quarantined %d\n",
+				arm.Name, arm.Interception, arm.WastedFraction, arm.Ratios.Bandwidth, arm.P99MS, q)
+		}
+	}
+
+	violations := loadgen.CheckScenarioInvariants(rep)
+	if baseline != "" {
+		bd, err := os.ReadFile(baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base loadgen.ScenarioReport
+		if err := json.Unmarshal(bd, &base); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", baseline, err))
+		}
+		violations = append(violations, loadgen.CompareScenarios(&base, rep, tolerance)...)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintln(os.Stderr, "specbench: scenario gate FAILED:")
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  - %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "specbench: scenario gate passed")
 }
 
 func readReport(path string) (*loadgen.Report, error) {

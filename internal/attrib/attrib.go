@@ -17,6 +17,7 @@ package attrib
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -39,13 +40,26 @@ const (
 // (clamped to [0,1]): integer sums are associative, float sums are not,
 // which is what keeps reports identical across operation orderings.
 func PMilli(p float64) int64 {
-	if p <= 0 {
+	if math.IsNaN(p) || p <= 0 {
 		return 0
 	}
 	if p >= 1 {
 		return 1000
 	}
 	return int64(p*1000 + 0.5)
+}
+
+// ClampPMilli bounds an externally supplied fixed-point probability to
+// the valid [0, 1000] range. Header parsers use it so a forged or
+// malformed Spec-P value cannot poison the ledger's confidence sums.
+func ClampPMilli(pMilli int64) int64 {
+	if pMilli < 0 {
+		return 0
+	}
+	if pMilli > 1000 {
+		return 1000
+	}
+	return pMilli
 }
 
 // Totals aggregates one slice of the ledger (overall, or one class).
@@ -216,6 +230,7 @@ func (l *Ledger) Delivered(doc, class string, bytes, pMilli int64, rung string) 
 	if bytes < 0 {
 		bytes = 0
 	}
+	pMilli = ClampPMilli(pMilli)
 	l.mu.Lock()
 	l.total.delivered(bytes, pMilli)
 	l.classTotals(class).delivered(bytes, pMilli)
@@ -232,6 +247,20 @@ func (l *Ledger) Delivered(doc, class string, bytes, pMilli int64, rung string) 
 		c.Add(bytes)
 	}
 	l.deliveredB.Inc()
+}
+
+// TotalsSnapshot returns the ledger-wide totals. Nil-safe (zero totals),
+// so callers can wire it as a feedback source without caring whether
+// attribution is enabled. Snapshot validation in the estimation pipeline
+// reads this to calibrate its regression bound against the consumed/
+// wasted rates the last snapshot actually realized.
+func (l *Ledger) TotalsSnapshot() Totals {
+	if l == nil {
+		return Totals{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
 }
 
 // Consumed resolves one outstanding delivery of doc as consumed: a

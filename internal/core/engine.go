@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specweb/internal/estguard"
 	"specweb/internal/markov"
 	"specweb/internal/obs"
 	"specweb/internal/speculation"
@@ -61,6 +62,20 @@ type EngineConfig struct {
 	// RecordShards overrides the number of striped ingestion buffers
 	// (rounded up to a power of two); 0 sizes them from GOMAXPROCS.
 	RecordShards int
+
+	// Guard, when non-nil, installs the estguard robustness layer on the
+	// refresh path: quarantined clients' transitions divert to a
+	// side-ledger instead of P[i,j], per-row trust damps sparse or
+	// poisoned rows before the freeze, drift can trigger an early
+	// re-freeze, and candidate snapshots that would regress speculation
+	// confidence past the guard's bound are rejected in favor of the
+	// last-good frozen matrix.
+	Guard *estguard.Guard
+
+	// Feedback, when non-nil alongside Guard, supplies the attribution
+	// ledger's cumulative delivered/consumed/wasted counts so snapshot
+	// validation can calibrate its bound against realized interception.
+	Feedback func() (delivered, consumed, wasted int64)
 
 	// Metrics selects the registry the engine's metrics register in;
 	// nil means the process-wide obs.Default.
@@ -154,11 +169,19 @@ type Engine struct {
 	lastRefresh atomic.Int64 // unix nanos; 0 = never
 	started     atomic.Bool
 
+	// Estimator-hardening counters (all zero without a Guard).
+	refreshes      atomic.Int64
+	earlyRefreshes atomic.Int64
+	rejectedSnaps  atomic.Int64
+	quarReqs       atomic.Int64
+	driftChecks    atomic.Int64 // rate-limits DriftScore on the record path
+
 	// mu serializes the write path: refreshes (drain + AddDay + publish)
 	// and knob changes (republish). The read path never takes it.
-	mu    sync.Mutex
-	aging *markov.Aging
-	carry *trace.Trace // open strides carried across refreshes
+	mu         sync.Mutex
+	aging      *markov.Aging
+	quarantine *markov.Aging // side-ledger for quarantined transitions; nil without a Guard
+	carry      *trace.Trace  // open strides carried across refreshes
 }
 
 // engineMetrics are the engine's observability series. Decision counters
@@ -167,6 +190,8 @@ type Engine struct {
 type engineMetrics struct {
 	recorded         *obs.Counter
 	refreshes        *obs.Counter
+	earlyRefreshes   *obs.Counter
+	rejectedSnaps    *obs.Counter
 	push             *obs.Counter
 	hint             *obs.Counter
 	belowThreshold   *obs.Counter
@@ -179,8 +204,12 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	const decisions = "specweb_engine_decisions_total"
 	const decisionsHelp = "Speculation candidate decisions by outcome."
 	return &engineMetrics{
-		recorded:         reg.Counter("specweb_engine_recorded_total", "Client requests observed by the engine.", nil),
-		refreshes:        reg.Counter("specweb_engine_refreshes_total", "Dependency-matrix update cycles (the paper's UpdateCycle).", nil),
+		recorded:  reg.Counter("specweb_engine_recorded_total", "Client requests observed by the engine.", nil),
+		refreshes: reg.Counter("specweb_engine_refreshes_total", "Dependency-matrix update cycles (the paper's UpdateCycle).", nil),
+		earlyRefreshes: reg.Counter("specweb_engine_early_refreshes_total",
+			"Update cycles triggered early by estimator drift.", nil),
+		rejectedSnaps: reg.Counter("specweb_engine_snapshots_rejected_total",
+			"Candidate snapshots rejected by the guard; last-good kept.", nil),
 		push:             reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "push"}),
 		hint:             reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "hint"}),
 		belowThreshold:   reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "below_threshold"}),
@@ -240,6 +269,15 @@ func NewEngine(cfg EngineConfig, size SizeFunc) (*Engine, error) {
 		aging:     ag,
 		carry:     &trace.Trace{},
 	}
+	if cfg.Guard != nil {
+		// The quarantined side-ledger ages on the same cadence and with
+		// the same windows as the clean estimate, so per-document clean
+		// and quarantined occurrence counts stay directly comparable for
+		// trust scoring.
+		q := markov.NewAging(decay, est)
+		q.Transitive = true
+		e.quarantine = q
+	}
 	e.installLocked(markov.Freeze(markov.NewMatrix()), nil)
 	return e, nil
 }
@@ -280,9 +318,46 @@ func (e *Engine) Record(client trace.ClientID, doc webgraph.DocID, at time.Time)
 	sh.mu.Unlock()
 	e.recorded.Add(1)
 	e.met.recorded.Inc()
+	if g := e.cfg.Guard; g != nil {
+		g.NoteRequest(doc)
+	}
 	if at.Sub(e.lastRefreshTime()) >= e.cfg.RefreshEvery {
 		e.maybeRefresh(at)
+	} else if e.cfg.Guard != nil {
+		e.maybeEarlyRefresh(at)
 	}
+}
+
+// maybeEarlyRefresh re-freezes before the regular deadline when the guard
+// reports real drift — a flash crowd or diurnal shift has made the frozen
+// snapshot stale. Two gates keep this cheap and bounded: the drift score
+// is only computed every 64th recorded request, and never before
+// EarlyRefreshFraction of the refresh interval has elapsed (so a
+// deterministic benchmark that freezes its virtual clock after warmup can
+// never trigger a mid-measurement refresh).
+func (e *Engine) maybeEarlyRefresh(at time.Time) {
+	g := e.cfg.Guard
+	minElapsed := time.Duration(g.EarlyRefreshFraction() * float64(e.cfg.RefreshEvery))
+	if at.Sub(e.lastRefreshTime()) < minElapsed {
+		return
+	}
+	if e.driftChecks.Add(1)&63 != 0 {
+		return
+	}
+	if g.DriftScore() < g.DriftThreshold() {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if at.Sub(e.lastRefreshTime()) < minElapsed {
+		return
+	}
+	if g.DriftScore() < g.DriftThreshold() {
+		return
+	}
+	e.earlyRefreshes.Add(1)
+	e.met.earlyRefreshes.Inc()
+	e.refreshLocked(at)
 }
 
 func (e *Engine) lastRefreshTime() time.Time {
@@ -334,14 +409,65 @@ func (e *Engine) refreshLocked(at time.Time) {
 	// rather than finalized — otherwise a refresh landing mid-stride
 	// would permanently split the dependency pair across buffers.
 	flush, carry := splitOpenStrides(buf, at, e.cfg.StrideTimeout)
+
+	// Estimator hardening: classify clients over the sorted flush and
+	// divert quarantined transitions into the side-ledger. The side-ledger
+	// ages every cycle (even with nothing quarantined this window) so its
+	// occurrence counts decay in lockstep with the clean estimate.
+	g := e.cfg.Guard
+	if g != nil {
+		clean, quar := g.Partition(flush)
+		if n := int64(quar.Len()); n > 0 {
+			e.quarReqs.Add(n)
+		}
+		if err := e.quarantine.AddDay(quar); err != nil {
+			panic(fmt.Sprintf("core: refresh quarantine ledger: %v", err))
+		}
+		flush = clean
+	}
+
 	// AddDay never fails here: the config was validated at construction.
 	if err := e.aging.AddDay(flush); err != nil {
 		panic(fmt.Sprintf("core: refresh: %v", err))
 	}
 	e.carry = carry
 	e.lastRefresh.Store(at.UnixNano())
+	e.refreshes.Add(1)
 	e.met.refreshes.Inc()
-	frozen := markov.Freeze(e.aging.Snapshot())
+
+	if g == nil {
+		frozen := markov.Freeze(e.aging.Snapshot())
+		e.installLocked(frozen, e.snapshotSizes(frozen))
+		e.met.pairs.Set(float64(frozen.NumPairs()))
+		e.met.docs.Set(float64(frozen.NumRows()))
+		return
+	}
+
+	// Confidence damping: scale each candidate row by its trust — sample
+	// support × clean fraction against the side-ledger — so sparse or
+	// poisoned rows sink below the push/hint thresholds instead of
+	// driving speculation.
+	m := e.aging.Snapshot()
+	for _, i := range m.Docs() {
+		t := g.RowTrust(e.aging.Occurrences(i), e.quarantine.Occurrences(i))
+		m.ScaleRow(i, t)
+	}
+	frozen := markov.Freeze(m)
+
+	// Snapshot validation: a candidate whose predicted interception
+	// regresses past the guard's bound is rejected, and the last-good
+	// frozen matrix keeps serving — the estimator's analogue of the
+	// Replicator's last-good-fit fallback. The aging state still advanced
+	// above, so decay can repair the estimate on later cycles.
+	var fb estguard.Feedback
+	if e.cfg.Feedback != nil {
+		fb.Delivered, fb.Consumed, fb.Wasted = e.cfg.Feedback()
+	}
+	if !g.AcceptSnapshot(frozen, e.cfg.Tp, fb) {
+		e.rejectedSnaps.Add(1)
+		e.met.rejectedSnaps.Inc()
+		return
+	}
 	e.installLocked(frozen, e.snapshotSizes(frozen))
 	e.met.pairs.Set(float64(frozen.NumPairs()))
 	e.met.docs.Set(float64(frozen.NumRows()))
@@ -603,21 +729,45 @@ func (e *Engine) Tp() float64 {
 	return e.snap.Load().tp
 }
 
-// Stats reports the engine's observable state.
+// Stats reports the engine's observable state. The estimator-hardening
+// counters are omitted from JSON while zero, so stats payloads are
+// byte-identical to pre-guard builds when the feature is off.
 type Stats struct {
 	Recorded   int64
 	Pairs      int
 	Docs       int
 	LastUpdate time.Time
+
+	Refreshes           int64 `json:",omitempty"`
+	EarlyRefreshes      int64 `json:",omitempty"`
+	SnapshotsRejected   int64 `json:",omitempty"`
+	QuarantinedRequests int64 `json:",omitempty"`
 }
 
 // Stats returns a snapshot of the engine state.
 func (e *Engine) Stats() Stats {
 	snap := e.snap.Load()
 	return Stats{
-		Recorded:   e.recorded.Load(),
-		Pairs:      snap.pairs,
-		Docs:       snap.docs,
-		LastUpdate: e.lastRefreshTime(),
+		Recorded:            e.recorded.Load(),
+		Pairs:               snap.pairs,
+		Docs:                snap.docs,
+		LastUpdate:          e.lastRefreshTime(),
+		Refreshes:           e.refreshes.Load(),
+		EarlyRefreshes:      e.earlyRefreshes.Load(),
+		SnapshotsRejected:   e.rejectedSnaps.Load(),
+		QuarantinedRequests: e.quarReqs.Load(),
 	}
 }
+
+// ClientStatus reports the guard's classification for a client. Without a
+// guard every client is Human. Lock-free; safe on the serve hot path.
+func (e *Engine) ClientStatus(client trace.ClientID) (estguard.Status, string) {
+	if e.cfg.Guard == nil {
+		return estguard.Human, ""
+	}
+	return e.cfg.Guard.Status(client)
+}
+
+// Guard returns the engine's estimator guard, or nil when hardening is
+// not installed.
+func (e *Engine) Guard() *estguard.Guard { return e.cfg.Guard }

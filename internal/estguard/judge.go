@@ -1,0 +1,125 @@
+package estguard
+
+import (
+	"sync/atomic"
+
+	"specweb/internal/markov"
+	"specweb/internal/webgraph"
+)
+
+// Feedback carries the attribution ledger's running totals (delivery
+// counts, not bytes) into snapshot validation. The judge works on deltas
+// between successive refreshes, so callers pass cumulative totals.
+type Feedback struct {
+	Delivered int64
+	Consumed  int64
+	Wasted    int64
+}
+
+// judgeState validates candidate snapshots against the last accepted one,
+// the estimator's analogue of the Replicator's last-good-fit fallback.
+// Mutated only on the refresh path (engine mutex); the reject counters are
+// atomics so Stats can read them concurrently.
+type judgeState struct {
+	cfg Config
+
+	haveLast  bool
+	lastScore float64 // mean speculation confidence of the last accepted snapshot
+	lastFB    Feedback
+	streak    int // consecutive rejections
+
+	rejected atomic.Int64
+	forced   atomic.Int64
+}
+
+func (j *judgeState) init(cfg Config) { j.cfg = cfg }
+
+// AcceptSnapshot decides whether a candidate snapshot may replace the
+// last-good one. fb carries the attribution ledger's cumulative totals;
+// the delta since the previous refresh is the window's realized
+// speculation outcome.
+//
+// The regression bound: reject when the candidate's mean confidence falls
+// below (1 − MaxRegression) × lastScore × r, where r calibrates the
+// defended score by the realization rate the ledger observed. When the
+// last snapshot's nominal confidence over-promised (interception well
+// below lastScore), r < 1 loosens the bound — there is little realized
+// interception worth defending — and when it delivered, r = 1 defends it
+// at full strength. With fewer than MinFeedback newly resolved deliveries
+// the bound is uncalibrated (r = 1).
+//
+// After MaxConsecutiveRejects consecutive rejections the candidate is
+// force-accepted: decay must eventually be allowed to flush a poisoned
+// accumulator, and a snapshot pinned forever is its own failure mode.
+func (g *Guard) AcceptSnapshot(cand *markov.Frozen, tp float64, fb Feedback) bool {
+	j := &g.judge
+	score := SnapshotConfidence(cand, tp)
+
+	delta := Feedback{
+		Delivered: fb.Delivered - j.lastFB.Delivered,
+		Consumed:  fb.Consumed - j.lastFB.Consumed,
+		Wasted:    fb.Wasted - j.lastFB.Wasted,
+	}
+	j.lastFB = fb
+
+	if !j.haveLast {
+		j.haveLast = true
+		j.lastScore = score
+		j.streak = 0
+		return true
+	}
+
+	r := 1.0
+	if resolved := delta.Consumed + delta.Wasted; resolved >= j.cfg.MinFeedback && j.lastScore > 0 {
+		observed := float64(delta.Consumed) / float64(resolved)
+		r = observed / j.lastScore
+		if r > 1 {
+			r = 1
+		}
+		if r < 0.25 {
+			r = 0.25 // keep a floor: even an over-promising snapshot is defended somewhat
+		}
+	}
+
+	bound := (1 - j.cfg.MaxRegression) * j.lastScore * r
+	if score >= bound {
+		j.lastScore = score
+		j.streak = 0
+		return true
+	}
+
+	j.streak++
+	if j.streak >= j.cfg.MaxConsecutiveRejects {
+		j.forced.Add(1)
+		g.metrics.forced.Inc()
+		j.lastScore = score
+		j.streak = 0
+		return true
+	}
+	j.rejected.Add(1)
+	g.metrics.rejected.Inc()
+	return false
+}
+
+// SnapshotConfidence is the scoring function AcceptSnapshot applies: the
+// mean probability across all entries of f at or above the push/hint
+// threshold tp — the expected per-push hit rate if the engine speculated
+// from this snapshot. A snapshot with no entry above threshold scores 0
+// (it would silence speculation entirely).
+func SnapshotConfidence(f *markov.Frozen, tp float64) float64 {
+	var sum float64
+	var n int
+	f.RangeRows(func(_ webgraph.DocID, row []markov.Successor) bool {
+		for _, s := range row {
+			if s.P >= tp {
+				sum += s.P
+				n++
+			}
+		}
+		return true
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -25,6 +25,10 @@ type WorkloadConfig struct {
 	// (see synth.Config.Noise). Experiments run on clean traces; the
 	// tracegen tool exposes this to produce realistic raw logs.
 	Noise float64
+	// Scenario names an adversarial workload overlay ("" or "none" for the
+	// baseline; see synth.ScenarioNames). The scenario runs with its
+	// committed default knobs so benchmark baselines stay comparable.
+	Scenario string
 }
 
 // DefaultWorkload reproduces the paper's trace scale: a department-site
@@ -92,6 +96,11 @@ func Build(cfg WorkloadConfig) (*Workload, error) {
 	scfg.Days = cfg.Days
 	scfg.SessionsPerDay = cfg.SessionsPerDay
 	scfg.Noise = cfg.Noise
+	kind, err := synth.ScenarioByName(cfg.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	scfg.Scenario = synth.DefaultScenario(kind)
 	res, err := synth.Generate(scfg, root.Split("trace"))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating trace: %w", err)

@@ -383,7 +383,7 @@ func (c *Client) fetchAllowed(ctx context.Context, sp *obs.ActiveSpan, path, dig
 	ct := resp.Header.Get("Content-Type")
 	mt, params, _ := mime.ParseMediaType(ct)
 	if mt == "multipart/mixed" {
-		body, err := c.ingestBundle(path, resp.Body, params["boundary"], resp.Header.Get(HeaderRung))
+		body, err := c.ingestBundle(path, resp.Body, params["boundary"], validRung(resp.Header.Get(HeaderRung)))
 		return body, hints, err
 	}
 	body, err := io.ReadAll(resp.Body)
@@ -424,7 +424,9 @@ func (c *Client) ingestBundle(want string, r io.Reader, boundary, rung string) (
 		pushed := part.Header.Get(HeaderPushed) != ""
 		var pMilli int64
 		if pushed {
-			pMilli, _ = strconv.ParseInt(part.Header.Get(HeaderSpecP), 10, 64)
+			// Clamped parse: Spec-P crosses the wire, so garbage or
+			// oversized values must not reach the ledger's sums.
+			pMilli, _ = parsePMilli(part.Header.Get(HeaderSpecP))
 		}
 		c.mu.Lock()
 		if pushed {
@@ -510,7 +512,7 @@ func (c *Client) prefetch(ctx context.Context, parent *obs.ActiveSpan, h clientH
 	c.mu.Lock()
 	if _, ok := c.cache[path]; !ok {
 		c.cfg.Attrib.Delivered(path, attrib.ClassPrefetch, int64(len(body)),
-			attrib.PMilli(h.p), resp.Header.Get(HeaderRung))
+			attrib.PMilli(h.p), validRung(resp.Header.Get(HeaderRung)))
 		c.cache[path] = cacheEntry{body: body, spec: true, class: attrib.ClassPrefetch}
 		c.stats.Prefetched++
 		c.stats.BytesIn += int64(len(body))
@@ -531,7 +533,10 @@ func (c *Client) digestLocked() string {
 	return strings.Join(paths, " ")
 }
 
-// parseLinkHint parses `</path>; rel="prefetch"; spec-p=0.42`.
+// parseLinkHint parses `</path>; rel="prefetch"; spec-p=0.42`. The
+// probability is clamped to [0,1]; NaN, infinities, and malformed values
+// fall to 0, so a hostile Link header can at worst suppress one prefetch
+// — it cannot poison the attribution ledger's fixed-point sums.
 func parseLinkHint(l string) (clientHint, bool) {
 	parts := strings.Split(l, ";")
 	if len(parts) == 0 {
@@ -549,7 +554,9 @@ func parseLinkHint(l string) (clientHint, bool) {
 		case p == `rel="prefetch"` || p == "rel=prefetch":
 			isPrefetch = true
 		case strings.HasPrefix(p, "spec-p="):
-			fmt.Sscanf(p, "spec-p=%f", &h.p)
+			if v, err := strconv.ParseFloat(p[len("spec-p="):], 64); err == nil {
+				h.p = clampProb(v)
+			}
 		}
 	}
 	return h, isPrefetch

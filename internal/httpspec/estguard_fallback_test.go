@@ -1,0 +1,117 @@
+package httpspec
+
+import (
+	"testing"
+	"time"
+
+	"specweb/internal/estguard"
+	"specweb/internal/webgraph"
+)
+
+// TestSnapshotRejectionFallsBackToLastGood drives the estimator through a
+// poisoned refresh and proves the last-good fallback end to end: the
+// candidate snapshot is rejected, the previously accepted snapshot keeps
+// serving speculation, and not a single demand request is dropped at any
+// point. Classification is floored out (MinRequests huge) so only the
+// snapshot judge is under test; leakcheck is registered by newWorldCfg.
+func TestSnapshotRejectionFallsBackToLastGood(t *testing.T) {
+	var guard *estguard.Guard
+	w := newWorldCfg(t, ModePush, func(cfg *ServerConfig) {
+		guard = estguard.New(estguard.Config{
+			Seed:           1,
+			MinRequests:    1 << 20, // never quarantine: isolate the judge
+			DriftThreshold: 100,     // never early-refresh: scores cap at 2
+			MaxRegression:  0.05,    // any real confidence drop rejects
+		})
+		cfg.Engine.Guard = guard
+	})
+	page := pageWithEmbedded(t, w.site)
+	w.train(t, page, 10) // refresh 1: first snapshot, accepted unconditionally
+
+	demandGets, cachedGets := 0, 0
+	mustGet := func(c *Client, path string, wantSize int64) {
+		t.Helper()
+		body, fromCache, err := c.Get(path)
+		if err != nil {
+			t.Fatalf("demand request %s dropped: %v", path, err)
+		}
+		if fromCache {
+			cachedGets++
+		} else if int64(len(body)) != wantSize {
+			t.Fatalf("demand request %s returned %d bytes, want %d", path, len(body), wantSize)
+		}
+		demandGets++
+	}
+
+	// Poisoning window: every row the trained snapshot relies on (the page
+	// and each of its embeds) is followed by a rotating foreign document,
+	// with a stride break after each pair. The trained successors decay
+	// below the push threshold while each one-shot poison pair stays under
+	// the trust floor, so the candidate snapshot scores near zero against
+	// the defended last-good confidence.
+	var others []*webgraph.Document
+	for i := range w.site.Docs {
+		d := &w.site.Docs[i]
+		if d.Kind == webgraph.Page && d.ID != page.ID {
+			others = append(others, d)
+		}
+	}
+	if len(others) < 4 {
+		t.Fatal("site too small to poison")
+	}
+	srcs := []*webgraph.Document{page}
+	for _, e := range page.Embedded {
+		srcs = append(srcs, w.site.Doc(e))
+	}
+	k := 0
+	for i := 0; i < 12; i++ {
+		c := NewClient(w.ts.URL, ClientConfig{ID: "poisoner"})
+		for _, src := range srcs {
+			mustGet(c, src.Path, src.Size)
+			w.advance(300 * time.Millisecond)
+			d := others[k%len(others)]
+			k++
+			mustGet(c, d.Path, d.Size)
+			w.advance(6 * time.Second) // past the stride window: pair is closed
+		}
+		w.advance(time.Hour)
+	}
+	w.server.Engine().Refresh(w.clock())
+
+	st := w.server.Engine().Stats()
+	if st.SnapshotsRejected == 0 {
+		t.Fatal("poisoned candidate snapshot was not rejected")
+	}
+	if st.Refreshes < 2 {
+		t.Fatalf("refreshes = %d, want >= 2", st.Refreshes)
+	}
+	gs := guard.StatsSnapshot()
+	if gs.RejectedSnapshots != st.SnapshotsRejected {
+		t.Errorf("guard rejected = %d, engine rejected = %d", gs.RejectedSnapshots, st.SnapshotsRejected)
+	}
+	if gs.QuarantinedClients != 0 {
+		t.Errorf("classification fired (%d quarantined) despite the floor", gs.QuarantinedClients)
+	}
+
+	// The last-good snapshot must still be serving: a fresh reader gets
+	// the trained push bundle exactly as before the poisoning window.
+	c := NewClient(w.ts.URL, ClientConfig{ID: "reader", AcceptBundles: true})
+	mustGet(c, page.Path, page.Size)
+	if c.Stats().Pushed == 0 {
+		t.Fatal("rejection did not fall back to the last-good snapshot: no push")
+	}
+	for _, e := range page.Embedded {
+		mustGet(c, w.site.Doc(e).Path, w.site.Doc(e).Size)
+	}
+
+	// Zero dropped demand requests: every GET we issued either reached the
+	// server and was served (all returned success above) or was satisfied
+	// from a client cache fill — nothing was shed or errored. Training ran
+	// 10 episodes of 1+len(embeds) uncached GETs each.
+	trained := 10 * (1 + len(page.Embedded))
+	served := w.server.Stats().Requests
+	if served != int64(trained+demandGets-cachedGets) {
+		t.Errorf("server served %d requests; want %d (demand GETs minus cache hits)",
+			served, trained+demandGets-cachedGets)
+	}
+}

@@ -1,0 +1,139 @@
+package httpspec
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"specweb/internal/attrib"
+	"specweb/internal/obs"
+	"specweb/internal/overload"
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+// The speculative-protocol headers cross a trust boundary: Spec-P,
+// Spec-Rung, and Spec-Attrib arrive from arbitrary clients and flow into
+// the attribution ledger and metric labels. These fuzz targets pin the
+// hardening contract: no parser may panic, and garbage must degrade to a
+// safe zero value instead of poisoning downstream state.
+
+func FuzzParsePMilli(f *testing.F) {
+	for _, s := range []string{"", "0", "1000", "500", "-1", "1001",
+		"9223372036854775807", "-9223372036854775808", "0x10", "1e3",
+		"999999999999999999999999", "12.5", " 7", "7 ", "+3", "\x00"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, ok := parsePMilli(s)
+		if v < 0 || v > 1000 {
+			t.Fatalf("parsePMilli(%q) = %d outside [0, 1000]", s, v)
+		}
+		if !ok && v != 0 {
+			t.Fatalf("parsePMilli(%q) rejected but returned %d", s, v)
+		}
+		v2, ok2 := parsePMilli(s)
+		if v2 != v || ok2 != ok {
+			t.Fatalf("parsePMilli(%q) not deterministic", s)
+		}
+	})
+}
+
+func FuzzValidRung(f *testing.F) {
+	for _, s := range []string{"", "full", "no-push", "lean", "off",
+		"FULL", "full ", "totally-made-up", "full\x00", strings.Repeat("x", 4096)} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := validRung(s)
+		if got == "" {
+			return
+		}
+		if got != s {
+			t.Fatalf("validRung(%q) invented %q", s, got)
+		}
+		// Whatever passes must be a real ladder rung: these strings become
+		// ledger keys and metric labels, so the set must stay closed.
+		if _, ok := overload.ParseRung(got); !ok {
+			t.Fatalf("validRung(%q) admitted an unknown rung", s)
+		}
+	})
+}
+
+func FuzzClampProb(f *testing.F) {
+	for _, v := range []float64{0, 1, 0.5, -1, 2, math.NaN(),
+		math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64, -0.0} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, p float64) {
+		got := clampProb(p)
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Fatalf("clampProb(%v) = %v outside [0, 1]", p, got)
+		}
+	})
+}
+
+func FuzzParseAttribToken(f *testing.F) {
+	for _, s := range []string{"", "c:push:/pages/p0000.html", "w:prefetch:/a",
+		"c:replica:/x", "x:push:/a", "c:push:", "c:push:relative", "c::/a",
+		"c:push", "c:push:/a:b:c", "c:PUSH:/a", "w:push:/" + strings.Repeat("a", 2000),
+		"c:push:/\x00", "::::", "c:push:/a c:push:/b"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		consumed, class, path, ok := parseAttribToken(tok)
+		if !ok {
+			if consumed || class != "" || path != "" {
+				t.Fatalf("parseAttribToken(%q) rejected but leaked (%v, %q, %q)",
+					tok, consumed, class, path)
+			}
+			return
+		}
+		if !validAttribClass(class) {
+			t.Fatalf("parseAttribToken(%q) admitted class %q", tok, class)
+		}
+		if path == "" || path[0] != '/' || len(path) > maxAttribPathLen {
+			t.Fatalf("parseAttribToken(%q) admitted path %q", tok, path)
+		}
+	})
+}
+
+// FuzzIngestAttrib drives raw header bytes through the server's full
+// Spec-Attrib ingestion path and asserts the ledger stays well-formed: no
+// panic, class-map cardinality bounded to the known delivery classes, and
+// no negative totals — regardless of what a hostile client sends.
+func FuzzIngestAttrib(f *testing.F) {
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	store := NewSiteStore(site)
+	realPath, _ := store.Path(site.Entries[0])
+
+	cfg := DefaultServerConfig()
+	cfg.Attrib = attrib.NewLedger(64, obs.NewRegistry())
+	srv, err := NewServer(store, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add("c:push:" + realPath)
+	f.Add("w:prefetch:" + realPath + " c:replica:" + realPath)
+	f.Add(strings.Repeat("c:push:"+realPath+" ", 200))
+	f.Add("c:evil:" + realPath + " w:push:/no/such/doc")
+	f.Add("c:push:" + realPath + "\x00 w:::")
+	f.Add(strings.Repeat("\t x", 5000))
+	f.Fuzz(func(t *testing.T, header string) {
+		srv.ingestAttrib(header)
+		rep := cfg.Attrib.Report(8)
+		for class := range rep.Classes {
+			if !validAttribClass(class) {
+				t.Fatalf("hostile header minted ledger class %q", class)
+			}
+		}
+		tot := cfg.Attrib.TotalsSnapshot()
+		if tot.ConsumedBytes < 0 || tot.WastedBytes < 0 || tot.Consumed < 0 || tot.Wasted < 0 {
+			t.Fatalf("ledger totals went negative: %+v", tot)
+		}
+	})
+}

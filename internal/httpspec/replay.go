@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"specweb/internal/attrib"
+	"specweb/internal/core"
 	"specweb/internal/obs"
 	"specweb/internal/overload"
 	"specweb/internal/resilience"
@@ -103,6 +104,12 @@ type ReplayStats struct {
 	Burst          int
 	ServerOverload *ServerOverloadStats
 
+	// ServerEngine is the server's engine snapshot scraped from
+	// /spec/stats after a chaos run (nil when unavailable): the refresh,
+	// early-refresh, and rejected-snapshot counters feed the chaos
+	// summary so estimator churn under faults is visible.
+	ServerEngine *core.Stats
+
 	// Attrib is the drained attribution ledger (nil unless requested).
 	Attrib *attrib.Report
 
@@ -157,6 +164,14 @@ type ChaosSummary struct {
 	// StaleRatio is their share of all replayed requests.
 	StaleServes int64   `json:"stale_serves"`
 	StaleRatio  float64 `json:"stale_ratio"`
+
+	// Estimator-refresh activity during the chaos run, scraped from the
+	// server's /spec/stats. All omitempty: a server without the
+	// estimator-hardening counters (or an unreachable one) leaves the
+	// summary byte-identical to pre-feature output.
+	EstimatorRefreshes         int64 `json:"estimator_refreshes,omitempty"`
+	EstimatorEarlyRefreshes    int64 `json:"estimator_early_refreshes,omitempty"`
+	EstimatorRejectedSnapshots int64 `json:"estimator_rejected_snapshots,omitempty"`
 }
 
 // OverloadSummary reports how an open-loop run interacted with the
@@ -287,6 +302,11 @@ func (s *ReplayStats) Summary() ReplaySummary {
 			Retries:      s.Retried,
 			StaleServes:  s.StaleServes,
 			StaleRatio:   float64(s.StaleServes) / reqs,
+		}
+		if eng := s.ServerEngine; eng != nil {
+			sum.Chaos.EstimatorRefreshes = eng.Refreshes
+			sum.Chaos.EstimatorEarlyRefreshes = eng.EarlyRefreshes
+			sum.Chaos.EstimatorRejectedSnapshots = eng.SnapshotsRejected
 		}
 	}
 	if s.OpenLoop {
@@ -449,6 +469,35 @@ func scrapeOverload(cfg ReplayConfig) *ServerOverloadStats {
 	return payload.Overload
 }
 
+// scrapeEngine pulls the server's engine snapshot from /spec/stats; nil
+// when the server is unreachable. Chaos runs use it to surface the
+// refresh/early-refresh/rejected-snapshot counters.
+func scrapeEngine(cfg ReplayConfig) *core.Stats {
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	// In chaos mode cfg.HTTP carries the fault injector, so a single
+	// scrape may draw an injected failure; a few attempts make the
+	// summary's estimator section reliable without a separate transport.
+	for attempt := 0; attempt < 3; attempt++ {
+		resp, err := hc.Get(cfg.Base + "/spec/stats")
+		if err != nil {
+			continue
+		}
+		var payload struct {
+			Engine *core.Stats
+		}
+		err = json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		return payload.Engine
+	}
+	return nil
+}
+
 // Replay walks the trace in order, issuing each request through a per-client
 // speculative Client against the server at cfg.Base. Requests whose paths
 // the server does not serve count as errors but do not stop the replay.
@@ -497,7 +546,11 @@ func Replay(tr *trace.Trace, cfg ReplayConfig) (*ReplayStats, error) {
 		_, fromCache, err := c.Get(r.Path)
 		rr.record(time.Since(start).Seconds(), fromCache, err)
 	}
-	return rr.finish(), nil
+	stats := rr.finish()
+	if cfg.Chaos {
+		stats.ServerEngine = scrapeEngine(cfg)
+	}
+	return stats, nil
 }
 
 // replayOpenLoop dispatches the trace at a fixed arrival rate in bursts,
@@ -539,5 +592,8 @@ func replayOpenLoop(tr *trace.Trace, rr *replayRun) (*ReplayStats, error) {
 	wg.Wait()
 	stats := rr.finish()
 	stats.ServerOverload = scrapeOverload(cfg)
+	if cfg.Chaos {
+		stats.ServerEngine = scrapeEngine(cfg)
+	}
 	return stats, nil
 }

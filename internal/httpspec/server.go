@@ -13,6 +13,7 @@ import (
 
 	"specweb/internal/attrib"
 	"specweb/internal/core"
+	"specweb/internal/estguard"
 	"specweb/internal/obs"
 	"specweb/internal/overload"
 	"specweb/internal/trace"
@@ -58,6 +59,12 @@ const (
 	// "w:<class>:<path>" (wasted) tokens resolving earlier speculative
 	// deliveries in the server's ledger.
 	HeaderAttrib = "Spec-Attrib"
+	// HeaderQuarantine announces, on responses to clients the estimator
+	// guard has quarantined, the classification reason. Quarantined
+	// clients still get full demand service but no speculation: pushing
+	// to a crawler is pure waste, and its transitions no longer train
+	// P[i,j].
+	HeaderQuarantine = "X-Specweb-Quarantine"
 
 	acceptBundle = "bundle"
 )
@@ -157,6 +164,10 @@ type Server struct {
 	pushSuppressed  atomic.Int64
 	embedSuppressed atomic.Int64
 	demandShed      atomic.Int64
+
+	// Requests served without speculation because the estimator guard
+	// quarantined the client.
+	quarSuppressed atomic.Int64
 }
 
 // serverMetrics are the server's observability series; the snapshot-style
@@ -177,6 +188,8 @@ type serverMetrics struct {
 	pushSuppressed  *obs.Counter
 	embedSuppressed *obs.Counter
 	demandShed      *obs.Counter
+
+	quarSuppressed *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -197,6 +210,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Requests served without any speculation because the ladder was at no_spec or higher.", nil),
 		demandShed: reg.Counter("specweb_overload_demand_shed_total",
 			"Demand requests shed with 503 + Retry-After (admission reject or shed_demand rung).", nil),
+		quarSuppressed: reg.Counter("specweb_estguard_spec_suppressed_total",
+			"Requests served without speculation because the client is quarantined.", nil),
 	}
 }
 
@@ -213,6 +228,15 @@ func NewServer(store Store, cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.DefaultTracer
+	}
+	if cfg.Engine.Guard != nil && cfg.Engine.Feedback == nil && cfg.Attrib != nil {
+		// Close the loop by default: snapshot validation calibrates
+		// against the same ledger this server records deliveries in.
+		led := cfg.Attrib
+		cfg.Engine.Feedback = func() (int64, int64, int64) {
+			t := led.TotalsSnapshot()
+			return t.Deliveries, t.Consumed, t.Wasted
+		}
 	}
 	eng, err := core.NewEngine(cfg.Engine, func(id webgraph.DocID) (int64, bool) {
 		return store.Size(id)
@@ -333,16 +357,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	size, _ := s.store.Size(id)
 	s.repl.Record(id, size, isRemote(client))
 
+	// Quarantined clients (crawlers, scanners, bots per the estimator
+	// guard) are served normally but never speculated to: every pushed
+	// byte to a one-pass crawler is guaranteed waste. The status only
+	// changes at refresh time, so this decision is deterministic for a
+	// given trace regardless of request interleaving.
+	quarReason := ""
+	if st, reason := s.engine.ClientStatus(client); st == estguard.Quarantined {
+		quarReason = reason
+		if quarReason == "" {
+			quarReason = "quarantined"
+		}
+		w.Header().Set(HeaderQuarantine, quarReason)
+	}
+
 	var push []webgraph.DocID
 	var pushP []float64
 	var hints []hint
-	if rung >= overload.RungNoSpec {
+	switch {
+	case quarReason != "":
+		s.quarSuppressed.Add(1)
+		s.met.quarSuppressed.Inc()
+		sp.SetAttr("speculation", "quarantined")
+	case rung >= overload.RungNoSpec:
 		// Second rung: no speculation at all — skip the candidate
 		// computation entirely and serve the plain demand response.
 		s.embedSuppressed.Add(1)
 		s.met.embedSuppressed.Inc()
 		sp.SetAttr("speculation", "suppressed")
-	} else {
+	default:
 		have := parseHave(r.Header.Get(HeaderHave), s.store)
 		s.met.digestDocs.Add(int64(len(have)))
 		have[id] = true // never push the requested document
@@ -410,7 +453,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// A hint-driven prefetch announces itself (with the hint's
 		// probability); the bytes it pulls are a speculative delivery.
 		if pm := r.Header.Get(HeaderPrefetch); pm != "" && s.cfg.Attrib != nil {
-			pMilli, _ := strconv.ParseInt(pm, 10, 64)
+			// Clamped parse: a forged or malformed probability must not
+			// poison the ledger's confidence sums.
+			pMilli, _ := parsePMilli(pm)
 			s.cfg.Attrib.Delivered(r.URL.Path, attrib.ClassPrefetch, written, pMilli, rungName)
 		}
 	}
@@ -582,25 +627,31 @@ func (s *Server) serveBundle(w http.ResponseWriter, id webgraph.DocID, push []we
 // ingestAttrib resolves client Spec-Attrib feedback tokens
 // ("c:<class>:<path>" consumed, "w:<class>:<path>" wasted) against the
 // server's ledger, using the store's current size for the byte amount.
+// Tokens are validated (known kind, known class, plausible path) and
+// capped, so a hostile header cannot poison the ledger's class map or
+// grind the store with lookups.
 func (s *Server) ingestAttrib(header string) {
 	if header == "" || s.cfg.Attrib == nil {
 		return
 	}
-	for _, tok := range strings.Fields(header) {
-		parts := strings.SplitN(tok, ":", 3)
-		if len(parts) != 3 {
+	toks := strings.Fields(header)
+	if len(toks) > maxAttribTokens {
+		toks = toks[:maxAttribTokens]
+	}
+	for _, tok := range toks {
+		consumed, class, path, ok := parseAttribToken(tok)
+		if !ok {
 			continue
 		}
-		id, ok := s.store.Lookup(parts[2])
+		id, ok := s.store.Lookup(path)
 		if !ok {
 			continue
 		}
 		size, _ := s.store.Size(id)
-		switch parts[0] {
-		case "c":
-			s.cfg.Attrib.Consumed(parts[2], parts[1], size)
-		case "w":
-			s.cfg.Attrib.Wasted(parts[2], parts[1], size)
+		if consumed {
+			s.cfg.Attrib.Consumed(path, class, size)
+		} else {
+			s.cfg.Attrib.Wasted(path, class, size)
 		}
 	}
 }
@@ -612,12 +663,18 @@ func (s *Server) serveStats(w http.ResponseWriter) {
 		Engine   core.Stats
 		Overload *ServerOverloadStats `json:",omitempty"`
 		Attrib   *attrib.Report       `json:",omitempty"`
+		Estguard *estguard.Stats      `json:",omitempty"`
 	}{Server: s.Stats(), Engine: s.engine.Stats()}
 	if s.overloadEnabled() {
 		ov := s.OverloadStats()
 		st.Overload = &ov
 	}
 	st.Attrib = s.cfg.Attrib.Report(20)
+	if g := s.engine.Guard(); g != nil {
+		gs := g.StatsSnapshot()
+		gs.SpecSuppressed = s.quarSuppressed.Load()
+		st.Estguard = &gs
+	}
 	_ = json.NewEncoder(w).Encode(st)
 }
 

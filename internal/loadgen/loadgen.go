@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"specweb/internal/attrib"
+	"specweb/internal/estguard"
 	"specweb/internal/experiments"
 	"specweb/internal/httpspec"
 	"specweb/internal/obs"
@@ -97,6 +98,12 @@ type Config struct {
 	Timeout time.Duration
 	Retry   resilience.RetryConfig
 
+	// Estguard installs the estimator-hardening guard on the in-process
+	// server: client classification/quarantine, drift-triggered early
+	// refresh, and confidence-damped snapshots (see internal/estguard).
+	// The guard's decisions are functions of the recorded trace and the
+	// seed, so guarded runs remain byte-deterministic.
+	Estguard bool
 	// Overload installs an admission controller and governor on the
 	// in-process server; AdmissionTune adjusts the controller config
 	// before construction. With generous slots the controller admits
@@ -210,6 +217,11 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 		Network:            cfg.BaseURL != "",
 		Chaos:              cfg.Faults.Enabled(),
 		Overload:           cfg.Overload,
+		Scenario:           cfg.Workload.Scenario,
+		Estguard:           cfg.Estguard,
+	}
+	if info.Scenario == "none" {
+		info.Scenario = ""
 	}
 
 	wl, err := experiments.Build(cfg.Workload)
@@ -260,6 +272,7 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 		return faults.New(fcfg).Transport(rt)
 	}
 
+	var guard *estguard.Guard
 	if cfg.BaseURL != "" {
 		r.base = cfg.BaseURL
 		r.hc = &http.Client{Transport: maybeFaulty(nil, nil)}
@@ -270,6 +283,19 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 		scfg.MaxPush = cfg.MaxPush
 		scfg.Metrics = obs.NewRegistry()
 		scfg.Tracer = obs.NewTracer(64)
+		if cfg.Estguard {
+			guard = estguard.New(estguard.Config{Seed: cfg.Seed, Metrics: scfg.Metrics})
+			scfg.Engine.Guard = guard
+			if led != nil {
+				// Feed the snapshot judge from the shared client-side
+				// ledger: its totals at each (sequential, warmup-phase)
+				// refresh are deterministic.
+				scfg.Engine.Feedback = func() (int64, int64, int64) {
+					t := led.TotalsSnapshot()
+					return t.Deliveries, t.Consumed, t.Wasted
+				}
+			}
+		}
 		if cfg.RealClock {
 			scfg.Clock = nil // time.Now
 		} else {
@@ -376,6 +402,21 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 	if cfg.Overload && r.srv != nil {
 		ov := r.srv.OverloadStats()
 		res.Overload = &ov
+	}
+	if guard != nil && r.srv != nil {
+		gs := guard.StatsSnapshot()
+		es := r.srv.Engine().Stats()
+		res.Estguard = &EstguardInfo{
+			QuarantinedClients:  gs.QuarantinedClients,
+			QuarantinedRequests: gs.QuarantinedRequests,
+			Promotions:          gs.Promotions,
+			Demotions:           gs.Demotions,
+			Refreshes:           es.Refreshes,
+			EarlyRefreshes:      es.EarlyRefreshes,
+			SnapshotsRejected:   es.SnapshotsRejected,
+			ForcedAccepts:       gs.ForcedAccepts,
+			DriftScore:          gs.DriftScore,
+		}
 	}
 	if led != nil {
 		// Drain the ledger: every speculative copy still sitting unused

@@ -52,6 +52,8 @@ type ConfigInfo struct {
 	Network            bool    `json:"network,omitempty"`
 	Chaos              bool    `json:"chaos,omitempty"`
 	Overload           bool    `json:"overload,omitempty"`
+	Scenario           string  `json:"scenario,omitempty"`
+	Estguard           bool    `json:"estguard,omitempty"`
 }
 
 // WorkloadInfo describes the generated workload.
@@ -78,7 +80,25 @@ type Result struct {
 	// taken, and the ledger is sized to the whole site, so the section is
 	// deterministic — part of the byte-identical fingerprint.
 	Attrib *attrib.Report `json:"attrib,omitempty"`
-	Timing *Timing        `json:"timing,omitempty"`
+	// Estguard summarizes the estimator-hardening guard's decisions,
+	// present when the arm ran with Config.Estguard. Every field is a
+	// function of the recorded trace and the seed, so the section is part
+	// of the byte-identical fingerprint.
+	Estguard *EstguardInfo `json:"estguard,omitempty"`
+	Timing   *Timing       `json:"timing,omitempty"`
+}
+
+// EstguardInfo is the guard's deterministic decision ledger for one arm.
+type EstguardInfo struct {
+	QuarantinedClients  int64   `json:"quarantined_clients"`
+	QuarantinedRequests int64   `json:"quarantined_requests"`
+	Promotions          int64   `json:"promotions,omitempty"`
+	Demotions           int64   `json:"demotions,omitempty"`
+	Refreshes           int64   `json:"refreshes"`
+	EarlyRefreshes      int64   `json:"early_refreshes,omitempty"`
+	SnapshotsRejected   int64   `json:"snapshots_rejected,omitempty"`
+	ForcedAccepts       int64   `json:"forced_accepts,omitempty"`
+	DriftScore          float64 `json:"drift_score,omitempty"`
 }
 
 // Counts are the measurement-phase totals summed over all clients

@@ -210,3 +210,21 @@ func (a *Aging) AddDay(day *trace.Trace) error {
 func (a *Aging) Snapshot() *Matrix {
 	return a.acc.snapshot(a.cfg)
 }
+
+// Occurrences reports the decayed occurrence count backing row i — the
+// per-row sample support ("row provenance") that trust scoring reads: a
+// row estimated from two sightings is not a row estimated from two
+// hundred, even when both produce the same probabilities.
+func (a *Aging) Occurrences(i webgraph.DocID) float64 {
+	return a.acc.occ[i]
+}
+
+// Pairs reports the number of (i,j) dependency pairs currently held by
+// the accumulator, before MinOccurrences filtering.
+func (a *Aging) Pairs() int {
+	n := 0
+	for _, row := range a.acc.counts {
+		n += len(row)
+	}
+	return n
+}

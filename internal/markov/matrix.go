@@ -118,6 +118,46 @@ func (m *Matrix) SortedRow(i webgraph.DocID) []Successor {
 	return out
 }
 
+// Docs returns the IDs of all documents with at least one successor, in
+// ascending order, so callers can iterate rows deterministically.
+func (m *Matrix) Docs() []webgraph.DocID {
+	out := make([]webgraph.DocID, 0, len(m.rows))
+	for i := range m.rows {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ScaleRow multiplies every probability in row i by f, deleting entries
+// that fall to (or below) zero weight. Used by trust damping: scaling a
+// low-trust row pushes its entries below the push/hint thresholds without
+// disturbing the relative order of its successors.
+func (m *Matrix) ScaleRow(i webgraph.DocID, f float64) {
+	row := m.rows[i]
+	if row == nil {
+		return
+	}
+	if f <= 0 {
+		delete(m.rows, i)
+		return
+	}
+	if f >= 1 {
+		return
+	}
+	for j, p := range row {
+		p *= f
+		if p < 1e-9 {
+			delete(row, j)
+		} else {
+			row[j] = p
+		}
+	}
+	if len(row) == 0 {
+		delete(m.rows, i)
+	}
+}
+
 // NumPairs returns the number of stored (i,j) entries.
 func (m *Matrix) NumPairs() int {
 	n := 0

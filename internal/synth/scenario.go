@@ -1,0 +1,399 @@
+// Adversarial scenario profiles for the chaos suite (estguard evaluation).
+//
+// Each scenario perturbs the baseline random-surfer workload in a way that
+// stresses one assumption of the Markov estimator:
+//
+//   - flash-crowd: a burst window redirects most session entries onto one
+//     document, shifting the top-K request profile (drift detection).
+//   - diurnal: the arrival rate and the remote entry preference swing with
+//     a 24 h cycle, so a snapshot frozen at night misfits the day (drift
+//     detection + safe refresh).
+//   - crawler: breadth-first robots walk the site with metronomic gaps and
+//     no embedded-object fetches, injecting one-count transition pairs
+//     that poison P[i,j] (classification + quarantine).
+//   - long-tail-scan: scanners enumerate the document space in ID order,
+//     inflating the estimator with transitions no human will follow
+//     (classification + trust damping).
+//   - multi-tenant: entry pages are partitioned among tenants whose
+//     partition rotates daily, so row support is split and stale rows
+//     linger (trust damping + snapshot judging).
+//
+// All scenario traffic is drawn from the dedicated "scenario" RNG stream,
+// so enabling a scenario never perturbs the baseline surfer draws: the
+// clean part of a scenario trace is request-for-request identical to the
+// trace generated with ScenarioNone (modulo diurnal thinning, which
+// consumes one extra acceptance draw per arrival from its own stream).
+package synth
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// ScenarioKind selects one adversarial workload profile.
+type ScenarioKind int
+
+const (
+	ScenarioNone ScenarioKind = iota
+	ScenarioFlashCrowd
+	ScenarioDiurnal
+	ScenarioCrawler
+	ScenarioLongTailScan
+	ScenarioMultiTenant
+)
+
+// String returns the CLI name of the scenario.
+func (k ScenarioKind) String() string {
+	switch k {
+	case ScenarioNone:
+		return "none"
+	case ScenarioFlashCrowd:
+		return "flash-crowd"
+	case ScenarioDiurnal:
+		return "diurnal"
+	case ScenarioCrawler:
+		return "crawler"
+	case ScenarioLongTailScan:
+		return "long-tail-scan"
+	case ScenarioMultiTenant:
+		return "multi-tenant"
+	}
+	return fmt.Sprintf("ScenarioKind(%d)", int(k))
+}
+
+// ScenarioNames lists the valid CLI names, ScenarioNone first.
+func ScenarioNames() []string {
+	return []string{"none", "flash-crowd", "diurnal", "crawler", "long-tail-scan", "multi-tenant"}
+}
+
+// ScenarioByName resolves a CLI name ("" and "none" mean no scenario).
+func ScenarioByName(name string) (ScenarioKind, error) {
+	switch name {
+	case "", "none":
+		return ScenarioNone, nil
+	case "flash-crowd":
+		return ScenarioFlashCrowd, nil
+	case "diurnal":
+		return ScenarioDiurnal, nil
+	case "crawler":
+		return ScenarioCrawler, nil
+	case "long-tail-scan":
+		return ScenarioLongTailScan, nil
+	case "multi-tenant":
+		return ScenarioMultiTenant, nil
+	}
+	return ScenarioNone, fmt.Errorf("synth: unknown scenario %q (valid: %v)", name, ScenarioNames())
+}
+
+// Scenario parameterizes one adversarial profile. The zero value disables
+// scenario traffic; DefaultScenario fills the knobs for a kind.
+type Scenario struct {
+	Kind ScenarioKind
+
+	// Flash crowd: during the window starting at FlashStart (fraction of
+	// the horizon) and lasting FlashDuration (fraction), FlashFraction of
+	// new sessions open on the single flash document.
+	FlashStart    float64
+	FlashDuration float64
+	FlashFraction float64
+
+	// Diurnal: arrivals are thinned by up to DiurnalAmplitude at the night
+	// trough, and night sessions draw entries from a permuted preference
+	// order (a different audience is awake).
+	DiurnalAmplitude float64
+
+	// Crawler: Crawlers robots each run CrawlsPerDay breadth-first walks of
+	// PagesPerCrawl pages with a constant CrawlerGap seconds between page
+	// fetches and no embedded-object requests.
+	Crawlers      int
+	CrawlsPerDay  float64
+	PagesPerCrawl int
+	CrawlerGap    float64
+
+	// Long-tail scan: Scanners probes each sweep the document space in ID
+	// order with a constant ScanGap seconds between requests.
+	Scanners int
+	ScanGap  float64
+
+	// Multi-tenant: entry pages are split into Tenants contiguous
+	// partitions; each client is pinned to a tenant and the partition
+	// assignment rotates by one slot per simulated day.
+	Tenants int
+}
+
+// DefaultScenario returns the committed knob settings for a kind. These are
+// the values the specbench scenario gate's golden baselines were recorded
+// with; change them only together with the baselines.
+func DefaultScenario(kind ScenarioKind) Scenario {
+	s := Scenario{Kind: kind}
+	switch kind {
+	case ScenarioFlashCrowd:
+		s.FlashStart = 0.6
+		s.FlashDuration = 0.15
+		s.FlashFraction = 0.8
+	case ScenarioDiurnal:
+		s.DiurnalAmplitude = 0.7
+	case ScenarioCrawler:
+		s.Crawlers = 6
+		s.CrawlsPerDay = 2
+		s.PagesPerCrawl = 150
+		s.CrawlerGap = 0.5
+	case ScenarioLongTailScan:
+		s.Scanners = 4
+		s.ScanGap = 1.0
+	case ScenarioMultiTenant:
+		s.Tenants = 4
+	}
+	return s
+}
+
+func (s *Scenario) validate() error {
+	switch s.Kind {
+	case ScenarioNone:
+		return nil
+	case ScenarioFlashCrowd:
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"FlashStart", s.FlashStart}, {"FlashDuration", s.FlashDuration}, {"FlashFraction", s.FlashFraction}} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("synth: scenario %s = %v outside [0,1]", p.name, p.v)
+			}
+		}
+	case ScenarioDiurnal:
+		if s.DiurnalAmplitude < 0 || s.DiurnalAmplitude > 1 {
+			return fmt.Errorf("synth: scenario DiurnalAmplitude = %v outside [0,1]", s.DiurnalAmplitude)
+		}
+	case ScenarioCrawler:
+		if s.Crawlers <= 0 || s.CrawlsPerDay <= 0 || s.PagesPerCrawl <= 0 || s.CrawlerGap <= 0 {
+			return fmt.Errorf("synth: crawler scenario needs positive Crawlers/CrawlsPerDay/PagesPerCrawl/CrawlerGap")
+		}
+	case ScenarioLongTailScan:
+		if s.Scanners <= 0 || s.ScanGap <= 0 {
+			return fmt.Errorf("synth: long-tail-scan scenario needs positive Scanners/ScanGap")
+		}
+	case ScenarioMultiTenant:
+		if s.Tenants <= 1 {
+			return fmt.Errorf("synth: multi-tenant scenario needs Tenants > 1, got %d", s.Tenants)
+		}
+	default:
+		return fmt.Errorf("synth: unknown scenario kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// scenarioRuntime carries the per-generation scenario state. All of its
+// randomness comes from the "scenario" child stream.
+type scenarioRuntime struct {
+	sc      Scenario
+	site    *webgraph.Site
+	start   time.Time
+	horizon time.Time
+	g       *stats.RNG
+
+	flashDoc           webgraph.DocID
+	flashFrom, flashTo time.Time
+	nightPerm          []int // diurnal: permuted entry order for night sessions
+	nightZipf          *stats.Zipf
+	tenantPerm         []int // multi-tenant: shuffled entry order partitioned per tenant
+	tenantOf           map[trace.ClientID]int
+	tenantNext         int
+}
+
+func newScenarioRuntime(cfg Config, site *webgraph.Site, g *stats.RNG) *scenarioRuntime {
+	day := 24 * time.Hour
+	sr := &scenarioRuntime{
+		sc:      cfg.Scenario,
+		site:    site,
+		start:   cfg.Start,
+		horizon: cfg.Start.Add(time.Duration(cfg.Days) * day),
+		g:       g,
+	}
+	switch sr.sc.Kind {
+	case ScenarioFlashCrowd:
+		span := sr.horizon.Sub(sr.start)
+		sr.flashFrom = sr.start.Add(time.Duration(sr.sc.FlashStart * float64(span)))
+		sr.flashTo = sr.flashFrom.Add(time.Duration(sr.sc.FlashDuration * float64(span)))
+		// The flash document is a fixed mid-popularity entry: hot enough to
+		// have successors, cold enough that the burst visibly reshapes the
+		// top-K profile.
+		sr.flashDoc = site.Entries[len(site.Entries)/3]
+	case ScenarioDiurnal:
+		sr.nightPerm = g.Split("night").Perm(len(site.Entries))
+		sr.nightZipf = stats.NewZipf(len(site.Entries), 1.1)
+	case ScenarioMultiTenant:
+		sr.tenantPerm = g.Split("tenants").Perm(len(site.Entries))
+		sr.tenantOf = make(map[trace.ClientID]int)
+	}
+	return sr
+}
+
+// nightFactor is 1 at the midnight trough and 0 at the midday peak.
+func nightFactor(at time.Time) float64 {
+	h := float64(at.Hour()) + float64(at.Minute())/60
+	return (1 + math.Cos(2*math.Pi*h/24)) / 2
+}
+
+// keepSession thins the arrival process (diurnal trough). It must be called
+// exactly once per arrival so the acceptance draw stays aligned.
+func (sr *scenarioRuntime) keepSession(at time.Time) bool {
+	if sr == nil || sr.sc.Kind != ScenarioDiurnal {
+		return true
+	}
+	return sr.g.Bool(1 - sr.sc.DiurnalAmplitude*nightFactor(at))
+}
+
+// entryOverride picks a scenario-forced session entry, or webgraph.None to
+// use the baseline chooser.
+func (sr *scenarioRuntime) entryOverride(cl client, at time.Time) webgraph.DocID {
+	if sr == nil {
+		return webgraph.None
+	}
+	switch sr.sc.Kind {
+	case ScenarioFlashCrowd:
+		if !at.Before(sr.flashFrom) && at.Before(sr.flashTo) && sr.g.Bool(sr.sc.FlashFraction) {
+			return sr.flashDoc
+		}
+	case ScenarioDiurnal:
+		// At night a different audience surfs: entry preference follows the
+		// night permutation, proportionally to how deep into the trough we
+		// are.
+		if sr.g.Bool(nightFactor(at)) {
+			rank := sr.nightZipf.Rank(sr.g) - 1
+			return sr.site.Entries[sr.nightPerm[rank]]
+		}
+	case ScenarioMultiTenant:
+		t, ok := sr.tenantOf[cl.id]
+		if !ok {
+			t = sr.tenantNext % sr.sc.Tenants
+			sr.tenantNext++
+			sr.tenantOf[cl.id] = t
+		}
+		// The tenant's entry partition rotates one slot per day, so the
+		// popular rows of yesterday's snapshot belong to someone else today.
+		d := int(at.Sub(sr.start) / (24 * time.Hour))
+		slot := (t + d) % sr.sc.Tenants
+		per := len(sr.tenantPerm) / sr.sc.Tenants
+		if per == 0 {
+			return webgraph.None
+		}
+		return sr.site.Entries[sr.tenantPerm[slot*per+sr.g.Intn(per)]]
+	}
+	return webgraph.None
+}
+
+// emitRobots appends the non-human scenario traffic (crawlers, scanners).
+// Robot clients use dedicated hostnames so tests can assert on quarantine
+// decisions; they fetch pages only (no embedded objects), which is itself a
+// behavioral tell.
+func (sr *scenarioRuntime) emitRobots(tr *trace.Trace) {
+	if sr == nil {
+		return
+	}
+	switch sr.sc.Kind {
+	case ScenarioCrawler:
+		sr.emitCrawlers(tr)
+	case ScenarioLongTailScan:
+		sr.emitScanners(tr)
+	}
+}
+
+func (sr *scenarioRuntime) emitCrawlers(tr *trace.Trace) {
+	day := 24 * time.Hour
+	days := int(sr.horizon.Sub(sr.start) / day)
+	for c := 0; c < sr.sc.Crawlers; c++ {
+		id := trace.ClientID(fmt.Sprintf("crawler%02d.bot", c))
+		cg := sr.g.Split(fmt.Sprintf("crawler-%d", c))
+		// Crawls are evenly spaced through each day, offset per crawler so
+		// the robots do not stampede in lockstep.
+		perDay := sr.sc.CrawlsPerDay
+		gap := time.Duration(float64(day) / perDay)
+		at := sr.start.Add(time.Duration(float64(c) / float64(sr.sc.Crawlers) * float64(gap)))
+		for d := 0; d < days; d++ {
+			crawlAt := sr.start.Add(time.Duration(d) * day).Add(at.Sub(sr.start) % day)
+			for k := 0; float64(k) < perDay; k++ {
+				entry := sr.site.Entries[(c+d*int(math.Ceil(perDay))+k)%len(sr.site.Entries)]
+				sr.emitBFS(tr, id, entry, crawlAt, cg)
+				crawlAt = crawlAt.Add(gap)
+			}
+		}
+	}
+}
+
+// emitBFS walks breadth-first from entry, one page per constant gap, pages
+// only. The frontier is visited in link order, so the walk is deterministic
+// given the entry.
+func (sr *scenarioRuntime) emitBFS(tr *trace.Trace, id trace.ClientID,
+	entry webgraph.DocID, at time.Time, g *stats.RNG) {
+
+	visited := map[webgraph.DocID]bool{entry: true}
+	queue := []webgraph.DocID{entry}
+	gap := secs(sr.sc.CrawlerGap)
+	for n := 0; n < sr.sc.PagesPerCrawl && len(queue) > 0; n++ {
+		cur := queue[0]
+		queue = queue[1:]
+		d := sr.site.Doc(cur)
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time:   at,
+			Client: id,
+			Doc:    cur,
+			Size:   d.Size,
+			Remote: true,
+			Status: 200,
+			Path:   d.Path,
+		})
+		at = at.Add(gap)
+		for _, l := range d.Links {
+			if !visited[l] {
+				visited[l] = true
+				queue = append(queue, l)
+			}
+		}
+		if len(queue) == 0 {
+			// Dead end before the page budget: restart from a random entry
+			// (robots follow their URL frontier across seeds).
+			e := sr.site.Entries[g.Intn(len(sr.site.Entries))]
+			if !visited[e] {
+				visited[e] = true
+				queue = append(queue, e)
+			}
+		}
+	}
+}
+
+func (sr *scenarioRuntime) emitScanners(tr *trace.Trace) {
+	// Each scanner sweeps the whole document space in ID order, the sweeps
+	// spread evenly across the horizon and offset per scanner. ID-order
+	// probing emits transition pairs that no link structure supports.
+	span := sr.horizon.Sub(sr.start)
+	gap := secs(sr.sc.ScanGap)
+	for s := 0; s < sr.sc.Scanners; s++ {
+		id := trace.ClientID(fmt.Sprintf("scan%02d.probe", s))
+		sweepLen := time.Duration(len(sr.site.Docs)) * gap
+		if sweepLen >= span {
+			sweepLen = span / 2
+		}
+		at := sr.start.Add(time.Duration(float64(s) / float64(sr.sc.Scanners) * float64(span-sweepLen)))
+		for i := range sr.site.Docs {
+			if !at.Before(sr.horizon) {
+				break
+			}
+			d := &sr.site.Docs[i]
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time:   at,
+				Client: id,
+				Doc:    d.ID,
+				Size:   d.Size,
+				Remote: true,
+				Status: 200,
+				Path:   d.Path,
+			})
+			at = at.Add(gap)
+		}
+	}
+}

@@ -86,6 +86,10 @@ type Config struct {
 	// documents, and to scripts, as well as renaming accesses to
 	// aliases"). 0 produces a clean trace.
 	Noise float64
+
+	// Scenario overlays one adversarial profile (see scenario.go). The
+	// zero value generates the baseline workload.
+	Scenario Scenario
 }
 
 // DefaultConfig returns a configuration calibrated to the paper's trace
@@ -157,7 +161,7 @@ func (c *Config) Validate() error {
 	if c.AudienceBias < 1 {
 		return fmt.Errorf("synth: AudienceBias must be >= 1, got %v", c.AudienceBias)
 	}
-	return nil
+	return c.Scenario.validate()
 }
 
 type client struct {
@@ -186,6 +190,7 @@ func Generate(cfg Config, g *stats.RNG) (*Result, error) {
 	nav := g.Split("nav")
 	arr := g.Split("arrivals")
 	upd := g.Split("updates")
+	sr := newScenarioRuntime(cfg, site, g.Split("scenario"))
 
 	res := &Result{Trace: &trace.Trace{}}
 
@@ -205,8 +210,12 @@ func Generate(cfg Config, g *stats.RNG) (*Result, error) {
 		} else {
 			cl = remotes[arr.Intn(len(remotes))]
 		}
-		emitSession(res.Trace, site, cfg, ec, nav, cl, at)
+		if !sr.keepSession(at) {
+			continue
+		}
+		emitSession(res.Trace, site, cfg, ec, nav, cl, at, sr.entryOverride(cl, at))
 	}
+	sr.emitRobots(res.Trace)
 
 	// Noise: junk requests the preprocessing stage exists to remove.
 	if cfg.Noise > 0 {
@@ -356,13 +365,19 @@ func (e *entryChooser) choose(cl client) webgraph.DocID {
 	}
 }
 
-// emitSession walks one surfing session and appends its requests.
+// emitSession walks one surfing session and appends its requests. A
+// scenario can force the initial entry via forced (webgraph.None defers to
+// the baseline chooser); mid-session jumps always use the chooser.
 func emitSession(tr *trace.Trace, site *webgraph.Site, cfg Config,
-	ec *entryChooser, g *stats.RNG, cl client, start time.Time) {
+	ec *entryChooser, g *stats.RNG, cl client, start time.Time,
+	forced webgraph.DocID) {
 
 	pages := int(cfg.PagesPerSession.Sample(g)) + 1
 	at := start
-	cur := ec.choose(cl)
+	cur := forced
+	if cur == webgraph.None {
+		cur = ec.choose(cl)
+	}
 	emitPageView(tr, site, cfg, cl, &at, cur)
 
 	for v := 1; v < pages; v++ {
