@@ -2,7 +2,8 @@ GO ?= go
 
 .PHONY: all build vet lint test race chaos overload bench bench-short \
 	bench-smoke specbench bench-run bench-gate bench-baseline \
-	bench-scenarios bench-scenarios-baseline golden clean
+	bench-scenarios bench-scenarios-baseline \
+	bench-restart bench-restart-baseline fuzz-checkpoint golden clean
 
 all: vet build test
 
@@ -91,6 +92,25 @@ bench-scenarios: specbench
 
 bench-scenarios-baseline: specbench
 	./bin/specbench -short -reps 1 -scenario-suite -o testdata/scenarios_baseline.json
+
+# Kill/restart chaos suite (durability gate): the same workload through an
+# uninterrupted control, a warm restart (checkpoint recovery), a cold
+# restart, and a warm restart forced through the corrupt-frame fallback
+# ladder. The gate enforces the durability invariants (warm recovery
+# within 5% of uninterrupted, warm strictly beats cold, corruption falls
+# back to last-good, zero dropped demand) plus drift bounds against the
+# committed baseline.
+bench-restart: specbench
+	./bin/specbench -restart -short -o BENCH-restart.json \
+		-baseline testdata/restart_baseline.json
+
+bench-restart-baseline: specbench
+	./bin/specbench -restart -short -o testdata/restart_baseline.json
+
+# Checkpoint decoder fuzzing: truncated, bit-flipped, and version-skewed
+# frames must fail with typed errors, never panic.
+fuzz-checkpoint:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/checkpoint/
 
 # Regenerate the golden files pinning the experiments renderers.
 golden:

@@ -208,6 +208,10 @@ func main() {
 				sum.Chaos.EstimatorRefreshes, sum.Chaos.EstimatorEarlyRefreshes,
 				sum.Chaos.EstimatorRejectedSnapshots)
 		}
+		if ck := sum.Chaos.Checkpoint; ck != nil {
+			fmt.Printf("  checkpoints:    %d saved, %d loaded, %d corrupt skipped, %d cold starts\n",
+				ck.Saved, ck.Loaded, ck.CorruptSkipped, ck.ColdStarts)
+		}
 	}
 	if sum.Overload != nil {
 		ov := sum.Overload

@@ -68,6 +68,9 @@ func main() {
 		estguardF = flag.Bool("estguard", false, "install the estimator-hardening guard (classification/quarantine, drift refresh, confidence damping)")
 		suite     = flag.Bool("scenario-suite", false, "run the adversarial scenario suite (clean + 5 scenarios guarded + crawler unguarded) and write BENCH-scenarios.json")
 
+		restartF  = flag.Bool("restart", false, "run the kill/restart chaos suite (uninterrupted + warm + cold + corrupt-fallback arms) and write the restart report")
+		crashFrac = flag.Float64("crash-frac", 0.5, "restart: fraction of the measured trace served before the crash")
+
 		timeout = flag.Duration("timeout", 0, "per-request timeout (0 = none)")
 		retries = flag.Int("retries", 1, "max attempts per demand fetch (1 = no retries)")
 
@@ -170,6 +173,11 @@ func main() {
 
 	if *suite {
 		runScenarioSuite(cfg, *out, *baseline, *tolerance, *quiet)
+		return
+	}
+	if *restartF {
+		cfg.Restart = &loadgen.RestartConfig{Mode: loadgen.RestartWarm, CrashFraction: *crashFrac}
+		runRestartSuite(cfg, *out, *baseline, *tolerance, *quiet)
 		return
 	}
 
@@ -278,6 +286,74 @@ func runScenarioSuite(cfg loadgen.Config, out, baseline string, tolerance float6
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "specbench: scenario gate passed")
+}
+
+// runRestartSuite executes the kill/restart chaos suite, writes the
+// BENCH-restart.json report, enforces the durability invariants (warm
+// recovery within slack of the uninterrupted control, warm strictly
+// beats cold, corrupt frames fall back to last-good, zero dropped
+// demand), and optionally gates against a committed baseline suite.
+func runRestartSuite(cfg loadgen.Config, out, baseline string, tolerance float64, quiet bool) {
+	start := time.Now()
+	rep, err := loadgen.RunRestartSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "specbench: restart suite took %v\n",
+			time.Since(start).Round(time.Millisecond))
+		arm := func(name string, r *loadgen.Result) {
+			if r == nil || r.Restart == nil {
+				return
+			}
+			ri := r.Restart
+			line := fmt.Sprintf("  %-16s interception p1 %.4f  p2 %.4f", name,
+				ri.Phase1.Interception, ri.Phase2.Interception)
+			if r.Checkpoint != nil {
+				ck := r.Checkpoint
+				line += fmt.Sprintf("  ckpt saved %d loaded %d corrupt-skipped %d cold-starts %d",
+					ck.Saved, ck.Loaded, ck.CorruptSkipped, ck.ColdStarts)
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+		arm("uninterrupted", rep.Uninterrupted)
+		arm("warm", rep.Warm)
+		arm("cold", rep.Cold)
+		arm("corrupt-fallback", rep.CorruptFallback)
+	}
+
+	violations := loadgen.CheckRestartInvariants(rep)
+	if baseline != "" {
+		bd, err := os.ReadFile(baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base loadgen.RestartReport
+		if err := json.Unmarshal(bd, &base); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", baseline, err))
+		}
+		violations = append(violations, loadgen.CompareRestart(&base, rep, tolerance)...)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintln(os.Stderr, "specbench: restart gate FAILED:")
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  - %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "specbench: restart gate passed")
 }
 
 func readReport(path string) (*loadgen.Report, error) {

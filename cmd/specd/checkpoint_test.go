@@ -1,0 +1,376 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"specweb/internal/attrib"
+	"specweb/internal/checkpoint"
+	"specweb/internal/httpspec"
+	"specweb/internal/leakcheck"
+	"specweb/internal/obs"
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+// TestMain doubles as the specd helper process for the kill/restart
+// harness: with SPECD_HELPER=1 the test binary IS specd — flag.Parse
+// sees the args from SPECD_ARGS and main() runs for real, so SIGKILL
+// hits an actual process with an actual state directory, not a mock.
+func TestMain(m *testing.M) {
+	if os.Getenv("SPECD_HELPER") == "1" {
+		os.Args = append([]string{"specd"}, strings.Split(os.Getenv("SPECD_ARGS"), "\x1f")...)
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func newStoreBackedServer(t *testing.T) (*httpspec.Server, *checkpoint.Store, *webgraph.Site) {
+	t.Helper()
+	site, err := webgraph.Generate(webgraph.TinySite(), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := httpspec.DefaultServerConfig()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer(32)
+	cfg.Attrib = attrib.NewLedger(2*site.NumDocs(), cfg.Metrics)
+	store, err := checkpoint.NewStore(checkpoint.StoreConfig{
+		Dir: t.TempDir(), Fingerprint: cfg.Engine.StateFingerprint(),
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine.Checkpoint = store
+	srv, err := httpspec.NewServer(httpspec.NewSiteStore(site), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, store, site
+}
+
+// TestServeFinalCheckpointExactlyOnce: the full lifecycle — cold-start
+// recovery, serve, signal-driven stop — writes the final checkpoint
+// exactly once, before the drain, and strands no goroutines.
+func TestServeFinalCheckpointExactlyOnce(t *testing.T) {
+	leakcheck.Check(t)
+	srv, store, site := newStoreBackedServer(t)
+	eng := srv.Engine()
+
+	var finals atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, serveOpts{
+			addr:    "127.0.0.1:0",
+			handler: srv,
+			log:     obs.Logger("specd-test"),
+			ready:   func(main, _ net.Addr) { addrs <- main },
+			warmStart: func() error {
+				return recoverState(eng, store, obs.Logger("specd-test"))
+			},
+			checkpointNow: func() error { return eng.CheckpointNow(time.Now()) },
+			finalCheckpoint: func() error {
+				finals.Add(1)
+				return eng.CheckpointNow(time.Now())
+			},
+			shutdownTimeout: 5 * time.Second,
+		})
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrs:
+	case err := <-done:
+		t.Fatalf("serve exited before binding: %v", err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, site.Doc(site.Entries[0]).Path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after cancel")
+	}
+	if got := finals.Load(); got != 1 {
+		t.Fatalf("final checkpoint ran %d times, want exactly 1", got)
+	}
+	c := store.Counters()
+	if c.Saved != 1 || c.SaveErrors != 0 {
+		t.Fatalf("store counters after shutdown: %+v", c)
+	}
+	if c.ColdStarts != 1 { // empty state dir: recovery decided to start cold
+		t.Fatalf("cold start not recorded: %+v", c)
+	}
+}
+
+// TestServeReadinessGate: regression test for the startup ordering hole —
+// the listener must not exist until state recovery has finished, so no
+// client can ever reach a half-initialized engine.
+func TestServeReadinessGate(t *testing.T) {
+	leakcheck.Check(t)
+	// Reserve a concrete port so we can probe it while recovery blocks.
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := rsv.Addr().String()
+	rsv.Close()
+
+	gate := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, serveOpts{
+			addr:            addr,
+			handler:         http.NotFoundHandler(),
+			log:             obs.Logger("specd-test"),
+			warmStart:       func() error { <-gate; return nil },
+			ready:           func(net.Addr, net.Addr) { close(ready) },
+			shutdownTimeout: 5 * time.Second,
+		})
+	}()
+
+	// While recovery is in flight the port must be dark.
+	for i := 0; i < 5; i++ {
+		if conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond); err == nil {
+			conn.Close()
+			t.Fatal("listener accepted a connection before recovery finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(gate)
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("never became ready after recovery unblocked")
+	}
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("port still dark after ready: %v", err)
+	}
+	conn.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestServeSIGHUPCheckpointNow: SIGHUP means "checkpoint now", not die.
+func TestServeSIGHUPCheckpointNow(t *testing.T) {
+	leakcheck.Check(t)
+	saved := make(chan struct{}, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, serveOpts{
+			addr:            "127.0.0.1:0",
+			handler:         http.NotFoundHandler(),
+			log:             obs.Logger("specd-test"),
+			checkpointNow:   func() error { saved <- struct{}{}; return nil },
+			ready:           func(net.Addr, net.Addr) { close(ready) },
+			shutdownTimeout: 5 * time.Second,
+		})
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited: %v", err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-saved:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGHUP did not trigger a checkpoint")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve survived SIGHUP but failed later: %v", err)
+	}
+}
+
+// specdStats is the slice of /spec/stats the harness cares about.
+type specdStats struct {
+	Engine struct {
+		Pairs      int64
+		Refreshes  int64
+		Checkpoint *struct {
+			Saved          int64 `json:"saved"`
+			Loaded         int64 `json:"loaded"`
+			CorruptSkipped int64 `json:"corrupt_skipped"`
+			ColdStarts     int64 `json:"cold_starts"`
+		}
+	}
+}
+
+func scrapeSpecd(addr string) (specdStats, error) {
+	var st specdStats
+	resp, err := http.Get("http://" + addr + "/spec/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// TestSpecdKillRestartWarmRecovery is the process-level chaos test: run a
+// real specd (this test binary re-execed via TestMain), train its engine
+// over HTTP until a checkpoint lands, SIGKILL it mid-run — no drain, no
+// final checkpoint — then restart from the same -state-dir and require
+// the very first scrape to show a warm-started engine.
+func TestSpecdKillRestartWarmRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level kill/restart harness")
+	}
+	dir := t.TempDir()
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := rsv.Addr().String()
+	rsv.Close()
+	args := []string{
+		"-addr", addr, "-profile", "tiny", "-seed", "7",
+		"-state-dir", dir, "-refresh-every", "2s", "-checkpoint-retain", "3",
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := func() *exec.Cmd {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			"SPECD_HELPER=1", "SPECD_ARGS="+strings.Join(args, "\x1f"))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	waitUp := func(cmd *exec.Cmd) specdStats {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if st, err := scrapeSpecd(addr); err == nil {
+				return st
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		cmd.Process.Kill()
+		t.Fatal("specd never became reachable")
+		return specdStats{}
+	}
+
+	// The parent regenerates the identical site (same profile, same seed)
+	// to walk real document paths: entry page, then first-link hops.
+	p, err := webgraph.ProfileByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := webgraph.Generate(p, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk []string
+	id := site.Entries[0]
+	for i := 0; i < 4; i++ {
+		walk = append(walk, site.Doc(id).Path)
+		if links := site.Doc(id).Links; len(links) > 0 {
+			id = links[0]
+		} else {
+			id = site.Entries[0]
+		}
+	}
+	get := func(path string) {
+		req, _ := http.NewRequest("GET", "http://"+addr+path, nil)
+		req.Header.Set(httpspec.HeaderClient, "chaos-1")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+
+	first := start()
+	waitUp(first)
+	// Train in a burst, then go quiet past StrideTimeout (5s) so the
+	// stride closes and the next refresh flushes it into the matrix:
+	// an open stride is carried, never flushed, so uninterrupted
+	// hammering would keep Pairs at zero forever.
+	for i := 0; i < 60; i++ {
+		for _, path := range walk {
+			get(path)
+		}
+	}
+	time.Sleep(5500 * time.Millisecond)
+	var trained specdStats
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		get(walk[0]) // Record-driven refresh (cadence 2s) flushes the closed stride
+		st, err := scrapeSpecd(addr)
+		if err == nil && st.Engine.Refreshes >= 1 && st.Engine.Pairs > 0 &&
+			st.Engine.Checkpoint != nil && st.Engine.Checkpoint.Saved >= 1 {
+			trained = st
+			break
+		}
+		if time.Now().After(deadline) {
+			first.Process.Kill()
+			t.Fatalf("engine never checkpointed a trained estimate: %+v err=%v", st, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Crash: SIGKILL, so nothing graceful runs in the dying process.
+	if err := first.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	first.Wait()
+
+	second := start()
+	defer func() {
+		second.Process.Signal(syscall.SIGTERM)
+		second.Wait()
+	}()
+	st := waitUp(second)
+	// Recovery ran before the listener opened, so the FIRST successful
+	// scrape must already show the warm state — no warm-up window.
+	if st.Engine.Checkpoint == nil || st.Engine.Checkpoint.Loaded != 1 {
+		t.Fatalf("restart did not warm-start from the checkpoint: %+v", st.Engine.Checkpoint)
+	}
+	if st.Engine.Pairs == 0 || st.Engine.Pairs != trained.Engine.Pairs {
+		t.Fatalf("warm restart lost estimate state: pairs %d, trained %d",
+			st.Engine.Pairs, trained.Engine.Pairs)
+	}
+	if st.Engine.Refreshes != 0 {
+		t.Fatalf("pairs should come from recovery, not a fresh refresh: %+v", st.Engine)
+	}
+}

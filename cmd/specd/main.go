@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"specweb/internal/attrib"
+	"specweb/internal/checkpoint"
+	"specweb/internal/core"
 	"specweb/internal/httpspec"
 	"specweb/internal/obs"
 	"specweb/internal/overload"
@@ -49,6 +51,12 @@ func main() {
 		seed    = flag.Int64("seed", 1995, "site generation seed")
 		tp      = flag.Float64("tp", 0.25, "speculation threshold")
 		version = flag.Bool("version", false, "print build information and exit")
+
+		refresh = flag.Duration("refresh-every", 0, "override the engine's estimate refresh cadence (0: engine default)")
+
+		stateDir   = flag.String("state-dir", "", "durable checkpoint directory for crash-safe warm restart (empty: stateless)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 0, "additionally checkpoint on this wall-clock interval (0: only on freeze, SIGHUP and shutdown)")
+		ckptRetain = flag.Int("checkpoint-retain", 3, "checkpoint frames kept in -state-dir")
 
 		ovEnable = flag.Bool("overload", false, "enable overload control: priority admission, the adaptive speculation governor and the degradation ladder")
 		ovDemand = flag.Int("overload-demand", 256, "demand-class concurrency slots")
@@ -86,6 +94,9 @@ func main() {
 
 	cfg := httpspec.DefaultServerConfig()
 	cfg.Engine.Tp = *tp
+	if *refresh > 0 {
+		cfg.Engine.RefreshEvery = *refresh
+	}
 	cfg.Mode, err = httpspec.ParseMode(*mode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "specd:", err)
@@ -115,6 +126,30 @@ func main() {
 		log.Info("overload control enabled",
 			"demand_slots", *ovDemand, "spec_slots", *ovSpec,
 			"queue", *ovQueue, "max_wait", *ovWait, "target", *ovTarget)
+	}
+
+	// Crash-safe state: the store's fingerprint binds frames to both the
+	// engine's estimation parameters and the site identity, so a frame
+	// from a different -seed or -profile (whose DocIDs mean different
+	// documents) can never warm-start this process.
+	var store *checkpoint.Store
+	if *stateDir != "" {
+		fp := checkpoint.Combine(cfg.Engine.StateFingerprint(),
+			checkpoint.Fingerprint(fmt.Sprintf("site/v1|profile=%s|seed=%d", *profile, *seed)))
+		store, err = checkpoint.NewStore(checkpoint.StoreConfig{
+			Dir:         *stateDir,
+			Retain:      *ckptRetain,
+			Fingerprint: fp,
+			Tracer:      obs.DefaultTracer,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specd:", err)
+			os.Exit(1)
+		}
+		cfg.Engine.Checkpoint = store
+		log.Info("checkpointing enabled", "dir", *stateDir,
+			"retain", *ckptRetain, "interval", *ckptEvery,
+			"fingerprint", fmt.Sprintf("%016x", fp))
 	}
 
 	srv, err := httpspec.NewServer(httpspec.NewSiteStore(site), cfg)
@@ -158,14 +193,22 @@ func main() {
 		"addr", *addr, "mode", *mode, "tp", *tp,
 		"version", build.Version, "revision", build.Revision,
 		"entry", site.Doc(site.Entries[0]).Path)
-	err = serve(ctx, serveOpts{
+	opts := serveOpts{
 		addr:     *addr,
 		obsAddr:  *obsAddr,
 		handler:  mux,
 		obsMux:   obsMux(led),
 		governor: governor,
 		log:      log,
-	})
+	}
+	if store != nil {
+		eng := srv.Engine()
+		opts.warmStart = func() error { return recoverState(eng, store, log) }
+		opts.checkpointNow = func() error { return eng.CheckpointNow(time.Now()) }
+		opts.checkpointInterval = *ckptEvery
+		opts.finalCheckpoint = func() error { return eng.CheckpointNow(time.Now()) }
+	}
+	err = serve(ctx, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "specd:", err)
 		os.Exit(1)
@@ -190,6 +233,19 @@ type serveOpts struct {
 	ready func(main, obs net.Addr)
 	// shutdownTimeout bounds the graceful drain (default 10s).
 	shutdownTimeout time.Duration
+	// warmStart, when non-nil, runs state recovery BEFORE the listeners
+	// bind: this ordering is the readiness gate — no request can be
+	// admitted until the engine either warm-started or decided to start
+	// cold, so clients never observe a half-initialized engine.
+	warmStart func() error
+	// checkpointNow, when non-nil, enables the SIGHUP "checkpoint now"
+	// handler and (with checkpointInterval > 0) a periodic checkpoint.
+	checkpointNow      func() error
+	checkpointInterval time.Duration
+	// finalCheckpoint, when non-nil, runs exactly once on any serve exit
+	// path, before the graceful drain completes (SIGTERM semantics:
+	// final checkpoint, then drain).
+	finalCheckpoint func() error
 }
 
 // serve binds the main (and optional observability) listener, serves
@@ -198,6 +254,24 @@ type serveOpts struct {
 func serve(ctx context.Context, o serveOpts) error {
 	if o.shutdownTimeout <= 0 {
 		o.shutdownTimeout = 10 * time.Second
+	}
+	// Register the SIGHUP relay before anything observable happens so a
+	// "checkpoint now" sent right after startup is never fatal (SIGHUP
+	// default disposition kills the process).
+	var hup chan os.Signal
+	if o.checkpointNow != nil {
+		hup = make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+	}
+	// Readiness gate: recovery completes before any listener exists, so
+	// the first accepted connection is guaranteed to see the recovered
+	// (or deliberately cold) engine. See the regression test
+	// TestServeReadinessGate.
+	if o.warmStart != nil {
+		if err := o.warmStart(); err != nil {
+			return fmt.Errorf("state recovery: %w", err)
+		}
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -261,6 +335,33 @@ func serve(ctx context.Context, o serveOpts) error {
 		}()
 	}
 
+	if o.checkpointNow != nil {
+		go func() {
+			var tick <-chan time.Time
+			if o.checkpointInterval > 0 {
+				t := time.NewTicker(o.checkpointInterval)
+				defer t.Stop()
+				tick = t.C
+			}
+			for {
+				var reason string
+				select {
+				case <-tctx.Done():
+					return
+				case <-hup:
+					reason = "sighup"
+				case <-tick:
+					reason = "interval"
+				}
+				if err := o.checkpointNow(); err != nil {
+					o.log.Error("checkpoint failed", "reason", reason, "err", err)
+				} else {
+					o.log.Info("checkpoint written", "reason", reason)
+				}
+			}
+		}()
+	}
+
 	servers := 1
 	errCh := make(chan error, 2)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -282,6 +383,17 @@ func serve(ctx context.Context, o serveOpts) error {
 		}
 	}
 
+	// Final checkpoint, then drain: persist before Shutdown so even a
+	// drain that overruns its timeout cannot lose the frame. This is the
+	// single call site — it lands exactly once per serve lifecycle.
+	if o.finalCheckpoint != nil {
+		if err := o.finalCheckpoint(); err != nil {
+			o.log.Error("final checkpoint failed", "err", err)
+		} else {
+			o.log.Info("final checkpoint written")
+		}
+	}
+
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -297,6 +409,33 @@ func serve(ctx context.Context, o serveOpts) error {
 		}
 	}
 	return serveErr
+}
+
+// recoverState is the startup recovery ladder: newest frame, falling
+// back through older last-good frames on corruption (the store walks
+// those), then a cold start if nothing usable remains or the decoded
+// state is rejected by the engine. Recovery failure is never fatal —
+// the worst outcome is the same cold start a stateless specd always did.
+func recoverState(eng *core.Engine, store *checkpoint.Store, log *slog.Logger) error {
+	snap, info, err := store.Load()
+	if err != nil {
+		return err
+	}
+	if snap == nil {
+		log.Info("checkpoint: cold start", "corrupt_skipped", info.Skipped)
+		return nil
+	}
+	if err := eng.WarmStart(snap, time.Now()); err != nil {
+		store.NoteColdStart()
+		log.Warn("checkpoint: warm start rejected; continuing cold",
+			"file", info.Path, "err", err)
+		return nil
+	}
+	st := eng.Stats()
+	log.Info("checkpoint: warm start",
+		"file", info.Path, "corrupt_skipped", info.Skipped,
+		"docs", st.Docs, "pairs", st.Pairs, "recorded", st.Recorded)
+	return nil
 }
 
 // obsMux assembles the observability endpoints: Prometheus metrics,

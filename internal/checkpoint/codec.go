@@ -1,0 +1,447 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"specweb/internal/estguard"
+	"specweb/internal/trace"
+)
+
+// Frame layout, version 1. All integers little-endian, fixed width.
+//
+//	[0:8)   magic "SPWCKPT1"
+//	[8:10)  u16 codec version
+//	[10:12) u16 flags (must be 0)
+//	[12:16) u32 payload length
+//	[16:n)  payload
+//	[n:n+4) u32 CRC-32C (Castagnoli) over bytes [0:n)
+//
+// Payload:
+//
+//	meta    i64 created · u64 fingerprint · i64 recorded · i64 lastRefresh
+//	knobs   u64 tpBits · u64 embedBits · i64 maxSize · i32 topK
+//	rows    u32 count · { i32 doc · u32 nSucc · nSucc×(i32 doc · u64 pBits) }
+//	clients u32 count · { u16 idLen · id · u8 status · u8 reasonLen · reason
+//	        · i64 totalReqs · i64 windows · u64 breadth · u64 distinct
+//	        · u64 repeat · u64 gapCV · i32 streak }
+//	judge   u8 haveLast · u64 scoreBits · i64 delivered · i64 consumed
+//	        · i64 wasted · i32 streak
+//
+// The format is strictly canonical: Decode accepts exactly what Encode
+// emits. Rows ascend by document, successors keep the frozen (P desc,
+// Doc asc) order, clients ascend by ID, probabilities live in (0, 1],
+// and no trailing bytes are tolerated. Canonicality is what makes
+// re-encode(decode(x)) == x — proven by test and fuzz — so frames can be
+// compared and content-addressed byte-wise.
+
+const (
+	magic = "SPWCKPT1"
+	// Version is the codec version this build reads and writes.
+	Version = 1
+
+	headerLen  = 16
+	trailerLen = 4
+	// maxClientID bounds one client identifier; estguard IDs are short
+	// synthetic strings, and an attacker-sized ID must not force a giant
+	// allocation.
+	maxClientID = 1024
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes s into a framed, checksummed byte string. The
+// snapshot is validated first: Encode refuses to produce a frame Decode
+// would reject, so an engine bug surfaces at save time, not at the next
+// restart.
+func Encode(s *Snapshot) ([]byte, error) {
+	if err := validateSnapshot(s); err != nil {
+		return nil, err
+	}
+	payload := appendPayload(make([]byte, 0, payloadSize(s)), s)
+
+	buf := make([]byte, 0, headerLen+len(payload)+trailerLen)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint16(buf, 0) // flags
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf, nil
+}
+
+// Decode parses a frame. It never panics on hostile input: every failure
+// is one of the typed errors above, and IsCorrupt(err) advances the
+// store's fallback ladder.
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrTruncated, len(b), headerLen+trailerLen)
+	}
+	if string(b[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(b[8:10]); v != Version {
+		return nil, fmt.Errorf("%w: frame version %d, codec speaks %d", ErrVersion, v, Version)
+	}
+	if f := binary.LittleEndian.Uint16(b[10:12]); f != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrVersion, f)
+	}
+	n := int(binary.LittleEndian.Uint32(b[12:16]))
+	switch total := headerLen + n + trailerLen; {
+	case len(b) < total:
+		return nil, fmt.Errorf("%w: %d bytes, frame declares %d", ErrTruncated, len(b), total)
+	case len(b) > total:
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(b)-total)
+	}
+	sum := binary.LittleEndian.Uint32(b[headerLen+n:])
+	if got := crc32.Checksum(b[:headerLen+n], castagnoli); got != sum {
+		return nil, fmt.Errorf("%w: crc %08x, frame says %08x", ErrChecksum, got, sum)
+	}
+
+	r := &reader{b: b[headerLen : headerLen+n]}
+	s := &Snapshot{}
+
+	s.Meta.CreatedUnixNano = r.i64()
+	s.Meta.Fingerprint = r.u64()
+	s.Meta.Recorded = r.i64()
+	s.Meta.LastRefreshUnixNano = r.i64()
+
+	s.Knobs.Tp = math.Float64frombits(r.u64())
+	s.Knobs.Embed = math.Float64frombits(r.u64())
+	s.Knobs.MaxSize = r.i64()
+	s.Knobs.TopK = r.i32()
+
+	nRows := int(r.u32())
+	if err := r.fits(nRows, 8); err != nil {
+		return nil, err
+	}
+	if nRows > 0 {
+		s.Rows = make([]Row, 0, nRows)
+	}
+	for i := 0; i < nRows; i++ {
+		row := Row{Doc: r.i32()}
+		nSucc := int(r.u32())
+		if err := r.fits(nSucc, 12); err != nil {
+			return nil, err
+		}
+		row.Succ = make([]Succ, 0, nSucc)
+		for j := 0; j < nSucc; j++ {
+			row.Succ = append(row.Succ, Succ{Doc: r.i32(), PBits: r.u64()})
+		}
+		s.Rows = append(s.Rows, row)
+	}
+
+	nClients := int(r.u32())
+	if err := r.fits(nClients, 57); err != nil {
+		return nil, err
+	}
+	if nClients > 0 {
+		s.Clients = make([]estguard.ClientSummary, 0, nClients)
+	}
+	for i := 0; i < nClients; i++ {
+		var c estguard.ClientSummary
+		c.ID = trace.ClientID(r.clientID())
+		c.Status = estguard.Status(r.u8())
+		c.Reason = r.shortString()
+		c.TotalReqs = r.i64()
+		c.Windows = r.i64()
+		c.Breadth = math.Float64frombits(r.u64())
+		c.Distinct = math.Float64frombits(r.u64())
+		c.Repeat = math.Float64frombits(r.u64())
+		c.GapCV = math.Float64frombits(r.u64())
+		c.Streak = r.i32()
+		s.Clients = append(s.Clients, c)
+	}
+
+	s.Judge.HaveLast = r.u8() != 0
+	s.Judge.LastScore = math.Float64frombits(r.u64())
+	s.Judge.Delivered = r.i64()
+	s.Judge.Consumed = r.i64()
+	s.Judge.Wasted = r.i64()
+	s.Judge.Streak = r.i32()
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.b) {
+		return nil, fmt.Errorf("%w: %d unread payload bytes", ErrMalformed, len(r.b)-r.pos)
+	}
+	// Full structural validation after parse: the same rules Encode
+	// enforces, so the accepted language is exactly Encode's image.
+	if err := validateSnapshot(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// reader is a cursor over the payload with sticky error handling: once a
+// read overruns, every later read returns zeros and the error survives to
+// the end of Decode. Overruns inside a length-validated payload mean the
+// structure lied about its own counts — malformed, not truncated.
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.b) {
+		r.err = fmt.Errorf("%w: structure overruns payload at byte %d", ErrMalformed, r.pos)
+		return nil
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *reader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// fits rejects element counts that could not possibly fit in the
+// remaining payload, before any allocation is sized from them.
+func (r *reader) fits(count, minItem int) error {
+	if r.err != nil {
+		return r.err
+	}
+	if count < 0 || count*minItem > len(r.b)-r.pos {
+		r.err = fmt.Errorf("%w: count %d exceeds remaining payload", ErrMalformed, count)
+	}
+	return r.err
+}
+
+func (r *reader) clientID() (s string) {
+	n := int(r.u16())
+	if b := r.take(n); b != nil {
+		s = string(b)
+	}
+	return
+}
+
+func (r *reader) shortString() (s string) {
+	n := int(r.u8())
+	if b := r.take(n); b != nil {
+		s = string(b)
+	}
+	return
+}
+
+func payloadSize(s *Snapshot) int {
+	n := 32 + 28 + 4 + 4 + 37
+	for i := range s.Rows {
+		n += 8 + 12*len(s.Rows[i].Succ)
+	}
+	for i := range s.Clients {
+		n += 57 - 1 + len(s.Clients[i].ID) + len(s.Clients[i].Reason)
+	}
+	return n
+}
+
+func appendPayload(buf []byte, s *Snapshot) []byte {
+	le := binary.LittleEndian
+	buf = le.AppendUint64(buf, uint64(s.Meta.CreatedUnixNano))
+	buf = le.AppendUint64(buf, s.Meta.Fingerprint)
+	buf = le.AppendUint64(buf, uint64(s.Meta.Recorded))
+	buf = le.AppendUint64(buf, uint64(s.Meta.LastRefreshUnixNano))
+
+	buf = le.AppendUint64(buf, math.Float64bits(s.Knobs.Tp))
+	buf = le.AppendUint64(buf, math.Float64bits(s.Knobs.Embed))
+	buf = le.AppendUint64(buf, uint64(s.Knobs.MaxSize))
+	buf = le.AppendUint32(buf, uint32(s.Knobs.TopK))
+
+	buf = le.AppendUint32(buf, uint32(len(s.Rows)))
+	for i := range s.Rows {
+		row := &s.Rows[i]
+		buf = le.AppendUint32(buf, uint32(row.Doc))
+		buf = le.AppendUint32(buf, uint32(len(row.Succ)))
+		for _, sc := range row.Succ {
+			buf = le.AppendUint32(buf, uint32(sc.Doc))
+			buf = le.AppendUint64(buf, sc.PBits)
+		}
+	}
+
+	buf = le.AppendUint32(buf, uint32(len(s.Clients)))
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		buf = le.AppendUint16(buf, uint16(len(c.ID)))
+		buf = append(buf, c.ID...)
+		buf = append(buf, uint8(c.Status))
+		buf = append(buf, uint8(len(c.Reason)))
+		buf = append(buf, c.Reason...)
+		buf = le.AppendUint64(buf, uint64(c.TotalReqs))
+		buf = le.AppendUint64(buf, uint64(c.Windows))
+		buf = le.AppendUint64(buf, math.Float64bits(c.Breadth))
+		buf = le.AppendUint64(buf, math.Float64bits(c.Distinct))
+		buf = le.AppendUint64(buf, math.Float64bits(c.Repeat))
+		buf = le.AppendUint64(buf, math.Float64bits(c.GapCV))
+		buf = le.AppendUint32(buf, uint32(c.Streak))
+	}
+
+	if s.Judge.HaveLast {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = le.AppendUint64(buf, math.Float64bits(s.Judge.LastScore))
+	buf = le.AppendUint64(buf, uint64(s.Judge.Delivered))
+	buf = le.AppendUint64(buf, uint64(s.Judge.Consumed))
+	buf = le.AppendUint64(buf, uint64(s.Judge.Wasted))
+	buf = le.AppendUint32(buf, uint32(s.Judge.Streak))
+	return buf
+}
+
+// validateSnapshot enforces the canonical form on both codec directions.
+func validateSnapshot(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("%w: nil snapshot", ErrMalformed)
+	}
+	if s.Meta.Recorded < 0 {
+		return fmt.Errorf("%w: negative recorded count %d", ErrMalformed, s.Meta.Recorded)
+	}
+	if err := validateKnobs(&s.Knobs); err != nil {
+		return err
+	}
+	prevDoc := int32(-1)
+	for i := range s.Rows {
+		if err := validateRow(&s.Rows[i], prevDoc); err != nil {
+			return err
+		}
+		prevDoc = s.Rows[i].Doc
+	}
+	prevID := ""
+	for i := range s.Clients {
+		if err := validateClient(&s.Clients[i], prevID, i == 0); err != nil {
+			return err
+		}
+		prevID = string(s.Clients[i].ID)
+	}
+	return validateJudge(&s.Judge)
+}
+
+func validateKnobs(k *Knobs) error {
+	if !finite(k.Tp) || k.Tp < 0 || k.Tp > 1 {
+		return fmt.Errorf("%w: Tp %v outside [0,1]", ErrMalformed, k.Tp)
+	}
+	if !finite(k.Embed) || k.Embed < 0 {
+		return fmt.Errorf("%w: embed threshold %v invalid", ErrMalformed, k.Embed)
+	}
+	if k.MaxSize < 0 {
+		return fmt.Errorf("%w: MaxSize %d negative", ErrMalformed, k.MaxSize)
+	}
+	if k.TopK < 0 {
+		return fmt.Errorf("%w: TopK %d negative", ErrMalformed, k.TopK)
+	}
+	return nil
+}
+
+func validateRow(row *Row, prevDoc int32) error {
+	if row.Doc < 0 {
+		return fmt.Errorf("%w: negative document %d", ErrMalformed, row.Doc)
+	}
+	if row.Doc <= prevDoc {
+		return fmt.Errorf("%w: rows not strictly ascending at document %d", ErrMalformed, row.Doc)
+	}
+	if len(row.Succ) == 0 {
+		return fmt.Errorf("%w: empty row for document %d", ErrMalformed, row.Doc)
+	}
+	prevP := math.Inf(1)
+	prevSucc := int32(-1)
+	for _, sc := range row.Succ {
+		if sc.Doc < 0 {
+			return fmt.Errorf("%w: negative successor %d in row %d", ErrMalformed, sc.Doc, row.Doc)
+		}
+		if sc.Doc == row.Doc {
+			return fmt.Errorf("%w: self-successor in row %d", ErrMalformed, row.Doc)
+		}
+		p := sc.P()
+		if math.IsNaN(p) || p <= 0 || p > 1 {
+			return fmt.Errorf("%w: probability %v in row %d outside (0,1]", ErrMalformed, p, row.Doc)
+		}
+		// Frozen row order: P strictly descending, ties by ascending Doc.
+		// p > 0 excludes ±0, so equal values imply equal bits and the
+		// comparison is exact.
+		if p > prevP || (p == prevP && sc.Doc <= prevSucc) {
+			return fmt.Errorf("%w: row %d not in (P desc, Doc asc) order", ErrMalformed, row.Doc)
+		}
+		prevP, prevSucc = p, sc.Doc
+	}
+	return nil
+}
+
+func validateClient(c *estguard.ClientSummary, prevID string, first bool) error {
+	if len(c.ID) == 0 || len(c.ID) > maxClientID {
+		return fmt.Errorf("%w: client ID length %d", ErrMalformed, len(c.ID))
+	}
+	if !first && string(c.ID) <= prevID {
+		return fmt.Errorf("%w: clients not strictly ascending at %q", ErrMalformed, c.ID)
+	}
+	switch c.Status {
+	case estguard.Human:
+		if c.Reason != "" {
+			return fmt.Errorf("%w: human client %q carries reason %q", ErrMalformed, c.ID, c.Reason)
+		}
+	case estguard.Quarantined:
+		if !estguard.ValidReason(c.Reason) {
+			return fmt.Errorf("%w: unknown quarantine reason %q", ErrMalformed, c.Reason)
+		}
+	default:
+		return fmt.Errorf("%w: unknown client status %d", ErrMalformed, c.Status)
+	}
+	if c.TotalReqs < 0 || c.Windows < 1 || c.Streak < 0 {
+		return fmt.Errorf("%w: client %q counters out of range", ErrMalformed, c.ID)
+	}
+	for _, v := range [...]float64{c.Breadth, c.Distinct, c.Repeat, c.GapCV} {
+		if !finite(v) || v < 0 {
+			return fmt.Errorf("%w: client %q fingerprint %v invalid", ErrMalformed, c.ID, v)
+		}
+	}
+	return nil
+}
+
+func validateJudge(j *estguard.JudgeSummary) error {
+	if !finite(j.LastScore) || j.LastScore < 0 || j.LastScore > 1 {
+		return fmt.Errorf("%w: judge score %v outside [0,1]", ErrMalformed, j.LastScore)
+	}
+	if j.Delivered < 0 || j.Consumed < 0 || j.Wasted < 0 || j.Streak < 0 {
+		return fmt.Errorf("%w: judge counters out of range", ErrMalformed)
+	}
+	if !j.HaveLast && (j.LastScore != 0 || j.Streak != 0 ||
+		j.Delivered != 0 || j.Consumed != 0 || j.Wasted != 0) {
+		return fmt.Errorf("%w: judge state without a last snapshot", ErrMalformed)
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,76 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDecode is the decoder's trust-boundary contract, in the same style
+// as the Spec-* header fuzz targets: a checkpoint file is attacker-sized
+// input (it survives on disk across process lifetimes and will later
+// arrive over the network from cluster peers), so Decode must never
+// panic, must classify every failure as a typed corrupt error (that is
+// what advances the store's fallback ladder), and on success must accept
+// only the canonical form — proven by re-encoding byte-identically.
+func FuzzDecode(f *testing.F) {
+	// Valid frames, from empty to fully populated.
+	full := testSnapshotFrame(f)
+	f.Add(full)
+	empty, err := Encode(&Snapshot{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+
+	// Classic corruptions as seeds; the fuzzer mutates from here.
+	f.Add(full[:len(full)/2])            // truncation
+	f.Add(append([]byte(nil), magic...)) // header only
+	skew := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint16(skew[8:10], Version+3)
+	f.Add(skew) // version skew (stale CRC)
+	flip := append([]byte(nil), full...)
+	flip[len(flip)/3] ^= 0x10
+	f.Add(flip) // bit flip
+	huge := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(huge[12:16], math.MaxUint32) // lying length
+	f.Add(huge)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			if snap != nil {
+				t.Fatal("Decode returned both a snapshot and an error")
+			}
+			if !IsCorrupt(err) {
+				t.Fatalf("Decode error %v is not a typed corrupt error", err)
+			}
+			return
+		}
+		// Canonical acceptance: whatever decodes must re-encode to the
+		// exact input bytes — no second representation of any state.
+		again, eerr := Encode(snap)
+		if eerr != nil {
+			t.Fatalf("Decode accepted a snapshot Encode refuses: %v", eerr)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("non-canonical frame accepted: %d in, %d out", len(data), len(again))
+		}
+		// And the decision-state reconstruction must hold, too.
+		if _, ferr := FrozenFromRows(snap.Rows); ferr != nil {
+			t.Fatalf("decoded rows rejected by FrozenFromRows: %v", ferr)
+		}
+	})
+}
+
+func testSnapshotFrame(f *testing.F) []byte {
+	f.Helper()
+	b, err := Encode(testSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}

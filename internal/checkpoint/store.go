@@ -1,0 +1,353 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"specweb/internal/obs"
+)
+
+// StoreConfig parameterizes an on-disk checkpoint store.
+type StoreConfig struct {
+	// Dir is the state directory; created if absent.
+	Dir string
+	// Retain bounds how many checkpoint files are kept (newest wins);
+	// 0 defaults to 3. At least one older file always survives a save, so
+	// a torn write of the newest frame can never orphan the state.
+	Retain int
+	// Fingerprint stamps every saved frame and gates every load: a frame
+	// written under a different engine config or site seed is skipped like
+	// a corrupt one.
+	Fingerprint uint64
+	// Metrics receives specweb_checkpoint_* series (nil = obs.Default).
+	Metrics *obs.Registry
+	// Tracer emits checkpoint.save / checkpoint.load spans (nil = none).
+	Tracer *obs.Tracer
+}
+
+// Store persists checkpoint frames in a directory with atomic
+// write-to-temp + rename, bounded retention, and a JSON manifest. Save
+// and Load serialize on an internal mutex; counters read lock-free.
+type Store struct {
+	cfg StoreConfig
+	met *storeMetrics
+
+	mu      sync.Mutex
+	nextSeq uint64
+
+	saved          atomic.Int64
+	saveErrors     atomic.Int64
+	loaded         atomic.Int64
+	corruptSkipped atomic.Int64
+	coldStarts     atomic.Int64
+}
+
+// LoadInfo describes how recovery went: which file won and how many
+// newer-but-unusable ones the ladder skipped over.
+type LoadInfo struct {
+	Path    string
+	Skipped int
+}
+
+type storeMetrics struct {
+	saved      *obs.Counter
+	saveErrors *obs.Counter
+	loaded     *obs.Counter
+	corrupt    *obs.Counter
+	coldStarts *obs.Counter
+	lastSize   *obs.Gauge
+	retained   *obs.Gauge
+}
+
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &storeMetrics{
+		saved: reg.Counter("specweb_checkpoint_saved_total",
+			"Checkpoint frames durably written (temp + rename).", nil),
+		saveErrors: reg.Counter("specweb_checkpoint_save_errors_total",
+			"Checkpoint saves that failed; the previous frame keeps serving restarts.", nil),
+		loaded: reg.Counter("specweb_checkpoint_loaded_total",
+			"Warm starts served from a decoded checkpoint frame.", nil),
+		corrupt: reg.Counter("specweb_checkpoint_corrupt_skipped_total",
+			"Frames skipped by the recovery ladder (corrupt or fingerprint mismatch).", nil),
+		coldStarts: reg.Counter("specweb_checkpoint_cold_starts_total",
+			"Recoveries that found no usable frame and started cold.", nil),
+		lastSize: reg.Gauge("specweb_checkpoint_last_size_bytes",
+			"Size of the most recently written checkpoint frame.", nil),
+		retained: reg.Gauge("specweb_checkpoint_retained",
+			"Checkpoint frames currently kept in the state directory.", nil),
+	}
+}
+
+const (
+	framePrefix = "ckpt-"
+	frameSuffix = ".spw"
+	// ManifestName is the store's human-readable index file.
+	ManifestName = "MANIFEST.json"
+)
+
+// NewStore opens (creating if needed) the state directory and scans it so
+// new saves continue the existing sequence.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty state directory")
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 3
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create state dir: %w", err)
+	}
+	s := &Store{cfg: cfg, met: newStoreMetrics(cfg.Metrics)}
+	frames, err := s.frames()
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) > 0 {
+		s.nextSeq = frames[len(frames)-1].seq + 1
+	}
+	return s, nil
+}
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+// Fingerprint returns the compatibility stamp this store writes and
+// requires.
+func (s *Store) Fingerprint() uint64 { return s.cfg.Fingerprint }
+
+type frameFile struct {
+	seq  uint64
+	name string
+}
+
+// frames lists the checkpoint files in ascending sequence order,
+// ignoring anything that does not match the naming scheme (temp files,
+// the manifest, stray data).
+func (s *Store) frames() ([]frameFile, error) {
+	ents, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read state dir: %w", err)
+	}
+	var out []frameFile
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, framePrefix) || !strings.HasSuffix(name, frameSuffix) {
+			continue
+		}
+		seqs := strings.TrimSuffix(strings.TrimPrefix(name, framePrefix), frameSuffix)
+		seq, err := strconv.ParseUint(seqs, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, frameFile{seq: seq, name: name})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out, nil
+}
+
+// Save encodes snap, stamps it with the store's fingerprint, and writes
+// it durably: temp file in the same directory, fsync, rename, directory
+// fsync, then retention pruning and a manifest rewrite. On any error the
+// previous frames are untouched.
+func (s *Store) Save(snap *Snapshot) (path string, err error) {
+	var sp *obs.ActiveSpan
+	if s.cfg.Tracer != nil {
+		sp = s.cfg.Tracer.Start("checkpoint.save")
+		defer func() {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.Finish()
+		}()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		if err != nil {
+			s.saveErrors.Add(1)
+			s.met.saveErrors.Inc()
+		}
+	}()
+
+	snap.Meta.Fingerprint = s.cfg.Fingerprint
+	frame, err := Encode(snap)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: encode: %w", err)
+	}
+
+	name := fmt.Sprintf("%s%012d%s", framePrefix, s.nextSeq, frameSuffix)
+	path = filepath.Join(s.cfg.Dir, name)
+	if err := writeFileAtomic(s.cfg.Dir, name, frame); err != nil {
+		return "", err
+	}
+	s.nextSeq++
+	s.saved.Add(1)
+	s.met.saved.Inc()
+	s.met.lastSize.Set(float64(len(frame)))
+	if sp != nil {
+		sp.SetAttr("file", name)
+		sp.SetAttr("bytes", strconv.Itoa(len(frame)))
+	}
+
+	// Retention and the manifest are best-effort: the frame is already
+	// durable, so neither failure mode loses state.
+	if frames, ferr := s.frames(); ferr == nil {
+		for len(frames) > s.cfg.Retain {
+			os.Remove(filepath.Join(s.cfg.Dir, frames[0].name))
+			frames = frames[1:]
+		}
+		s.met.retained.Set(float64(len(frames)))
+		s.writeManifest(frames, snap.Meta.CreatedUnixNano)
+	}
+	return path, nil
+}
+
+// manifest is the store's index: enough to see at a glance (or from a
+// cluster peer) what the directory holds and whether it is compatible.
+type manifest struct {
+	CodecVersion    int      `json:"codec_version"`
+	Fingerprint     string   `json:"fingerprint"`
+	Retain          int      `json:"retain"`
+	LastSeq         uint64   `json:"last_seq"`
+	CreatedUnixNano int64    `json:"created_unix_nano"`
+	Frames          []string `json:"frames"`
+}
+
+func (s *Store) writeManifest(frames []frameFile, createdNano int64) {
+	m := manifest{
+		CodecVersion:    Version,
+		Fingerprint:     fmt.Sprintf("%016x", s.cfg.Fingerprint),
+		Retain:          s.cfg.Retain,
+		LastSeq:         s.nextSeq - 1,
+		CreatedUnixNano: createdNano,
+		Frames:          make([]string, 0, len(frames)),
+	}
+	for _, f := range frames {
+		m.Frames = append(m.Frames, f.name)
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return
+	}
+	writeFileAtomic(s.cfg.Dir, ManifestName, append(b, '\n'))
+}
+
+// Load walks the recovery ladder: newest frame first, skipping anything
+// corrupt, version-skewed, or fingerprint-mismatched, until a frame
+// decodes clean. A nil snapshot with a nil error means cold start — the
+// directory held nothing usable, which is a counted outcome, not a
+// failure. A non-nil error means the directory itself was unreadable.
+func (s *Store) Load() (snap *Snapshot, info LoadInfo, err error) {
+	var sp *obs.ActiveSpan
+	if s.cfg.Tracer != nil {
+		sp = s.cfg.Tracer.Start("checkpoint.load")
+		defer func() {
+			sp.SetAttr("skipped", strconv.Itoa(info.Skipped))
+			if snap != nil {
+				sp.SetAttr("file", filepath.Base(info.Path))
+			} else {
+				sp.SetAttr("outcome", "cold")
+			}
+			sp.Finish()
+		}()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	frames, err := s.frames()
+	if err != nil {
+		return nil, info, err
+	}
+	for i := len(frames) - 1; i >= 0; i-- {
+		path := filepath.Join(s.cfg.Dir, frames[i].name)
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			info.Skipped++
+			s.noteCorrupt()
+			continue
+		}
+		c, derr := Decode(b)
+		if derr != nil {
+			info.Skipped++
+			s.noteCorrupt()
+			continue
+		}
+		if c.Meta.Fingerprint != s.cfg.Fingerprint {
+			info.Skipped++
+			s.noteCorrupt()
+			continue
+		}
+		info.Path = path
+		s.loaded.Add(1)
+		s.met.loaded.Inc()
+		return c, info, nil
+	}
+	s.coldStarts.Add(1)
+	s.met.coldStarts.Inc()
+	return nil, info, nil
+}
+
+// NoteColdStart records a cold start decided outside Load — e.g. the
+// engine refused an otherwise well-formed frame — so the counters keep
+// describing what actually happened.
+func (s *Store) NoteColdStart() {
+	s.coldStarts.Add(1)
+	s.met.coldStarts.Inc()
+}
+
+func (s *Store) noteCorrupt() {
+	s.corruptSkipped.Add(1)
+	s.met.corrupt.Inc()
+}
+
+// Counters returns the lifecycle tally. Safe for concurrent use.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Saved:          s.saved.Load(),
+		SaveErrors:     s.saveErrors.Load(),
+		Loaded:         s.loaded.Load(),
+		CorruptSkipped: s.corruptSkipped.Load(),
+		ColdStarts:     s.coldStarts.Load(),
+	}
+}
+
+// writeFileAtomic writes name under dir via a same-directory temp file,
+// fsyncs the file, renames into place, and fsyncs the directory so the
+// rename itself is durable.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-"+name+"-")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

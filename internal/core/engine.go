@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specweb/internal/checkpoint"
 	"specweb/internal/estguard"
 	"specweb/internal/markov"
 	"specweb/internal/obs"
@@ -76,6 +77,13 @@ type EngineConfig struct {
 	// ledger's cumulative delivered/consumed/wasted counts so snapshot
 	// validation can calibrate its bound against realized interception.
 	Feedback func() (delivered, consumed, wasted int64)
+
+	// Checkpoint, when non-nil, persists the engine's trained state: every
+	// accepted freeze writes a durable frame (the frozen matrix, the knobs
+	// in force, and the guard's client/judge summaries), and WarmStart can
+	// republish a decoded frame after a crash so interception survives the
+	// restart. See internal/checkpoint and DESIGN §13.
+	Checkpoint *checkpoint.Store
 
 	// Metrics selects the registry the engine's metrics register in;
 	// nil means the process-wide obs.Default.
@@ -440,6 +448,7 @@ func (e *Engine) refreshLocked(at time.Time) {
 		e.installLocked(frozen, e.snapshotSizes(frozen))
 		e.met.pairs.Set(float64(frozen.NumPairs()))
 		e.met.docs.Set(float64(frozen.NumRows()))
+		e.saveCheckpointLocked(at)
 		return
 	}
 
@@ -471,6 +480,7 @@ func (e *Engine) refreshLocked(at time.Time) {
 	e.installLocked(frozen, e.snapshotSizes(frozen))
 	e.met.pairs.Set(float64(frozen.NumPairs()))
 	e.met.docs.Set(float64(frozen.NumRows()))
+	e.saveCheckpointLocked(at)
 }
 
 // snapshotSizes resolves the SizeFunc once per distinct successor at
@@ -742,12 +752,17 @@ type Stats struct {
 	EarlyRefreshes      int64 `json:",omitempty"`
 	SnapshotsRejected   int64 `json:",omitempty"`
 	QuarantinedRequests int64 `json:",omitempty"`
+
+	// Checkpoint is the durability tally; nil (and omitted) when the
+	// engine runs without a checkpoint store, so stats payloads are
+	// byte-identical to pre-checkpoint builds when the feature is off.
+	Checkpoint *checkpoint.Counters `json:",omitempty"`
 }
 
 // Stats returns a snapshot of the engine state.
 func (e *Engine) Stats() Stats {
 	snap := e.snap.Load()
-	return Stats{
+	s := Stats{
 		Recorded:            e.recorded.Load(),
 		Pairs:               snap.pairs,
 		Docs:                snap.docs,
@@ -757,6 +772,11 @@ func (e *Engine) Stats() Stats {
 		SnapshotsRejected:   e.rejectedSnaps.Load(),
 		QuarantinedRequests: e.quarReqs.Load(),
 	}
+	if st := e.cfg.Checkpoint; st != nil {
+		c := st.Counters()
+		s.Checkpoint = &c
+	}
+	return s
 }
 
 // ClientStatus reports the guard's classification for a client. Without a

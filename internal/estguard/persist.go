@@ -1,0 +1,160 @@
+package estguard
+
+import (
+	"sort"
+
+	"specweb/internal/trace"
+)
+
+// Persistence support: the guard's decision-relevant state — per-client
+// behavioral fingerprints with their quarantine verdicts, and the snapshot
+// judge's calibration bound — can be exported into plain summaries for the
+// checkpoint codec and imported into a fresh guard on warm restart.
+//
+// Only decision state crosses a restart. The observability counters
+// (promotions, demotions, per-reason drop totals) and the live drift
+// window deliberately do not: counters are process-scoped like every other
+// metric, and the drift profile describes traffic the dead process saw,
+// which would mis-score the first post-restart window.
+//
+// Export iterates clients in sorted ID order, so the exported slice — and
+// therefore the encoded checkpoint — is byte-deterministic regardless of
+// sync.Map iteration order or the worker count that populated it. Both
+// Export* and Import* must be called from the engine's refresh path (or
+// before serving starts): they touch fields owned by the refresh
+// goroutine.
+
+// ClientSummary is one client's persisted fingerprint: everything the
+// classifier needs to resume exactly where the dead process stopped.
+type ClientSummary struct {
+	ID        trace.ClientID
+	Status    Status
+	Reason    string // quarantine reason while Status == Quarantined, else ""
+	TotalReqs int64
+	Windows   int64
+	Breadth   float64
+	Distinct  float64
+	Repeat    float64
+	GapCV     float64
+	Streak    int32 // consecutive clean windows while quarantined
+}
+
+// JudgeSummary is the snapshot judge's persisted state: the last-good
+// confidence bound (calibrated by the attribution ledger) and the
+// force-accept streak. Restoring it means a warm-started engine keeps
+// rejecting candidate snapshots that would regress past the bound the
+// previous process had earned.
+type JudgeSummary struct {
+	HaveLast  bool
+	LastScore float64
+	Delivered int64 // cumulative ledger totals at the last judgment
+	Consumed  int64
+	Wasted    int64
+	Streak    int32 // consecutive rejections
+}
+
+// ExportClients returns every tracked client's fingerprint, sorted by ID.
+func (g *Guard) ExportClients() []ClientSummary {
+	var out []ClientSummary
+	g.clients.Range(func(k, v any) bool {
+		st := v.(*clientState)
+		if st.windows == 0 {
+			return true
+		}
+		out = append(out, ClientSummary{
+			ID:        k.(trace.ClientID),
+			Status:    Status(st.status.Load()),
+			Reason:    st.reason,
+			TotalReqs: st.totalReqs,
+			Windows:   st.windows,
+			Breadth:   st.breadth,
+			Distinct:  st.distinct,
+			Repeat:    st.repeat,
+			GapCV:     st.gapCV,
+			Streak:    int32(st.streak),
+		})
+		return true
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ImportClients replaces the guard's client population with the restored
+// summaries and rebuilds the quarantined-clients gauge. Reasons outside
+// the classifier's closed set are normalized away (the client reverts to
+// human rather than minting a new metric label).
+func (g *Guard) ImportClients(cs []ClientSummary) {
+	g.clients.Range(func(k, _ any) bool {
+		g.clients.Delete(k)
+		return true
+	})
+	var quar int64
+	for _, c := range cs {
+		st := &clientState{
+			reason:    c.Reason,
+			totalReqs: c.TotalReqs,
+			windows:   c.Windows,
+			breadth:   c.Breadth,
+			distinct:  c.Distinct,
+			repeat:    c.Repeat,
+			gapCV:     c.GapCV,
+			streak:    int(c.Streak),
+		}
+		status := c.Status
+		if status == Quarantined && !ValidReason(c.Reason) {
+			status = Human
+			st.reason = ""
+		}
+		if status != Quarantined {
+			st.reason = ""
+			status = Human
+		} else {
+			quar++
+		}
+		st.status.Store(int32(status))
+		g.clients.Store(c.ID, st)
+	}
+	g.quarClients.Store(quar)
+}
+
+// ExportJudge returns the snapshot judge's persisted state.
+func (g *Guard) ExportJudge() JudgeSummary {
+	j := &g.judge
+	return JudgeSummary{
+		HaveLast:  j.haveLast,
+		LastScore: j.lastScore,
+		Delivered: j.lastFB.Delivered,
+		Consumed:  j.lastFB.Consumed,
+		Wasted:    j.lastFB.Wasted,
+		Streak:    int32(j.streak),
+	}
+}
+
+// ImportJudge restores the snapshot judge. The feedback baseline carries
+// over verbatim: against a fresh process's attribution ledger (which
+// restarts at zero) the first delta may come out negative, in which case
+// AcceptSnapshot simply treats the window as uncalibrated (r = 1) and
+// re-baselines at the next refresh — safe in both directions.
+func (g *Guard) ImportJudge(s JudgeSummary) {
+	j := &g.judge
+	j.haveLast = s.HaveLast
+	j.lastScore = s.LastScore
+	j.lastFB = Feedback{Delivered: s.Delivered, Consumed: s.Consumed, Wasted: s.Wasted}
+	j.streak = int(s.Streak)
+	if !j.haveLast {
+		j.lastScore = 0
+		j.streak = 0
+		j.lastFB = Feedback{}
+	}
+}
+
+// ValidReason reports whether reason is one of the classifier's closed
+// verdict set. The checkpoint decoder uses it to reject files that would
+// otherwise mint arbitrary quarantine-reason labels.
+func ValidReason(reason string) bool {
+	switch reason {
+	case ReasonCrawler, ReasonScanner, ReasonBot:
+		return true
+	}
+	return false
+}

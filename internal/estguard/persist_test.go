@@ -1,0 +1,126 @@
+package estguard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"specweb/internal/markov"
+	"specweb/internal/obs"
+	"specweb/internal/trace"
+)
+
+func seededClient(id trace.ClientID, status Status, reason string, streak int32) ClientSummary {
+	return ClientSummary{
+		ID: id, Status: status, Reason: reason,
+		TotalReqs: 120, Windows: 3, Breadth: 0.7, Distinct: 42.5,
+		Repeat: 0.1, GapCV: 0.9, Streak: streak,
+	}
+}
+
+func TestGuardClientExportImportRoundTrip(t *testing.T) {
+	in := []ClientSummary{
+		seededClient("a-bot", Quarantined, ReasonBot, 1),
+		seededClient("b-human", Human, "", 0),
+		seededClient("c-crawler", Quarantined, ReasonCrawler, 0),
+	}
+	g := New(Config{Metrics: obs.NewRegistry()})
+	g.ImportClients(in)
+
+	if st, reason := g.Status("a-bot"); st != Quarantined || reason != ReasonBot {
+		t.Fatalf("a-bot: %v %q", st, reason)
+	}
+	if st, _ := g.Status("b-human"); st != Human {
+		t.Fatalf("b-human quarantined")
+	}
+	if got := g.StatsSnapshot().QuarantinedClients; got != 2 {
+		t.Fatalf("quarantined gauge %d, want 2", got)
+	}
+	out := g.ExportClients()
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged:\n in %+v\nout %+v", in, out)
+	}
+}
+
+// TestGuardExportSortedRegardlessOfInsertOrder: sync.Map iteration order
+// is arbitrary; the export must not be.
+func TestGuardExportSortedRegardlessOfInsertOrder(t *testing.T) {
+	g := New(Config{Metrics: obs.NewRegistry()})
+	var in []ClientSummary
+	for i := 63; i >= 0; i-- {
+		in = append(in, seededClient(trace.ClientID(fmt.Sprintf("client-%02d", i)), Human, "", 0))
+	}
+	g.ImportClients(in)
+	out := g.ExportClients()
+	for i := 1; i < len(out); i++ {
+		if out[i-1].ID >= out[i].ID {
+			t.Fatalf("export not strictly sorted at %d: %q >= %q", i, out[i-1].ID, out[i].ID)
+		}
+	}
+	if len(out) != 64 {
+		t.Fatalf("lost clients: %d", len(out))
+	}
+}
+
+// TestGuardImportReplacesPopulation: importing over a populated guard
+// must not leave ghosts of the previous population behind.
+func TestGuardImportReplacesPopulation(t *testing.T) {
+	g := New(Config{Metrics: obs.NewRegistry()})
+	g.ImportClients([]ClientSummary{seededClient("old-bot", Quarantined, ReasonBot, 0)})
+	g.ImportClients([]ClientSummary{seededClient("new-human", Human, "", 0)})
+	if st, _ := g.Status("old-bot"); st != Human {
+		t.Fatal("stale client survived re-import")
+	}
+	if got := g.StatsSnapshot().QuarantinedClients; got != 0 {
+		t.Fatalf("quarantined gauge %d after replacement", got)
+	}
+}
+
+// TestGuardImportNormalizesUnknownReason: a summary carrying a reason
+// outside the closed verdict set reverts to human rather than minting a
+// new metric label.
+func TestGuardImportNormalizesUnknownReason(t *testing.T) {
+	g := New(Config{Metrics: obs.NewRegistry()})
+	g.ImportClients([]ClientSummary{seededClient("x", Quarantined, "made-up", 0)})
+	if st, reason := g.Status("x"); st != Human || reason != "" {
+		t.Fatalf("unknown reason not normalized: %v %q", st, reason)
+	}
+}
+
+func TestGuardJudgeExportImportRoundTrip(t *testing.T) {
+	in := JudgeSummary{HaveLast: true, LastScore: 0.58, Delivered: 10, Consumed: 6, Wasted: 2, Streak: 3}
+	g := New(Config{Metrics: obs.NewRegistry()})
+	g.ImportJudge(in)
+	if out := g.ExportJudge(); out != in {
+		t.Fatalf("judge round trip: %+v vs %+v", out, in)
+	}
+	// Restored bound must keep defending against regressing candidates:
+	// a guard with lastScore 0.58 and default MaxRegression 0.5 rejects a
+	// zero-confidence candidate (empty snapshot scores 0).
+	g2 := New(Config{Metrics: obs.NewRegistry()})
+	g2.ImportJudge(in)
+	if g2.AcceptSnapshot(emptyFrozen(), 0.25, Feedback{}) {
+		t.Fatal("restored bound did not reject a regressing candidate")
+	}
+
+	empty := JudgeSummary{}
+	g.ImportJudge(JudgeSummary{HaveLast: false, LastScore: 0.9, Streak: 5})
+	if out := g.ExportJudge(); out != empty {
+		t.Fatalf("no-last import must normalize to zero state, got %+v", out)
+	}
+}
+
+func emptyFrozen() *markov.Frozen { return markov.Freeze(markov.NewMatrix()) }
+
+func TestValidReason(t *testing.T) {
+	for _, r := range []string{ReasonCrawler, ReasonScanner, ReasonBot} {
+		if !ValidReason(r) {
+			t.Fatalf("ValidReason(%q) = false", r)
+		}
+	}
+	for _, r := range []string{"", "human", "CRAWLER", "bot "} {
+		if ValidReason(r) {
+			t.Fatalf("ValidReason(%q) = true", r)
+		}
+	}
+}

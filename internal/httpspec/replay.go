@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"specweb/internal/attrib"
+	"specweb/internal/checkpoint"
 	"specweb/internal/core"
 	"specweb/internal/obs"
 	"specweb/internal/overload"
@@ -172,6 +173,13 @@ type ChaosSummary struct {
 	EstimatorRefreshes         int64 `json:"estimator_refreshes,omitempty"`
 	EstimatorEarlyRefreshes    int64 `json:"estimator_early_refreshes,omitempty"`
 	EstimatorRejectedSnapshots int64 `json:"estimator_rejected_snapshots,omitempty"`
+
+	// Checkpoint mirrors the server's durability ledger (saves, loads,
+	// corrupt frames skipped, cold starts) for chaos runs against a
+	// state-dir-backed server. Nil — and absent from the JSON — when the
+	// server runs without a checkpoint store, keeping the summary
+	// byte-identical to pre-feature output.
+	Checkpoint *checkpoint.Counters `json:"checkpoint,omitempty"`
 }
 
 // OverloadSummary reports how an open-loop run interacted with the
@@ -307,6 +315,7 @@ func (s *ReplayStats) Summary() ReplaySummary {
 			sum.Chaos.EstimatorRefreshes = eng.Refreshes
 			sum.Chaos.EstimatorEarlyRefreshes = eng.EarlyRefreshes
 			sum.Chaos.EstimatorRejectedSnapshots = eng.SnapshotsRejected
+			sum.Chaos.Checkpoint = eng.Checkpoint
 		}
 	}
 	if s.OpenLoop {

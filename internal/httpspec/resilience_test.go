@@ -14,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"specweb/internal/checkpoint"
+	"specweb/internal/core"
 	"specweb/internal/leakcheck"
 	"specweb/internal/obs"
 	"specweb/internal/resilience"
@@ -422,6 +424,21 @@ func TestReplaySummaryChaosFieldOptIn(t *testing.T) {
 	}
 	if want := 0.2; sum.Chaos.StaleRatio != want {
 		t.Errorf("stale ratio = %v, want %v", sum.Chaos.StaleRatio, want)
+	}
+
+	// A chaos run against a server without a checkpoint store must not
+	// grow a checkpoint section; one with a store carries its ledger.
+	b, err = json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "checkpoint") {
+		t.Errorf("storeless chaos summary mentions checkpoint: %s", b)
+	}
+	s.ServerEngine = &core.Stats{Checkpoint: &checkpoint.Counters{Saved: 2, Loaded: 1}}
+	sum = s.Summary()
+	if sum.Chaos.Checkpoint == nil || sum.Chaos.Checkpoint.Saved != 2 || sum.Chaos.Checkpoint.Loaded != 1 {
+		t.Errorf("checkpoint ledger did not flow into chaos summary: %+v", sum.Chaos.Checkpoint)
 	}
 }
 

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"specweb/internal/attrib"
+	"specweb/internal/checkpoint"
 	"specweb/internal/estguard"
 	"specweb/internal/experiments"
 	"specweb/internal/httpspec"
@@ -112,6 +114,12 @@ type Config struct {
 	AdmissionTune func(*overload.Config)
 	// ServerTune is the escape hatch for any other server knob.
 	ServerTune func(*httpspec.ServerConfig)
+
+	// Restart, when non-nil, splits the measurement phase with a
+	// simulated server crash at CrashFraction and rebuilds the stack
+	// according to Mode (see RestartConfig). In-process closed-loop runs
+	// only; per-phase counters land in Result.Restart.
+	Restart *RestartConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -174,10 +182,12 @@ type run struct {
 }
 
 // Client pairs the protocol client with its warmup snapshot and session
-// counter.
+// counter. crash holds the stats snapshot taken at the restart
+// harness's crash barrier, so per-phase deltas can be reported.
 type Client struct {
 	c            *httpspec.Client
 	warmup       httpspec.ClientStats
+	crash        httpspec.ClientStats
 	sinceSession int
 }
 
@@ -272,58 +282,116 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 		return faults.New(fcfg).Transport(rt)
 	}
 
+	rst := cfg.Restart
+	if rst != nil {
+		var err error
+		if rst, err = rst.validate(cfg); err != nil {
+			return nil, nil, info, err
+		}
+		info.Restart = rst
+	}
+
 	var guard *estguard.Guard
+	var ckstore *checkpoint.Store
+	var swap *switchHandler
+	var rebuild func() (*httpspec.Server, error)
 	if cfg.BaseURL != "" {
 		r.base = cfg.BaseURL
 		r.hc = &http.Client{Transport: maybeFaulty(nil, nil)}
 	} else {
-		store := httpspec.NewSiteStore(wl.Site)
-		scfg := httpspec.DefaultServerConfig()
-		scfg.Mode = cfg.Mode
-		scfg.MaxPush = cfg.MaxPush
-		scfg.Metrics = obs.NewRegistry()
-		scfg.Tracer = obs.NewTracer(64)
-		if cfg.Estguard {
-			guard = estguard.New(estguard.Config{Seed: cfg.Seed, Metrics: scfg.Metrics})
-			scfg.Engine.Guard = guard
-			if led != nil {
-				// Feed the snapshot judge from the shared client-side
-				// ledger: its totals at each (sequential, warmup-phase)
-				// refresh are deterministic.
-				scfg.Engine.Feedback = func() (int64, int64, int64) {
-					t := led.TotalsSnapshot()
-					return t.Deliveries, t.Consumed, t.Wasted
+		if rst != nil && rst.Mode != RestartNone {
+			// One durable store spans the crash: server A checkpoints
+			// into it, server B recovers (or deliberately doesn't) from
+			// it. The fingerprint binds frames to the workload identity.
+			dir := rst.StateDir
+			if dir == "" {
+				tmp, err := os.MkdirTemp("", "specweb-restart-")
+				if err != nil {
+					return nil, nil, info, err
+				}
+				defer os.RemoveAll(tmp)
+				dir = tmp
+				rst.StateDir = tmp
+			}
+			ecfg := httpspec.DefaultServerConfig().Engine
+			fp := checkpoint.Combine(ecfg.StateFingerprint(),
+				checkpoint.Fingerprint(fmt.Sprintf("loadgen/v1|profile=%s|seed=%d",
+					cfg.Workload.Profile.Name, cfg.Seed)))
+			var err error
+			ckstore, err = checkpoint.NewStore(checkpoint.StoreConfig{
+				Dir: dir, Fingerprint: fp, Metrics: obs.NewRegistry(),
+			})
+			if err != nil {
+				return nil, nil, info, err
+			}
+		}
+		// rebuild constructs a complete fresh stack — new registry, new
+		// engine, new guard — exactly as a restarted process would. The
+		// restart harness calls it a second time after the crash.
+		rebuild = func() (*httpspec.Server, error) {
+			store := httpspec.NewSiteStore(wl.Site)
+			scfg := httpspec.DefaultServerConfig()
+			scfg.Mode = cfg.Mode
+			scfg.MaxPush = cfg.MaxPush
+			scfg.Metrics = obs.NewRegistry()
+			scfg.Tracer = obs.NewTracer(64)
+			if ckstore != nil {
+				scfg.Engine.Checkpoint = ckstore
+			}
+			if cfg.Estguard {
+				guard = estguard.New(estguard.Config{Seed: cfg.Seed, Metrics: scfg.Metrics})
+				scfg.Engine.Guard = guard
+				if led != nil {
+					// Feed the snapshot judge from the shared client-side
+					// ledger: its totals at each (sequential, warmup-phase)
+					// refresh are deterministic.
+					scfg.Engine.Feedback = func() (int64, int64, int64) {
+						t := led.TotalsSnapshot()
+						return t.Deliveries, t.Consumed, t.Wasted
+					}
 				}
 			}
-		}
-		if cfg.RealClock {
-			scfg.Clock = nil // time.Now
-		} else {
-			scfg.Clock = vclock
-			store.SetClock(vclock)
-		}
-		if cfg.Overload {
-			ocfg := overload.Config{Clock: scfg.Clock, Metrics: scfg.Metrics}
-			if cfg.AdmissionTune != nil {
-				cfg.AdmissionTune(&ocfg)
+			if cfg.RealClock {
+				scfg.Clock = nil // time.Now
+			} else {
+				scfg.Clock = vclock
+				store.SetClock(vclock)
 			}
-			scfg.Admission = overload.NewController(ocfg)
-			scfg.Governor = overload.NewGovernor(overload.GovernorConfig{
-				Clock:    scfg.Clock,
-				Metrics:  scfg.Metrics,
-				Pressure: nil,
-			})
+			if cfg.Overload {
+				ocfg := overload.Config{Clock: scfg.Clock, Metrics: scfg.Metrics}
+				if cfg.AdmissionTune != nil {
+					cfg.AdmissionTune(&ocfg)
+				}
+				scfg.Admission = overload.NewController(ocfg)
+				scfg.Governor = overload.NewGovernor(overload.GovernorConfig{
+					Clock:    scfg.Clock,
+					Metrics:  scfg.Metrics,
+					Pressure: nil,
+				})
+			}
+			if cfg.ServerTune != nil {
+				cfg.ServerTune(&scfg)
+			}
+			srv, err := httpspec.NewServer(store, scfg)
+			if err != nil {
+				return nil, err
+			}
+			r.srv = srv
+			return srv, nil
 		}
-		if cfg.ServerTune != nil {
-			cfg.ServerTune(&scfg)
-		}
-		srv, err := httpspec.NewServer(store, scfg)
+		srv, err := rebuild()
 		if err != nil {
 			return nil, nil, info, err
 		}
-		r.srv = srv
 		r.base = "http://specbench.invalid"
-		r.hc = &http.Client{Transport: maybeFaulty(NewHandlerTransport(srv), scfg.Metrics)}
+		var rt http.RoundTripper = NewHandlerTransport(srv)
+		if rst != nil {
+			// The swap point: clients keep their transport across the
+			// crash; only the handler behind it is replaced.
+			swap = newSwitchHandler(srv)
+			rt = NewHandlerTransport(swap)
+		}
+		r.hc = &http.Client{Transport: maybeFaulty(rt, obs.NewRegistry())}
 	}
 
 	// One retrier shares the retry budget across all clients, as in
@@ -382,7 +450,15 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 	results := make([]*workerResult, cfg.Workers)
 	root := stats.NewRNG(cfg.Seed).Split("loadgen")
 	start := time.Now()
-	if cfg.OpenLoop && cfg.Rate > 0 {
+	var restartInfo *RestartInfo
+	if rst != nil {
+		ri, rres, err := r.runRestart(wl.Trace, warmN, n, rst, ckstore, swap, rebuild, freezeAt, root)
+		if err != nil {
+			return nil, nil, info, err
+		}
+		restartInfo = ri
+		results = rres
+	} else if cfg.OpenLoop && cfg.Rate > 0 {
 		r.runOpenLoop(wl.Trace, queues, results)
 	} else {
 		var wg sync.WaitGroup
@@ -399,6 +475,11 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 	elapsed := time.Since(start)
 
 	res := r.aggregate(results, elapsed, warmupErrors)
+	res.Restart = restartInfo
+	if ckstore != nil {
+		c := ckstore.Counters()
+		res.Checkpoint = &c
+	}
 	if cfg.Overload && r.srv != nil {
 		ov := r.srv.OverloadStats()
 		res.Overload = &ov

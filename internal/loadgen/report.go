@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"specweb/internal/attrib"
+	"specweb/internal/checkpoint"
 	"specweb/internal/httpspec"
 )
 
@@ -54,6 +55,9 @@ type ConfigInfo struct {
 	Overload           bool    `json:"overload,omitempty"`
 	Scenario           string  `json:"scenario,omitempty"`
 	Estguard           bool    `json:"estguard,omitempty"`
+	// Restart echoes the kill/restart harness configuration; absent for
+	// ordinary runs, so existing reports stay byte-identical.
+	Restart *RestartConfig `json:"restart,omitempty"`
 }
 
 // WorkloadInfo describes the generated workload.
@@ -85,7 +89,13 @@ type Result struct {
 	// function of the recorded trace and the seed, so the section is part
 	// of the byte-identical fingerprint.
 	Estguard *EstguardInfo `json:"estguard,omitempty"`
-	Timing   *Timing       `json:"timing,omitempty"`
+	// Checkpoint carries the durable-state counters when the arm ran
+	// with checkpointing (the restart harness); deterministic, and
+	// omitted — byte-identically — when checkpointing is off.
+	Checkpoint *checkpoint.Counters `json:"checkpoint,omitempty"`
+	// Restart is the per-phase crash ledger of a restart-harness arm.
+	Restart *RestartInfo `json:"restart,omitempty"`
+	Timing  *Timing      `json:"timing,omitempty"`
 }
 
 // EstguardInfo is the guard's deterministic decision ledger for one arm.

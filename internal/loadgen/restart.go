@@ -1,0 +1,474 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specweb/internal/checkpoint"
+	"specweb/internal/httpspec"
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+)
+
+// The kill/restart chaos harness: one arm's measurement phase is split
+// by a simulated server crash — the server object is dropped on the
+// floor with no shutdown, exactly what SIGKILL leaves behind — and a
+// fresh stack is built in its place. What the fresh stack knows depends
+// on the mode: a warm restart recovers the checkpointed estimate, a
+// cold restart starts from nothing. Per-phase interception counters
+// quantify what the crash cost.
+//
+// Everything stays on the virtual clock frozen at the warmup boundary,
+// so no refresh fires mid-measurement and each arm's counters are
+// byte-deterministic: the warm arm restores the exact frozen model an
+// uninterrupted run would have kept using.
+
+// Restart modes.
+const (
+	// RestartNone splits the measurement for per-phase accounting but
+	// never crashes — the uninterrupted control arm.
+	RestartNone = "none"
+	// RestartWarm crashes, then recovers from the newest readable
+	// checkpoint frame.
+	RestartWarm = "warm"
+	// RestartCold crashes and deliberately skips recovery.
+	RestartCold = "cold"
+)
+
+// RestartConfig parameterizes the crash.
+type RestartConfig struct {
+	// Mode is RestartNone, RestartWarm or RestartCold.
+	Mode string `json:"mode"`
+	// CrashFraction is the share of the measurement phase served before
+	// the crash (default 0.5).
+	CrashFraction float64 `json:"crash_fraction"`
+	// CorruptNewest flips a byte in the newest checkpoint frame after
+	// the crash, so warm recovery must fall back to the last-good frame.
+	CorruptNewest bool `json:"corrupt_newest,omitempty"`
+	// StateDir is the checkpoint directory spanning the crash; empty
+	// means a private temp dir removed when the run ends.
+	StateDir string `json:"-"`
+}
+
+// validate normalizes and rejects configurations the harness cannot
+// keep deterministic.
+func (rc *RestartConfig) validate(cfg Config) (*RestartConfig, error) {
+	out := *rc
+	switch out.Mode {
+	case RestartNone, RestartWarm, RestartCold:
+	default:
+		return nil, fmt.Errorf("loadgen: restart mode %q (want %s, %s or %s)",
+			out.Mode, RestartNone, RestartWarm, RestartCold)
+	}
+	if out.CrashFraction <= 0 || out.CrashFraction >= 1 {
+		out.CrashFraction = 0.5
+	}
+	if out.CorruptNewest && out.Mode != RestartWarm {
+		return nil, fmt.Errorf("loadgen: corrupt_newest requires warm mode")
+	}
+	if cfg.BaseURL != "" {
+		return nil, fmt.Errorf("loadgen: restart harness needs the in-process stack")
+	}
+	if cfg.OpenLoop && cfg.Rate > 0 {
+		return nil, fmt.Errorf("loadgen: restart harness is closed-loop only")
+	}
+	return &out, nil
+}
+
+// RestartInfo is the per-phase ledger of one restart arm.
+type RestartInfo struct {
+	Mode          string      `json:"mode"`
+	CrashFraction float64     `json:"crash_fraction"`
+	CrashIndex    int         `json:"crash_index"` // measurement requests before the crash
+	Phase1        PhaseCounts `json:"phase1"`
+	Phase2        PhaseCounts `json:"phase2"`
+}
+
+// PhaseCounts are one phase's client-side totals. Interception is
+// SpecHits/Requests — the fraction of demand served from speculative
+// deliveries, the recovery metric the harness compares across arms.
+type PhaseCounts struct {
+	Requests     int64   `json:"requests"`
+	CacheHits    int64   `json:"cache_hits"`
+	SpecHits     int64   `json:"spec_hits"`
+	Errors       int64   `json:"errors"`
+	Interception float64 `json:"interception"`
+}
+
+// switchHandler is the crash swap point: clients keep one transport for
+// the whole run while the handler behind it is atomically replaced.
+type switchHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func newSwitchHandler(h http.Handler) *switchHandler {
+	s := &switchHandler{}
+	s.set(h)
+	return s
+}
+
+func (s *switchHandler) set(h http.Handler) { s.h.Store(&h) }
+
+func (s *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+// runRestart drives the split measurement: phase 1 up to the crash
+// index, the crash/recovery barrier, then phase 2. All phase-1 workers
+// have joined before the swap, so no request is ever in flight across
+// the crash — demand traffic is never dropped, which the invariant
+// checks then assert as zero phase errors.
+func (r *run) runRestart(tr *trace.Trace, warmN, n int, rst *RestartConfig,
+	ck *checkpoint.Store, swap *switchHandler, rebuild func() (*httpspec.Server, error),
+	freezeAt time.Time, root *stats.RNG) (*RestartInfo, []*workerResult, error) {
+
+	crashIdx := warmN + int(rst.CrashFraction*float64(n-warmN))
+	q1 := make([][]int, r.cfg.Workers)
+	q2 := make([][]int, r.cfg.Workers)
+	for i := warmN; i < n; i++ {
+		w := workerOf(tr.Requests[i].Client, r.cfg.Workers)
+		if i < crashIdx {
+			q1[w] = append(q1[w], i)
+		} else {
+			q2[w] = append(q2[w], i)
+		}
+	}
+
+	res1 := r.closedPhase(tr, q1, root, "p1")
+	for _, id := range r.order {
+		cl := r.clients[id]
+		cl.crash = cl.c.Stats()
+	}
+
+	if rst.Mode != RestartNone {
+		// Crash: the old server is abandoned, not shut down. A real
+		// SIGKILL leaves exactly this — no drain, no final checkpoint.
+		if rst.CorruptNewest {
+			// A second frame of the same frozen state, so corrupting the
+			// newest still leaves a last-good frame to fall back to.
+			if err := r.srv.Engine().CheckpointNow(freezeAt); err != nil {
+				return nil, nil, err
+			}
+			if err := corruptNewestFrame(rst.StateDir); err != nil {
+				return nil, nil, err
+			}
+		}
+		srvB, err := rebuild()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch rst.Mode {
+		case RestartWarm:
+			snap, _, err := ck.Load()
+			if err != nil {
+				return nil, nil, err
+			}
+			if snap != nil {
+				if err := srvB.Engine().WarmStart(snap, freezeAt); err != nil {
+					ck.NoteColdStart()
+				}
+			}
+		case RestartCold:
+			ck.NoteColdStart() // recovery deliberately skipped
+		}
+		swap.set(srvB)
+	}
+
+	res2 := r.closedPhase(tr, q2, root, "p2")
+
+	ri := &RestartInfo{
+		Mode:          rst.Mode,
+		CrashFraction: rst.CrashFraction,
+		CrashIndex:    crashIdx - warmN,
+	}
+	for _, id := range r.order {
+		cl := r.clients[id]
+		ws, cs, fs := cl.warmup, cl.crash, cl.c.Stats()
+		ri.Phase1.Requests += cs.Fetches - ws.Fetches
+		ri.Phase1.CacheHits += cs.CacheHits - ws.CacheHits
+		ri.Phase1.SpecHits += cs.SpecHits - ws.SpecHits
+		ri.Phase2.Requests += fs.Fetches - cs.Fetches
+		ri.Phase2.CacheHits += fs.CacheHits - cs.CacheHits
+		ri.Phase2.SpecHits += fs.SpecHits - cs.SpecHits
+	}
+	for _, wr := range res1 {
+		ri.Phase1.Errors += wr.errors
+	}
+	for _, wr := range res2 {
+		ri.Phase2.Errors += wr.errors
+	}
+	if ri.Phase1.Requests > 0 {
+		ri.Phase1.Interception = float64(ri.Phase1.SpecHits) / float64(ri.Phase1.Requests)
+	}
+	if ri.Phase2.Requests > 0 {
+		ri.Phase2.Interception = float64(ri.Phase2.SpecHits) / float64(ri.Phase2.Requests)
+	}
+	return ri, append(res1, res2...), nil
+}
+
+// closedPhase runs one phase's queues to completion on worker
+// goroutines and returns their ledgers.
+func (r *run) closedPhase(tr *trace.Trace, queues [][]int, root *stats.RNG, tag string) []*workerResult {
+	results := make([]*workerResult, r.cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = r.closedWorker(tr, queues[w],
+				root.Split(fmt.Sprintf("worker-%d-%s", w, tag)))
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// corruptNewestFrame flips one payload byte in the newest checkpoint
+// frame, simulating torn or rotted storage.
+func corruptNewestFrame(dir string) error {
+	frames, err := filepath.Glob(filepath.Join(dir, "ckpt-*.spw"))
+	if err != nil {
+		return err
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("loadgen: no checkpoint frames in %s to corrupt", dir)
+	}
+	sort.Strings(frames)
+	path := frames[len(frames)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	data[len(data)/2] ^= 0x40
+	return os.WriteFile(path, data, 0o644)
+}
+
+// RestartSchema versions the BENCH-restart.json layout.
+const RestartSchema = "specbench-restart/1"
+
+// RestartReport is the BENCH-restart.json document: the same workload
+// driven through four arms — uninterrupted control, warm restart, cold
+// restart, and warm restart forced through the corrupt-frame fallback
+// ladder. Outside the per-arm Timing sections everything is
+// deterministic for a given seed.
+type RestartReport struct {
+	Schema          string       `json:"schema"`
+	Config          ConfigInfo   `json:"config"`
+	Workload        WorkloadInfo `json:"workload"`
+	Uninterrupted   *Result      `json:"uninterrupted"`
+	Warm            *Result      `json:"warm"`
+	Cold            *Result      `json:"cold"`
+	CorruptFallback *Result      `json:"corrupt_fallback"`
+}
+
+// JSON marshals the full report, indented.
+func (r *RestartReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunRestartSuite executes the four restart arms over the identical
+// workload and assembles the report. A CrashFraction preset on
+// cfg.Restart applies to every arm; the mode there is ignored.
+func RunRestartSuite(cfg Config) (*RestartReport, error) {
+	cfg.Reps = 1 // the suite gates counters, not wall-clock timing
+	var frac float64
+	if cfg.Restart != nil {
+		frac = cfg.Restart.CrashFraction
+	}
+	arm := func(rc RestartConfig) (*Result, *WorkloadInfo, ConfigInfo, error) {
+		c := cfg
+		rc.CrashFraction = frac
+		c.Restart = &rc
+		return Run(c)
+	}
+	un, winfo, cinfo, err := arm(RestartConfig{Mode: RestartNone})
+	if err != nil {
+		return nil, err
+	}
+	warm, _, _, err := arm(RestartConfig{Mode: RestartWarm})
+	if err != nil {
+		return nil, err
+	}
+	cold, _, _, err := arm(RestartConfig{Mode: RestartCold})
+	if err != nil {
+		return nil, err
+	}
+	corrupt, _, _, err := arm(RestartConfig{Mode: RestartWarm, CorruptNewest: true})
+	if err != nil {
+		return nil, err
+	}
+	cinfo.Restart = nil // per-arm configs differ only in the restart block
+	return &RestartReport{
+		Schema:          RestartSchema,
+		Config:          cinfo,
+		Workload:        *winfo,
+		Uninterrupted:   un,
+		Warm:            warm,
+		Cold:            cold,
+		CorruptFallback: corrupt,
+	}, nil
+}
+
+// restartRecoverySlack is how far (absolute interception) a recovered
+// arm's post-crash phase may trail the uninterrupted control.
+const restartRecoverySlack = 0.05
+
+// CheckRestartInvariants enforces the durability acceptance criteria on
+// a suite report, returning one message per violation:
+//
+//   - no arm drops demand traffic (zero errors in both phases);
+//   - warm recovery restores interception to within 5% (absolute) of
+//     the uninterrupted run, immediately — phase 2 starts at the crash;
+//   - warm strictly beats cold after the crash;
+//   - the corrupt arm recovered warm through the last-good frame, with
+//     the corruption observed and skipped.
+func CheckRestartInvariants(rep *RestartReport) []string {
+	var v []string
+	fail := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+	arms := []struct {
+		name string
+		res  *Result
+	}{
+		{"uninterrupted", rep.Uninterrupted},
+		{"warm", rep.Warm},
+		{"cold", rep.Cold},
+		{"corrupt_fallback", rep.CorruptFallback},
+	}
+	for _, a := range arms {
+		if a.res == nil || a.res.Restart == nil {
+			fail("%s: arm or restart section missing", a.name)
+			return v
+		}
+		ri := a.res.Restart
+		if ri.Phase1.Errors != 0 || ri.Phase2.Errors != 0 {
+			fail("%s: dropped demand requests (phase1 %d, phase2 %d errors)",
+				a.name, ri.Phase1.Errors, ri.Phase2.Errors)
+		}
+		if ri.Phase1.Requests == 0 || ri.Phase2.Requests == 0 {
+			fail("%s: empty phase (%d/%d requests)", a.name,
+				ri.Phase1.Requests, ri.Phase2.Requests)
+		}
+	}
+	if len(v) > 0 {
+		return v
+	}
+
+	un2 := rep.Uninterrupted.Restart.Phase2.Interception
+	warm2 := rep.Warm.Restart.Phase2.Interception
+	cold2 := rep.Cold.Restart.Phase2.Interception
+	corr2 := rep.CorruptFallback.Restart.Phase2.Interception
+	if warm2 < un2-restartRecoverySlack {
+		fail("warm recovery interception %.4f trails uninterrupted %.4f by more than %.2f",
+			warm2, un2, restartRecoverySlack)
+	}
+	if corr2 < un2-restartRecoverySlack {
+		fail("corrupt-fallback interception %.4f trails uninterrupted %.4f by more than %.2f",
+			corr2, un2, restartRecoverySlack)
+	}
+	if warm2 <= cold2 {
+		fail("warm restart interception %.4f does not beat cold %.4f", warm2, cold2)
+	}
+
+	ck := func(name string, res *Result) *checkpoint.Counters {
+		if res.Checkpoint == nil {
+			fail("%s: checkpoint counters missing", name)
+			return nil
+		}
+		return res.Checkpoint
+	}
+	if c := ck("warm", rep.Warm); c != nil {
+		if c.Loaded != 1 || c.CorruptSkipped != 0 || c.ColdStarts != 0 {
+			fail("warm arm counters: %+v (want exactly one clean load)", *c)
+		}
+	}
+	if c := ck("cold", rep.Cold); c != nil {
+		if c.Loaded != 0 || c.ColdStarts != 1 {
+			fail("cold arm counters: %+v (want no load, one cold start)", *c)
+		}
+	}
+	if c := ck("corrupt_fallback", rep.CorruptFallback); c != nil {
+		if c.Loaded != 1 || c.CorruptSkipped < 1 || c.ColdStarts != 0 {
+			fail("corrupt arm counters: %+v (want corrupt skipped, then last-good loaded)", *c)
+		}
+	}
+	if rep.Uninterrupted.Checkpoint != nil {
+		fail("uninterrupted arm must not carry checkpoint counters")
+	}
+	return v
+}
+
+// CompareRestart gates a current suite report against a committed
+// baseline: deterministic per-phase counts within tolerancePct,
+// checkpoint counters exactly equal.
+func CompareRestart(baseline, current *RestartReport, tolerancePct float64) []string {
+	if tolerancePct <= 0 {
+		tolerancePct = 10
+	}
+	tol := tolerancePct / 100
+	var v []string
+	fail := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+	if baseline.Schema != current.Schema {
+		fail("schema changed: %s -> %s", baseline.Schema, current.Schema)
+	}
+	drift := func(name string, base, cur float64) {
+		if base == 0 && cur == 0 {
+			return
+		}
+		den := base
+		if den < 0 {
+			den = -den
+		}
+		if den == 0 {
+			den = 1
+		}
+		d := (cur - base) / den
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			fail("%s drifted %.1f%% (baseline %.6g, current %.6g, tolerance %.0f%%)",
+				name, d*100, base, cur, tolerancePct)
+		}
+	}
+	arm := func(name string, base, cur *Result) {
+		if base == nil || cur == nil || base.Restart == nil || cur.Restart == nil {
+			fail("%s: arm missing in one report", name)
+			return
+		}
+		for _, ph := range []struct {
+			tag  string
+			b, c PhaseCounts
+		}{
+			{"phase1", base.Restart.Phase1, cur.Restart.Phase1},
+			{"phase2", base.Restart.Phase2, cur.Restart.Phase2},
+		} {
+			drift(name+"."+ph.tag+".requests", float64(ph.b.Requests), float64(ph.c.Requests))
+			drift(name+"."+ph.tag+".spec_hits", float64(ph.b.SpecHits), float64(ph.c.SpecHits))
+			drift(name+"."+ph.tag+".interception", ph.b.Interception, ph.c.Interception)
+			if ph.b.Errors == 0 && ph.c.Errors > 0 {
+				fail("%s.%s.errors: baseline had none, current has %d", name, ph.tag, ph.c.Errors)
+			}
+		}
+		if b, c := base.Checkpoint, cur.Checkpoint; (b == nil) != (c == nil) {
+			fail("%s.checkpoint: present in only one report", name)
+		} else if b != nil && *b != *c {
+			fail("%s.checkpoint counters changed: %+v -> %+v", name, *b, *c)
+		}
+	}
+	arm("uninterrupted", baseline.Uninterrupted, current.Uninterrupted)
+	arm("warm", baseline.Warm, current.Warm)
+	arm("cold", baseline.Cold, current.Cold)
+	arm("corrupt_fallback", baseline.CorruptFallback, current.CorruptFallback)
+	return v
+}
