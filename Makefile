@@ -3,7 +3,8 @@ GO ?= go
 .PHONY: all build vet lint test race chaos overload bench bench-short \
 	bench-smoke specbench bench-run bench-gate bench-baseline \
 	bench-scenarios bench-scenarios-baseline \
-	bench-restart bench-restart-baseline fuzz-checkpoint golden clean
+	bench-restart bench-restart-baseline bench-memory \
+	fuzz-checkpoint fuzz-estimator golden clean
 
 all: vet build test
 
@@ -107,10 +108,24 @@ bench-restart: specbench
 bench-restart-baseline: specbench
 	./bin/specbench -restart -short -o testdata/restart_baseline.json
 
+# Estimator memory gate: a fixed-iteration, deterministic run asserting
+# the bounded estimator's analytic footprint stays flat (≤1.1×) across a
+# 10× document-cardinality jump while the exact estimator's grows
+# multiplicatively. Writes the BENCH-memory.json artifact CI uploads.
+bench-memory:
+	BENCH_MEMORY_OUT=$(CURDIR)/BENCH-memory.json \
+		$(GO) test ./internal/markov/ -run TestBoundedMemoryGate -count=1 -v
+
 # Checkpoint decoder fuzzing: truncated, bit-flipped, and version-skewed
 # frames must fail with typed errors, never panic.
 fuzz-checkpoint:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/checkpoint/
+
+# Bounded-estimator fuzzing: interleaved record/evict/freeze/warm-start
+# sequences must never panic, never roll the eviction ledger backwards,
+# and every exported v2 frame must re-encode canonically.
+fuzz-estimator:
+	$(GO) test -run '^$$' -fuzz FuzzBoundedEstimator -fuzztime 30s ./internal/core/
 
 # Regenerate the golden files pinning the experiments renderers.
 golden:

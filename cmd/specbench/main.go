@@ -67,6 +67,8 @@ func main() {
 		scenario  = flag.String("scenario", "", "overlay an adversarial workload profile: "+scenarioNames())
 		estguardF = flag.Bool("estguard", false, "install the estimator-hardening guard (classification/quarantine, drift refresh, confidence damping)")
 		suite     = flag.Bool("scenario-suite", false, "run the adversarial scenario suite (clean + 5 scenarios guarded + crawler unguarded) and write BENCH-scenarios.json")
+		maxRows   = flag.Int("max-rows", 0, "bound the dependency estimator to this many tracked documents (0 with -row-topk 0: exact)")
+		rowTopK   = flag.Int("row-topk", 0, "bound each estimator row to its top K successors, space-saving style (0 with -max-rows 0: exact)")
 
 		restartF  = flag.Bool("restart", false, "run the kill/restart chaos suite (uninterrupted + warm + cold + corrupt-fallback arms) and write the restart report")
 		crashFrac = flag.Float64("crash-frac", 0.5, "restart: fraction of the measured trace served before the crash")
@@ -154,6 +156,8 @@ func main() {
 		RealClock:          *realclock,
 		Overload:           *overloadF,
 		Estguard:           *estguardF,
+		MaxRows:            *maxRows,
+		RowTopK:            *rowTopK,
 		Timeout:            *timeout,
 	}
 	if *retries > 1 {

@@ -54,6 +54,9 @@ func main() {
 
 		refresh = flag.Duration("refresh-every", 0, "override the engine's estimate refresh cadence (0: engine default)")
 
+		maxRows = flag.Int("max-rows", 0, "bound the dependency estimator to this many tracked documents (0 with -row-topk 0: exact estimation)")
+		rowTopK = flag.Int("row-topk", 0, "bound each estimator row to its top K successors, space-saving style (0 with -max-rows 0: exact estimation)")
+
 		stateDir   = flag.String("state-dir", "", "durable checkpoint directory for crash-safe warm restart (empty: stateless)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 0, "additionally checkpoint on this wall-clock interval (0: only on freeze, SIGHUP and shutdown)")
 		ckptRetain = flag.Int("checkpoint-retain", 3, "checkpoint frames kept in -state-dir")
@@ -96,6 +99,15 @@ func main() {
 	cfg.Engine.Tp = *tp
 	if *refresh > 0 {
 		cfg.Engine.RefreshEvery = *refresh
+	}
+	if *maxRows < 0 || *rowTopK < 0 {
+		fmt.Fprintln(os.Stderr, "specd: -max-rows and -row-topk must be non-negative")
+		os.Exit(2)
+	}
+	if *maxRows > 0 || *rowTopK > 0 {
+		cfg.Engine.MaxRows = *maxRows
+		cfg.Engine.RowTopK = *rowTopK
+		log.Info("bounded estimation enabled", "max_rows", *maxRows, "row_topk", *rowTopK)
 	}
 	cfg.Mode, err = httpspec.ParseMode(*mode)
 	if err != nil {

@@ -102,16 +102,38 @@ type Row struct {
 	Succ []Succ
 }
 
+// EstimatorState is the bounded estimator's persisted summary: the caps
+// that shaped the rows being checkpointed and the cumulative eviction
+// ledger, so a warm start resumes with monotone eviction counters and
+// operators can see how lossy the persisted estimate is. The live
+// space-saving store itself is deliberately absent for the same reason
+// the exact accumulator is (DESIGN §13): it describes a training window
+// the dead process never finished. The evicted mass travels as raw
+// IEEE-754 bits so the round trip is exact.
+type EstimatorState struct {
+	MaxRows      int32
+	RowTopK      int32
+	EvictedRows  int64
+	EvictedPairs int64
+	EvictedMass  float64
+}
+
 // Snapshot is the decoded form of one checkpoint frame: everything a
 // fresh engine needs to resume speculating as if the crash never
 // happened. Live shard buffers, the aging pair accumulator, and the drift
 // window are deliberately absent — see DESIGN §13 for why.
+//
+// Estimator is nil on exact-estimator engines; its presence selects the
+// codec version (nil encodes as version 1, non-nil as version 2), so old
+// frames and old readers keep working and Encode(Decode(x)) == x holds
+// per version with no extra bookkeeping.
 type Snapshot struct {
-	Meta    Meta
-	Knobs   Knobs
-	Rows    []Row // ascending Doc
-	Clients []estguard.ClientSummary
-	Judge   estguard.JudgeSummary
+	Meta      Meta
+	Knobs     Knobs
+	Rows      []Row // ascending Doc
+	Clients   []estguard.ClientSummary
+	Judge     estguard.JudgeSummary
+	Estimator *EstimatorState
 }
 
 // Counters is the checkpoint lifecycle tally, exported on /spec/stats,

@@ -166,7 +166,7 @@ func TestDecodeVersionSkew(t *testing.T) {
 	frame := mustEncode(t, testSnapshot())
 
 	skew := append([]byte(nil), frame...)
-	binary.LittleEndian.PutUint16(skew[8:10], Version+1)
+	binary.LittleEndian.PutUint16(skew[8:10], VersionBounded+1)
 	_, err := Decode(reframe(skew))
 	if err == nil || !IsCorrupt(err) {
 		t.Fatalf("future version: got %v", err)

@@ -10,7 +10,7 @@ import (
 	"specweb/internal/trace"
 )
 
-// Frame layout, version 1. All integers little-endian, fixed width.
+// Frame layout. All integers little-endian, fixed width.
 //
 //	[0:8)   magic "SPWCKPT1"
 //	[8:10)  u16 codec version
@@ -19,7 +19,7 @@ import (
 //	[16:n)  payload
 //	[n:n+4) u32 CRC-32C (Castagnoli) over bytes [0:n)
 //
-// Payload:
+// Payload, version 1:
 //
 //	meta    i64 created · u64 fingerprint · i64 recorded · i64 lastRefresh
 //	knobs   u64 tpBits · u64 embedBits · i64 maxSize · i32 topK
@@ -30,6 +30,18 @@ import (
 //	judge   u8 haveLast · u64 scoreBits · i64 delivered · i64 consumed
 //	        · i64 wasted · i32 streak
 //
+// Version 2 is version 1 plus a mandatory trailing estimator section —
+// the bounded estimator's caps and cumulative eviction ledger:
+//
+//	est     i32 maxRows · i32 rowTopK · i64 evictedRows · i64 evictedPairs
+//	        · u64 evictedMassBits
+//
+// The version is determined by the snapshot's content: Encode emits
+// version 2 exactly when Snapshot.Estimator is non-nil, and Decode sets
+// Estimator exactly when the frame is version 2. Exact-estimator engines
+// therefore keep producing byte-identical version-1 frames, and
+// re-encode(decode(x)) == x holds across both versions.
+//
 // The format is strictly canonical: Decode accepts exactly what Encode
 // emits. Rows ascend by document, successors keep the frozen (P desc,
 // Doc asc) order, clients ascend by ID, probabilities live in (0, 1],
@@ -39,8 +51,12 @@ import (
 
 const (
 	magic = "SPWCKPT1"
-	// Version is the codec version this build reads and writes.
+	// Version is the base codec version: frames without an estimator
+	// section.
 	Version = 1
+	// VersionBounded extends Version with the bounded estimator's summary
+	// section; the newest version this build reads and writes.
+	VersionBounded = 2
 
 	headerLen  = 16
 	trailerLen = 4
@@ -61,10 +77,14 @@ func Encode(s *Snapshot) ([]byte, error) {
 		return nil, err
 	}
 	payload := appendPayload(make([]byte, 0, payloadSize(s)), s)
+	version := uint16(Version)
+	if s.Estimator != nil {
+		version = VersionBounded
+	}
 
 	buf := make([]byte, 0, headerLen+len(payload)+trailerLen)
 	buf = append(buf, magic...)
-	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = binary.LittleEndian.AppendUint16(buf, 0) // flags
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = append(buf, payload...)
@@ -82,8 +102,10 @@ func Decode(b []byte) (*Snapshot, error) {
 	if string(b[:8]) != magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint16(b[8:10]); v != Version {
-		return nil, fmt.Errorf("%w: frame version %d, codec speaks %d", ErrVersion, v, Version)
+	version := binary.LittleEndian.Uint16(b[8:10])
+	if version != Version && version != VersionBounded {
+		return nil, fmt.Errorf("%w: frame version %d, codec speaks %d-%d",
+			ErrVersion, version, Version, VersionBounded)
 	}
 	if f := binary.LittleEndian.Uint16(b[10:12]); f != 0 {
 		return nil, fmt.Errorf("%w: unknown flags %#x", ErrVersion, f)
@@ -161,6 +183,16 @@ func Decode(b []byte) (*Snapshot, error) {
 	s.Judge.Consumed = r.i64()
 	s.Judge.Wasted = r.i64()
 	s.Judge.Streak = r.i32()
+
+	if version == VersionBounded {
+		s.Estimator = &EstimatorState{
+			MaxRows:      r.i32(),
+			RowTopK:      r.i32(),
+			EvictedRows:  r.i64(),
+			EvictedPairs: r.i64(),
+			EvictedMass:  math.Float64frombits(r.u64()),
+		}
+	}
 
 	if r.err != nil {
 		return nil, r.err
@@ -266,6 +298,9 @@ func payloadSize(s *Snapshot) int {
 	for i := range s.Clients {
 		n += 57 - 1 + len(s.Clients[i].ID) + len(s.Clients[i].Reason)
 	}
+	if s.Estimator != nil {
+		n += 32
+	}
 	return n
 }
 
@@ -319,6 +354,14 @@ func appendPayload(buf []byte, s *Snapshot) []byte {
 	buf = le.AppendUint64(buf, uint64(s.Judge.Consumed))
 	buf = le.AppendUint64(buf, uint64(s.Judge.Wasted))
 	buf = le.AppendUint32(buf, uint32(s.Judge.Streak))
+
+	if e := s.Estimator; e != nil {
+		buf = le.AppendUint32(buf, uint32(e.MaxRows))
+		buf = le.AppendUint32(buf, uint32(e.RowTopK))
+		buf = le.AppendUint64(buf, uint64(e.EvictedRows))
+		buf = le.AppendUint64(buf, uint64(e.EvictedPairs))
+		buf = le.AppendUint64(buf, math.Float64bits(e.EvictedMass))
+	}
 	return buf
 }
 
@@ -347,7 +390,26 @@ func validateSnapshot(s *Snapshot) error {
 		}
 		prevID = string(s.Clients[i].ID)
 	}
-	return validateJudge(&s.Judge)
+	if err := validateJudge(&s.Judge); err != nil {
+		return err
+	}
+	return validateEstimator(s.Estimator)
+}
+
+func validateEstimator(e *EstimatorState) error {
+	if e == nil {
+		return nil
+	}
+	if e.MaxRows <= 0 || e.RowTopK <= 0 {
+		return fmt.Errorf("%w: estimator caps %d×%d not positive", ErrMalformed, e.MaxRows, e.RowTopK)
+	}
+	if e.EvictedRows < 0 || e.EvictedPairs < 0 {
+		return fmt.Errorf("%w: estimator eviction counters out of range", ErrMalformed)
+	}
+	if !finite(e.EvictedMass) || e.EvictedMass < 0 {
+		return fmt.Errorf("%w: estimator evicted mass %v invalid", ErrMalformed, e.EvictedMass)
+	}
+	return nil
 }
 
 func validateKnobs(k *Knobs) error {

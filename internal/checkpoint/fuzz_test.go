@@ -23,6 +23,19 @@ func FuzzDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(empty)
+	// A version-2 frame — estimator section present — seeds the second
+	// wire version, so mutations explore both layouts and the canonical
+	// re-encode check covers the version-by-presence rule.
+	v2snap := testSnapshot()
+	v2snap.Estimator = &EstimatorState{
+		MaxRows: 1 << 16, RowTopK: 32,
+		EvictedRows: 7, EvictedPairs: 1234, EvictedMass: 56.25,
+	}
+	v2, err := Encode(v2snap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2)
 
 	// Classic corruptions as seeds; the fuzzer mutates from here.
 	f.Add(full[:len(full)/2])            // truncation

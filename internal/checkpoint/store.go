@@ -225,7 +225,7 @@ type manifest struct {
 
 func (s *Store) writeManifest(frames []frameFile, createdNano int64) {
 	m := manifest{
-		CodecVersion:    Version,
+		CodecVersion:    VersionBounded,
 		Fingerprint:     fmt.Sprintf("%016x", s.cfg.Fingerprint),
 		Retain:          s.cfg.Retain,
 		LastSeq:         s.nextSeq - 1,

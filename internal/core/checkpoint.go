@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"specweb/internal/checkpoint"
+	"specweb/internal/markov"
 )
 
 // Crash-safe state. The engine persists exactly its published decision
@@ -23,10 +24,18 @@ import (
 // TopK, MaxSize, EmbedThreshold) are excluded on purpose — they ride in
 // the checkpoint itself so a warm start resumes the governor's tuning.
 func (c *EngineConfig) StateFingerprint() uint64 {
-	return checkpoint.Fingerprint(fmt.Sprintf(
+	desc := fmt.Sprintf(
 		"core.EngineConfig/v1|window=%d|stride=%d|minocc=%d|smooth=%g|decay=%g|refresh=%d|guard=%t",
 		c.Window, c.StrideTimeout, c.MinOccurrences, c.Smoothing,
-		c.DecayPerDay, c.RefreshEvery, c.Guard != nil))
+		c.DecayPerDay, c.RefreshEvery, c.Guard != nil)
+	// The bounding caps change what the persisted rows mean (they are the
+	// space-saving survivors, not the full estimate), so they join the
+	// fingerprint — but only when bounding is on, keeping every
+	// exact-estimator fingerprint identical to pre-bounding builds.
+	if b, ok := c.bounded(); ok {
+		desc += fmt.Sprintf("|maxrows=%d|topk=%d", b.MaxRows, b.RowTopK)
+	}
+	return checkpoint.Fingerprint(desc)
 }
 
 // exportCheckpointLocked captures the engine's persisted state as of the
@@ -50,6 +59,19 @@ func (e *Engine) exportCheckpointLocked(at time.Time) *checkpoint.Snapshot {
 	if g := e.cfg.Guard; g != nil {
 		cs.Clients = g.ExportClients()
 		cs.Judge = g.ExportJudge()
+	}
+	// Bounded engines persist the caps and the cumulative eviction ledger
+	// (selecting checkpoint codec version 2); exact engines leave the
+	// section nil and keep emitting byte-identical version-1 frames.
+	if b, ok := e.cfg.bounded(); ok {
+		st := e.est.EstimatorStats()
+		cs.Estimator = &checkpoint.EstimatorState{
+			MaxRows:      int32(b.MaxRows),
+			RowTopK:      int32(b.RowTopK),
+			EvictedRows:  st.EvictedRows,
+			EvictedPairs: st.EvictedPairs,
+			EvictedMass:  st.EvictedMass,
+		}
 	}
 	return cs
 }
@@ -114,6 +136,20 @@ func (e *Engine) WarmStart(cs *checkpoint.Snapshot, now time.Time) error {
 		g.ImportClients(cs.Clients)
 		g.ImportJudge(cs.Judge)
 	}
+	// Restore the bounded estimator's cumulative eviction ledger so the
+	// counters stay monotone across the restart (the live space-saving
+	// store itself re-trains from post-restart traffic). A frame from an
+	// exact engine cannot reach a bounded one or vice versa — the caps are
+	// in the fingerprint — so the type assertion cannot misfire.
+	if cs.Estimator != nil {
+		if b, ok := e.est.(*markov.Bounded); ok {
+			b.ImportCounters(cs.Estimator.EvictedRows, cs.Estimator.EvictedPairs, cs.Estimator.EvictedMass)
+		}
+		e.captureEstStatsLocked()
+	}
+	// The restored frozen matrix was not compiled from this process's
+	// estimator, so the next refresh must freeze in full.
+	e.deltaBase = false
 	e.installLocked(frozen, e.snapshotSizes(frozen))
 	e.met.pairs.Set(float64(frozen.NumPairs()))
 	e.met.docs.Set(float64(frozen.NumRows()))

@@ -64,6 +64,16 @@ type EngineConfig struct {
 	// (rounded up to a power of two); 0 sizes them from GOMAXPROCS.
 	RecordShards int
 
+	// MaxRows and RowTopK, when either is positive, select the
+	// memory-bounded streaming estimator instead of the exact one: at most
+	// MaxRows documents tracked (popularity-ranked admission) with at most
+	// RowTopK successors each (per-row space-saving). Whichever of the two
+	// is zero takes markov.DefaultBounded's value. Both zero (the default)
+	// keeps the exact estimator — the reference implementation the bounded
+	// path is conformance-tested against.
+	MaxRows int
+	RowTopK int
+
 	// Guard, when non-nil, installs the estguard robustness layer on the
 	// refresh path: quarantined clients' transitions divert to a
 	// side-ledger instead of P[i,j], per-row trust damps sparse or
@@ -122,7 +132,31 @@ func (c *EngineConfig) Validate() error {
 	if c.RecordShards < 0 {
 		return fmt.Errorf("core: RecordShards %d negative", c.RecordShards)
 	}
+	if c.MaxRows < 0 {
+		return fmt.Errorf("core: MaxRows %d negative", c.MaxRows)
+	}
+	if c.RowTopK < 0 {
+		return fmt.Errorf("core: RowTopK %d negative", c.RowTopK)
+	}
 	return nil
+}
+
+// bounded resolves the estimator selection: enabled when either cap is
+// set, with the other defaulted. Shared by NewEngine and StateFingerprint
+// so the fingerprint always reflects the caps actually in force.
+func (c *EngineConfig) bounded() (markov.BoundedConfig, bool) {
+	if c.MaxRows <= 0 && c.RowTopK <= 0 {
+		return markov.BoundedConfig{}, false
+	}
+	b := markov.BoundedConfig{MaxRows: c.MaxRows, RowTopK: c.RowTopK}
+	d := markov.DefaultBounded()
+	if b.MaxRows <= 0 {
+		b.MaxRows = d.MaxRows
+	}
+	if b.RowTopK <= 0 {
+		b.RowTopK = d.RowTopK
+	}
+	return b, true
 }
 
 // SizeFunc reports a document's size in bytes (and whether it exists).
@@ -147,6 +181,12 @@ type snapshot struct {
 	maxSize int64
 	pairs   int
 	docs    int
+
+	// estStats is the estimator's footprint/eviction ledger captured at
+	// the refresh that produced this snapshot; nil on exact-estimator
+	// engines so Stats payloads stay byte-identical to pre-bounding
+	// builds. Cached here so Stats() stays lock-free.
+	estStats *markov.EstimatorStats
 }
 
 // recordShard is one striped ingestion buffer. The padding keeps adjacent
@@ -184,12 +224,24 @@ type Engine struct {
 	quarReqs       atomic.Int64
 	driftChecks    atomic.Int64 // rate-limits DriftScore on the record path
 
+	deltaFreezes atomic.Int64
+
 	// mu serializes the write path: refreshes (drain + AddDay + publish)
 	// and knob changes (republish). The read path never takes it.
 	mu         sync.Mutex
-	aging      *markov.Aging
-	quarantine *markov.Aging // side-ledger for quarantined transitions; nil without a Guard
-	carry      *trace.Trace  // open strides carried across refreshes
+	est        markov.Estimator // exact (*markov.Aging) or bounded (*markov.Bounded)
+	quarantine markov.Estimator // side-ledger for quarantined transitions; nil without a Guard
+	carry      *trace.Trace     // open strides carried across refreshes
+	// deltaBase records whether the currently published frozen matrix was
+	// compiled directly from est's previous Snapshot — the precondition
+	// for patching only dirty rows into it. Trust damping, snapshot
+	// rejection, and warm starts all publish something else, so they clear
+	// it and the next refresh freezes in full.
+	deltaBase bool
+	// lastEstStats is the bounded estimator's ledger captured at the most
+	// recent refresh (nil on exact engines); installLocked copies it into
+	// the published snapshot for lock-free Stats.
+	lastEstStats *markov.EstimatorStats
 }
 
 // engineMetrics are the engine's observability series. Decision counters
@@ -204,8 +256,14 @@ type engineMetrics struct {
 	hint             *obs.Counter
 	belowThreshold   *obs.Counter
 	digestSuppressed *obs.Counter
+	deltaFreezes     *obs.Counter
 	pairs            *obs.Gauge
 	docs             *obs.Gauge
+	estMemory        *obs.Gauge
+	estTrackedPairs  *obs.Gauge
+	estEvictedPairs  *obs.Gauge
+	estEvictedRows   *obs.Gauge
+	estErrorBound    *obs.Gauge
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -222,8 +280,20 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		hint:             reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "hint"}),
 		belowThreshold:   reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "below_threshold"}),
 		digestSuppressed: reg.Counter(decisions, decisionsHelp, obs.Labels{"decision": "digest_suppressed"}),
-		pairs:            reg.Gauge("specweb_engine_pairs", "Dependency pairs in the current P* estimate.", nil),
-		docs:             reg.Gauge("specweb_engine_docs", "Documents with at least one successor in P*.", nil),
+		deltaFreezes: reg.Counter("specweb_engine_delta_freezes_total",
+			"Refreshes that patched dirty rows into the previous frozen matrix instead of rebuilding it.", nil),
+		pairs: reg.Gauge("specweb_engine_pairs", "Dependency pairs in the current P* estimate.", nil),
+		docs:  reg.Gauge("specweb_engine_docs", "Documents with at least one successor in P*.", nil),
+		estMemory: reg.Gauge("specweb_estimator_memory_bytes",
+			"Analytic live footprint of the dependency estimator.", nil),
+		estTrackedPairs: reg.Gauge("specweb_estimator_tracked_pairs",
+			"Dependency pairs currently tracked by the estimator.", nil),
+		estEvictedPairs: reg.Gauge("specweb_estimator_evicted_pairs_total",
+			"Cumulative pairs evicted by the bounded estimator's space-saving store.", nil),
+		estEvictedRows: reg.Gauge("specweb_estimator_evicted_rows_total",
+			"Cumulative rows displaced by the bounded estimator's admission policy.", nil),
+		estErrorBound: reg.Gauge("specweb_estimator_error_bound",
+			"Largest per-entry space-saving overcount currently tracked.", nil),
 	}
 }
 
@@ -265,8 +335,21 @@ func NewEngine(cfg EngineConfig, size SizeFunc) (*Engine, error) {
 	if decay > 1 {
 		decay = 1
 	}
-	ag := markov.NewAging(decay, est)
-	ag.Transitive = true // the engine speculates on P*, per the baseline
+	// newEst builds the configured estimator: exact by default, the
+	// memory-bounded streaming one when caps are set. Both the clean
+	// estimate and the quarantined side-ledger use the same constructor so
+	// their occurrence counts stay directly comparable for trust scoring.
+	bcfg, boundedEst := cfg.bounded()
+	newEst := func() markov.Estimator {
+		if boundedEst {
+			b := markov.NewBounded(decay, est, bcfg)
+			b.Transitive = true // the engine speculates on P*, per the baseline
+			return b
+		}
+		ag := markov.NewAging(decay, est)
+		ag.Transitive = true
+		return ag
+	}
 	n := shardCount(cfg.RecordShards)
 	e := &Engine{
 		cfg:       cfg,
@@ -274,17 +357,13 @@ func NewEngine(cfg EngineConfig, size SizeFunc) (*Engine, error) {
 		met:       newEngineMetrics(cfg.Metrics),
 		shards:    make([]recordShard, n),
 		shardMask: uint32(n - 1),
-		aging:     ag,
+		est:       newEst(),
 		carry:     &trace.Trace{},
 	}
 	if cfg.Guard != nil {
 		// The quarantined side-ledger ages on the same cadence and with
-		// the same windows as the clean estimate, so per-document clean
-		// and quarantined occurrence counts stay directly comparable for
-		// trust scoring.
-		q := markov.NewAging(decay, est)
-		q.Transitive = true
-		e.quarantine = q
+		// the same windows as the clean estimate.
+		e.quarantine = newEst()
 	}
 	e.installLocked(markov.Freeze(markov.NewMatrix()), nil)
 	return e, nil
@@ -435,16 +514,30 @@ func (e *Engine) refreshLocked(at time.Time) {
 	}
 
 	// AddDay never fails here: the config was validated at construction.
-	if err := e.aging.AddDay(flush); err != nil {
+	if err := e.est.AddDay(flush); err != nil {
 		panic(fmt.Sprintf("core: refresh: %v", err))
 	}
 	e.carry = carry
 	e.lastRefresh.Store(at.UnixNano())
 	e.refreshes.Add(1)
 	e.met.refreshes.Inc()
+	e.captureEstStatsLocked()
 
 	if g == nil {
-		frozen := markov.Freeze(e.aging.Snapshot())
+		m := e.est.Snapshot()
+		var frozen *markov.Frozen
+		// Delta-freeze: when the estimator can bound which rows changed
+		// and the published frozen matrix was compiled from its previous
+		// snapshot, patch only the dirty rows — byte-identical to a full
+		// Freeze (see markov.DeltaFreeze), just cheaper.
+		if dirty, ok := e.est.DirtyDocs(); ok && e.deltaBase {
+			frozen = markov.DeltaFreeze(e.snap.Load().frozen, m, dirty)
+			e.deltaFreezes.Add(1)
+			e.met.deltaFreezes.Inc()
+		} else {
+			frozen = markov.Freeze(m)
+		}
+		e.deltaBase = true
 		e.installLocked(frozen, e.snapshotSizes(frozen))
 		e.met.pairs.Set(float64(frozen.NumPairs()))
 		e.met.docs.Set(float64(frozen.NumRows()))
@@ -455,13 +548,15 @@ func (e *Engine) refreshLocked(at time.Time) {
 	// Confidence damping: scale each candidate row by its trust — sample
 	// support × clean fraction against the side-ledger — so sparse or
 	// poisoned rows sink below the push/hint thresholds instead of
-	// driving speculation.
-	m := e.aging.Snapshot()
+	// driving speculation. The damped matrix is no longer the estimator's
+	// own snapshot, so delta-freezing has no valid base after this.
+	m := e.est.Snapshot()
 	for _, i := range m.Docs() {
-		t := g.RowTrust(e.aging.Occurrences(i), e.quarantine.Occurrences(i))
+		t := g.RowTrust(e.est.Occurrences(i), e.quarantine.Occurrences(i))
 		m.ScaleRow(i, t)
 	}
 	frozen := markov.Freeze(m)
+	e.deltaBase = false
 
 	// Snapshot validation: a candidate whose predicted interception
 	// regresses past the guard's bound is rejected, and the last-good
@@ -481,6 +576,23 @@ func (e *Engine) refreshLocked(at time.Time) {
 	e.met.pairs.Set(float64(frozen.NumPairs()))
 	e.met.docs.Set(float64(frozen.NumRows()))
 	e.saveCheckpointLocked(at)
+}
+
+// captureEstStatsLocked records the estimator's footprint and eviction
+// ledger after an AddDay, on bounded engines only — exact engines keep
+// the field nil so their Stats payloads are byte-identical to
+// pre-bounding builds. Also publishes the estimator gauge series.
+func (e *Engine) captureEstStatsLocked() {
+	if _, ok := e.cfg.bounded(); !ok {
+		return
+	}
+	st := e.est.EstimatorStats()
+	e.lastEstStats = &st
+	e.met.estMemory.Set(float64(st.MemoryBytes))
+	e.met.estTrackedPairs.Set(float64(st.TrackedPairs))
+	e.met.estEvictedPairs.Set(float64(st.EvictedPairs))
+	e.met.estEvictedRows.Set(float64(st.EvictedRows))
+	e.met.estErrorBound.Set(st.ErrorBound)
 }
 
 // snapshotSizes resolves the SizeFunc once per distinct successor at
@@ -516,14 +628,15 @@ func (e *Engine) installLocked(frozen *markov.Frozen, sizes map[webgraph.DocID]i
 		pol = speculation.Threshold{M: frozen, Tp: e.cfg.Tp}
 	}
 	e.snap.Store(&snapshot{
-		frozen:  frozen,
-		policy:  pol,
-		sizes:   sizes,
-		tp:      e.cfg.Tp,
-		embed:   e.cfg.EmbedThreshold,
-		maxSize: e.cfg.MaxSize,
-		pairs:   frozen.NumPairs(),
-		docs:    frozen.NumRows(),
+		frozen:   frozen,
+		policy:   pol,
+		sizes:    sizes,
+		tp:       e.cfg.Tp,
+		embed:    e.cfg.EmbedThreshold,
+		maxSize:  e.cfg.MaxSize,
+		pairs:    frozen.NumPairs(),
+		docs:     frozen.NumRows(),
+		estStats: e.lastEstStats,
 	})
 }
 
@@ -753,6 +866,16 @@ type Stats struct {
 	SnapshotsRejected   int64 `json:",omitempty"`
 	QuarantinedRequests int64 `json:",omitempty"`
 
+	// DeltaFreezes counts refreshes that patched dirty rows into the
+	// previous frozen matrix instead of rebuilding it.
+	DeltaFreezes int64 `json:",omitempty"`
+
+	// Estimator is the bounded estimator's footprint and eviction ledger
+	// as of the last refresh; nil (and omitted) on exact-estimator
+	// engines, so stats payloads are byte-identical to pre-bounding
+	// builds when the feature is off.
+	Estimator *markov.EstimatorStats `json:",omitempty"`
+
 	// Checkpoint is the durability tally; nil (and omitted) when the
 	// engine runs without a checkpoint store, so stats payloads are
 	// byte-identical to pre-checkpoint builds when the feature is off.
@@ -771,6 +894,8 @@ func (e *Engine) Stats() Stats {
 		EarlyRefreshes:      e.earlyRefreshes.Load(),
 		SnapshotsRejected:   e.rejectedSnaps.Load(),
 		QuarantinedRequests: e.quarReqs.Load(),
+		DeltaFreezes:        e.deltaFreezes.Load(),
+		Estimator:           snap.estStats,
 	}
 	if st := e.cfg.Checkpoint; st != nil {
 		c := st.Counters()

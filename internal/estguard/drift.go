@@ -45,10 +45,28 @@ func (d *driftState) init(cfg Config) {
 
 // NoteRequest records one live demand request for drift scoring. Called on
 // the engine's concurrent record path; the per-shard mutex bounds
-// contention and the counts are commutative.
+// contention. Below DriftMaxTracked distinct documents per shard the
+// counts are commutative (order-independent); past the cap a new document
+// displaces the shard's least-counted entry and inherits its count
+// (space-saving), keeping the shard's memory bounded at the cost of
+// overcounting displaced-then-returning documents — the drift score reads
+// the result as "more drift", never less, so the cap can only make the
+// guard refresh earlier.
 func (g *Guard) NoteRequest(doc webgraph.DocID) {
 	s := &g.drift.shards[uint64(doc)%driftShards]
+	max := g.cfg.DriftMaxTracked
 	s.mu.Lock()
+	if _, ok := s.counts[doc]; !ok && max > 0 && len(s.counts) >= max {
+		victim := webgraph.None
+		min := int64(-1)
+		for d, n := range s.counts {
+			if min < 0 || n < min || (n == min && d < victim) {
+				victim, min = d, n
+			}
+		}
+		delete(s.counts, victim)
+		s.counts[doc] = min
+	}
 	s.counts[doc]++
 	s.total++
 	s.mu.Unlock()

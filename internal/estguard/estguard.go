@@ -105,6 +105,14 @@ type Config struct {
 	// a refresh after this fraction of the regular refresh interval has
 	// elapsed, bounding refresh churn under sustained attack.
 	EarlyRefreshFraction float64
+	// DriftMaxTracked caps the distinct documents each drift shard counts
+	// between refreshes, bounding the live drift window the same way the
+	// bounded estimator caps P[i,j]: past the cap a new document displaces
+	// the shard's least-counted one, space-saving style. The default
+	// (4096/shard across 32 shards) is far above any top-K the score
+	// compares, so the score is exact whenever a shard sees fewer distinct
+	// documents than the cap — which the determinism suite relies on.
+	DriftMaxTracked int
 
 	// TrustSamples is the half-saturation constant of the sample-support
 	// trust factor: a row with TrustSamples occurrences earns trust 0.5
@@ -159,6 +167,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.EarlyRefreshFraction <= 0 {
 		out.EarlyRefreshFraction = 0.25
+	}
+	if out.DriftMaxTracked <= 0 {
+		out.DriftMaxTracked = 4096
 	}
 	if out.TrustSamples <= 0 {
 		out.TrustSamples = 8

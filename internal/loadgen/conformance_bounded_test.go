@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"specweb/internal/leakcheck"
+	"specweb/internal/markov"
+)
+
+// boundedCellConfig is cellConfig with the memory-bounded estimator
+// switched on at the given caps.
+func boundedCellConfig(spec, chaos, over bool, maxRows, rowTopK int) Config {
+	cfg := cellConfig(spec, chaos, over)
+	cfg.MaxRows = maxRows
+	cfg.RowTopK = rowTopK
+	return cfg
+}
+
+// normalizeBounded clears the fields that exist only on bounded-estimator
+// reports — the caps echoed in the config section and the estimator
+// ledger — so a bounded report can be byte-compared against an exact one.
+// Everything else must match without help.
+func normalizeBounded(rep *Report) {
+	rep.Config.MaxRows = 0
+	rep.Config.RowTopK = 0
+	if rep.Spec != nil {
+		rep.Spec.Estimator = nil
+	}
+	if rep.Baseline != nil {
+		rep.Baseline.Estimator = nil
+	}
+}
+
+// TestConformanceBoundedOracle is the differential acceptance gate: with
+// caps comfortably above the tiny site's true row widths (so nothing is
+// ever evicted), the bounded estimator must reproduce the exact
+// estimator's deterministic report byte-for-byte in every deterministic
+// cell of the spec × chaos × overload cube. Only the bounded-only report
+// fields (the cap echo and the estimator ledger) are normalized away —
+// every count, every byte total, every decision must match without
+// tolerance. Chaos cells are not byte-deterministic even exact-vs-exact
+// (wall-clock retry scheduling), matching TestConformanceMatrix they are
+// held to the availability floor and the no-eviction ledger instead.
+func TestConformanceBoundedOracle(t *testing.T) {
+	leakcheck.Check(t)
+	for _, spec := range []bool{false, true} {
+		for _, chaos := range []bool{false, true} {
+			for _, over := range []bool{false, true} {
+				name := fmt.Sprintf("spec=%v/chaos=%v/overload=%v", spec, chaos, over)
+				t.Run(name, func(t *testing.T) {
+					bounded, err := RunReport(boundedCellConfig(spec, chaos, over, 4096, 512), false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bounded.Spec == nil || bounded.Spec.Estimator == nil {
+						t.Fatal("bounded run missing the estimator ledger in its report")
+					}
+					if st := bounded.Spec.Estimator; st.EvictedRows != 0 || st.EvictedPairs != 0 {
+						t.Fatalf("caps sized for the oracle regime still evicted: %+v — "+
+							"raise them or the comparison is testing the wrong thing", st)
+					}
+					if chaos {
+						c := bounded.Spec.Counts
+						if c.Requests == 0 {
+							t.Fatal("bounded chaos cell measured nothing")
+						}
+						if avail := 1 - float64(c.Errors)/float64(c.Requests); avail < 0.5 {
+							t.Errorf("bounded availability %.2f < 0.5 under chaos", avail)
+						}
+						return
+					}
+					exact, err := RunReport(cellConfig(spec, chaos, over), false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if exact.Spec.Estimator != nil {
+						t.Fatal("exact run leaked an estimator ledger — report byte-compat broken")
+					}
+					normalizeBounded(bounded)
+					a, _ := exact.DeterministicJSON()
+					b, _ := bounded.DeterministicJSON()
+					if !bytes.Equal(a, b) {
+						t.Errorf("bounded (no-eviction) diverged from exact:\n%s\n--- vs ---\n%s", a, b)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceBoundedHighConcurrency extends the workers-1-vs-16
+// determinism pin to the bounded estimator — including under caps tight
+// enough that space-saving eviction is active, where the estimator state
+// is order-dependent and only stays reproducible because the refresh path
+// feeds it a canonically ordered event stream regardless of how many
+// goroutines raced to record the traffic.
+func TestConformanceBoundedHighConcurrency(t *testing.T) {
+	leakcheck.Check(t)
+	for _, caps := range []struct {
+		name             string
+		maxRows, rowTopK int
+	}{{"large-caps", 4096, 512}, {"tight-caps", 24, 2}} {
+		t.Run(caps.name, func(t *testing.T) {
+			serial := boundedCellConfig(true, false, false, caps.maxRows, caps.rowTopK)
+			serial.Workers = 1
+			rep1, err := RunReport(serial, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wide := boundedCellConfig(true, false, false, caps.maxRows, caps.rowTopK)
+			wide.Workers = 16
+			rep16, err := RunReport(wide, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := rep1.DeterministicJSON()
+			rep16.Config.Workers = rep1.Config.Workers
+			b, _ := rep16.DeterministicJSON()
+			if !bytes.Equal(a, b) {
+				t.Errorf("bounded workers=1 vs workers=16 diverged:\n%s\n--- vs ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestConformanceBoundedInterception quantifies what bounding costs: at
+// the default caps the spec-arm interception rate must sit within 2% of
+// the exact baseline (on this workload the caps are not even reached, so
+// the counts match exactly); under deliberately starved caps the
+// estimator must visibly evict, keep speculating, and still retain at
+// least half the exact interception — degraded, but bounded degradation.
+func TestConformanceBoundedInterception(t *testing.T) {
+	leakcheck.Check(t)
+	exact, err := RunReport(cellConfig(true, false, false), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitRate := func(rep *Report) float64 {
+		c := rep.Spec.Counts
+		if c.Requests == 0 {
+			t.Fatal("run measured nothing")
+		}
+		return float64(c.SpecHits) / float64(c.Requests)
+	}
+	exactRate := hitRate(exact)
+	if exactRate == 0 {
+		t.Fatal("exact spec arm intercepted nothing; test vacuous")
+	}
+
+	d := markov.DefaultBounded()
+	def, err := RunReport(boundedCellConfig(true, false, false, d.MaxRows, d.RowTopK), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := hitRate(def); r < exactRate*0.98 || r > exactRate*1.02 {
+		t.Errorf("default-cap interception %.4f outside ±2%% of exact %.4f", r, exactRate)
+	}
+
+	tight, err := RunReport(boundedCellConfig(true, false, false, 24, 2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tight.Spec.Estimator
+	if st == nil || st.EvictedPairs == 0 {
+		t.Fatalf("starved caps evicted nothing (%+v); the degradation arm is vacuous", st)
+	}
+	if st.TrackedRows > 24 {
+		t.Errorf("tracked rows %d exceed MaxRows=24", st.TrackedRows)
+	}
+	r := hitRate(tight)
+	t.Logf("interception: exact %.4f, default caps %.4f, starved caps %.4f (evicted %d pairs, %d rows)",
+		exactRate, hitRate(def), r, st.EvictedPairs, st.EvictedRows)
+	if r == 0 {
+		t.Error("starved caps killed speculation entirely")
+	}
+	if r < exactRate*0.5 {
+		t.Errorf("starved-cap interception %.4f fell below half of exact %.4f", r, exactRate)
+	}
+}

@@ -106,6 +106,11 @@ type Config struct {
 	// The guard's decisions are functions of the recorded trace and the
 	// seed, so guarded runs remain byte-deterministic.
 	Estguard bool
+	// MaxRows and RowTopK select the memory-bounded streaming estimator
+	// on the in-process server (see core.EngineConfig); both zero keeps
+	// the exact estimator and a byte-identical report.
+	MaxRows int
+	RowTopK int
 	// Overload installs an admission controller and governor on the
 	// in-process server; AdmissionTune adjusts the controller config
 	// before construction. With generous slots the controller admits
@@ -229,6 +234,8 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 		Overload:           cfg.Overload,
 		Scenario:           cfg.Workload.Scenario,
 		Estguard:           cfg.Estguard,
+		MaxRows:            cfg.MaxRows,
+		RowTopK:            cfg.RowTopK,
 	}
 	if info.Scenario == "none" {
 		info.Scenario = ""
@@ -314,6 +321,8 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 				rst.StateDir = tmp
 			}
 			ecfg := httpspec.DefaultServerConfig().Engine
+			ecfg.MaxRows = cfg.MaxRows
+			ecfg.RowTopK = cfg.RowTopK
 			fp := checkpoint.Combine(ecfg.StateFingerprint(),
 				checkpoint.Fingerprint(fmt.Sprintf("loadgen/v1|profile=%s|seed=%d",
 					cfg.Workload.Profile.Name, cfg.Seed)))
@@ -333,6 +342,8 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 			scfg := httpspec.DefaultServerConfig()
 			scfg.Mode = cfg.Mode
 			scfg.MaxPush = cfg.MaxPush
+			scfg.Engine.MaxRows = cfg.MaxRows
+			scfg.Engine.RowTopK = cfg.RowTopK
 			scfg.Metrics = obs.NewRegistry()
 			scfg.Tracer = obs.NewTracer(64)
 			if ckstore != nil {
@@ -483,6 +494,9 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 	if cfg.Overload && r.srv != nil {
 		ov := r.srv.OverloadStats()
 		res.Overload = &ov
+	}
+	if (cfg.MaxRows > 0 || cfg.RowTopK > 0) && r.srv != nil {
+		res.Estimator = r.srv.Engine().Stats().Estimator
 	}
 	if guard != nil && r.srv != nil {
 		gs := guard.StatsSnapshot()

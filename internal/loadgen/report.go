@@ -8,6 +8,7 @@ import (
 	"specweb/internal/attrib"
 	"specweb/internal/checkpoint"
 	"specweb/internal/httpspec"
+	"specweb/internal/markov"
 )
 
 // ReportSchema versions the BENCH.json layout.
@@ -55,6 +56,10 @@ type ConfigInfo struct {
 	Overload           bool    `json:"overload,omitempty"`
 	Scenario           string  `json:"scenario,omitempty"`
 	Estguard           bool    `json:"estguard,omitempty"`
+	// MaxRows and RowTopK echo the bounded-estimator caps; absent (0)
+	// for exact-estimator runs, so existing reports stay byte-identical.
+	MaxRows int `json:"max_rows,omitempty"`
+	RowTopK int `json:"row_topk,omitempty"`
 	// Restart echoes the kill/restart harness configuration; absent for
 	// ordinary runs, so existing reports stay byte-identical.
 	Restart *RestartConfig `json:"restart,omitempty"`
@@ -89,6 +94,12 @@ type Result struct {
 	// function of the recorded trace and the seed, so the section is part
 	// of the byte-identical fingerprint.
 	Estguard *EstguardInfo `json:"estguard,omitempty"`
+	// Estimator is the bounded estimator's footprint and eviction ledger
+	// at the measurement freeze, present when the arm ran with
+	// MaxRows/RowTopK set. Deterministic — every field is a function of
+	// the warmup trace — and omitted for exact-estimator runs so those
+	// reports stay byte-identical.
+	Estimator *markov.EstimatorStats `json:"estimator,omitempty"`
 	// Checkpoint carries the durable-state counters when the arm ran
 	// with checkpointing (the restart harness); deterministic, and
 	// omitted — byte-identically — when checkpointing is off.

@@ -63,7 +63,16 @@ func BenchmarkClosure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Closure(1e-3, 1e-4, 6)
 	}
-	b.ReportMetric(float64(m.NumPairs()), "input_pairs")
+	reportPairMetrics(b, m)
+}
+
+// reportPairMetrics splits the old input_pairs metric into what the matrix
+// actually holds vs what a bounded estimator dropped on the way: NumPairs
+// only ever counted tracked pairs, and conflating the two would let a
+// bounding change shift benchmark baselines silently.
+func reportPairMetrics(b *testing.B, m *Matrix) {
+	b.ReportMetric(float64(m.NumPairs()), "tracked_pairs")
+	b.ReportMetric(float64(m.EvictedPairs()), "evicted_pairs")
 }
 
 // BenchmarkClosureSerial pins the single-worker closure as the baseline
@@ -78,7 +87,7 @@ func BenchmarkClosureSerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.closure(1e-3, 1e-4, 6, 1)
 	}
-	b.ReportMetric(float64(m.NumPairs()), "input_pairs")
+	reportPairMetrics(b, m)
 }
 
 // BenchmarkClosureParallel measures the row-parallel worker pool at full
@@ -94,7 +103,7 @@ func BenchmarkClosureParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.closure(1e-3, 1e-4, 6, workers)
 	}
-	b.ReportMetric(float64(m.NumPairs()), "input_pairs")
+	reportPairMetrics(b, m)
 }
 
 // BenchmarkFreeze measures CSR snapshot construction (refresh-path cost).
@@ -149,4 +158,53 @@ func BenchmarkAgingAddDay(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBoundedAddDay measures the bounded counterpart under caps tight
+// enough that space-saving eviction is on the measured path; compare
+// against BenchmarkAgingAddDay for the streaming overhead.
+func BenchmarkBoundedAddDay(b *testing.B) {
+	tr := benchTrace(b)
+	first, _, _ := tr.Span()
+	day := tr.Window(first, first.Add(24*time.Hour))
+	b.ResetTimer()
+	var st EstimatorStats
+	for i := 0; i < b.N; i++ {
+		bd := NewBounded(0.97, DefaultEstimate(), BoundedConfig{MaxRows: 64, RowTopK: 8})
+		if err := bd.AddDay(day); err != nil {
+			b.Fatal(err)
+		}
+		st = bd.EstimatorStats()
+	}
+	b.ReportMetric(float64(st.TrackedPairs), "tracked_pairs")
+	b.ReportMetric(float64(st.EvictedPairs), "evicted_pairs")
+	b.ReportMetric(float64(st.MemoryBytes), "estimator_bytes")
+}
+
+// BenchmarkDeltaFreeze measures the incremental refresh-path freeze when
+// only a small fraction of rows changed since the previous snapshot —
+// the case delta-freezing exists for. Compare against BenchmarkFreeze.
+func BenchmarkDeltaFreeze(b *testing.B) {
+	tr := benchTrace(b)
+	m, err := Estimate(tr, DefaultEstimate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := Freeze(m)
+	// Touch ~1/16 of the rows, the shape of a quiet refresh window.
+	var dirty []webgraph.DocID
+	f := Freeze(m)
+	f.RangeRows(func(doc webgraph.DocID, row []Successor) bool {
+		if int(doc)%16 == 0 {
+			m.Set(doc, row[0].Doc, row[0].P/2)
+			dirty = append(dirty, doc)
+		}
+		return true
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DeltaFreeze(prev, m, dirty)
+	}
+	b.ReportMetric(float64(len(dirty)), "dirty_rows")
+	b.ReportMetric(float64(m.NumRows()), "total_rows")
 }

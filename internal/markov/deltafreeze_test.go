@@ -1,0 +1,136 @@
+package markov
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"specweb/internal/stats"
+	"specweb/internal/webgraph"
+)
+
+// requireFrozenIdentical fails unless two frozen matrices are structurally
+// identical — ids, offsets, the flat successor array, and the dense index
+// all DeepEqual, which is exactly the byte-identity the checkpoint codec
+// and the conformance matrix pin.
+func requireFrozenIdentical(t *testing.T, got, want *Frozen, ctx string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: DeltaFreeze diverged from Freeze\n got: ids=%v off=%v succ=%v dense=%v\nwant: ids=%v off=%v succ=%v dense=%v",
+			ctx, got.ids, got.off, got.succ, got.dense, want.ids, want.off, want.succ, want.dense)
+	}
+}
+
+func TestDeltaFreezeSynthetic(t *testing.T) {
+	m1 := NewMatrix()
+	m1.Set(1, 2, 0.9)
+	m1.Set(1, 3, 0.5)
+	m1.Set(3, 4, 0.7)
+	m1.Set(5, 6, 0.2)
+	m1.Set(5, 7, 0.2) // probability tie: Doc-ascending order must survive patching
+	f1 := Freeze(m1)
+
+	// Mutate row 3, add row 9, drop row 5 entirely.
+	m2 := m1.Clone()
+	m2.Set(3, 4, 0.1)
+	m2.Set(3, 8, 0.95)
+	m2.Set(9, 1, 0.4)
+	m2.Set(5, 6, 0)
+	m2.Set(5, 7, 0)
+
+	dirty := []webgraph.DocID{3, 5, 9}
+	requireFrozenIdentical(t, DeltaFreeze(f1, m2, dirty), Freeze(m2), "exact dirty set")
+
+	// The contract asks only for a superset: extra ids — clean rows, absent
+	// rows — must not perturb the output.
+	super := []webgraph.DocID{1, 2, 3, 5, 9, 1000}
+	requireFrozenIdentical(t, DeltaFreeze(f1, m2, super), Freeze(m2), "dirty superset")
+
+	// nil previous snapshot falls back to a full freeze.
+	requireFrozenIdentical(t, DeltaFreeze(nil, m2, dirty), Freeze(m2), "nil prev")
+
+	// Empty delta: nothing dirty, output identical to prev and to Freeze.
+	requireFrozenIdentical(t, DeltaFreeze(f1, m1, nil), Freeze(m1), "empty delta")
+}
+
+// The production path: a bounded estimator with decay 1 emits snapshots
+// plus DirtyDocs, and chained delta-freezes must stay byte-identical to
+// full freezes across rounds — including rounds where row admission evicts
+// a previously-frozen row (the victim must appear dirty, or the stale row
+// would survive patching).
+func TestDeltaFreezeTracksBoundedEstimator(t *testing.T) {
+	cfg := EstimateConfig{
+		Window:         5 * time.Second,
+		StrideTimeout:  5 * time.Second,
+		MinOccurrences: 1,
+		Smoothing:      2,
+	}
+	for _, tc := range []struct {
+		name    string
+		docs    int
+		maxRows int
+		sparse  bool // remap ids far apart to force the binary-search (non-dense) layout
+	}{
+		{"dense-no-eviction", 16, 64, false},
+		{"dense-row-eviction", 48, 8, false},
+		{"sparse-ids", 16, 64, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := stats.NewRNG(555)
+			b := NewBounded(1, cfg, BoundedConfig{MaxRows: tc.maxRows, RowTopK: 6})
+			var prev *Frozen
+			evictions := false
+			for day := 0; day < 5; day++ {
+				tr := boundedRandTrace(rng, tc.docs, 250)
+				if tc.sparse {
+					for i := range tr.Requests {
+						tr.Requests[i].Doc *= 10007
+					}
+				}
+				if err := b.AddDay(tr); err != nil {
+					t.Fatal(err)
+				}
+				m := b.Snapshot()
+				full := Freeze(m)
+				if day == 0 {
+					// Before the first snapshot the estimator cannot bound
+					// the change set; callers must full-freeze.
+					if _, ok := b.DirtyDocs(); ok {
+						t.Fatal("DirtyDocs ok before any delta baseline exists")
+					}
+					prev = full
+					continue
+				}
+				dirty, ok := b.DirtyDocs()
+				if !ok {
+					t.Fatalf("day %d: decay=1 estimator must bound its change set", day)
+				}
+				requireFrozenIdentical(t, DeltaFreeze(prev, m, dirty), full, tc.name)
+				prev = full
+				if b.EstimatorStats().EvictedRows > 0 {
+					evictions = true
+				}
+			}
+			if tc.maxRows < tc.docs && !evictions {
+				t.Fatal("row-eviction case saw no evictions; test vacuous")
+			}
+		})
+	}
+}
+
+// Decay < 1 re-weights every row each day, so the estimator must declare
+// the whole snapshot dirty and the engine must fall back to a full freeze.
+func TestDeltaFreezeDecayForcesFullRebuild(t *testing.T) {
+	cfg := EstimateConfig{Window: 5 * time.Second, MinOccurrences: 1, Smoothing: 2}
+	rng := stats.NewRNG(77)
+	b := NewBounded(0.9, cfg, BoundedConfig{MaxRows: 64, RowTopK: 8})
+	for day := 0; day < 3; day++ {
+		if err := b.AddDay(boundedRandTrace(rng, 16, 100)); err != nil {
+			t.Fatal(err)
+		}
+		b.Snapshot()
+		if _, ok := b.DirtyDocs(); ok {
+			t.Fatalf("day %d: DirtyDocs ok despite decay re-weighting all rows", day)
+		}
+	}
+}

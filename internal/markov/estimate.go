@@ -3,6 +3,7 @@ package markov
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"specweb/internal/trace"
@@ -42,33 +43,43 @@ func DefaultEstimate() EstimateConfig {
 	}
 }
 
-// pairCounts is the shared counting core of all estimators. When transitive
-// is false, a pair (i,j) counts when j follows i within Window (the P
-// relation). When transitive is true, a pair counts when j follows i
-// anywhere within the same stride — the paper's definition of the closure
-// P*: "a sequence of requests starting with document D_i and ending with
-// document D_j, in which every request is separated by at most T_w units of
-// time from the previous request" (§3.1). Estimating P* directly from the
-// trace avoids the inflation a matrix-power closure suffers when many
-// alternative paths connect the same pair.
-type pairAccumulator struct {
-	counts map[webgraph.DocID]map[webgraph.DocID]float64
-	occ    map[webgraph.DocID]float64
+// pairSink receives the (occurrence, pair) event stream a trace traversal
+// produces. The exact accumulator and the memory-bounded estimator both
+// implement it, so they count the *same* events and differ only in how
+// they store them — the structural fact behind the bounded estimator's
+// test oracle: under its caps it performs bit-identical arithmetic.
+type pairSink interface {
+	addOcc(i webgraph.DocID)
+	addPair(i, j webgraph.DocID)
 }
 
-func newPairAccumulator() *pairAccumulator {
-	return &pairAccumulator{
-		counts: make(map[webgraph.DocID]map[webgraph.DocID]float64),
-		occ:    make(map[webgraph.DocID]float64),
-	}
-}
-
-func (a *pairAccumulator) addTrace(tr *trace.Trace, cfg EstimateConfig, transitive bool) {
+// accumulateTrace is the shared counting core of all estimators. When
+// transitive is false, a pair (i,j) counts when j follows i within Window
+// (the P relation). When transitive is true, a pair counts when j follows
+// i anywhere within the same stride — the paper's definition of the
+// closure P*: "a sequence of requests starting with document D_i and
+// ending with document D_j, in which every request is separated by at most
+// T_w units of time from the previous request" (§3.1). Estimating P*
+// directly from the trace avoids the inflation a matrix-power closure
+// suffers when many alternative paths connect the same pair.
+func accumulateTrace(tr *trace.Trace, cfg EstimateConfig, transitive bool, sink pairSink) {
 	strideTimeout := cfg.StrideTimeout
 	if transitive && strideTimeout <= 0 {
 		strideTimeout = cfg.Window
 	}
-	for _, reqs := range tr.ByClient() {
+	// Clients are visited in sorted order, not map order. The exact
+	// accumulator cannot tell the difference (its additions commute), but
+	// space-saving eviction is order-dependent: the bounded estimator's
+	// state — and hence benchmark reports under tight caps — is only
+	// reproducible run-to-run if the event stream is.
+	byClient := tr.ByClient()
+	clients := make([]trace.ClientID, 0, len(byClient))
+	for c := range byClient {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(a, b int) bool { return clients[a] < clients[b] })
+	for _, c := range clients {
+		reqs := byClient[c]
 		segments := [][]trace.Request{reqs}
 		if strideTimeout > 0 {
 			segments = trace.Segment(reqs, strideTimeout)
@@ -79,7 +90,7 @@ func (a *pairAccumulator) addTrace(tr *trace.Trace, cfg EstimateConfig, transiti
 				if i == webgraph.None {
 					continue
 				}
-				a.occ[i]++
+				sink.addOcc(i)
 				var seen map[webgraph.DocID]bool
 				for y := x + 1; y < len(seg); y++ {
 					if !transitive && seg[y].Time.Sub(seg[x].Time) > cfg.Window {
@@ -96,16 +107,42 @@ func (a *pairAccumulator) addTrace(tr *trace.Trace, cfg EstimateConfig, transiti
 						continue
 					}
 					seen[j] = true
-					row := a.counts[i]
-					if row == nil {
-						row = make(map[webgraph.DocID]float64)
-						a.counts[i] = row
-					}
-					row[j]++
+					sink.addPair(i, j)
 				}
 			}
 		}
 	}
+}
+
+// pairAccumulator is the exact counting store: full per-(i,j) counts and
+// per-document occurrences, unbounded. It remains the reference
+// implementation — the test oracle the bounded estimator is
+// property-tested and conformance-gated against.
+type pairAccumulator struct {
+	counts map[webgraph.DocID]map[webgraph.DocID]float64
+	occ    map[webgraph.DocID]float64
+}
+
+func newPairAccumulator() *pairAccumulator {
+	return &pairAccumulator{
+		counts: make(map[webgraph.DocID]map[webgraph.DocID]float64),
+		occ:    make(map[webgraph.DocID]float64),
+	}
+}
+
+func (a *pairAccumulator) addOcc(i webgraph.DocID) { a.occ[i]++ }
+
+func (a *pairAccumulator) addPair(i, j webgraph.DocID) {
+	row := a.counts[i]
+	if row == nil {
+		row = make(map[webgraph.DocID]float64)
+		a.counts[i] = row
+	}
+	row[j]++
+}
+
+func (a *pairAccumulator) addTrace(tr *trace.Trace, cfg EstimateConfig, transitive bool) {
+	accumulateTrace(tr, cfg, transitive, a)
 }
 
 func (a *pairAccumulator) snapshot(cfg EstimateConfig) *Matrix {
@@ -154,6 +191,57 @@ func EstimateTransitive(tr *trace.Trace, cfg EstimateConfig) (*Matrix, error) {
 	a := newPairAccumulator()
 	a.addTrace(tr, cfg, true)
 	return a.snapshot(cfg), nil
+}
+
+// EstimatorStats describes an estimator's storage footprint and loss.
+// For the exact estimator the evicted tallies are always zero; for the
+// bounded estimator they are the cumulative space-saving eviction ledger.
+// Every field is a deterministic function of the ingested traces, so the
+// struct can ride in byte-compared benchmark reports.
+type EstimatorStats struct {
+	// TrackedRows and TrackedPairs size the live accumulator (before
+	// MinOccurrences filtering).
+	TrackedRows  int `json:"tracked_rows"`
+	TrackedPairs int `json:"tracked_pairs"`
+	// EvictedRows / EvictedPairs count cumulative space-saving evictions;
+	// EvictedMass is the (decayed) count mass those evictions dropped.
+	EvictedRows  int64   `json:"evicted_rows,omitempty"`
+	EvictedPairs int64   `json:"evicted_pairs,omitempty"`
+	EvictedMass  float64 `json:"evicted_mass,omitempty"`
+	// ErrorBound is the largest per-entry overcount currently tracked
+	// (the space-saving ε): for every tracked pair,
+	// count − ErrorBound ≤ true count ≤ count.
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	// MemoryBytes is the estimator's analytic live footprint — computed
+	// from entry counts and fixed per-entry costs, not from the runtime
+	// heap, so it is deterministic and gateable in CI.
+	MemoryBytes int64 `json:"memory_bytes"`
+}
+
+// Estimator is the engine-facing estimation contract: fold a window of
+// traffic in, materialize the current estimate, and report per-row
+// support. Two implementations exist — the exact *Aging (the reference
+// and test oracle) and the memory-bounded *Bounded — selected by
+// configuration, so every downstream consumer (freeze, trust scoring,
+// drift, checkpointing) is representation-agnostic.
+type Estimator interface {
+	// AddDay decays the accumulated state by one refresh interval and
+	// folds in the window's trace.
+	AddDay(day *trace.Trace) error
+	// Snapshot materializes the current estimate as a Matrix.
+	Snapshot() *Matrix
+	// Occurrences reports the decayed occurrence count backing row i.
+	Occurrences(i webgraph.DocID) float64
+	// Pairs reports the number of (i,j) pairs currently tracked.
+	Pairs() int
+	// EstimatorStats reports the storage footprint and eviction ledger.
+	EstimatorStats() EstimatorStats
+	// DirtyDocs reports which rows changed between the two most recent
+	// Snapshot calls, for incremental delta-freezing. ok is false when
+	// the estimator cannot bound the change set (every row may have
+	// moved — e.g. decay < 1 re-weights all rows each AddDay), in which
+	// case the caller must rebuild the frozen snapshot in full.
+	DirtyDocs() (docs []webgraph.DocID, ok bool)
 }
 
 // Aging maintains an exponentially-decayed estimate of P (or P* when
@@ -228,3 +316,34 @@ func (a *Aging) Pairs() int {
 	}
 	return n
 }
+
+// Analytic per-entry storage costs, shared by both estimators' MemoryBytes
+// accounting. They approximate Go map internals (key + value + bucket
+// overhead) but their exact values matter less than their being fixed:
+// the memory gate compares growth ratios, not absolute bytes.
+const (
+	mapEntryBytes = 48 // one map[DocID]float64 entry incl. bucket share
+	mapFixedBytes = 96 // map header + first bucket
+)
+
+// EstimatorStats reports the exact estimator's footprint: rows and pairs
+// tracked in full, nothing ever evicted. Memory grows with the number of
+// distinct documents and dependency pairs — the unbounded behavior the
+// bounded estimator exists to cap.
+func (a *Aging) EstimatorStats() EstimatorStats {
+	rows := len(a.acc.counts)
+	pairs := a.Pairs()
+	mem := int64(mapFixedBytes) * 2 // counts and occ headers
+	mem += int64(len(a.acc.occ)) * mapEntryBytes
+	mem += int64(rows) * (mapEntryBytes + mapFixedBytes) // outer entry + inner header
+	mem += int64(pairs) * mapEntryBytes
+	return EstimatorStats{
+		TrackedRows:  rows,
+		TrackedPairs: pairs,
+		MemoryBytes:  mem,
+	}
+}
+
+// DirtyDocs reports ok=false: the exact estimator does not track per-row
+// change sets, so callers rebuild frozen snapshots in full.
+func (a *Aging) DirtyDocs() ([]webgraph.DocID, bool) { return nil, false }

@@ -28,6 +28,13 @@ import (
 // ID. A missing entry is 0.
 type Matrix struct {
 	rows map[webgraph.DocID]map[webgraph.DocID]float64
+	// evictedPairs annotates a snapshot produced by a bounded estimator
+	// with the cumulative number of (i,j) pairs its space-saving store
+	// evicted — pairs that existed in the traffic but are absent here.
+	// Always 0 for exact estimation, so NumPairs ("tracked") and
+	// EvictedPairs never conflate and benchmark baselines cannot shift
+	// silently when bounding is enabled.
+	evictedPairs int64
 }
 
 // NewMatrix returns an empty matrix.
@@ -158,7 +165,9 @@ func (m *Matrix) ScaleRow(i webgraph.DocID, f float64) {
 	}
 }
 
-// NumPairs returns the number of stored (i,j) entries.
+// NumPairs returns the number of (i,j) entries stored — the *tracked*
+// pairs. Pairs a bounded estimator evicted are deliberately not included;
+// they are reported separately by EvictedPairs.
 func (m *Matrix) NumPairs() int {
 	n := 0
 	for _, row := range m.rows {
@@ -167,12 +176,22 @@ func (m *Matrix) NumPairs() int {
 	return n
 }
 
+// EvictedPairs returns the cumulative count of dependency pairs the
+// producing estimator evicted before this snapshot was taken (0 for exact
+// estimation and hand-built matrices).
+func (m *Matrix) EvictedPairs() int64 { return m.evictedPairs }
+
+// SetEvictedPairs annotates the matrix with its producer's eviction
+// tally. Bounded estimators stamp it at Snapshot time.
+func (m *Matrix) SetEvictedPairs(n int64) { m.evictedPairs = n }
+
 // NumRows returns the number of documents with at least one successor.
 func (m *Matrix) NumRows() int { return len(m.rows) }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (including the eviction annotation).
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix()
+	c.evictedPairs = m.evictedPairs
 	for i, row := range m.rows {
 		nr := make(map[webgraph.DocID]float64, len(row))
 		for j, p := range row {

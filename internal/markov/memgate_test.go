@@ -1,0 +1,39 @@
+package markov
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// memoryGateReport is the artifact `make bench-memory` writes (and CI
+// uploads): the analytic estimator footprints at 1× and 10× document
+// cardinality and their growth ratios, so a regression of the memory gate
+// can be diagnosed from the artifact without rerunning anything.
+type memoryGateReport struct {
+	Caps            BoundedConfig `json:"caps"`
+	ExactBytes1x    int64         `json:"exact_bytes_1x"`
+	ExactBytes10x   int64         `json:"exact_bytes_10x"`
+	BoundedBytes1x  int64         `json:"bounded_bytes_1x"`
+	BoundedBytes10x int64         `json:"bounded_bytes_10x"`
+	ExactGrowth     float64       `json:"exact_growth"`
+	BoundedGrowth   float64       `json:"bounded_growth"`
+}
+
+// writeMemoryGateReport writes the gate report to $BENCH_MEMORY_OUT when
+// set; a plain `go test` run skips the artifact.
+func writeMemoryGateReport(t *testing.T, r memoryGateReport) {
+	t.Helper()
+	out := os.Getenv("BENCH_MEMORY_OUT")
+	if out == "" {
+		return
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatalf("memory gate report: %v", err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatalf("memory gate report: %v", err)
+	}
+	t.Logf("memory gate report written to %s", out)
+}
