@@ -4,6 +4,7 @@ GO ?= go
 	bench-smoke specbench bench-run bench-gate bench-baseline \
 	bench-scenarios bench-scenarios-baseline \
 	bench-restart bench-restart-baseline bench-memory \
+	bench-stream bench-stream-baseline bench-distributed \
 	fuzz-checkpoint fuzz-estimator golden clean
 
 all: vet build test
@@ -115,6 +116,29 @@ bench-restart-baseline: specbench
 bench-memory:
 	BENCH_MEMORY_OUT=$(CURDIR)/BENCH-memory.json \
 		$(GO) test ./internal/markov/ -run TestBoundedMemoryGate -count=1 -v
+
+# Streaming gate: (1) byte-identity — over a spec × overload cube and two
+# worker counts, driving the benchmark from per-client seeded stream
+# cursors must produce exactly the deterministic report that materializing
+# the same stream produces; (2) the memory bound — at a 100k-client
+# population the streamed trace pipeline's peak live heap must stay within
+# 0.2× of what materializing the trace costs. Writes the BENCH-stream.json
+# artifact; the deterministic fields (request/client counts, cell
+# coverage) are gated against the committed baseline.
+bench-stream: specbench
+	./bin/specbench -stream-gate -o BENCH-stream.json \
+		-baseline testdata/stream_baseline.json
+
+bench-stream-baseline: specbench
+	./bin/specbench -stream-gate -o testdata/stream_baseline.json
+
+# Distributed smoke: a coordinator self-execs two local workers, ships
+# each a disjoint client shard over the HTTP job protocol, merges the
+# partial reports, and (-verify-single) requires the merge to be
+# byte-identical to running the same config in one process.
+bench-distributed: specbench
+	./bin/specbench -short -reps 1 -stream -spawn 2 -verify-single \
+		-o BENCH-distributed.json
 
 # Checkpoint decoder fuzzing: truncated, bit-flipped, and version-skewed
 # frames must fail with typed errors, never panic.

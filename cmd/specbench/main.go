@@ -27,14 +27,9 @@ import (
 	"time"
 
 	"specweb/internal/experiments"
-	"specweb/internal/httpspec"
 	"specweb/internal/loadgen"
-	"specweb/internal/netsim"
 	"specweb/internal/obs"
-	"specweb/internal/resilience"
-	"specweb/internal/resilience/faults"
 	"specweb/internal/synth"
-	"specweb/internal/webgraph"
 )
 
 func main() {
@@ -76,6 +71,15 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-request timeout (0 = none)")
 		retries = flag.Int("retries", 1, "max attempts per demand fetch (1 = no retries)")
 
+		streamF   = flag.Bool("stream", false, "drive the workload from per-client seeded stream cursors instead of a materialized trace (O(clients) memory; a distinct, statistically equivalent workload)")
+		gateF     = flag.Bool("stream-gate", false, "run the streaming gate (streamed-vs-materialized byte identity plus the 100k-client memory bound) and write BENCH-stream.json")
+		workerF   = flag.Bool("worker", false, "serve shard jobs over HTTP (POST /run) instead of running a benchmark")
+		listenF   = flag.String("listen", "127.0.0.1:0", "worker listen address")
+		exitStdin = flag.Bool("exit-on-stdin-close", false, "worker exits when stdin closes (set by -spawn so workers never outlive their coordinator)")
+		coordF    = flag.String("coordinator", "", "comma-separated worker addresses; shard the run across them and merge the partial reports")
+		spawnN    = flag.Int("spawn", 0, "self-exec this many local workers and coordinate across them")
+		verifyS   = flag.Bool("verify-single", false, "after the distributed merge, run the same config single-process and require byte-identical deterministic reports")
+
 		chaos         = flag.Bool("chaos", false, "inject transport faults (seeded; chaos runs are not byte-deterministic)")
 		faultSeed     = flag.Int64("fault-seed", 0, "chaos: fault injection seed (0 = fixed default)")
 		faultErr      = flag.Float64("fault-error-rate", 0.05, "chaos: probability a request fails with a connection error")
@@ -100,79 +104,92 @@ func main() {
 	}
 	obs.RegisterBuildInfo(nil, "specbench")
 
-	wl := experiments.DefaultWorkload()
-	if *short {
-		wl = experiments.SmallWorkload()
-	}
-	if *profile != "" {
-		p, err := webgraph.ProfileByName(*profile)
-		if err != nil {
+	if *workerF {
+		if err := runWorker(*listenF, *exitStdin); err != nil {
 			fatal(err)
 		}
-		wl.Profile = p
-		if *profile == "tiny" {
-			wl.Net = netsim.TinyConfig()
-		}
+		return
 	}
-	if *days > 0 {
-		wl.Days = *days
-	}
-	if *sess > 0 {
-		wl.SessionsPerDay = *sess
-	}
-	if *seed != 0 {
-		wl.Seed = *seed
-	}
-	m, err := httpspec.ParseMode(*mode)
-	if err != nil {
-		fatal(err)
+	if *gateF {
+		runStreamGate(*out, *baseline, *quiet)
+		return
 	}
 
 	if *scenario != "" {
 		if _, err := synth.ScenarioByName(*scenario); err != nil {
 			fatal(err)
 		}
-		wl.Scenario = *scenario
 	}
 
-	cfg := loadgen.Config{
-		Workload:           wl,
-		Seed:               wl.Seed,
-		Workers:            *workers,
-		WarmupFraction:     *warmup,
-		Speculate:          true,
-		Mode:               m,
-		MaxPush:            *maxPush,
-		Cooperative:        *coop,
-		PrefetchThreshold:  *pref,
-		SessionGapRequests: *session,
-		Reps:               *reps,
-		Think:              *think,
-		ThinkJitter:        *jitter,
-		OpenLoop:           *rate > 0,
-		Rate:               *rate,
-		Burst:              *burst,
-		BaseURL:            *server,
-		RealClock:          *realclock,
-		Overload:           *overloadF,
-		Estguard:           *estguardF,
-		MaxRows:            *maxRows,
-		RowTopK:            *rowTopK,
-		Timeout:            *timeout,
+	// The wire job carries the flag-level workload selection; both this
+	// process and any worker resolve it through jobSpec.config, so a
+	// distributed merge can only ever be compared against the identical
+	// single-process configuration.
+	spec := jobSpec{
+		Schema:        jobSchema,
+		Short:         *short,
+		Profile:       *profile,
+		Days:          *days,
+		Sessions:      *sess,
+		Seed:          *seed,
+		Scenario:      *scenario,
+		Workers:       *workers,
+		Warmup:        *warmup,
+		Mode:          *mode,
+		MaxPush:       *maxPush,
+		Cooperative:   *coop,
+		Prefetch:      *pref,
+		SessionGap:    *session,
+		Reps:          *reps,
+		Think:         *think,
+		ThinkJitter:   *jitter,
+		Rate:          *rate,
+		Burst:         *burst,
+		Overload:      *overloadF,
+		Stream:        *streamF,
+		Timeout:       *timeout,
+		Retries:       *retries,
+		Chaos:         *chaos,
+		FaultSeed:     *faultSeed,
+		FaultErr:      *faultErr,
+		Fault5xx:      *fault5xx,
+		Fault5xxBurst: *fault5xxBurst,
+		FaultLatency:  *faultLatency,
+		FaultJitter:   *faultJitter,
+		FaultTruncate: *faultTruncate,
+		WithBaseline:  !*noBase,
 	}
-	if *retries > 1 {
-		cfg.Retry = resilience.RetryConfig{MaxAttempts: *retries}
+	cfg, err := spec.config()
+	if err != nil {
+		fatal(err)
 	}
-	if *chaos {
-		cfg.Faults = faults.Config{
-			Seed:          *faultSeed,
-			ErrorRate:     *faultErr,
-			Rate5xx:       *fault5xx,
-			Burst5xx:      *fault5xxBurst,
-			Latency:       *faultLatency,
-			LatencyJitter: *faultJitter,
-			TruncateRate:  *faultTruncate,
+	// Single-process-only knobs: the shard protocol excludes them (they
+	// hold per-process state that cannot merge), so they ride on the
+	// config after the wire-safe part is built.
+	cfg.BaseURL = *server
+	cfg.RealClock = *realclock
+	cfg.Estguard = *estguardF
+	cfg.MaxRows = *maxRows
+	cfg.RowTopK = *rowTopK
+
+	if *spawnN > 0 || *coordF != "" {
+		if *server != "" || *realclock || *estguardF || *maxRows > 0 || *rowTopK > 0 || *restartF || *suite {
+			fatal(fmt.Errorf("distributed runs exclude -server, -realclock, -estguard, -max-rows, -row-topk, -restart, and -scenario-suite"))
 		}
+		var addrs []string
+		if *spawnN > 0 {
+			spawned, stop, err := spawnWorkers(*spawnN)
+			if err != nil {
+				fatal(err)
+			}
+			defer stop()
+			addrs = append(addrs, spawned...)
+		}
+		if *coordF != "" {
+			addrs = append(addrs, strings.Split(*coordF, ",")...)
+		}
+		runCoordinator(spec, addrs, *verifyS, *out, *baseline, *tolerance, *latSlack, *absolute, *quiet)
+		return
 	}
 
 	if *suite {

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	tracegen -profile department -days 90 -rate 220 -seed 1995 -o trace.log
+//
+// With -stream the rows are written as they are generated from per-client
+// seeded cursors — O(clients) memory instead of O(trace) — byte-identical
+// to materializing that same stream and writing it buffered. The streamed
+// generator is a distinct (statistically equivalent) trace process from
+// the default one, so -stream changes the bytes relative to the default
+// path; it does not change them relative to itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"specweb/internal/experiments"
@@ -18,21 +26,32 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body: flags in, exit code out, with the CLF rows
+// going to stdout (or -o) and the human summary to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		profile = flag.String("profile", "department", "site profile: department, media, or tiny")
-		days    = flag.Int("days", 90, "days of traffic to generate")
-		rate    = flag.Float64("rate", 220, "mean sessions per day")
-		seed    = flag.Int64("seed", 1995, "random seed")
-		noise   = flag.Float64("noise", 0, "fraction of junk requests (404s, scripts, aliases) to interleave")
-		out     = flag.String("o", "-", "output file (- for stdout)")
+		profile = fs.String("profile", "department", "site profile: department, media, or tiny")
+		days    = fs.Int("days", 90, "days of traffic to generate")
+		rate    = fs.Float64("rate", 220, "mean sessions per day")
+		seed    = fs.Int64("seed", 1995, "random seed")
+		noise   = fs.Float64("noise", 0, "fraction of junk requests (404s, scripts, aliases) to interleave")
+		stream  = fs.Bool("stream", false, "stream rows from per-client seeded cursors (O(clients) memory; a distinct, statistically equivalent trace)")
+		out     = fs.String("o", "-", "output file (- for stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := experiments.DefaultWorkload()
 	p, err := webgraph.ProfileByName(*profile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
 	}
 	cfg.Profile = p
 	cfg.Days = *days
@@ -40,27 +59,45 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Noise = *noise
 
-	w, err := experiments.Build(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
-
-	dst := os.Stdout
+	dst := stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
 		}
 		defer f.Close()
 		dst = f
 	}
-	if err := trace.WriteCLF(dst, w.Trace); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+
+	if *stream {
+		sw, err := experiments.BuildStream(cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		n, err := trace.WriteCLFStream(dst, sw.Gen.Merged())
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "tracegen: %d requests streamed from %d client cursors, %d docs on site, %s total\n",
+			n, sw.Gen.NumClients(), sw.Site.NumDocs(),
+			experiments.FmtBytes(sw.Site.TotalBytes()))
+		return 0
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: %d requests, %d clients, %d docs on site, %s total\n",
+
+	w, err := experiments.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	if err := trace.WriteCLF(dst, w.Trace); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "tracegen: %d requests, %d clients, %d docs on site, %s total\n",
 		w.Trace.Len(), len(w.Trace.Clients()), w.Site.NumDocs(),
 		experiments.FmtBytes(w.Site.TotalBytes()))
+	return 0
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specweb/internal/experiments"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// tinyArgs is a fast workload for CLI-level tests.
+func tinyArgs(extra ...string) []string {
+	args := []string{"-profile", "tiny", "-days", "2", "-rate", "30", "-seed", "7"}
+	return append(args, extra...)
+}
+
+// TestStreamByteIdentity is satellite S1 at the command level: the
+// -stream path must write exactly the bytes the buffered writer produces
+// from materializing the identical stream.
+func TestStreamByteIdentity(t *testing.T) {
+	var got, stderr bytes.Buffer
+	if code := run(tinyArgs("-stream"), &got, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+
+	cfg := experiments.DefaultWorkload()
+	p, err := webgraph.ProfileByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = p
+	cfg.Days = 2
+	cfg.SessionsPerDay = 30
+	cfg.Seed = 7
+	sw, err := experiments.BuildStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := trace.WriteCLF(&want, trace.Materialize(sw.Gen.Merged())); err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("empty oracle trace")
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("streamed CLI output diverged from buffered oracle (%d vs %d bytes)",
+			got.Len(), want.Len())
+	}
+	if !strings.Contains(stderr.String(), "streamed from") {
+		t.Errorf("stream summary missing: %q", stderr.String())
+	}
+}
+
+// TestBufferedPathUnchanged pins the legacy default: without -stream the
+// CLI still writes the materialized generator's trace.
+func TestBufferedPathUnchanged(t *testing.T) {
+	var got, stderr bytes.Buffer
+	if code := run(tinyArgs(), &got, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+
+	cfg := experiments.DefaultWorkload()
+	p, err := webgraph.ProfileByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = p
+	cfg.Days = 2
+	cfg.SessionsPerDay = 30
+	cfg.Seed = 7
+	w, err := experiments.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := trace.WriteCLF(&want, w.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("default CLI output diverged from the materialized generator")
+	}
+}
+
+// TestBadProfileExitCode: usage errors exit 2 without writing rows.
+func TestBadProfileExitCode(t *testing.T) {
+	var out, stderr bytes.Buffer
+	if code := run([]string{"-profile", "nope"}, &out, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if out.Len() != 0 {
+		t.Error("rows written despite profile error")
+	}
+}

@@ -17,6 +17,7 @@ package attrib
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"sort"
@@ -368,6 +369,175 @@ func (l *Ledger) Report(topN int) *Report {
 	}
 	r.Docs = rows
 	return r
+}
+
+// DocExport is one document's raw attribution row in a ledger export:
+// unlike DocStat it carries the delivery-probability *sum* (PMilliSum),
+// not the rendered mean, so exports from disjoint shards merge exactly.
+type DocExport struct {
+	Doc            string `json:"doc"`
+	Deliveries     int64  `json:"deliveries"`
+	DeliveredBytes int64  `json:"delivered_bytes"`
+	Consumed       int64  `json:"consumed"`
+	ConsumedBytes  int64  `json:"consumed_bytes"`
+	Wasted         int64  `json:"wasted"`
+	WastedBytes    int64  `json:"wasted_bytes"`
+	PMilliSum      int64  `json:"p_milli_sum"`
+}
+
+// Export is a ledger's raw state for distributed merging. Because every
+// ledger update is a commutative integer add, summing the exports of
+// shards whose operations partition the run reproduces the single-ledger
+// state exactly; Report-rendering the merge then yields byte-identical
+// output.
+type Export struct {
+	Totals  Totals            `json:"totals"`
+	Classes map[string]Totals `json:"classes,omitempty"`
+	Rungs   map[string]int64  `json:"rungs,omitempty"`
+	Docs    []DocExport       `json:"docs,omitempty"`
+	// Evicted > 0 marks the per-doc rows approximate; such exports are
+	// rejected by MergeExports (size shard ledgers to the site).
+	Evicted int64 `json:"evicted,omitempty"`
+}
+
+// Export snapshots the ledger's raw state with doc rows sorted by path
+// (deterministic wire bytes). Nil-safe: a nil ledger exports nil.
+func (l *Ledger) Export() *Export {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := &Export{Totals: l.total, Evicted: l.evicted}
+	if len(l.classes) > 0 {
+		e.Classes = make(map[string]Totals, len(l.classes))
+		for k, v := range l.classes {
+			e.Classes[k] = *v
+		}
+	}
+	if len(l.rungs) > 0 {
+		e.Rungs = make(map[string]int64, len(l.rungs))
+		for k, v := range l.rungs {
+			e.Rungs[k] = v
+		}
+	}
+	for _, en := range l.docs {
+		s := en.stats
+		e.Docs = append(e.Docs, DocExport{
+			Doc:            s.Doc,
+			Deliveries:     s.Deliveries,
+			DeliveredBytes: s.DeliveredBytes,
+			Consumed:       s.Consumed,
+			ConsumedBytes:  s.ConsumedBytes,
+			Wasted:         s.Wasted,
+			WastedBytes:    s.WastedBytes,
+			PMilliSum:      s.MeanPMilli, // the field holds the sum pre-Report
+		})
+	}
+	sort.Slice(e.Docs, func(i, j int) bool { return e.Docs[i].Doc < e.Docs[j].Doc })
+	return e
+}
+
+// MergeExports sums shard exports and renders the combined Report with
+// the same ranking and truncation rules as Ledger.Report. It rejects
+// approximate (evicting) exports: the merge is only exact when every
+// shard's ledger tracked all its documents.
+func MergeExports(parts []*Export, topN int) (*Report, error) {
+	if topN < 0 {
+		topN = 0
+	}
+	var present []*Export
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if p.Evicted > 0 {
+			return nil, fmt.Errorf("attrib: cannot merge an evicting ledger export (%d evictions); size shard ledgers to the site", p.Evicted)
+		}
+		present = append(present, p)
+	}
+	if len(present) == 0 {
+		return nil, nil
+	}
+	var total Totals
+	classes := make(map[string]Totals)
+	rungs := make(map[string]int64)
+	docs := make(map[string]*DocExport)
+	addTotals := func(dst *Totals, src Totals) {
+		dst.Deliveries += src.Deliveries
+		dst.DeliveredBytes += src.DeliveredBytes
+		dst.Consumed += src.Consumed
+		dst.ConsumedBytes += src.ConsumedBytes
+		dst.Wasted += src.Wasted
+		dst.WastedBytes += src.WastedBytes
+		dst.PMilliSum += src.PMilliSum
+	}
+	for _, p := range present {
+		addTotals(&total, p.Totals)
+		for k, v := range p.Classes {
+			t := classes[k]
+			addTotals(&t, v)
+			classes[k] = t
+		}
+		for k, v := range p.Rungs {
+			rungs[k] += v
+		}
+		for i := range p.Docs {
+			d := p.Docs[i]
+			m, ok := docs[d.Doc]
+			if !ok {
+				cp := d
+				docs[d.Doc] = &cp
+				continue
+			}
+			m.Deliveries += d.Deliveries
+			m.DeliveredBytes += d.DeliveredBytes
+			m.Consumed += d.Consumed
+			m.ConsumedBytes += d.ConsumedBytes
+			m.Wasted += d.Wasted
+			m.WastedBytes += d.WastedBytes
+			m.PMilliSum += d.PMilliSum
+		}
+	}
+	r := &Report{
+		Totals:      total,
+		Outstanding: total.Deliveries - total.Consumed - total.Wasted,
+		TrackedDocs: len(docs),
+	}
+	if len(classes) > 0 {
+		r.Classes = classes
+	}
+	if len(rungs) > 0 {
+		r.Rungs = rungs
+	}
+	rows := make([]DocStat, 0, len(docs))
+	for _, d := range docs {
+		s := DocStat{
+			Doc:            d.Doc,
+			Deliveries:     d.Deliveries,
+			DeliveredBytes: d.DeliveredBytes,
+			Consumed:       d.Consumed,
+			ConsumedBytes:  d.ConsumedBytes,
+			Wasted:         d.Wasted,
+			WastedBytes:    d.WastedBytes,
+			MeanPMilli:     d.PMilliSum,
+		}
+		if s.Deliveries > 0 {
+			s.MeanPMilli /= s.Deliveries
+		}
+		rows = append(rows, s)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].DeliveredBytes != rows[j].DeliveredBytes {
+			return rows[i].DeliveredBytes > rows[j].DeliveredBytes
+		}
+		return rows[i].Doc < rows[j].Doc
+	})
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	r.Docs = rows
+	return r, nil
 }
 
 // Handler serves the ledger as JSON — mount it at /debug/attrib. A

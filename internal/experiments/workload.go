@@ -80,6 +80,45 @@ type Workload struct {
 	Updates []synth.Update
 }
 
+// StreamWorkload is the streaming counterpart of Workload: the same site
+// and topology, but the trace exists only as per-client seeded cursors
+// (synth.Stream) — it is never materialized here.
+type StreamWorkload struct {
+	Config WorkloadConfig
+	Site   *webgraph.Site
+	Topo   *netsim.Topology
+	Gen    *synth.Stream
+}
+
+// BuildStream generates the site and topology exactly as Build does (same
+// seed-derivation labels, so the world is identical) and wraps the trace
+// model in a per-client stream generator instead of materializing it.
+// Identical configurations produce identical streams; scenarios are
+// rejected by the streaming generator.
+func BuildStream(cfg WorkloadConfig) (*StreamWorkload, error) {
+	root := stats.NewRNG(cfg.Seed)
+	site, err := webgraph.Generate(cfg.Profile, root.Split("site"))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating site: %w", err)
+	}
+	topo, err := netsim.Generate(cfg.Net, root.Split("net"))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating topology: %w", err)
+	}
+	scfg := synth.DefaultConfig(site, topo)
+	scfg.Days = cfg.Days
+	scfg.SessionsPerDay = cfg.SessionsPerDay
+	scfg.Noise = cfg.Noise
+	if cfg.Scenario != "" && cfg.Scenario != "none" {
+		return nil, fmt.Errorf("experiments: scenario %q requires the materialized workload path", cfg.Scenario)
+	}
+	gen, err := synth.NewStream(scfg, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building stream: %w", err)
+	}
+	return &StreamWorkload{Config: cfg, Site: site, Topo: topo, Gen: gen}, nil
+}
+
 // Build generates the site, topology, and trace for the configuration.
 // Identical configurations produce identical workloads.
 func Build(cfg WorkloadConfig) (*Workload, error) {

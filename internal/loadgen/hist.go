@@ -16,6 +16,7 @@
 package loadgen
 
 import (
+	"fmt"
 	"math"
 	"time"
 )
@@ -67,14 +68,24 @@ func upperOf(i int) time.Duration {
 	return time.Duration(float64(histMin) * math.Pow(2, float64(i)/histGrowth))
 }
 
+// satAdd adds two non-negative int64 counters, saturating at MaxInt64
+// instead of wrapping. Partition-and-merge must never turn a huge count
+// into a negative one, so every count accumulation goes through it.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
 // Observe records one sample.
 func (h *Hist) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.counts[bucketOf(d)]++
-	h.n++
-	h.sum += d
+	h.counts[bucketOf(d)] = satAdd(h.counts[bucketOf(d)], 1)
+	h.n = satAdd(h.n, 1)
+	h.sum = time.Duration(satAdd(int64(h.sum), int64(d)))
 	if h.n == 1 || d < h.min {
 		h.min = d
 	}
@@ -83,13 +94,17 @@ func (h *Hist) Observe(d time.Duration) {
 	}
 }
 
-// Merge folds other into h.
+// Merge folds other into h. The merge is exact: bucket counts, n, sum,
+// min, and max of a merged histogram equal those of a histogram that
+// observed the concatenated sample stream (saturating at int64 bounds),
+// so any partition of observations merges to the same state — the
+// property the distributed coordinator relies on.
 func (h *Hist) Merge(other *Hist) {
 	if other == nil || other.n == 0 {
 		return
 	}
 	for i, c := range other.counts {
-		h.counts[i] += c
+		h.counts[i] = satAdd(h.counts[i], c)
 	}
 	if h.n == 0 || other.min < h.min {
 		h.min = other.min
@@ -97,8 +112,47 @@ func (h *Hist) Merge(other *Hist) {
 	if other.max > h.max {
 		h.max = other.max
 	}
-	h.n += other.n
-	h.sum += other.sum
+	h.n = satAdd(h.n, other.n)
+	h.sum = time.Duration(satAdd(int64(h.sum), int64(other.sum)))
+}
+
+// HistState is the wire form of a histogram for distributed partial
+// reports: raw bucket counts plus the exact aggregates, so a coordinator
+// can reconstruct and merge worker histograms losslessly.
+type HistState struct {
+	Counts []int64 `json:"counts"`
+	N      int64   `json:"n"`
+	SumNS  int64   `json:"sum_ns"`
+	MinNS  int64   `json:"min_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// Export snapshots the histogram's full state.
+func (h *Hist) Export() HistState {
+	return HistState{
+		Counts: append([]int64(nil), h.counts...),
+		N:      h.n,
+		SumNS:  int64(h.sum),
+		MinNS:  int64(h.min),
+		MaxNS:  int64(h.max),
+	}
+}
+
+// ImportHist reconstructs a histogram from its wire form. A state with
+// more buckets than this build understands is rejected (bucket layout is
+// part of the partial-report schema).
+func ImportHist(st HistState) (*Hist, error) {
+	if len(st.Counts) > histBuckets {
+		return nil, fmt.Errorf("loadgen: histogram state has %d buckets, this build has %d",
+			len(st.Counts), histBuckets)
+	}
+	h := NewHist()
+	copy(h.counts, st.Counts)
+	h.n = st.N
+	h.sum = time.Duration(st.SumNS)
+	h.min = time.Duration(st.MinNS)
+	h.max = time.Duration(st.MaxNS)
+	return h, nil
 }
 
 // Count returns the number of samples.

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"specweb/internal/stats"
+)
+
+// TestHistMergePartitionProperty is the merge law the distributed
+// coordinator leans on: for ANY partition of an observation stream into
+// sub-histograms, merging the parts reproduces the whole-stream
+// histogram exactly — counts, n, sum, min, max, and therefore every
+// quantile. Checked over randomized streams and randomized partitions.
+func TestHistMergePartitionProperty(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		nSamples := 1 + rng.Intn(400)
+		nParts := 1 + rng.Intn(8)
+		whole := NewHist()
+		parts := make([]*Hist, nParts)
+		for i := range parts {
+			parts[i] = NewHist()
+		}
+		for i := 0; i < nSamples; i++ {
+			// Log-uniform across the bucketed range plus outliers on both
+			// sides, so clamping paths are exercised too.
+			d := time.Duration(float64(histMin) * math.Pow(2, rng.Float64()*32-1))
+			whole.Observe(d)
+			parts[rng.Intn(nParts)].Observe(d)
+		}
+		merged := NewHist()
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if !reflect.DeepEqual(whole.Export(), merged.Export()) {
+			t.Fatalf("trial %d: partition merge diverged:\nwhole  %+v\nmerged %+v",
+				trial, whole.Export(), merged.Export())
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+			if a, b := whole.Quantile(q), merged.Quantile(q); a != b {
+				t.Fatalf("trial %d: q%.2f diverged: %v vs %v", trial, q, a, b)
+			}
+		}
+	}
+}
+
+// TestHistMergeOverflowSaturates pins the int64-bound behavior: counts
+// near MaxInt64 saturate instead of wrapping negative, for both Observe
+// and Merge.
+func TestHistMergeOverflowSaturates(t *testing.T) {
+	a := NewHist()
+	a.Observe(time.Millisecond)
+	a.n = math.MaxInt64 - 1
+	a.counts[bucketOf(time.Millisecond)] = math.MaxInt64 - 1
+	a.sum = time.Duration(math.MaxInt64 - 1)
+
+	a.Observe(time.Millisecond)
+	if a.n != math.MaxInt64 {
+		t.Errorf("n = %d, want saturation at MaxInt64", a.n)
+	}
+	a.Observe(time.Millisecond) // once saturated, stays saturated
+	if a.n != math.MaxInt64 || a.n < 0 {
+		t.Errorf("n = %d after post-saturation observe", a.n)
+	}
+	if a.sum < 0 || int64(a.sum) != math.MaxInt64 {
+		t.Errorf("sum wrapped: %d", a.sum)
+	}
+	if c := a.counts[bucketOf(time.Millisecond)]; c != math.MaxInt64 {
+		t.Errorf("bucket count = %d, want MaxInt64", c)
+	}
+
+	b := NewHist()
+	b.Observe(time.Millisecond)
+	b.n = math.MaxInt64 / 2
+	c := NewHist()
+	c.Observe(2 * time.Millisecond)
+	c.n = math.MaxInt64/2 + 17
+	b.Merge(c)
+	if b.n < 0 {
+		t.Errorf("merged n wrapped negative: %d", b.n)
+	}
+}
+
+// TestHistExportImportRoundTrip pins the wire form.
+func TestHistExportImportRoundTrip(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 137 * time.Microsecond)
+	}
+	st := h.Export()
+	back, err := ImportHist(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.Export(), back.Export()) {
+		t.Fatal("round trip changed the histogram")
+	}
+	st.Counts = make([]int64, histBuckets+1)
+	if _, err := ImportHist(st); err == nil {
+		t.Fatal("oversized bucket layout accepted")
+	}
+}

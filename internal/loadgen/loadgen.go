@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,7 +21,9 @@ import (
 	"specweb/internal/resilience"
 	"specweb/internal/resilience/faults"
 	"specweb/internal/stats"
+	"specweb/internal/synth"
 	"specweb/internal/trace"
+	"specweb/internal/webgraph"
 )
 
 // Config parameterizes one load-generation run (one arm).
@@ -114,17 +117,60 @@ type Config struct {
 	// Overload installs an admission controller and governor on the
 	// in-process server; AdmissionTune adjusts the controller config
 	// before construction. With generous slots the controller admits
-	// everything and the run stays deterministic.
+	// everything and the run stays deterministic. The tuning hooks are
+	// process-local and excluded from the distributed wire job.
 	Overload      bool
-	AdmissionTune func(*overload.Config)
+	AdmissionTune func(*overload.Config) `json:"-"`
 	// ServerTune is the escape hatch for any other server knob.
-	ServerTune func(*httpspec.ServerConfig)
+	ServerTune func(*httpspec.ServerConfig) `json:"-"`
 
 	// Restart, when non-nil, splits the measurement phase with a
 	// simulated server crash at CrashFraction and rebuilds the stack
 	// according to Mode (see RestartConfig). In-process closed-loop runs
 	// only; per-phase counters land in Result.Restart.
 	Restart *RestartConfig
+
+	// Stream drives the workload from per-client seeded cursors
+	// (synth.Stream) instead of a materialized trace: warmup replays the
+	// canonical k-way merge sequentially, then each closed-loop worker
+	// regenerates just its own clients' streams (the open loop paces from
+	// a fresh global merge). Peak memory is O(clients + concurrent
+	// sessions) instead of O(trace); the deterministic report section is
+	// byte-identical to materializing the same stream and running the
+	// ordinary path (see StreamMaterialize). Scenarios and the restart
+	// harness require the materialized trace and are rejected.
+	Stream bool
+	// StreamMaterialize (with Stream) builds the same per-client stream
+	// but materializes it into a trace and runs the ordinary drive — the
+	// conformance oracle the streamed path is byte-compared against.
+	StreamMaterialize bool
+
+	// ShardIndex/ShardCount restrict the measurement phase to the
+	// clients hashed to this shard (same stable hash as the worker
+	// partition). Every shard replays the full warmup — so all shards
+	// freeze the identical speculation model — and then drives only its
+	// own clients; a coordinator merges the shards' partial reports into
+	// a document byte-identical to the single-process run (see Partial).
+	// ShardCount 0 or 1 means unsharded.
+	ShardIndex int
+	ShardCount int
+
+	// raw, when non-nil, receives the arm's pre-aggregation state
+	// (merged histogram, miss accumulators, attrib export, overload
+	// freeze snapshot) for assembly into a Partial. Process-local.
+	raw *armRaw
+}
+
+// armRaw is one arm's pre-aggregation state, captured for partial
+// reports: everything a coordinator needs to recompute the aggregate
+// formulas over merged shards instead of over one process's workers.
+type armRaw struct {
+	Hist           HistState
+	MissDurNS      int64
+	MissCount      int64
+	ElapsedNS      int64
+	Attrib         *attrib.Export
+	OverloadFreeze *httpspec.ServerOverloadStats
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +210,74 @@ func (c Config) withDefaults() Config {
 // carries: enough to name the heavy hitters without bloating the file.
 const attribTopDocs = 10
 
+// validateModes rejects flag combinations the streaming and sharded
+// drives cannot honor.
+func (c Config) validateModes() error {
+	if c.ShardCount < 0 || c.ShardIndex < 0 {
+		return fmt.Errorf("loadgen: negative shard index/count")
+	}
+	if c.ShardCount > 1 || c.ShardIndex > 0 {
+		if c.ShardIndex >= c.ShardCount {
+			return fmt.Errorf("loadgen: shard index %d out of range for %d shards", c.ShardIndex, c.ShardCount)
+		}
+		switch {
+		case c.Restart != nil:
+			return fmt.Errorf("loadgen: restart harness cannot run sharded")
+		case c.Estguard:
+			return fmt.Errorf("loadgen: estguard cannot run sharded (warmup feedback sees only shard clients)")
+		case c.MaxRows > 0 || c.RowTopK > 0:
+			return fmt.Errorf("loadgen: bounded-estimator stats cannot be merged across shards")
+		case c.BaseURL != "":
+			return fmt.Errorf("loadgen: network mode cannot run sharded (each shard replays the full warmup)")
+		case c.RealClock:
+			return fmt.Errorf("loadgen: real-clock mode cannot run sharded")
+		case c.Faults.Enabled():
+			return fmt.Errorf("loadgen: fault injection cannot run sharded (the fault stream is per-process)")
+		}
+	}
+	if c.Stream && c.Restart != nil {
+		return fmt.Errorf("loadgen: restart harness requires the materialized trace")
+	}
+	return nil
+}
+
+// inShard reports whether a client's measurement phase belongs to this
+// process. The hash is the same stable FNV used for the in-process
+// worker partition, so shard membership never depends on trace position.
+func (c Config) inShard(id trace.ClientID) bool {
+	if c.ShardCount <= 1 {
+		return true
+	}
+	return workerOf(id, c.ShardCount) == c.ShardIndex
+}
+
+// countPass drains a stream once to learn its length, client set (in
+// first-appearance order, matching Trace.Clients), and first timestamp —
+// without retaining any request.
+func countPass(s trace.Stream) (int, []trace.ClientID, time.Time) {
+	var (
+		n     int
+		order []trace.ClientID
+		first time.Time
+	)
+	seen := make(map[trace.ClientID]bool)
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		if n == 0 {
+			first = req.Time
+		}
+		n++
+		if !seen[req.Client] {
+			seen[req.Client] = true
+			order = append(order, req.Client)
+		}
+	}
+	return n, order, first
+}
+
 func modeName(m httpspec.Mode) string {
 	switch m {
 	case httpspec.ModeHints:
@@ -184,6 +298,11 @@ type run struct {
 	// order preserves first-appearance order for deterministic
 	// aggregation (map iteration order must not leak into anything).
 	order []trace.ClientID
+	// aggregate stashes the merged wall-clock ledger here so partial
+	// reports can export the raw histogram and miss accumulators.
+	aggHist    *Hist
+	missDurSum time.Duration
+	missCount  int64
 }
 
 // Client pairs the protocol client with its warmup snapshot and session
@@ -236,27 +355,71 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 		Estguard:           cfg.Estguard,
 		MaxRows:            cfg.MaxRows,
 		RowTopK:            cfg.RowTopK,
+		Stream:             cfg.Stream,
 	}
 	if info.Scenario == "none" {
 		info.Scenario = ""
 	}
-
-	wl, err := experiments.Build(cfg.Workload)
-	if err != nil {
+	if err := cfg.validateModes(); err != nil {
 		return nil, nil, info, err
 	}
-	n := wl.Trace.Len()
+
+	// The workload: either a materialized trace (the classic path, and
+	// the StreamMaterialize oracle) or a per-client stream generator the
+	// drive regenerates from on demand.
+	var (
+		site *webgraph.Site
+		tr   *trace.Trace
+		gen  *synth.Stream
+	)
+	if cfg.Stream {
+		sw, err := experiments.BuildStream(cfg.Workload)
+		if err != nil {
+			return nil, nil, info, err
+		}
+		site = sw.Site
+		if cfg.StreamMaterialize {
+			tr = trace.Materialize(sw.Gen.Merged())
+		} else {
+			gen = sw.Gen
+		}
+	} else {
+		wl, err := experiments.Build(cfg.Workload)
+		if err != nil {
+			return nil, nil, info, err
+		}
+		site = wl.Site
+		tr = wl.Trace
+	}
+
+	var (
+		n     int
+		order []trace.ClientID
+		first time.Time
+	)
+	if tr != nil {
+		if n = tr.Len(); n > 0 {
+			order = tr.Clients()
+			first = tr.Requests[0].Time
+		}
+	} else {
+		// Counting pass: one full generation to fix the warmup boundary
+		// and client set. The streamed drive trades repeated generation
+		// (cheap, CPU-bound) for never holding the trace (expensive,
+		// O(requests) memory).
+		n, order, first = countPass(gen.Merged())
+	}
 	if n == 0 {
 		return nil, nil, info, fmt.Errorf("loadgen: empty trace")
 	}
 	warmN := int(cfg.WarmupFraction * float64(n))
 	winfo := &WorkloadInfo{
-		Pages:    wl.Site.NumPages(),
-		Clients:  len(wl.Trace.Clients()),
+		Pages:    site.NumPages(),
+		Clients:  len(order),
 		Trace:    n,
 		Warmup:   warmN,
 		Measured: n - warmN,
-		Bytes:    wl.Site.TotalBytes(),
+		Bytes:    site.TotalBytes(),
 	}
 
 	r := &run{cfg: cfg, clients: make(map[trace.ClientID]*Client)}
@@ -264,10 +427,13 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 	// One shared attribution ledger for the speculative arm. Capacity
 	// covers the whole site, so the space-saving sketch never evicts and
 	// its updates commute — the report is byte-identical no matter how
-	// many workers raced or in what order their sessions resolved.
+	// many workers raced or in what order their sessions resolved. In a
+	// sharded run only this shard's clients feed it: ledger operations
+	// partition exactly by client, so the coordinator's merge of shard
+	// exports reproduces the single-process ledger.
 	var led *attrib.Ledger
 	if cfg.Speculate {
-		led = attrib.NewLedger(wl.Site.NumDocs(), obs.NewRegistry())
+		led = attrib.NewLedger(site.NumDocs(), obs.NewRegistry())
 	}
 
 	// The virtual clock: warmup advances it along trace time; after the
@@ -275,7 +441,7 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 	// engine never auto-refreshes mid-measurement and its speculation
 	// model stays the frozen snapshot.
 	var vnow atomic.Int64
-	vnow.Store(wl.Trace.Requests[0].Time.UnixNano())
+	vnow.Store(first.UnixNano())
 	vclock := func() time.Time { return time.Unix(0, vnow.Load()) }
 
 	// maybeFaulty wraps a transport with the seeded fault injector when
@@ -338,7 +504,7 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 		// engine, new guard — exactly as a restarted process would. The
 		// restart harness calls it a second time after the crash.
 		rebuild = func() (*httpspec.Server, error) {
-			store := httpspec.NewSiteStore(wl.Site)
+			store := httpspec.NewSiteStore(site)
 			scfg := httpspec.DefaultServerConfig()
 			scfg.Mode = cfg.Mode
 			scfg.MaxPush = cfg.MaxPush
@@ -411,8 +577,16 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 	if cfg.Retry.MaxAttempts > 1 {
 		retrier = resilience.NewRetrier(cfg.Retry)
 	}
-	for _, id := range wl.Trace.Clients() {
+	for _, id := range order {
 		r.order = append(r.order, id)
+		// In a sharded run the attribution ledger is attached only to
+		// this shard's clients: non-shard clients replay warmup without
+		// recording deliveries, exactly the slice of ledger traffic that
+		// belongs to some other shard.
+		var clientLed *attrib.Ledger
+		if led != nil && cfg.inShard(id) {
+			clientLed = led
+		}
 		r.clients[id] = &Client{c: httpspec.NewClient(r.base, httpspec.ClientConfig{
 			ID:                string(id),
 			AcceptBundles:     cfg.Speculate,
@@ -421,15 +595,16 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 			HTTP:              r.hc,
 			Timeout:           cfg.Timeout,
 			Retrier:           retrier,
-			Attrib:            led,
+			Attrib:            clientLed,
 		})}
 	}
 
-	// Warmup: sequential, on trace time. Auto-refreshes fire exactly as
-	// the recorded timestamps dictate.
+	// Warmup: sequential, on trace time, over the FULL client population
+	// even when sharded — every shard must freeze the identical
+	// speculation model. Auto-refreshes fire exactly as the timestamps
+	// dictate.
 	var warmupErrors int64
-	for i := 0; i < warmN; i++ {
-		req := &wl.Trace.Requests[i]
+	warm := func(req *trace.Request) {
 		vnow.Store(req.Time.UnixNano())
 		cl := r.clients[req.Client]
 		r.sessionGap(cl)
@@ -437,9 +612,32 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 			warmupErrors++
 		}
 	}
-	freezeAt := wl.Trace.Requests[0].Time
-	if warmN > 0 {
-		freezeAt = wl.Trace.Requests[warmN-1].Time
+	freezeAt := first
+	// skips[w] counts warmup-phase requests belonging to worker w's
+	// shard clients: the streamed measurement workers regenerate their
+	// clients' full streams and discard exactly that prefix.
+	var skips []int
+	if tr != nil {
+		for i := 0; i < warmN; i++ {
+			warm(&tr.Requests[i])
+		}
+		if warmN > 0 {
+			freezeAt = tr.Requests[warmN-1].Time
+		}
+	} else {
+		skips = make([]int, cfg.Workers)
+		ws := gen.Merged()
+		for i := 0; i < warmN; i++ {
+			req, ok := ws.Next()
+			if !ok {
+				break
+			}
+			warm(&req)
+			freezeAt = req.Time
+			if cfg.inShard(req.Client) {
+				skips[workerOf(req.Client, cfg.Workers)]++
+			}
+		}
 	}
 	vnow.Store(freezeAt.UnixNano())
 	if r.srv != nil {
@@ -450,35 +648,66 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 		cl.warmup = cl.c.Stats()
 	}
 
+	// The overload freeze snapshot: a sharded run reports it so the
+	// coordinator can reconstruct single-process totals as
+	// freeze + Σ per-shard measurement deltas.
+	var ovFreeze *httpspec.ServerOverloadStats
+	if cfg.Overload && r.srv != nil && cfg.raw != nil {
+		ov := r.srv.OverloadStats()
+		ovFreeze = &ov
+	}
+
 	// Measurement: partition the remaining requests by owning worker
-	// (stable client hash), preserving per-client order.
-	queues := make([][]int, cfg.Workers)
-	for i := warmN; i < n; i++ {
-		w := workerOf(wl.Trace.Requests[i].Client, cfg.Workers)
-		queues[w] = append(queues[w], i)
+	// (stable client hash), preserving per-client order. A sharded run
+	// drives only its own clients; the canonical order restricted to a
+	// client subset is the subset's own merge order, so shard streams
+	// and shard queues see identical per-client sequences.
+	var queues [][]int
+	if tr != nil {
+		queues = make([][]int, cfg.Workers)
+		for i := warmN; i < n; i++ {
+			id := tr.Requests[i].Client
+			if !cfg.inShard(id) {
+				continue
+			}
+			queues[workerOf(id, cfg.Workers)] = append(queues[workerOf(id, cfg.Workers)], i)
+		}
 	}
 
 	results := make([]*workerResult, cfg.Workers)
 	root := stats.NewRNG(cfg.Seed).Split("loadgen")
 	start := time.Now()
 	var restartInfo *RestartInfo
-	if rst != nil {
-		ri, rres, err := r.runRestart(wl.Trace, warmN, n, rst, ckstore, swap, rebuild, freezeAt, root)
+	switch {
+	case rst != nil:
+		ri, rres, err := r.runRestart(tr, warmN, n, rst, ckstore, swap, rebuild, freezeAt, root)
 		if err != nil {
 			return nil, nil, info, err
 		}
 		restartInfo = ri
 		results = rres
-	} else if cfg.OpenLoop && cfg.Rate > 0 {
-		r.runOpenLoop(wl.Trace, queues, results)
-	} else {
+	case cfg.OpenLoop && cfg.Rate > 0:
+		if gen != nil {
+			r.runOpenLoopStream(gen.Merged(), warmN, results)
+		} else {
+			r.runOpenLoop(tr, queues, results)
+		}
+	default:
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				results[w] = r.closedWorker(wl.Trace, queues[w],
-					root.Split(fmt.Sprintf("worker-%d", w)))
+				rng := root.Split(fmt.Sprintf("worker-%d", w))
+				if gen != nil {
+					w := w
+					cursors := gen.CursorsWhere(func(id trace.ClientID) bool {
+						return cfg.inShard(id) && workerOf(id, cfg.Workers) == w
+					})
+					results[w] = r.closedWorkerStream(trace.MergeCursors(cursors), skips[w], rng)
+				} else {
+					results[w] = r.closedWorker(tr, queues[w], rng)
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -521,6 +750,25 @@ func Run(cfg Config) (*Result, *WorkloadInfo, ConfigInfo, error) {
 			r.clients[id].c.ResolveOutstanding()
 		}
 		res.Attrib = led.Report(attribTopDocs)
+	}
+	if res.Timing != nil {
+		// Peak-memory evidence for the streaming gate: live heap after a
+		// forced collection, with the workload (trace or cursors) still
+		// referenced. Wall-clock-adjacent, so it lives inside Timing.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		res.Timing.Memory = &MemoryInfo{HeapAllocBytes: ms.HeapAlloc, SysBytes: ms.Sys}
+	}
+	if cfg.raw != nil {
+		*cfg.raw = armRaw{
+			Hist:           r.aggHist.Export(),
+			MissDurNS:      int64(r.missDurSum),
+			MissCount:      r.missCount,
+			ElapsedNS:      int64(elapsed),
+			OverloadFreeze: ovFreeze,
+			Attrib:         led.Export(),
+		}
 	}
 	return res, winfo, info, nil
 }
@@ -592,6 +840,34 @@ func workerOf(id trace.ClientID, workers int) int {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(id))
 	return int(h.Sum32() % uint32(workers))
+}
+
+// closedWorkerStream walks the worker's own merged client streams
+// back-to-back, discarding the first skip requests (the warmup prefix,
+// already replayed sequentially — regeneration is how the streamed drive
+// avoids ever buffering it). The request sequence equals the
+// materialized worker's queue by the canonical-order restriction
+// property.
+func (r *run) closedWorkerStream(s trace.Stream, skip int, rng *stats.RNG) *workerResult {
+	res := &workerResult{hist: NewHist()}
+	for i := 0; ; i++ {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		if i < skip {
+			continue
+		}
+		cl := r.clients[req.Client]
+		r.sessionGap(cl)
+		if d := r.think(rng); d > 0 {
+			time.Sleep(d)
+		}
+		start := time.Now()
+		_, fromCache, err := cl.c.Get(req.Path)
+		res.observe(time.Since(start), fromCache, err)
+	}
+	return res
 }
 
 // closedWorker walks its queue back-to-back with optional think time.
@@ -700,6 +976,68 @@ func (r *run) runOpenLoop(tr *trace.Trace, queues [][]int, results []*workerResu
 	wg.Wait()
 }
 
+// openReq is one paced arrival carried by value — the streamed open loop
+// never holds more than the bounded channel buffers.
+type openReq struct {
+	req trace.Request
+	at  time.Time
+}
+
+// openStreamBuffer bounds each worker's in-flight arrival queue in the
+// streamed open loop. The dispatcher blocks when a worker falls this far
+// behind; latency is still charged from the scheduled arrival time, so a
+// stall surfaces as queueing delay, never as coordinated omission.
+const openStreamBuffer = 1024
+
+// runOpenLoopStream paces arrivals straight off the canonical merged
+// stream: discard the warmup prefix (already replayed), then hand each
+// in-shard request to its owning worker at Rate/Burst. Memory is
+// O(workers · openStreamBuffer) instead of O(trace).
+func (r *run) runOpenLoopStream(s trace.Stream, skip int, results []*workerResult) {
+	cfg := r.cfg
+	interval := time.Duration(float64(cfg.Burst) / cfg.Rate * float64(time.Second))
+	chans := make([]chan openReq, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		chans[w] = make(chan openReq, openStreamBuffer)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &workerResult{hist: NewHist()}
+			for it := range chans[w] {
+				cl := r.clients[it.req.Client]
+				r.sessionGap(cl)
+				_, fromCache, err := cl.c.Get(it.req.Path)
+				res.observe(time.Since(it.at), fromCache, err)
+			}
+			results[w] = res
+		}(w)
+	}
+	next := time.Now()
+	dispatched := 0
+	for i := 0; ; i++ {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		if i < skip || !r.cfg.inShard(req.Client) {
+			continue
+		}
+		if dispatched > 0 && dispatched%cfg.Burst == 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		chans[workerOf(req.Client, cfg.Workers)] <- openReq{req: req, at: next}
+		dispatched++
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+}
+
 // aggregate folds worker ledgers and client counters into the Result.
 func (r *run) aggregate(results []*workerResult, elapsed time.Duration, warmupErrors int64) *Result {
 	hist := NewHist()
@@ -714,6 +1052,7 @@ func (r *run) aggregate(results []*workerResult, elapsed time.Duration, warmupEr
 		missDurSum += wr.missDurSum
 		missCount += wr.missCount
 	}
+	r.aggHist, r.missDurSum, r.missCount = hist, missDurSum, missCount
 
 	var c Counts
 	c.Errors = errors

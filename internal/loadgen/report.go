@@ -63,6 +63,10 @@ type ConfigInfo struct {
 	// Restart echoes the kill/restart harness configuration; absent for
 	// ordinary runs, so existing reports stay byte-identical.
 	Restart *RestartConfig `json:"restart,omitempty"`
+	// Stream marks a run that drove the workload from per-client seeded
+	// cursors instead of a materialized trace; absent (false) for
+	// materialized runs, so existing reports stay byte-identical.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // WorkloadInfo describes the generated workload.
@@ -161,6 +165,19 @@ type Timing struct {
 	Latency         Quantiles    `json:"latency_ms"`
 	ServiceTime     float64      `json:"service_time"`
 	Histogram       []HistBucket `json:"histogram,omitempty"`
+	// Memory records the process heap at report time. It lives inside
+	// Timing — machine- and GC-schedule-dependent — so Deterministic()
+	// strips it and Compare ignores it.
+	Memory *MemoryInfo `json:"memory,omitempty"`
+}
+
+// MemoryInfo is a runtime.ReadMemStats snapshot taken when the arm's
+// report is assembled: live heap bytes and total bytes obtained from the
+// OS. The streaming memory gate reads these to prove the cursor path's
+// O(workers + sessions) footprint against the materialized trace.
+type MemoryInfo struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
 }
 
 // Quantiles are latency percentiles in milliseconds.

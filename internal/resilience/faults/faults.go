@@ -52,10 +52,12 @@ type Config struct {
 	// mid-stream, leaving the reader with an unexpected EOF.
 	TruncateRate float64
 	// Sleep waits out injected latency; nil uses a context-aware real
-	// sleep. Tests inject their own to keep chaos runs fast.
-	Sleep func(ctx context.Context, d time.Duration)
+	// sleep. Tests inject their own to keep chaos runs fast. Process-
+	// local, like Metrics: both are excluded when a config that embeds
+	// this one travels over the distributed-bench wire.
+	Sleep func(ctx context.Context, d time.Duration) `json:"-"`
 	// Metrics selects the registry; nil means obs.Default.
-	Metrics *obs.Registry
+	Metrics *obs.Registry `json:"-"`
 }
 
 // Enabled reports whether the config injects any fault at all.

@@ -9,14 +9,23 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 )
 
-// RNG wraps math/rand.Rand with a fixed, splittable seeding discipline.
-// All specweb components draw randomness through an RNG so that a single
-// experiment seed determines the entire run.
+// RNG wraps a deterministic random source with a fixed, splittable seeding
+// discipline. All specweb components draw randomness through an RNG so that
+// a single experiment seed determines the entire run.
+//
+// Two cores back the same API. NewRNG uses math/rand (≈5 KB of state) and
+// is the historical default: every committed baseline depends on its exact
+// draw sequence. NewCursorRNG uses a splitmix64 core with 8 bytes of state,
+// so a streamed workload can hold one independent generator per client —
+// hundreds of thousands of them — without the state dominating memory. The
+// two cores produce different (both deterministic) streams.
 type RNG struct {
-	r    *rand.Rand
+	r    *rand.Rand // nil for compact splitmix64-core generators
+	s    uint64     // splitmix64 state, used only when r == nil
 	seed int64
 }
 
@@ -25,10 +34,37 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
+// splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mixer whose
+// output sequence over a Weyl increment passes BigCrush. It is the seed
+// derivation function for per-client stream cursors: each client's whole
+// request sequence is a pure function of (seed, client index).
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next64 advances the compact core one step (SplitMix64: Weyl sequence
+// plus finalizer).
+func (g *RNG) next64() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	return splitmix64(g.s)
+}
+
+// NewCursorRNG returns a compact (8-byte-state) generator whose stream is
+// a pure function of (seed, index). Shards regenerate any client's stream
+// independently and byte-identically: cursor i draws the same sequence no
+// matter which process asks, how many other cursors exist, or in what
+// order they are created.
+func NewCursorRNG(seed int64, index uint64) *RNG {
+	state := splitmix64(uint64(seed)^0x9e3779b97f4a7c15) + splitmix64(index)
+	return &RNG{s: state, seed: seed}
+}
+
 // Split derives an independent child generator from this one. The child's
 // stream is a pure function of the parent seed and the label — it does not
 // consume any parent draws — so adding a new consumer of randomness does not
-// perturb existing streams.
+// perturb existing streams. A child inherits the parent's core kind.
 func (g *RNG) Split(label string) *RNG {
 	// FNV-1a over the label bytes, mixed with the parent seed.
 	const (
@@ -42,29 +78,94 @@ func (g *RNG) Split(label string) *RNG {
 		h ^= uint64(label[i])
 		h *= prime64
 	}
-	return NewRNG(int64(h ^ 0x9e3779b97f4a7c15))
+	child := int64(h ^ 0x9e3779b97f4a7c15)
+	if g.r == nil {
+		return &RNG{s: splitmix64(uint64(child)), seed: child}
+	}
+	return NewRNG(child)
 }
 
 // Float64 returns a uniform draw in [0, 1).
-func (g *RNG) Float64() float64 { return g.r.Float64() }
+func (g *RNG) Float64() float64 {
+	if g.r != nil {
+		return g.r.Float64()
+	}
+	return float64(g.next64()>>11) / (1 << 53)
+}
 
 // Intn returns a uniform draw in [0, n). It panics if n <= 0.
-func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+func (g *RNG) Intn(n int) int {
+	if g.r != nil {
+		return g.r.Intn(n)
+	}
+	if n <= 0 {
+		panic("stats: Intn with n <= 0")
+	}
+	return int(g.next64() % uint64(n))
+}
 
 // Int63n returns a uniform draw in [0, n). It panics if n <= 0.
-func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+func (g *RNG) Int63n(n int64) int64 {
+	if g.r != nil {
+		return g.r.Int63n(n)
+	}
+	if n <= 0 {
+		panic("stats: Int63n with n <= 0")
+	}
+	return int64(g.next64() % uint64(n))
+}
 
 // NormFloat64 returns a standard normal draw.
-func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+func (g *RNG) NormFloat64() float64 {
+	if g.r != nil {
+		return g.r.NormFloat64()
+	}
+	// Box–Muller on the compact core: two uniforms per normal. Slower
+	// than ziggurat but stateless beyond the core, which is the point.
+	u := g.Float64()
+	for u == 0 {
+		u = g.Float64()
+	}
+	v := g.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
 
 // ExpFloat64 returns an exponential draw with rate 1.
-func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+func (g *RNG) ExpFloat64() float64 {
+	if g.r != nil {
+		return g.r.ExpFloat64()
+	}
+	u := g.Float64()
+	for u == 0 {
+		u = g.Float64()
+	}
+	return -math.Log(u)
+}
 
 // Perm returns a random permutation of [0, n).
-func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+func (g *RNG) Perm(n int) []int {
+	if g.r != nil {
+		return g.r.Perm(n)
+	}
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := g.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
-func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+func (g *RNG) Shuffle(n int, swap func(i, j int)) {
+	if g.r != nil {
+		g.r.Shuffle(n, swap)
+		return
+	}
+	for i := n - 1; i > 0; i-- {
+		swap(i, g.Intn(i+1))
+	}
+}
 
 // Bool returns true with probability p.
 func (g *RNG) Bool(p float64) bool {
@@ -74,5 +175,5 @@ func (g *RNG) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return g.r.Float64() < p
+	return g.Float64() < p
 }

@@ -1,0 +1,388 @@
+package synth
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"specweb/internal/stats"
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+// Stream is the streaming counterpart of Generate: instead of
+// materializing a whole trace, it exposes one seeded cursor per client,
+// each of which derives its entire request sequence from
+// splitmix64(seed, client index). Any subset of clients regenerates its
+// events independently and byte-identically no matter how many shards
+// exist or which process asks — the foundation of distributed replay.
+//
+// The statistical model matches Generate's random surfer: per-client
+// Poisson session arrivals (the superposition over clients reproduces the
+// global SessionsPerDay process), Zipf entry choice with audience
+// rejection and per-region geographic permutations, link-following
+// strides with think times, embedded-object fetches, and optional junk
+// noise. The draw *sequences* differ from Generate's shared-stream
+// layout, so a streamed workload is a distinct (equally deterministic)
+// trace — not a re-encoding of the materialized one. Scenarios are not
+// supported: their overlays (flash windows, robot fleets) are inherently
+// cross-client and belong to the materialized path.
+type Stream struct {
+	cfg     Config
+	site    *webgraph.Site
+	clients []client // locals first, then remotes: the canonical index order
+	seed    int64
+
+	start   time.Time
+	horizon time.Time
+	// localGapMean / remoteGapMean are per-client mean session gaps in
+	// nanoseconds; 0 means that class generates no sessions.
+	localGapMean  float64
+	remoteGapMean float64
+	nLocals       int
+
+	entries *streamEntries
+}
+
+// streamEntries is the shared, immutable entry-choice model. Region
+// permutations are precomputed once from the workload seed (not from any
+// cursor's stream), so every cursor sees identical preference orders.
+type streamEntries struct {
+	site    *webgraph.Site
+	entries []webgraph.DocID
+	zipf    *stats.Zipf
+	bias    float64
+	geo     float64
+	perms   map[int][]int
+}
+
+// NewStream validates the configuration and builds the shared per-client
+// stream state. The per-cursor memory is O(1) outside an open session, so
+// a million-client population costs megabytes, not the trace's gigabytes.
+func NewStream(cfg Config, seed int64) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scenario.Kind != ScenarioNone {
+		return nil, fmt.Errorf("synth: scenario %q is not supported by the streaming generator (scenarios are cross-client overlays)", cfg.Scenario.Kind)
+	}
+	locals, remotes := population(cfg)
+	if len(locals) == 0 && cfg.LocalSessionFraction > 0 {
+		return nil, fmt.Errorf("synth: LocalSessionFraction > 0 but no local clients")
+	}
+	if len(remotes) == 0 && cfg.LocalSessionFraction < 1 {
+		return nil, fmt.Errorf("synth: remote sessions required but no remote clients")
+	}
+
+	day := 24 * time.Hour
+	s := &Stream{
+		cfg:     cfg,
+		site:    cfg.Site,
+		clients: append(append([]client(nil), locals...), remotes...),
+		seed:    seed,
+		start:   cfg.Start,
+		horizon: cfg.Start.Add(time.Duration(cfg.Days) * day),
+		nLocals: len(locals),
+	}
+	// Thinning the global Poisson process over the population: each local
+	// client runs an independent Poisson process at rate
+	// frac·SessionsPerDay/len(locals) per day (remotes analogously), and
+	// the superposition reproduces the global arrival statistics.
+	if len(locals) > 0 && cfg.LocalSessionFraction > 0 {
+		rate := cfg.LocalSessionFraction * cfg.SessionsPerDay / float64(len(locals))
+		s.localGapMean = float64(day) / rate
+	}
+	if len(remotes) > 0 && cfg.LocalSessionFraction < 1 {
+		rate := (1 - cfg.LocalSessionFraction) * cfg.SessionsPerDay / float64(len(remotes))
+		s.remoteGapMean = float64(day) / rate
+	}
+
+	skew := cfg.Site.EntrySkew
+	if cfg.EntrySkew > 0 {
+		skew = cfg.EntrySkew
+	}
+	se := &streamEntries{
+		site:    cfg.Site,
+		entries: cfg.Site.Entries,
+		zipf:    stats.NewZipf(len(cfg.Site.Entries), skew),
+		bias:    cfg.AudienceBias,
+		geo:     cfg.GeoLocality,
+		perms:   make(map[int][]int),
+	}
+	// Precompute every region's permutation from a seed-derived stream so
+	// cursors share them without per-cursor O(entries) state.
+	pg := stats.NewRNG(seed).Split("stream-entries")
+	for i := range s.clients {
+		r := s.clients[i].region
+		if s.clients[i].remote {
+			if _, ok := se.perms[r]; !ok {
+				se.perms[r] = pg.Split(fmt.Sprintf("region-%d", r)).Perm(len(se.entries))
+			}
+		}
+	}
+	s.entries = se
+	return s, nil
+}
+
+// NumClients returns the population size (local + remote).
+func (s *Stream) NumClients() int { return len(s.clients) }
+
+// ClientID returns the i'th client's ID in canonical index order.
+func (s *Stream) ClientID(i int) trace.ClientID { return s.clients[i].id }
+
+// Cursor builds the i'th client's stream cursor. Cursors are independent:
+// building one never draws from another's stream, and repeated calls with
+// the same index replay the identical sequence.
+func (s *Stream) Cursor(i int) *Cursor {
+	cl := s.clients[i]
+	gap := s.remoteGapMean
+	if i < s.nLocals {
+		gap = s.localGapMean
+	}
+	c := &Cursor{
+		st:  s,
+		cl:  cl,
+		g:   stats.NewCursorRNG(s.seed, uint64(i)),
+		gap: gap,
+	}
+	if gap <= 0 {
+		c.done = true
+		return c
+	}
+	c.next = s.start.Add(time.Duration(c.g.ExpFloat64() * gap))
+	if !c.next.Before(s.horizon) {
+		c.done = true
+	}
+	return c
+}
+
+// CursorsWhere builds cursors for every client whose ID passes keep (nil
+// keeps all), in canonical index order — the shard-stream constructor.
+func (s *Stream) CursorsWhere(keep func(trace.ClientID) bool) []trace.ClientCursor {
+	var out []trace.ClientCursor
+	for i := range s.clients {
+		if keep == nil || keep(s.clients[i].id) {
+			out = append(out, s.Cursor(i))
+		}
+	}
+	return out
+}
+
+// Cursors builds every client's cursor in canonical index order.
+func (s *Stream) Cursors() []trace.ClientCursor { return s.CursorsWhere(nil) }
+
+// Merged returns the canonical-order merge of the whole population.
+func (s *Stream) Merged() *trace.Merged { return trace.MergeCursors(s.Cursors()) }
+
+// pendItem is one generated-but-not-yet-yielded request of an open
+// session, ordered by (time, per-client sequence number).
+type pendItem struct {
+	at  int64 // UnixNano
+	seq int64
+	req trace.Request
+}
+
+type pendHeap []pendItem
+
+func (h pendHeap) Len() int { return len(h) }
+func (h pendHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x any)   { *h = append(*h, x.(pendItem)) }
+func (h *pendHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// Cursor streams one client's requests in (time, generation order). Its
+// memory is the 8-byte RNG core plus the pending buffer of the currently
+// open session — sessions are generated lazily, only when the merge
+// actually reaches this client's next arrival, so a large population
+// holds in-flight buffers only for the handful of sessions overlapping
+// the merge frontier.
+type Cursor struct {
+	st  *Stream
+	cl  client
+	g   *stats.RNG
+	gap float64 // mean session gap, ns
+
+	next    time.Time // next session arrival (valid while !done)
+	done    bool      // arrival process exhausted
+	pending pendHeap
+	seq     int64
+}
+
+// Client returns the cursor's client ID.
+func (c *Cursor) Client() trace.ClientID { return c.cl.id }
+
+// PeekTime returns the next request's timestamp without generating the
+// session behind it: the next event is either an already-generated
+// pending request or the first page view of the next session, which lands
+// exactly at the arrival time.
+func (c *Cursor) PeekTime() (int64, bool) {
+	if c.done {
+		if len(c.pending) == 0 {
+			return 0, false
+		}
+		return c.pending[0].at, true
+	}
+	nxt := c.next.UnixNano()
+	if len(c.pending) > 0 && c.pending[0].at <= nxt {
+		return c.pending[0].at, true
+	}
+	return nxt, true
+}
+
+// Next yields the client's next request in canonical per-client order.
+func (c *Cursor) Next() (trace.Request, bool) {
+	for {
+		if len(c.pending) > 0 && (c.done || c.pending[0].at <= c.next.UnixNano()) {
+			it := heap.Pop(&c.pending).(pendItem)
+			if len(c.pending) == 0 {
+				// Release the drained session buffer: a large population
+				// must not retain every client's peak-session capacity, only
+				// the buffers of sessions open at the merge frontier.
+				c.pending = nil
+			}
+			return it.req, true
+		}
+		if c.done {
+			return trace.Request{}, false
+		}
+		c.genSession()
+	}
+}
+
+// push enqueues one request, stamping the per-client sequence number that
+// makes same-timestamp ordering reproducible.
+func (c *Cursor) push(req trace.Request) {
+	heap.Push(&c.pending, pendItem{at: req.Time.UnixNano(), seq: c.seq, req: req})
+	c.seq++
+	// Noise rides per request: with probability Noise, one junk request
+	// (404, script hit, or alias access) lands shortly after the real
+	// one. Expected junk volume matches Generate's Noise·len(trace); the
+	// time-locality keeps the pending buffer session-bounded.
+	cfg := &c.st.cfg
+	if cfg.Noise > 0 && req.Status == 200 && req.Doc != webgraph.None && c.g.Bool(cfg.Noise) {
+		c.pushNoise(req.Time.Add(time.Duration(c.g.Float64() * float64(30*time.Second))))
+	}
+}
+
+func (c *Cursor) pushNoise(at time.Time) {
+	g := c.g
+	req := trace.Request{
+		Time:   at,
+		Client: c.cl.id,
+		Doc:    webgraph.None,
+		Remote: c.cl.remote,
+	}
+	switch g.Intn(3) {
+	case 0: // non-existent document
+		req.Path = fmt.Sprintf("/missing/m%04d.html", g.Intn(5000))
+		if g.Bool(0.5) {
+			req.Status = 404
+		} else {
+			req.Status = 200
+			req.Size = 1024
+		}
+	case 1: // live document / script
+		req.Path = fmt.Sprintf("/cgi-bin/query?q=%d", g.Intn(1000))
+		req.Status = 200
+		req.Size = 512
+	default: // alias of the home page
+		req.Path = "/"
+		req.Status = 200
+		req.Size = c.st.site.Doc(c.st.site.Entries[0]).Size
+	}
+	heap.Push(&c.pending, pendItem{at: req.Time.UnixNano(), seq: c.seq, req: req})
+	c.seq++
+}
+
+// genSession generates the session arriving at c.next into the pending
+// buffer and advances the arrival process. The surfer model mirrors
+// emitSession: entry choice, link-following strides, jumps, embedded
+// objects — all drawn from this client's own stream.
+func (c *Cursor) genSession() {
+	st, cfg, g := c.st, &c.st.cfg, c.g
+	start := c.next
+
+	pages := int(cfg.PagesPerSession.Sample(g)) + 1
+	at := start
+	cur := st.entries.choose(c.cl, g)
+	c.pushPageView(&at, cur)
+	for v := 1; v < pages; v++ {
+		links := st.site.Doc(cur).Links
+		if len(links) > 0 && g.Bool(cfg.FollowLinkProb) {
+			at = at.Add(secs(cfg.ThinkTime.Sample(g)))
+			cur = links[g.Intn(len(links))]
+		} else {
+			at = at.Add(secs(cfg.JumpGap.Sample(g)))
+			cur = st.entries.choose(c.cl, g)
+		}
+		c.pushPageView(&at, cur)
+	}
+
+	c.next = start.Add(time.Duration(g.ExpFloat64() * c.gap))
+	if !c.next.Before(st.horizon) {
+		c.done = true
+	}
+}
+
+func (c *Cursor) pushPageView(at *time.Time, page webgraph.DocID) {
+	st, cfg := c.st, &c.st.cfg
+	d := st.site.Doc(page)
+	c.push(trace.Request{
+		Time:   *at,
+		Client: c.cl.id,
+		Doc:    page,
+		Size:   d.Size,
+		Remote: c.cl.remote,
+		Status: 200,
+		Path:   d.Path,
+	})
+	for _, e := range d.Embedded {
+		*at = at.Add(secs(cfg.EmbeddedDelay))
+		ed := st.site.Doc(e)
+		c.push(trace.Request{
+			Time:   *at,
+			Client: c.cl.id,
+			Doc:    e,
+			Size:   ed.Size,
+			Remote: c.cl.remote,
+			Status: 200,
+			Path:   ed.Path,
+		})
+	}
+}
+
+// choose draws an entry page for cl from the cursor's own stream — the
+// same Zipf + geographic permutation + audience rejection scheme as the
+// materialized generator, against the shared precomputed permutations.
+func (e *streamEntries) choose(cl client, g *stats.RNG) webgraph.DocID {
+	for attempt := 0; ; attempt++ {
+		rank := e.zipf.Rank(g) - 1
+		idx := rank
+		if cl.remote && cl.region >= 0 && g.Bool(e.geo) {
+			if p, ok := e.perms[cl.region]; ok {
+				idx = p[rank]
+			}
+		}
+		id := e.entries[idx]
+		if attempt >= 24 {
+			return id
+		}
+		aud := e.site.Doc(id).Audience
+		mismatch := (cl.remote && aud == webgraph.LocalOnly) ||
+			(!cl.remote && aud == webgraph.RemoteOnly)
+		if !mismatch || g.Bool(1/e.bias) {
+			return id
+		}
+	}
+}

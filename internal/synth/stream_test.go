@@ -1,0 +1,165 @@
+package synth
+
+import (
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"specweb/internal/trace"
+	"specweb/internal/webgraph"
+)
+
+func newStream(t *testing.T, cfg Config, seed int64) *Stream {
+	t.Helper()
+	s, err := NewStream(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStreamDeterminism: the streamed trace is a pure function of
+// (config, seed) — two independent generators materialize identical
+// traces, and the result passes the trace invariants.
+func TestStreamDeterminism(t *testing.T) {
+	_, cfg := tinySetup(t, 3)
+	a := trace.Materialize(newStream(t, cfg, 3).Merged())
+	b := trace.Materialize(newStream(t, cfg, 3).Merged())
+	if a.Len() == 0 {
+		t.Fatal("empty streamed trace")
+	}
+	if !reflect.DeepEqual(a.Requests, b.Requests) {
+		t.Fatal("same seed produced different streams")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("streamed trace invalid: %v", err)
+	}
+	c := trace.Materialize(newStream(t, cfg, 4).Merged())
+	if reflect.DeepEqual(a.Requests, c.Requests) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestStreamCursorIndependence: regenerating one client's cursor in
+// isolation replays exactly that client's slice of the full merge —
+// no cursor ever draws from another's stream.
+func TestStreamCursorIndependence(t *testing.T) {
+	_, cfg := tinySetup(t, 5)
+	s := newStream(t, cfg, 5)
+	full := trace.Materialize(s.Merged())
+	byClient := full.ByClient()
+
+	checked := 0
+	for i := 0; i < s.NumClients() && checked < 12; i++ {
+		id := s.ClientID(i)
+		want := byClient[id]
+		if len(want) == 0 {
+			continue
+		}
+		checked++
+		solo := newStream(t, cfg, 5).Cursor(i)
+		var got []trace.Request
+		for {
+			req, ok := solo.Next()
+			if !ok {
+				break
+			}
+			got = append(got, req)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("client %s: isolated cursor diverged from its slice of the merge", id)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no active clients to check")
+	}
+}
+
+// TestStreamShardIndependence is the tentpole regeneration property:
+// split the population into shards by a stable hash, regenerate each
+// shard independently, and every shard's merge equals the full merge
+// restricted to its clients — for any shard count.
+func TestStreamShardIndependence(t *testing.T) {
+	_, cfg := tinySetup(t, 7)
+	full := trace.Materialize(newStream(t, cfg, 7).Merged())
+
+	shardOf := func(id trace.ClientID, n int) int {
+		h := fnv.New32a()
+		h.Write([]byte(id))
+		return int(h.Sum32() % uint32(n))
+	}
+	for _, shards := range []int{2, 5} {
+		for si := 0; si < shards; si++ {
+			s := newStream(t, cfg, 7)
+			cursors := s.CursorsWhere(func(id trace.ClientID) bool {
+				return shardOf(id, shards) == si
+			})
+			got := trace.Materialize(trace.MergeCursors(cursors))
+			var want []trace.Request
+			for _, r := range full.Requests {
+				if shardOf(r.Client, shards) == si {
+					want = append(want, r)
+				}
+			}
+			if len(got.Requests) != len(want) {
+				t.Fatalf("shards=%d idx=%d: %d requests, want %d",
+					shards, si, len(got.Requests), len(want))
+			}
+			if !reflect.DeepEqual(got.Requests, want) {
+				t.Fatalf("shards=%d idx=%d: shard regeneration diverged from restriction",
+					shards, si)
+			}
+		}
+	}
+}
+
+// TestStreamScenarioRejected: scenarios are cross-client overlays the
+// per-client generator cannot express; NewStream must refuse rather than
+// silently drop them.
+func TestStreamScenarioRejected(t *testing.T) {
+	_, cfg := tinySetup(t, 9)
+	cfg.Scenario = DefaultScenario(ScenarioFlashCrowd)
+	if _, err := NewStream(cfg, 9); err == nil {
+		t.Fatal("scenario config accepted by the streaming generator")
+	}
+}
+
+// TestStreamPoissonScale: per-client thinning must superpose back to the
+// configured global arrival rate — the streamed trace's volume lands in
+// the same regime as the materialized generator's (they are different
+// draws of the same process, not the same bytes).
+func TestStreamPoissonScale(t *testing.T) {
+	_, cfg := tinySetup(t, 11)
+	streamed := trace.Materialize(newStream(t, cfg, 11).Merged())
+	legacy := gen(t, cfg, 11).Trace
+	ratio := float64(streamed.Len()) / float64(legacy.Len())
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("streamed volume %d vs legacy %d (ratio %.2f) — arrival thinning is off",
+			streamed.Len(), legacy.Len(), ratio)
+	}
+	// Remote/local mix should also match the configured fraction loosely.
+	rf := streamed.RemoteFraction()
+	if rf < 0.4 || rf > 0.95 {
+		t.Fatalf("remote fraction %.2f out of regime", rf)
+	}
+}
+
+// TestStreamNoise: with Noise on, junk rows (404s, scripts, aliases)
+// appear and are attributed to real clients near their real requests.
+func TestStreamNoise(t *testing.T) {
+	_, cfg := tinySetup(t, 13)
+	cfg.Noise = 0.2
+	tr := trace.Materialize(newStream(t, cfg, 13).Merged())
+	junk := 0
+	for i := range tr.Requests {
+		if tr.Requests[i].Doc == webgraph.None {
+			junk++
+		}
+	}
+	if junk == 0 {
+		t.Fatal("Noise > 0 produced no junk rows")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("noisy streamed trace invalid: %v", err)
+	}
+}

@@ -25,18 +25,46 @@ const CLFTimeLayout = "02/Jan/2006:15:04:05 -0700"
 func WriteCLF(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	for i := range t.Requests {
-		r := &t.Requests[i]
-		host := string(r.Client)
-		status := r.Status
-		if status == 0 {
-			status = 200
-		}
-		if _, err := fmt.Fprintf(bw, "%s - - [%s] \"GET %s HTTP/1.0\" %d %d\n",
-			host, r.Time.Format(CLFTimeLayout), r.Path, status, r.Size); err != nil {
-			return fmt.Errorf("trace: writing CLF: %w", err)
+		if err := writeCLFLine(bw, &t.Requests[i]); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeCLFLine formats one request; both the buffered and the streaming
+// writer go through it, so their outputs are byte-identical by
+// construction (and pinned by test).
+func writeCLFLine(bw *bufio.Writer, r *Request) error {
+	status := r.Status
+	if status == 0 {
+		status = 200
+	}
+	if _, err := fmt.Fprintf(bw, "%s - - [%s] \"GET %s HTTP/1.0\" %d %d\n",
+		string(r.Client), r.Time.Format(CLFTimeLayout), r.Path, status, r.Size); err != nil {
+		return fmt.Errorf("trace: writing CLF: %w", err)
+	}
+	return nil
+}
+
+// WriteCLFStream drains a request stream straight into the writer, one
+// bufio-buffered row at a time — the whole trace never exists in memory.
+// It returns the number of rows written. The output is byte-identical to
+// materializing the stream and calling WriteCLF.
+func WriteCLFStream(w io.Writer, s Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	n := 0
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := writeCLFLine(bw, &req); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
 }
 
 // DocResolver maps a URL path to a document ID, reporting whether the path

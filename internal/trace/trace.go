@@ -31,7 +31,48 @@ type Request struct {
 // Trace is a time-ordered sequence of requests against one site.
 type Trace struct {
 	Requests []Request
+
+	// idx caches the per-client view (Clients / ByClient). It is built
+	// lazily on first use and considered valid only while len(Requests)
+	// is unchanged; SortByTime and Invalidate drop it. Callers that
+	// mutate Requests in place without changing its length must call
+	// Invalidate themselves.
+	idx *clientIndex
 }
+
+// clientIndex is the cached per-client view of a trace.
+type clientIndex struct {
+	n        int // len(Requests) the index was built against
+	order    []ClientID
+	byClient map[ClientID][]Request
+}
+
+// index returns the cached per-client view, rebuilding it when stale.
+// One O(n) pass replaces what used to be a fresh map + slice per call —
+// the refresh paths (engine flush, estguard, loadgen setup) call Clients
+// and ByClient repeatedly on the same trace, and Strides/Sessions used to
+// rescan the whole trace once per client.
+func (t *Trace) index() *clientIndex {
+	if t.idx != nil && t.idx.n == len(t.Requests) {
+		return t.idx
+	}
+	idx := &clientIndex{n: len(t.Requests), byClient: make(map[ClientID][]Request)}
+	for i := range t.Requests {
+		c := t.Requests[i].Client
+		reqs, seen := idx.byClient[c]
+		if !seen {
+			idx.order = append(idx.order, c)
+		}
+		idx.byClient[c] = append(reqs, t.Requests[i])
+	}
+	t.idx = idx
+	return idx
+}
+
+// Invalidate drops the cached per-client index. Mutating Requests in
+// place (without changing its length) requires an explicit Invalidate;
+// appends and SortByTime invalidate implicitly.
+func (t *Trace) Invalidate() { t.idx = nil }
 
 // Len returns the number of requests.
 func (t *Trace) Len() int { return len(t.Requests) }
@@ -56,6 +97,7 @@ func (t *Trace) SortByTime() {
 	sort.SliceStable(t.Requests, func(i, j int) bool {
 		return t.Requests[i].Time.Before(t.Requests[j].Time)
 	})
+	t.Invalidate()
 }
 
 // Validate checks trace invariants: chronological order and non-negative
@@ -77,29 +119,17 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
-// Clients returns the distinct client IDs in first-appearance order.
+// Clients returns the distinct client IDs in first-appearance order. The
+// slice is served from the cached index: treat it as read-only.
 func (t *Trace) Clients() []ClientID {
-	seen := make(map[ClientID]bool)
-	var out []ClientID
-	for i := range t.Requests {
-		c := t.Requests[i].Client
-		if !seen[c] {
-			seen[c] = true
-			out = append(out, c)
-		}
-	}
-	return out
+	return t.index().order
 }
 
 // ByClient groups requests per client, preserving chronological order within
-// each client.
+// each client. The map is served from the cached index: treat it as
+// read-only.
 func (t *Trace) ByClient() map[ClientID][]Request {
-	m := make(map[ClientID][]Request)
-	for i := range t.Requests {
-		r := t.Requests[i]
-		m[r.Client] = append(m[r.Client], r)
-	}
-	return m
+	return t.index().byClient
 }
 
 // TotalBytes sums the bytes of all requests.
@@ -205,11 +235,5 @@ func (t *Trace) Sessions(sessionTimeout time.Duration) []Session {
 }
 
 func (t *Trace) clientRequests(c ClientID) []Request {
-	var out []Request
-	for i := range t.Requests {
-		if t.Requests[i].Client == c {
-			out = append(out, t.Requests[i])
-		}
-	}
-	return out
+	return t.index().byClient[c]
 }
